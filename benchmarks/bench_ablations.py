@@ -1,0 +1,204 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the impact of the main design
+choices of the reproduction so that deviations from the paper can be traced to
+a specific modelling decision:
+
+1. wave-level vs task-level processing-time model (prediction accuracy),
+2. sprint-at-dispatch vs sprint-after-timeout under a fixed budget,
+3. dropping map tasks only vs dropping map and reduce tasks,
+4. model-guided deflator vs fixed drop ratios,
+5. preemptive-restart vs preemptive-resume (model-level queue).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SprintConfig
+from repro.core.deflator import TaskDeflator
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.harness import measure_processing_time, run_policies
+from repro.experiments.reporting import format_rows
+from repro.models.ph import PhaseType
+from repro.models.priority_queue import PriorityClassInput, PriorityQueueModel
+from repro.models.task_level import TaskLevelModel
+from repro.models.wave_level import WaveLevelModel
+from repro.workloads.scenarios import (
+    HIGH,
+    LOW,
+    reference_two_priority_scenario,
+    triangle_count_scenario,
+)
+
+
+def _ablation_model_choice():
+    """Ablation 1: wave-level vs task-level model prediction error."""
+    scenario = reference_two_priority_scenario()
+    slots = scenario.cluster.slots
+    rows = []
+    for theta in (0.0, 0.2, 0.4):
+        for priority in scenario.priorities:
+            profile = scenario.profiles[priority]
+            observed = measure_processing_time(profile, slots, theta, num_jobs=15, seed=2)
+            wave = WaveLevelModel.from_profile(profile, slots, map_drop_ratio=theta)
+            task = TaskLevelModel.from_profile(profile, slots, map_drop_ratio=theta)
+            rows.append(
+                {
+                    "priority": priority,
+                    "drop_ratio": theta,
+                    "observed_s": observed,
+                    "wave_model_error_pct": 100 * abs(wave.mean_processing_time() - observed) / observed,
+                    "task_model_error_pct": 100 * abs(task.mean_processing_time() - observed) / observed,
+                }
+            )
+    return rows
+
+
+def test_ablation_wave_vs_task_model(benchmark, record_series):
+    rows = benchmark.pedantic(_ablation_model_choice, rounds=1, iterations=1)
+    record_series("ablation_wave_vs_task_model", format_rows(rows))
+    mean_wave = sum(r["wave_model_error_pct"] for r in rows) / len(rows)
+    assert mean_wave < 30.0
+
+
+def _ablation_sprint_timeout():
+    """Ablation 2: sprint timing under the same (limited) budget."""
+    scenario = triangle_count_scenario(num_jobs=300)
+    rows = []
+    for label, timeout in (("at-dispatch", 0.0), ("after-65s", 65.0)):
+        sprint = SprintConfig.limited_sprinting(
+            budget_seconds=22_000.0 / 90.0, sprint_priorities={HIGH}, timeout=timeout
+        )
+        policies = [
+            SchedulingPolicy.preemptive_priority(),
+            SchedulingPolicy.dias({HIGH: 0.0, LOW: 0.2}, sprint=sprint,
+                                  name=f"DiAS(0/20)-{label}"),
+        ]
+        comparison = run_policies(scenario, policies, baseline="P", seed=23)
+        result = comparison.result(f"DiAS(0/20)-{label}")
+        rows.append(
+            {
+                "sprint_timing": label,
+                "high_mean_s": result.mean_response_time(HIGH),
+                "high_diff_pct": comparison.relative_difference(f"DiAS(0/20)-{label}", HIGH),
+                "low_diff_pct": comparison.relative_difference(f"DiAS(0/20)-{label}", LOW),
+                "sprinted_s": result.sprinted_seconds,
+                "energy_kj": result.total_energy_kilojoules,
+            }
+        )
+    return rows
+
+
+def test_ablation_sprint_timeout(benchmark, record_series):
+    rows = benchmark.pedantic(_ablation_sprint_timeout, rounds=1, iterations=1)
+    record_series("ablation_sprint_timeout", format_rows(rows))
+    assert all(r["sprinted_s"] > 0 for r in rows)
+
+
+def _ablation_reduce_dropping():
+    """Ablation 3: dropping map tasks only vs map + reduce tasks."""
+    scenario = reference_two_priority_scenario(num_jobs=400)
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2},
+                                                    name="DA-map-only"),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2},
+                                                    reduce_drop_ratios={LOW: 0.2},
+                                                    name="DA-map+reduce"),
+    ]
+    comparison = run_policies(scenario, policies, baseline="P", seed=29)
+    rows = []
+    for name in ("DA-map-only", "DA-map+reduce"):
+        rows.append(
+            {
+                "policy": name,
+                "low_diff_pct": comparison.relative_difference(name, LOW),
+                "high_diff_pct": comparison.relative_difference(name, HIGH),
+                "low_exec_s": comparison.result(name).mean_execution_time(LOW),
+            }
+        )
+    return rows
+
+
+def test_ablation_reduce_dropping(benchmark, record_series):
+    rows = benchmark.pedantic(_ablation_reduce_dropping, rounds=1, iterations=1)
+    record_series("ablation_reduce_dropping", format_rows(rows))
+    by_name = {r["policy"]: r for r in rows}
+    assert by_name["DA-map+reduce"]["low_exec_s"] <= by_name["DA-map-only"]["low_exec_s"] + 1e-6
+
+
+def _ablation_deflator_vs_fixed():
+    """Ablation 4: model-guided deflator choice vs fixed drop ratios."""
+    scenario = reference_two_priority_scenario(num_jobs=400)
+    deflator = TaskDeflator(
+        profiles=scenario.profiles,
+        arrival_rates=scenario.arrival_rates,
+        slots=scenario.cluster.slots,
+    )
+    decision = deflator.choose(candidates=(0.0, 0.1, 0.2, 0.4))
+    chosen_policy = SchedulingPolicy.differential_approximation(
+        decision.drop_ratios, name="DA-deflator"
+    )
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.1}, name="DA-fixed-10"),
+        chosen_policy,
+    ]
+    comparison = run_policies(scenario, policies, baseline="P", seed=31)
+    rows = []
+    for name in ("DA-fixed-10", "DA-deflator"):
+        result = comparison.result(name)
+        rows.append(
+            {
+                "policy": name,
+                "low_drop_ratio": (decision.drop_ratio(LOW) if name == "DA-deflator" else 0.1),
+                "low_diff_pct": comparison.relative_difference(name, LOW),
+                "low_accuracy_loss_pct": 100 * result.mean_accuracy_loss(LOW),
+            }
+        )
+    return rows
+
+
+def test_ablation_deflator_vs_fixed(benchmark, record_series):
+    rows = benchmark.pedantic(_ablation_deflator_vs_fixed, rounds=1, iterations=1)
+    record_series("ablation_deflator_vs_fixed", format_rows(rows))
+    by_name = {r["policy"]: r for r in rows}
+    assert by_name["DA-deflator"]["low_diff_pct"] <= by_name["DA-fixed-10"]["low_diff_pct"] + 5.0
+
+
+def _ablation_restart_vs_resume():
+    """Ablation 5: preemptive-restart vs preemptive-resume (model-level queue)."""
+    high = PhaseType.fit_mean_scv(36.0, 0.3)
+    low = PhaseType.fit_mean_scv(59.0, 0.3)
+    model = PriorityQueueModel(
+        [
+            PriorityClassInput(priority=HIGH, arrival_rate=0.0014, service=high),
+            PriorityClassInput(priority=LOW, arrival_rate=0.0127, service=low),
+        ]
+    )
+    rows = []
+    for discipline in ("preemptive_resume", "preemptive_restart", "nonpreemptive"):
+        summary = model.simulated_summary(
+            horizon=200_000.0, rng=np.random.default_rng(3), discipline=discipline
+        )
+        rows.append(
+            {
+                "discipline": discipline,
+                "high_mean_s": summary[HIGH]["mean"],
+                "low_mean_s": summary[LOW]["mean"],
+                "low_tail_s": summary[LOW]["tail"],
+            }
+        )
+    return rows
+
+
+def test_ablation_restart_vs_resume(benchmark, record_series):
+    rows = benchmark.pedantic(_ablation_restart_vs_resume, rounds=1, iterations=1)
+    record_series("ablation_restart_vs_resume", format_rows(rows))
+    by_discipline = {r["discipline"]: r for r in rows}
+    # Restart-from-scratch (the paper's eviction baseline) is at least as bad
+    # for the low class as resume.
+    assert by_discipline["preemptive_restart"]["low_mean_s"] >= (
+        by_discipline["preemptive_resume"]["low_mean_s"] * 0.9
+    )

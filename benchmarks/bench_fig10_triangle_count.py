@@ -1,0 +1,63 @@
+"""Figure 10 — differential approximation on triangle count.
+
+Regenerates the multi-stage graph-analytics experiment: P, NP and DA(0,θ) with
+per-ShuffleMap-stage drop ratios θ ∈ {1, 2, 5, 10, 20} % applied to the
+low-priority jobs.
+
+Expected shape (paper): already at 5–10 % per-stage dropping the low-priority
+mean latency improves by more than 50 %, and the tail latency of both classes
+improves by a similar factor.
+
+The benchmark also regenerates the *accuracy* side of the experiment by
+running the real mini-MapReduce triangle count on a synthetic power-law graph
+with the same per-stage drop ratios.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure10_triangle_count
+from repro.experiments.reporting import format_comparison, format_rows
+from repro.mapreduce.triangle_count import triangle_count_accuracy_curve
+from repro.workloads.graph import synthetic_web_graph
+from repro.workloads.scenarios import HIGH, LOW
+
+STAGE_DROP_RATIOS = (0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+def test_figure10_triangle_count_latency(benchmark, record_series):
+    comparison = benchmark.pedantic(
+        figure10_triangle_count,
+        kwargs={"stage_drop_ratios": STAGE_DROP_RATIOS, "num_jobs": 400, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    record_series(
+        "figure10_triangle_count_latency",
+        format_comparison(comparison, "Figure 10 — triangle count (latency)"),
+    )
+    assert comparison.relative_difference("DA(0/10)", LOW, "mean") < -40.0
+    assert comparison.relative_difference("DA(0/5)", LOW, "mean") < -30.0
+
+
+def test_figure10_triangle_count_accuracy(benchmark, record_series):
+    edges = synthetic_web_graph(num_nodes=400, edges_per_node=4, triangle_probability=0.4,
+                                seed=3)
+    curve = benchmark.pedantic(
+        triangle_count_accuracy_curve,
+        kwargs={
+            "edges": edges,
+            "stage_drop_ratios": STAGE_DROP_RATIOS,
+            "num_partitions": 20,
+            "repetitions": 2,
+            "seed": 5,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [{"stage_drop_ratio": theta, "relative_error_pct": err} for theta, err in curve]
+    record_series(
+        "figure10_triangle_count_accuracy",
+        format_rows(rows),
+    )
+    errors = dict(curve)
+    assert errors[0.01] <= errors[0.20] + 5.0

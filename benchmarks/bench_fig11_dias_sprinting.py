@@ -1,0 +1,55 @@
+"""Figure 11 — the complete DiAS: approximation plus sprinting, and energy.
+
+Regenerates the three panels of Fig. 11 on the graph-analytics workload
+(high:low = 3:7, equal sizes):
+
+* (a) latency of P vs DiAS(0,10)/DiAS(0,20) under the limited sprinting budget
+  (22 kJ, 65 s timeout),
+* (b) the same under the unlimited budget (sprint from dispatch),
+* (c) the total energy of every variant relative to P.
+
+Expected shape (paper): both classes improve (low ≈90 %, high 40–60 %
+depending on the budget), and energy drops despite the ×1.5 sprint power —
+more for the unlimited budget and for larger drop ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    figure11_dias_sprinting,
+    figure11_energy_comparison,
+)
+from repro.experiments.reporting import format_comparison, format_rows
+from repro.workloads.scenarios import HIGH, LOW
+
+
+@pytest.mark.parametrize("budget", ["limited", "unlimited"])
+def test_figure11_latency(benchmark, record_series, budget):
+    comparison = benchmark.pedantic(
+        figure11_dias_sprinting,
+        kwargs={"budget": budget, "num_jobs": 400, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    record_series(
+        f"figure11_latency_{budget}",
+        format_comparison(comparison, f"Figure 11 — DiAS latency ({budget} sprinting)"),
+    )
+    assert comparison.relative_difference("DiAS(0/20)", LOW, "mean") < -40.0
+    assert comparison.relative_difference("DiAS(0/20)", HIGH, "mean") < 0.0
+    assert comparison.result("DiAS(0/20)").sprinted_seconds > 0.0
+
+
+def test_figure11_energy(benchmark, record_series):
+    result = benchmark.pedantic(
+        figure11_energy_comparison,
+        kwargs={"num_jobs": 300, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    record_series("figure11_energy", format_rows(result["rows"]))
+    rows = {(r["budget"], r["policy"]): r for r in result["rows"]}
+    for budget in ("limited", "unlimited"):
+        assert rows[(budget, "DiAS(0/20)")]["diff_pct"] < 0.0

@@ -1,0 +1,23 @@
+"""Figure 4 — validation of the job processing-time model.
+
+Regenerates the model-vs-observed mean processing time as a function of the
+task drop ratio for the two validation datasets (the 473 MB high-priority and
+1117 MB low-priority profiles).  The paper reports mean model errors of 11.1 %
+and 7.8 %; the benchmark records the reproduced error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4_processing_time_validation
+from repro.experiments.reporting import format_figure
+
+
+def test_figure4_processing_time_validation(benchmark, record_series):
+    result = benchmark.pedantic(
+        figure4_processing_time_validation,
+        kwargs={"drop_ratios": (0.0, 0.2, 0.4, 0.6, 0.8), "num_jobs": 25, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_series("figure4_processing_time", format_figure(result, "Figure 4"))
+    assert result["mean_error_pct"] < 25.0

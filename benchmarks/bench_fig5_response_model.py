@@ -1,0 +1,25 @@
+"""Figure 5 — validation of the response-time model at 80 % load.
+
+Regenerates the model-predicted vs simulated mean job response time of both
+priority classes as the low-priority drop ratio grows, in the reference setup
+(low:high = 9:1, sizes 1117/473 MB).  The paper reports an average model error
+of 18.7 %; the benchmark records the reproduced error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure5_response_time_validation
+from repro.experiments.reporting import format_figure
+
+
+def test_figure5_response_time_validation(benchmark, record_series):
+    result = benchmark.pedantic(
+        figure5_response_time_validation,
+        kwargs={"drop_ratios": (0.0, 0.2, 0.4, 0.6, 0.8), "num_jobs": 400, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    record_series("figure5_response_time", format_figure(result, "Figure 5"))
+    low_rows = {r["drop_ratio"]: r for r in result["rows"] if r["priority"] == 0}
+    assert low_rows[0.8]["observed_s"] < low_rows[0.0]["observed_s"]
+    assert low_rows[0.8]["model_s"] < low_rows[0.0]["model_s"]

@@ -1,0 +1,32 @@
+"""Figure 6 — accuracy loss vs map-task drop ratio.
+
+Regenerates the mean absolute percentage error of the word-popularity analysis
+as the drop ratio Θm grows, by actually running the word-count job on a
+synthetic Zipf corpus through the mini-MapReduce runtime with task dropping.
+The paper's published operating points (≈8.5 % at Θm = 0.1, ≈15 % at 0.2,
+≈32 % at 0.4) are printed alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6_accuracy_loss
+from repro.experiments.reporting import format_figure
+
+
+def test_figure6_accuracy_loss(benchmark, record_series):
+    result = benchmark.pedantic(
+        figure6_accuracy_loss,
+        kwargs={
+            "drop_ratios": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+            "num_partitions": 50,
+            "repetitions": 3,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_series("figure6_accuracy_loss", format_figure(result, "Figure 6"))
+    rows = {r["drop_ratio"]: r["measured_mape_pct"] for r in result["rows"]}
+    # The error grows with the drop ratio and is clearly sub-linear in shape.
+    assert rows[0.1] < rows[0.4] < rows[0.8]
+    assert rows[0.8] < 8 * rows[0.1]

@@ -1,0 +1,35 @@
+"""Figure 7 — two-priority reference setup.
+
+Regenerates the Fig. 7 bars: absolute mean/tail latency of the preemptive
+baseline (P) and the relative difference of NP, DA(0,10) and DA(0,20) for both
+priority classes, together with the resource waste of P (§5.2.1 reports ~4 %).
+
+Expected shape (paper): DA(0,20) improves the low-priority mean/tail latency
+by roughly 65 % while the high-priority penalty stays well below the NP
+penalty; non-preemptive variants waste no resources.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7_two_priority_reference
+from repro.experiments.reporting import format_comparison
+from repro.workloads.scenarios import HIGH, LOW
+
+
+def test_figure7_two_priority_reference(benchmark, record_series):
+    comparison = benchmark.pedantic(
+        figure7_two_priority_reference,
+        kwargs={"num_jobs": 600, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    record_series(
+        "figure7_two_priority_reference",
+        format_comparison(comparison, "Figure 7 — reference two-priority setup"),
+    )
+    assert comparison.relative_difference("DA(0/20)", LOW, "mean") < -45.0
+    assert comparison.relative_difference("DA(0/20)", HIGH, "mean") < comparison.relative_difference(
+        "NP", HIGH, "mean"
+    )
+    assert comparison.result("P").resource_waste > 0.0
+    assert comparison.result("DA(0/20)").resource_waste == 0.0

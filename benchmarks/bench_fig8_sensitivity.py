@@ -1,0 +1,37 @@
+"""Figure 8 — sensitivity analysis of differential approximation.
+
+Regenerates the three sensitivity variants of the reference setup:
+
+* (a) equal job sizes for both priorities,
+* (b) inverted arrival ratio (many high-priority jobs),
+* (c) 50 % system load.
+
+Expected shape (paper): equal sizes enlarge the gains; a high-priority-heavy
+mix shrinks the low-priority tail gains; at 50 % load P and NP come closer
+together and DA(0,20) keeps most of its gain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure8_sensitivity
+from repro.experiments.reporting import format_comparison
+from repro.workloads.scenarios import HIGH, LOW
+
+
+@pytest.mark.parametrize("variant", ["equal_sizes", "more_high_priority", "low_load"])
+def test_figure8_sensitivity(benchmark, record_series, variant):
+    comparison = benchmark.pedantic(
+        figure8_sensitivity,
+        kwargs={"variant": variant, "num_jobs": 500, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    record_series(
+        f"figure8_{variant}",
+        format_comparison(comparison, f"Figure 8 — {variant}"),
+    )
+    # Differential approximation always improves the low-priority mean latency.
+    assert comparison.relative_difference("DA(0/20)", LOW, "mean") < 0.0
+    assert comparison.result("DA(0/20)").resource_waste == 0.0

@@ -1,0 +1,35 @@
+"""Figure 9 — differential approximation on a three-priority system.
+
+Regenerates the three-priority experiment (arrival ratio high-medium-low
+1-4-5, ~80 % load) comparing P, NP, DA(0,10,20) and DA(0,20,40).
+
+Expected shape (paper): the preemptive baseline wastes ~16 % of machine time;
+the non-preemptive variants waste none; differential approximation cuts the
+low-priority latency sharply and the medium-priority latency moderately, at a
+modest high-priority cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9_three_priority
+from repro.experiments.reporting import format_comparison
+from repro.workloads.scenarios import HIGH, LOW, MEDIUM
+
+
+def test_figure9_three_priority(benchmark, record_series):
+    comparison = benchmark.pedantic(
+        figure9_three_priority,
+        kwargs={"num_jobs": 600, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    record_series(
+        "figure9_three_priority",
+        format_comparison(comparison, "Figure 9 — three-priority system"),
+    )
+    assert comparison.result("P").resource_waste > 0.05
+    assert comparison.result("DA(0/10/20)").resource_waste == 0.0
+    assert comparison.relative_difference("DA(0/20/40)", LOW, "mean") < -50.0
+    assert comparison.relative_difference("DA(0/20/40)", MEDIUM, "mean") < comparison.relative_difference(
+        "NP", MEDIUM, "mean"
+    )

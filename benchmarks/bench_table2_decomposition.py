@@ -1,0 +1,31 @@
+"""Table 2 — queueing/execution decomposition under sprinted policies.
+
+Regenerates the mean queueing and execution times of the high- and
+low-priority classes under NPS (sprinted non-preemptive, no approximation),
+DiAS(0,10) and DiAS(0,20) with the limited sprinting budget.
+
+Expected shape (paper): high-priority execution times are noticeably shorter
+than low-priority ones (sprinting); DiAS(0,20) has the shortest low-priority
+execution time (~131 s in the paper) and the shortest queueing times for both
+classes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import table2_latency_decomposition
+
+
+def test_table2_latency_decomposition(benchmark, record_series):
+    result = benchmark.pedantic(
+        table2_latency_decomposition,
+        kwargs={"num_jobs": 400, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    record_series("table2_decomposition", format_rows(result["rows"]))
+    rows = {(r["policy"], r["class"]): r for r in result["rows"]}
+    assert rows[("DiAS(0/20)", "Low")]["mean_execution_s"] < rows[("NPS", "Low")]["mean_execution_s"]
+    assert rows[("DiAS(0/20)", "Low")]["mean_queueing_s"] < rows[("NPS", "Low")]["mean_queueing_s"]
+    for policy in ("NPS", "DiAS(0/10)", "DiAS(0/20)"):
+        assert rows[(policy, "High")]["mean_execution_s"] < rows[(policy, "Low")]["mean_execution_s"]

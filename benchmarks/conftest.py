@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper.  Besides being
+timed by pytest-benchmark, each benchmark writes the reproduced data series to
+``benchmarks/results/<name>.txt`` (and prints it), so running::
+
+    pytest benchmarks/ --benchmark-only
+
+leaves a plain-text copy of every reproduced series on disk regardless of
+output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_series(results_dir):
+    """Return a function that persists (and prints) a reproduced series."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _record

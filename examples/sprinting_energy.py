@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Full DiAS: differential approximation plus sprinting, with energy accounting.
+
+Reproduces the §5.3 experiment shape on the graph-analytics workload
+(high:low = 3:7, equal job sizes):
+
+* the preemptive baseline P,
+* sprinted non-preemptive scheduling NPS (no approximation),
+* DiAS(0,10) and DiAS(0,20) under the *limited* budget (22 kJ, sprint after
+  65 s, replenished at 6 sprint-minutes/hour) and under the *unlimited*
+  budget (sprint from dispatch),
+
+and reports per-class latencies, the queueing/execution decomposition
+(Table 2) and the energy consumption relative to P (Fig. 11c).
+
+Run with::
+
+    python examples/sprinting_energy.py
+"""
+
+from __future__ import annotations
+
+from repro import HIGH, LOW, SchedulingPolicy, SprintConfig, run_policies
+from repro.experiments.figures import limited_sprint_config, unlimited_sprint_config
+from repro.experiments.reporting import format_rows
+from repro.workloads.scenarios import triangle_count_scenario
+
+
+def run_budget(budget_name: str, sprint: SprintConfig) -> None:
+    scenario = triangle_count_scenario(num_jobs=300)
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.sprinted_non_preemptive(sprint),
+        SchedulingPolicy.dias({HIGH: 0.0, LOW: 0.1}, sprint=sprint),
+        SchedulingPolicy.dias({HIGH: 0.0, LOW: 0.2}, sprint=sprint),
+    ]
+    comparison = run_policies(scenario, policies, baseline="P", seed=17)
+
+    print(f"--- {budget_name} sprinting budget ---")
+    latency_rows = []
+    decomposition_rows = []
+    for name in ("P", "NPS", "DiAS(0/10)", "DiAS(0/20)"):
+        result = comparison.result(name)
+        latency_rows.append(
+            {
+                "policy": name,
+                "high_diff_pct": comparison.relative_difference(name, HIGH),
+                "low_diff_pct": comparison.relative_difference(name, LOW),
+                "high_tail_diff_pct": comparison.relative_difference(name, HIGH, "tail"),
+                "low_tail_diff_pct": comparison.relative_difference(name, LOW, "tail"),
+                "sprinted_s": result.sprinted_seconds,
+                "energy_kj": result.total_energy_kilojoules,
+                "active_energy_kj": result.active_energy_kilojoules,
+            }
+        )
+        for priority, label in ((HIGH, "High"), (LOW, "Low")):
+            decomposition_rows.append(
+                {
+                    "policy": name,
+                    "class": label,
+                    "queue_s": result.mean_queueing_time(priority),
+                    "exec_s": result.mean_execution_time(priority),
+                }
+            )
+    print(format_rows(latency_rows))
+    print()
+    print("Queueing/execution decomposition (Table 2 analogue):")
+    print(format_rows(decomposition_rows))
+    print()
+
+
+def main() -> None:
+    run_budget("limited", limited_sprint_config())
+    run_budget("unlimited", unlimited_sprint_config())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Three-priority text analytics with differential approximation (Fig. 9).
+
+The paper's motivating workload is a stream of text-analysis jobs (parsing
+StackExchange dumps and computing word popularity) arriving in several
+priority classes.  This example:
+
+1. builds the three-priority scenario (high-medium-low arrival ratio 1-4-5,
+   ~80 % load, as in §5.2.3),
+2. measures the accuracy loss of the word-count analysis on a synthetic corpus
+   under the candidate drop ratios by *really running* the analysis through
+   the mini-MapReduce runtime with task dropping,
+3. uses the measured accuracy curve to bound the per-class drop ratios, and
+4. compares P, NP, DA(0,10,20) and DA(0,20,40) on a common job trace.
+
+Run with::
+
+    python examples/text_analytics_three_priorities.py
+"""
+
+from __future__ import annotations
+
+from repro import HIGH, LOW, MEDIUM, AccuracyModel, SchedulingPolicy, run_policies
+from repro.experiments.reporting import format_comparison, format_rows
+from repro.mapreduce.wordcount import wordcount_accuracy_curve
+from repro.workloads.scenarios import three_priority_scenario
+from repro.workloads.text import CorpusSpec, synthetic_corpus
+
+
+def measure_accuracy_curve() -> AccuracyModel:
+    """Run the real word-count analysis at several drop ratios and fit the curve."""
+    corpus = synthetic_corpus(
+        CorpusSpec(num_documents=120, words_per_document=80, vocabulary_size=3000,
+                   num_topics=12, topic_vocabulary_size=150, topic_word_fraction=0.5,
+                   zipf_exponent=1.2),
+        seed=7,
+    )
+    curve = wordcount_accuracy_curve(corpus, (0.1, 0.2, 0.4), num_partitions=50,
+                                     repetitions=2, top_n=300, seed=7)
+    print("Measured accuracy loss of the word-count analysis:")
+    print(format_rows([{"drop_ratio": t, "mape_pct": e} for t, e in curve]))
+    print()
+    return AccuracyModel.from_points([(t, e / 100.0) for t, e in curve])
+
+
+def main() -> None:
+    accuracy = measure_accuracy_curve()
+    scenario = three_priority_scenario(num_jobs=500)
+
+    # Check the candidate drop ratios against each class's tolerance.
+    for priority, label in ((MEDIUM, "medium"), (LOW, "low")):
+        tolerance = scenario.profiles[priority].max_accuracy_loss
+        ceiling = accuracy.max_drop_for_error(tolerance)
+        print(f"{label}-priority class tolerates {tolerance:.0%} error "
+              f"-> drop at most {ceiling:.0%} of its tasks")
+    print()
+
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.non_preemptive_priority(),
+        SchedulingPolicy.differential_approximation(
+            {HIGH: 0.0, MEDIUM: 0.1, LOW: 0.2}, name="DA(0/10/20)"),
+        SchedulingPolicy.differential_approximation(
+            {HIGH: 0.0, MEDIUM: 0.2, LOW: 0.4}, name="DA(0/20/40)"),
+    ]
+    comparison = run_policies(scenario, policies, baseline="P", seed=11,
+                              accuracy_model=accuracy)
+    print(format_comparison(comparison, "Three-priority text analytics (Fig. 9 setup)"))
+
+
+if __name__ == "__main__":
+    main()

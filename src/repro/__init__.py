@@ -1,0 +1,99 @@
+"""DiAS reproduction: Differential Approximation and Sprinting for
+Multi-Priority Big Data Engines (Birke et al., Middleware 2019).
+
+The library is organised in layers:
+
+* :mod:`repro.simulation` — discrete-event simulation kernel and metrics.
+* :mod:`repro.engine` — the Spark-like processing-engine substrate (jobs,
+  cluster slots, waves, DVFS, energy, HDFS-style block store).
+* :mod:`repro.mapreduce` — a mini MapReduce runtime that really executes the
+  text and graph analyses with task dropping (accuracy measurements).
+* :mod:`repro.models` — the stochastic models of Section 4 (PH distributions,
+  task-level and wave-level job models, priority-queue response times) plus
+  accuracy/regression/sprinting models.
+* :mod:`repro.core` — DiAS itself: priority buffers, dropper, sprinter,
+  model-guided deflator, scheduling policies and the end-to-end controller.
+* :mod:`repro.workloads` — synthetic datasets, job traces and the paper's
+  experimental scenarios.
+* :mod:`repro.experiments` — per-figure/per-table reproduction entry points.
+
+Quick start::
+
+    from repro import (SchedulingPolicy, reference_two_priority_scenario,
+                       run_policies)
+
+    scenario = reference_two_priority_scenario(num_jobs=200)
+    policies = [SchedulingPolicy.preemptive_priority(),
+                SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})]
+    comparison = run_policies(scenario, policies, baseline="P")
+    print(comparison.relative_difference("DA(0/20)", priority=0, metric="mean"))
+"""
+
+from repro.core.config import SprintConfig
+from repro.core.deflator import DeflatorDecision, TaskDeflator
+from repro.core.dias import DiASSimulation, SimulationResult, run_policy
+from repro.core.dropper import DropPlan, TaskDropper, find_missing_partitions
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.dvfs import DVFSModel, FrequencyLevel
+from repro.engine.energy import EnergyMeter, PowerModel
+from repro.engine.job import Job, JobFactory, StageSpec
+from repro.engine.profiles import JobClassProfile, TaskTimeModel
+from repro.experiments.harness import PolicyComparison, run_policies
+from repro.models.accuracy import AccuracyModel, compose_stage_drop_ratios
+from repro.models.ph import PhaseType
+from repro.models.priority_queue import PriorityClassInput, PriorityQueueModel
+from repro.models.task_level import TaskLevelModel
+from repro.models.wave_level import WaveLevelModel
+from repro.workloads.scenarios import (
+    HIGH,
+    LOW,
+    MEDIUM,
+    Scenario,
+    reference_two_priority_scenario,
+    three_priority_scenario,
+    triangle_count_scenario,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SprintConfig",
+    "DeflatorDecision",
+    "TaskDeflator",
+    "DiASSimulation",
+    "SimulationResult",
+    "run_policy",
+    "DropPlan",
+    "TaskDropper",
+    "find_missing_partitions",
+    "SchedulingPolicy",
+    "Cluster",
+    "ClusterConfig",
+    "DVFSModel",
+    "FrequencyLevel",
+    "EnergyMeter",
+    "PowerModel",
+    "Job",
+    "JobFactory",
+    "StageSpec",
+    "JobClassProfile",
+    "TaskTimeModel",
+    "PolicyComparison",
+    "run_policies",
+    "AccuracyModel",
+    "compose_stage_drop_ratios",
+    "PhaseType",
+    "PriorityClassInput",
+    "PriorityQueueModel",
+    "TaskLevelModel",
+    "WaveLevelModel",
+    "HIGH",
+    "LOW",
+    "MEDIUM",
+    "Scenario",
+    "reference_two_priority_scenario",
+    "three_priority_scenario",
+    "triangle_count_scenario",
+    "__version__",
+]

@@ -1,0 +1,206 @@
+"""Command-line interface for the DiAS reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                       # list available experiments
+    python -m repro figure 7                   # regenerate Figure 7
+    python -m repro figure 8 --variant low_load
+    python -m repro figure 11 --budget unlimited
+    python -m repro table 2
+    python -m repro compare --scenario reference --policies P NP "DA(0/20)"
+    python -m repro sweep --scenario reference --ratios 0 0.1 0.2 0.4
+
+Every command prints the same rows the corresponding paper artefact reports
+and returns a non-zero exit code on invalid arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments import figures, tables
+from repro.experiments.harness import run_policies
+from repro.experiments.reporting import format_comparison, format_figure, format_rows
+from repro.experiments.sweeps import drop_ratio_sweep, load_sweep
+from repro.workloads import scenarios as scenario_module
+from repro.workloads.scenarios import HIGH, LOW, Scenario
+
+#: Named scenarios the CLI can build.
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "reference": scenario_module.reference_two_priority_scenario,
+    "equal-sizes": scenario_module.equal_job_sizes_scenario,
+    "more-high-priority": scenario_module.more_high_priority_scenario,
+    "low-load": scenario_module.low_load_scenario,
+    "three-priority": scenario_module.three_priority_scenario,
+    "triangle-count": scenario_module.triangle_count_scenario,
+    "validation": scenario_module.validation_datasets_scenario,
+}
+
+#: Figures the CLI can regenerate (Fig. 8 and 11 take extra options).
+FIGURES = ("4", "5", "6", "7", "8", "9", "10", "11")
+
+
+def _parse_policy(name: str) -> SchedulingPolicy:
+    """Parse a policy name like ``P``, ``NP``, ``DA(0/20)`` or ``DA(0/10/20)``."""
+    cleaned = name.strip()
+    if cleaned.upper() == "P":
+        return SchedulingPolicy.preemptive_priority()
+    if cleaned.upper() == "NP":
+        return SchedulingPolicy.non_preemptive_priority()
+    upper = cleaned.upper()
+    if upper.startswith("DA(") and cleaned.endswith(")"):
+        body = cleaned[cleaned.index("(") + 1 : -1]
+        percents = [float(part) for part in body.split("/") if part != ""]
+        ratios = [p / 100.0 for p in percents]
+        priorities = list(range(len(ratios) - 1, -1, -1))
+        return SchedulingPolicy.differential_approximation(dict(zip(priorities, ratios)))
+    raise argparse.ArgumentTypeError(
+        f"unknown policy {name!r}; expected P, NP or DA(<pct>/<pct>[/<pct>])"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DiAS (Middleware 2019) evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available figures, tables and scenarios")
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one figure")
+    figure_parser.add_argument("number", choices=FIGURES)
+    figure_parser.add_argument("--jobs", type=int, default=None,
+                               help="override the number of jobs per run")
+    figure_parser.add_argument("--seed", type=int, default=0)
+    figure_parser.add_argument("--variant", default="equal_sizes",
+                               choices=["equal_sizes", "more_high_priority", "low_load"],
+                               help="Fig. 8 variant")
+    figure_parser.add_argument("--budget", default="limited",
+                               choices=["limited", "unlimited"], help="Fig. 11 budget")
+
+    table_parser = subparsers.add_parser("table", help="regenerate one table")
+    table_parser.add_argument("number", choices=["2"])
+    table_parser.add_argument("--jobs", type=int, default=300)
+    table_parser.add_argument("--seed", type=int, default=0)
+
+    compare_parser = subparsers.add_parser("compare", help="compare policies on a scenario")
+    compare_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
+    compare_parser.add_argument("--policies", nargs="+", default=["P", "NP", "DA(0/20)"])
+    compare_parser.add_argument("--jobs", type=int, default=400)
+    compare_parser.add_argument("--seed", type=int, default=0)
+
+    sweep_parser = subparsers.add_parser("sweep", help="sweep the low-priority drop ratio")
+    sweep_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
+    sweep_parser.add_argument("--ratios", nargs="+", type=float,
+                              default=[0.0, 0.1, 0.2, 0.4])
+    sweep_parser.add_argument("--jobs", type=int, default=300)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+
+    load_parser = subparsers.add_parser("load-sweep", help="sweep the system load")
+    load_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
+    load_parser.add_argument("--utilisations", nargs="+", type=float,
+                             default=[0.5, 0.65, 0.8])
+    load_parser.add_argument("--jobs", type=int, default=300)
+    load_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_figure(args: argparse.Namespace) -> str:
+    number = args.number
+    jobs = args.jobs
+    if number == "4":
+        result = figures.figure4_processing_time_validation(
+            num_jobs=jobs or 25, seed=args.seed
+        )
+        return format_figure(result, "Figure 4")
+    if number == "5":
+        result = figures.figure5_response_time_validation(
+            num_jobs=jobs or 300, seed=args.seed
+        )
+        return format_figure(result, "Figure 5")
+    if number == "6":
+        result = figures.figure6_accuracy_loss(seed=args.seed)
+        return format_figure(result, "Figure 6")
+    if number == "7":
+        comparison = figures.figure7_two_priority_reference(
+            num_jobs=jobs or 400, seed=args.seed
+        )
+        return format_comparison(comparison, "Figure 7")
+    if number == "8":
+        comparison = figures.figure8_sensitivity(
+            args.variant, num_jobs=jobs or 400, seed=args.seed
+        )
+        return format_comparison(comparison, f"Figure 8 ({args.variant})")
+    if number == "9":
+        comparison = figures.figure9_three_priority(num_jobs=jobs or 500, seed=args.seed)
+        return format_comparison(comparison, "Figure 9")
+    if number == "10":
+        comparison = figures.figure10_triangle_count(num_jobs=jobs or 300, seed=args.seed)
+        return format_comparison(comparison, "Figure 10")
+    if number == "11":
+        comparison = figures.figure11_dias_sprinting(
+            budget=args.budget, num_jobs=jobs or 300, seed=args.seed
+        )
+        energy = figures.figure11_energy_comparison(num_jobs=jobs or 300, seed=args.seed)
+        return "\n\n".join(
+            [
+                format_comparison(comparison, f"Figure 11 ({args.budget} sprinting)"),
+                "Figure 11c — energy\n" + format_rows(energy["rows"]),
+            ]
+        )
+    raise ValueError(f"unknown figure {number!r}")
+
+
+def _run_list() -> str:
+    lines = ["figures: " + ", ".join(FIGURES)]
+    lines.append("tables: 2")
+    lines.append("scenarios: " + ", ".join(sorted(SCENARIOS)))
+    lines.append("policies: P, NP, DA(<pct>/<pct>[/<pct>]) e.g. DA(0/20)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        if args.command == "list":
+            output = _run_list()
+        elif args.command == "figure":
+            output = _run_figure(args)
+        elif args.command == "table":
+            result = tables.table2_latency_decomposition(num_jobs=args.jobs, seed=args.seed)
+            output = "Table 2\n" + format_rows(result["rows"])
+        elif args.command == "compare":
+            scenario = SCENARIOS[args.scenario]()
+            policies = [_parse_policy(name) for name in args.policies]
+            comparison = run_policies(scenario, policies, baseline=policies[0].name,
+                                      seed=args.seed, num_jobs=args.jobs)
+            output = format_comparison(comparison, f"Scenario {args.scenario}")
+        elif args.command == "sweep":
+            scenario = SCENARIOS[args.scenario]()
+            rows = drop_ratio_sweep(scenario, args.ratios, num_jobs=args.jobs, seed=args.seed)
+            output = format_rows(rows)
+        elif args.command == "load-sweep":
+            scenario = SCENARIOS[args.scenario]()
+            rows = load_sweep(scenario, args.utilisations, num_jobs=args.jobs, seed=args.seed)
+            output = format_rows(rows)
+        else:  # pragma: no cover - argparse prevents this
+            parser.error(f"unknown command {args.command!r}")
+            return 2
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

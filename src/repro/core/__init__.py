@@ -1,0 +1,43 @@
+"""DiAS core: the paper's primary contribution.
+
+* :mod:`repro.core.config` — sprinting configuration (timeouts, budget,
+  replenishment) and policy-wide constants.
+* :mod:`repro.core.policies` — scheduling policies: preemptive priority (P),
+  non-preemptive priority (NP), sprinted non-preemptive (NPS), differential
+  approximation (DA) and the full DiAS (approximation + sprinting).
+* :mod:`repro.core.buffers` — per-priority FCFS job buffers.
+* :mod:`repro.core.dropper` — task dropping (the Spark
+  ``findMissingPartitions`` modification of §3.3).
+* :mod:`repro.core.sprinter` — the sprinter: per-job sprint timers, budget
+  tracking and replenishment, DVFS actuation.
+* :mod:`repro.core.deflator` — the model-guided task deflator that picks the
+  approximation level θ_k and sprint timeout T_k for each priority class.
+* :mod:`repro.core.dias` — the DiAS controller/simulation that plugs buffers,
+  deflator, dropper and sprinter into the processing-engine substrate.
+"""
+
+from repro.core.adaptive import AdaptationEvent, AdaptiveDeflationController
+from repro.core.buffers import PriorityBuffers
+from repro.core.config import SprintConfig
+from repro.core.deflator import DeflatorDecision, TaskDeflator
+from repro.core.dias import DiASSimulation, DropRatioDecision, SimulationResult
+from repro.core.dropper import DropPlan, TaskDropper, find_missing_partitions
+from repro.core.policies import SchedulingPolicy
+from repro.core.sprinter import Sprinter
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptiveDeflationController",
+    "PriorityBuffers",
+    "SprintConfig",
+    "DeflatorDecision",
+    "TaskDeflator",
+    "DiASSimulation",
+    "DropRatioDecision",
+    "SimulationResult",
+    "DropPlan",
+    "TaskDropper",
+    "find_missing_partitions",
+    "SchedulingPolicy",
+    "Sprinter",
+]

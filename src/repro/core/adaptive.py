@@ -1,0 +1,176 @@
+"""Online, workload-adaptive deflation (the paper's §5.3 extension).
+
+The published DiAS prototype uses *static* thresholds: the deflator searches
+the drop-ratio / frequency space once for a given workload set, and the paper
+notes that "such searching procedure needs to be evoked upon every workload
+change".  This module implements that extension: an
+:class:`AdaptiveDeflationController` that re-evaluates the drop ratios online
+from the latencies observed in a sliding window.
+
+The controller plugs into :class:`repro.core.dias.DiASSimulation` through its
+``drop_ratio_provider`` hook, so the same simulation machinery runs either the
+paper's static policies or the adaptive extension.
+
+Control law (simple and conservative by design):
+
+* every ``reevaluation_interval`` seconds of simulated time, look at the last
+  ``window`` completed jobs of the monitored (high-priority) class;
+* if their mean response time exceeds ``latency_target``, move each adaptable
+  class one step *up* its candidate drop-ratio ladder (more approximation →
+  shorter low-priority jobs → less waiting for everyone);
+* if the observed latency is below ``release_fraction × latency_target``,
+  move one step *down* (recover accuracy when the system has headroom);
+* never exceed the per-class accuracy-tolerance ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.dias import DropRatioDecision
+from repro.engine.job import Job
+from repro.engine.profiles import JobClassProfile
+from repro.models.accuracy import AccuracyModel
+from repro.simulation.metrics import MetricsCollector
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One recorded adaptation step (for inspection and tests)."""
+
+    time: float
+    observed_latency: float
+    direction: int
+    drop_ratios: Dict[int, float]
+
+
+class AdaptiveDeflationController:
+    """Adjusts per-class drop ratios online from observed latencies.
+
+    Parameters
+    ----------
+    profiles:
+        Per-priority job profiles (used for the accuracy tolerances).
+    latency_target:
+        Mean response-time target (seconds) for the monitored class.
+    monitored_priority:
+        The class whose latency drives adaptation (default: highest priority).
+    candidates:
+        The ladder of drop ratios each adaptable class may climb.
+    window:
+        Number of most recent monitored-class completions considered.
+    reevaluation_interval:
+        Minimum simulated time between adaptation steps.
+    release_fraction:
+        Fraction of the target below which the controller steps back down.
+    accuracy_model:
+        Curve used to enforce each class's accuracy tolerance.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[int, JobClassProfile],
+        latency_target: float,
+        monitored_priority: Optional[int] = None,
+        candidates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+        window: int = 10,
+        reevaluation_interval: float = 60.0,
+        release_fraction: float = 0.5,
+        accuracy_model: Optional[AccuracyModel] = None,
+    ) -> None:
+        if latency_target <= 0:
+            raise ValueError("latency_target must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if reevaluation_interval <= 0:
+            raise ValueError("reevaluation_interval must be positive")
+        if not 0.0 < release_fraction <= 1.0:
+            raise ValueError("release_fraction must be in (0, 1]")
+        if not candidates or sorted(candidates) != list(candidates):
+            raise ValueError("candidates must be a non-empty increasing sequence")
+        self.profiles = dict(profiles)
+        self.latency_target = float(latency_target)
+        self.monitored_priority = (
+            monitored_priority if monitored_priority is not None else max(profiles)
+        )
+        if self.monitored_priority not in self.profiles:
+            raise ValueError("monitored_priority must be one of the profile priorities")
+        self.candidates = [float(c) for c in candidates]
+        self.window = int(window)
+        self.reevaluation_interval = float(reevaluation_interval)
+        self.release_fraction = float(release_fraction)
+        self.accuracy_model = accuracy_model or AccuracyModel.paper_default()
+
+        # Per-class ceiling from the accuracy tolerance, and current ladder index.
+        self._ceilings = {
+            priority: self.accuracy_model.max_drop_for_error(profile.max_accuracy_loss)
+            for priority, profile in self.profiles.items()
+        }
+        self._levels: Dict[int, int] = {priority: 0 for priority in self.profiles}
+        self._last_evaluation = float("-inf")
+        self.events: List[AdaptationEvent] = []
+
+    # ------------------------------------------------------------- accessors
+    def current_drop_ratio(self, priority: int) -> float:
+        """Drop ratio currently assigned to ``priority``."""
+        level = self._levels.get(priority, 0)
+        theta = self.candidates[level]
+        return min(theta, self._ceilings.get(priority, 0.0))
+
+    def current_drop_ratios(self) -> Dict[int, float]:
+        return {priority: self.current_drop_ratio(priority) for priority in self.profiles}
+
+    @property
+    def adaptations(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------- provider protocol
+    def __call__(self, job: Job, now: float, metrics: MetricsCollector) -> DropRatioDecision:
+        """The ``drop_ratio_provider`` hook used by :class:`DiASSimulation`."""
+        self._maybe_adapt(now, metrics)
+        return DropRatioDecision(map_drop_ratio=self.current_drop_ratio(job.priority))
+
+    # -------------------------------------------------------------- internals
+    def _observed_latency(self, metrics: MetricsCollector) -> Optional[float]:
+        records = metrics.records_for_priority(self.monitored_priority)
+        if not records:
+            return None
+        recent = records[-self.window :]
+        return sum(r.response_time for r in recent) / len(recent)
+
+    def _maybe_adapt(self, now: float, metrics: MetricsCollector) -> None:
+        if now - self._last_evaluation < self.reevaluation_interval:
+            return
+        observed = self._observed_latency(metrics)
+        if observed is None:
+            return
+        self._last_evaluation = now
+        direction = 0
+        if observed > self.latency_target:
+            direction = 1
+        elif observed < self.release_fraction * self.latency_target:
+            direction = -1
+        if direction == 0:
+            return
+        changed = False
+        for priority in self.profiles:
+            if self._ceilings.get(priority, 0.0) <= 0.0:
+                continue  # class with zero accuracy tolerance never adapts
+            old_level = self._levels[priority]
+            new_level = min(max(old_level + direction, 0), len(self.candidates) - 1)
+            # Do not climb past the class's accuracy ceiling.
+            while new_level > 0 and self.candidates[new_level] > self._ceilings[priority] + 1e-12:
+                new_level -= 1
+            if new_level != old_level:
+                self._levels[priority] = new_level
+                changed = True
+        if changed:
+            self.events.append(
+                AdaptationEvent(
+                    time=now,
+                    observed_latency=observed,
+                    direction=direction,
+                    drop_ratios=self.current_drop_ratios(),
+                )
+            )

@@ -1,0 +1,75 @@
+"""Per-priority FCFS job buffers (§3.2).
+
+Arriving jobs are immediately placed in the buffer matching their priority;
+each buffer is FCFS; the deflator always serves the head of the highest
+non-empty buffer.  Evicted jobs return to the *head* of their buffer so they
+are the first of their class to be retried (§2.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.engine.job import Job
+
+
+class PriorityBuffers:
+    """A set of FCFS buffers indexed by priority (higher value = higher priority)."""
+
+    def __init__(self, priorities: Optional[Iterable[int]] = None) -> None:
+        self._buffers: Dict[int, Deque[Job]] = {}
+        if priorities is not None:
+            for priority in priorities:
+                self._buffers[int(priority)] = deque()
+
+    # --------------------------------------------------------------- state
+    def __len__(self) -> int:
+        return sum(len(buf) for buf in self._buffers.values())
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def priorities(self) -> List[int]:
+        """Priorities with a registered buffer, highest first."""
+        return sorted(self._buffers, reverse=True)
+
+    def depth(self, priority: int) -> int:
+        """Number of jobs queued at ``priority``."""
+        return len(self._buffers.get(priority, ()))
+
+    def depths(self) -> Dict[int, int]:
+        return {priority: len(buf) for priority, buf in self._buffers.items()}
+
+    # ------------------------------------------------------------ mutation
+    def push(self, job: Job) -> None:
+        """Enqueue an arriving job at the tail of its priority buffer."""
+        self._buffers.setdefault(job.priority, deque()).append(job)
+
+    def push_front(self, job: Job) -> None:
+        """Return an evicted job to the head of its priority buffer."""
+        self._buffers.setdefault(job.priority, deque()).appendleft(job)
+
+    def peek_highest(self) -> Optional[Job]:
+        """The job that would be dispatched next, without removing it."""
+        for priority in sorted(self._buffers, reverse=True):
+            if self._buffers[priority]:
+                return self._buffers[priority][0]
+        return None
+
+    def highest_waiting_priority(self) -> Optional[int]:
+        """Highest priority with at least one queued job."""
+        job = self.peek_highest()
+        return job.priority if job is not None else None
+
+    def pop_highest(self) -> Optional[Job]:
+        """Remove and return the head of the highest non-empty buffer."""
+        for priority in sorted(self._buffers, reverse=True):
+            if self._buffers[priority]:
+                return self._buffers[priority].popleft()
+        return None
+
+    def clear(self) -> None:
+        for buf in self._buffers.values():
+            buf.clear()

@@ -1,0 +1,149 @@
+"""Sprinting configuration.
+
+The sprinter is controlled by three quantities (§3.2, §5.1, §5.3):
+
+* a per-priority **sprint timeout** ``T_k`` — how long a dispatched job runs at
+  the base frequency before being boosted (65 s in the paper's *limited*
+  scenario, 0 s in the *unlimited* one);
+* a **sprinting budget** — the paper uses a 22 kJ energy budget for the limited
+  scenario, which translates into a bounded amount of sprinted wall-clock time
+  because sprinting draws a fixed extra power;
+* a **replenishment rate** — e.g. six sprint-minutes per hour (§3.3).
+
+Budgets are tracked internally in sprint-seconds; :meth:`SprintConfig.from_energy_budget`
+converts an energy budget using the extra power drawn while sprinting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set
+
+
+@dataclass(frozen=True)
+class SprintConfig:
+    """Configuration of the differential sprinting mechanism.
+
+    Attributes
+    ----------
+    sprint_priorities:
+        Priorities eligible for sprinting (the paper sprints the high class).
+        ``None`` means every priority may sprint.
+    timeouts:
+        Per-priority sprint timeout ``T_k`` in seconds; priorities missing from
+        the mapping use ``default_timeout``.
+    default_timeout:
+        Timeout applied to eligible priorities not listed in ``timeouts``.
+    budget_seconds:
+        Total sprinted wall-clock seconds available; ``None`` = unlimited.
+    replenish_seconds_per_hour:
+        Budget replenishment rate (e.g. 360 s of sprinting per hour).
+    max_budget_seconds:
+        Cap on the accumulated budget; defaults to the initial budget.
+    """
+
+    sprint_priorities: Optional[frozenset] = None
+    timeouts: Mapping[int, float] = field(default_factory=dict)
+    default_timeout: float = 0.0
+    budget_seconds: Optional[float] = None
+    replenish_seconds_per_hour: float = 0.0
+    max_budget_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.default_timeout < 0:
+            raise ValueError("default_timeout must be non-negative")
+        if any(t < 0 for t in self.timeouts.values()):
+            raise ValueError("timeouts must be non-negative")
+        if self.budget_seconds is not None and self.budget_seconds < 0:
+            raise ValueError("budget_seconds must be non-negative")
+        if self.replenish_seconds_per_hour < 0:
+            raise ValueError("replenish_seconds_per_hour must be non-negative")
+        if self.max_budget_seconds is not None and self.max_budget_seconds < 0:
+            raise ValueError("max_budget_seconds must be non-negative")
+
+    # ------------------------------------------------------------- accessors
+    def sprints(self, priority: int) -> bool:
+        """Whether jobs of ``priority`` are eligible for sprinting."""
+        if self.sprint_priorities is None:
+            return True
+        return priority in self.sprint_priorities
+
+    def timeout_for(self, priority: int) -> float:
+        """Sprint timeout ``T_k`` for ``priority``."""
+        return float(self.timeouts.get(priority, self.default_timeout))
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether the sprinting budget is unlimited."""
+        return self.budget_seconds is None
+
+    @property
+    def replenish_rate(self) -> float:
+        """Replenishment in sprint-seconds per second of wall-clock time."""
+        return self.replenish_seconds_per_hour / 3600.0
+
+    def budget_cap(self) -> Optional[float]:
+        """Maximum budget that replenishment may accumulate to."""
+        if self.max_budget_seconds is not None:
+            return self.max_budget_seconds
+        return self.budget_seconds
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def disabled(cls) -> "SprintConfig":
+        """No sprinting at all (zero budget, no eligible priorities)."""
+        return cls(sprint_priorities=frozenset(), budget_seconds=0.0)
+
+    @classmethod
+    def unlimited_sprinting(
+        cls, sprint_priorities: Optional[Set[int]] = None, timeout: float = 0.0
+    ) -> "SprintConfig":
+        """Sprint eligible jobs for their whole duration (paper's unlimited case)."""
+        return cls(
+            sprint_priorities=frozenset(sprint_priorities) if sprint_priorities is not None else None,
+            default_timeout=timeout,
+            budget_seconds=None,
+        )
+
+    @classmethod
+    def limited_sprinting(
+        cls,
+        budget_seconds: float,
+        sprint_priorities: Optional[Set[int]] = None,
+        timeout: float = 65.0,
+        replenish_seconds_per_hour: float = 360.0,
+    ) -> "SprintConfig":
+        """Budgeted sprinting after a timeout (paper's limited case: 65 s timeout)."""
+        return cls(
+            sprint_priorities=frozenset(sprint_priorities) if sprint_priorities is not None else None,
+            default_timeout=timeout,
+            budget_seconds=budget_seconds,
+            replenish_seconds_per_hour=replenish_seconds_per_hour,
+        )
+
+    @classmethod
+    def from_energy_budget(
+        cls,
+        budget_joules: float,
+        sprint_extra_watts: float,
+        sprint_priorities: Optional[Set[int]] = None,
+        timeout: float = 65.0,
+        replenish_seconds_per_hour: float = 360.0,
+    ) -> "SprintConfig":
+        """Convert an energy budget (e.g. the paper's 22 kJ) into sprint-seconds.
+
+        Sprinting draws ``sprint_extra_watts`` more than normal execution
+        (270 W − 180 W = 90 W in the paper's testbed), so a ``B`` joule budget
+        buys ``B / sprint_extra_watts`` seconds of sprinting.
+        """
+        if budget_joules < 0:
+            raise ValueError("budget_joules must be non-negative")
+        if sprint_extra_watts <= 0:
+            raise ValueError("sprint_extra_watts must be positive")
+        return cls.limited_sprinting(
+            budget_seconds=budget_joules / sprint_extra_watts,
+            sprint_priorities=sprint_priorities,
+            timeout=timeout,
+            replenish_seconds_per_hour=replenish_seconds_per_hour,
+        )

@@ -1,0 +1,265 @@
+"""The model-guided task deflator (§3.2, §4.3, §5.2.1).
+
+The deflator is the decision-making component of DiAS.  Given the workload
+profile of every priority class, the cluster size and the per-class accuracy
+tolerances, it
+
+1. inverts the accuracy-loss curve to find the largest admissible drop ratio
+   per class (Fig. 6 usage),
+2. uses the stochastic response-time models of Section 4 to predict the mean
+   response time of every class for each candidate drop-ratio assignment
+   (Fig. 5 usage), and
+3. picks the assignment that satisfies the latency constraints with the least
+   accuracy loss ("DA(0,20) is already within the 100 ms limit…" §5.2.1).
+
+It also chooses sprint timeouts from the sprinting budget via
+:class:`~repro.models.sprinting.SprintingRateModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.profiles import JobClassProfile
+from repro.models.accuracy import AccuracyModel
+from repro.models.ph import PhaseType
+from repro.models.priority_queue import PriorityClassInput, PriorityQueueModel
+from repro.models.sprinting import SprintingRateModel
+from repro.models.task_level import TaskLevelModel
+from repro.models.wave_level import WaveLevelModel
+
+
+@dataclass
+class DeflatorDecision:
+    """The deflator's output: drop ratios, timeouts and their predicted effect."""
+
+    drop_ratios: Dict[int, float]
+    sprint_timeouts: Dict[int, float]
+    predicted_response_times: Dict[int, float]
+    predicted_accuracy_loss: Dict[int, float]
+    feasible: bool
+
+    def drop_ratio(self, priority: int) -> float:
+        return self.drop_ratios.get(priority, 0.0)
+
+
+class TaskDeflator:
+    """Chooses approximation levels θ_k and sprint timeouts T_k per priority.
+
+    Parameters
+    ----------
+    profiles:
+        One :class:`JobClassProfile` per priority class.
+    arrival_rates:
+        Mean arrival rate (jobs/second) per priority class.
+    slots:
+        Number of computing slots ``C``.
+    accuracy_model:
+        Accuracy-loss curve used to bound drop ratios; defaults to the paper's
+        published calibration.
+    model:
+        Which processing-time model parameterises the queueing analysis:
+        ``"wave"`` (§4.2, the default) or ``"task"`` (§4.1).
+    sprint_speedup:
+        DVFS speedup applied to sprinted classes when predicting their
+        response times (1.0 = no sprinting considered).
+    sprint_priorities:
+        Which priorities sprint (used only when ``sprint_speedup > 1``).
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[int, JobClassProfile],
+        arrival_rates: Mapping[int, float],
+        slots: int,
+        accuracy_model: Optional[AccuracyModel] = None,
+        model: str = "wave",
+        sprint_speedup: float = 1.0,
+        sprint_priorities: Optional[Iterable[int]] = None,
+    ) -> None:
+        if set(profiles) != set(arrival_rates):
+            raise ValueError("profiles and arrival_rates must cover the same priorities")
+        if not profiles:
+            raise ValueError("at least one priority class is required")
+        if model not in ("wave", "task"):
+            raise ValueError("model must be 'wave' or 'task'")
+        if sprint_speedup < 1.0:
+            raise ValueError("sprint_speedup must be at least 1")
+        self.profiles = dict(profiles)
+        self.arrival_rates = {k: float(v) for k, v in arrival_rates.items()}
+        self.slots = int(slots)
+        self.accuracy_model = accuracy_model or AccuracyModel.paper_default()
+        self.model = model
+        self.sprint_speedup = float(sprint_speedup)
+        self.sprint_priorities = (
+            set(sprint_priorities) if sprint_priorities is not None else set()
+        )
+
+    # -------------------------------------------------------------- models
+    def service_distribution(self, priority: int, drop_ratio: float) -> PhaseType:
+        """PH processing-time distribution of ``priority`` at ``drop_ratio``."""
+        profile = self.profiles[priority]
+        if self.model == "wave":
+            builder = WaveLevelModel.from_profile(
+                profile, self.slots, map_drop_ratio=drop_ratio
+            )
+        else:
+            builder = TaskLevelModel.from_profile(
+                profile, self.slots, map_drop_ratio=drop_ratio
+            )
+        ph = builder.build()
+        if self.sprint_speedup > 1.0 and priority in self.sprint_priorities:
+            # First-order sprinting effect: scale the whole distribution by the
+            # effective mean-time ratio of the timeout-based sprint policy.
+            sprint_model = SprintingRateModel(speedup=self.sprint_speedup, timeout=0.0)
+            factor = sprint_model.effective_mean_time(ph) / ph.mean
+            ph = ph.scaled(factor)
+        return ph
+
+    def predict_mean_processing_time(self, priority: int, drop_ratio: float) -> float:
+        """Predicted mean processing (service) time at ``drop_ratio`` (Fig. 4)."""
+        return self.service_distribution(priority, drop_ratio).mean
+
+    def queue_model(self, drop_ratios: Mapping[int, float]) -> PriorityQueueModel:
+        """The priority-queue model for a candidate drop-ratio assignment."""
+        classes = [
+            PriorityClassInput(
+                priority=priority,
+                arrival_rate=self.arrival_rates[priority],
+                service=self.service_distribution(priority, drop_ratios.get(priority, 0.0)),
+            )
+            for priority in self.profiles
+        ]
+        return PriorityQueueModel(classes)
+
+    def predict_response_times(
+        self, drop_ratios: Mapping[int, float], discipline: str = "nonpreemptive"
+    ) -> Dict[int, float]:
+        """Predicted mean response time per class (Fig. 5)."""
+        return self.queue_model(drop_ratios).mean_response_times(discipline)
+
+    def predicted_utilisation(self, drop_ratios: Mapping[int, float]) -> float:
+        return self.queue_model(drop_ratios).utilisation()
+
+    # ------------------------------------------------------------ selection
+    def max_drop_ratio(self, priority: int) -> float:
+        """Largest drop ratio whose predicted accuracy loss the class tolerates."""
+        tolerance = self.profiles[priority].max_accuracy_loss
+        return self.accuracy_model.max_drop_for_error(tolerance)
+
+    def feasible_drop_ratios(
+        self, priority: int, candidates: Sequence[float]
+    ) -> List[float]:
+        """Candidate drop ratios within the class's accuracy tolerance."""
+        ceiling = self.max_drop_ratio(priority)
+        feasible = [theta for theta in candidates if 0.0 <= theta <= ceiling + 1e-12]
+        return feasible or [0.0]
+
+    def choose(
+        self,
+        candidates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+        latency_targets: Optional[Mapping[int, float]] = None,
+        max_high_priority_degradation: Optional[float] = None,
+        sprint_timeouts: Optional[Mapping[int, float]] = None,
+        objective: str = "latency",
+    ) -> DeflatorDecision:
+        """Pick the drop-ratio assignment that best trades accuracy for latency.
+
+        The search mirrors §5.2.1: the accuracy tolerance of each class bounds
+        its drop ratio from above; the latency constraints (absolute targets
+        and/or a cap on the high-priority degradation) filter candidate
+        assignments; among the feasible ones the default ``"latency"``
+        objective picks the assignment with the lowest predicted low-priority
+        response time (ties broken by lower accuracy loss) — which selects
+        DA(0,20) in the paper's use case — while ``"accuracy"`` prefers the
+        least loss (ties broken by latency).
+
+        Parameters
+        ----------
+        candidates:
+            Grid of drop ratios considered per class.
+        latency_targets:
+            Optional per-priority upper bounds on the predicted mean response
+            time.
+        max_high_priority_degradation:
+            Optional bound on the relative mean-latency degradation of the
+            highest class compared to dropping nothing under the same
+            (non-preemptive) discipline.
+        sprint_timeouts:
+            Sprint timeouts to report in the decision (the deflator forwards
+            them to the sprinter; they do not affect the drop-ratio search).
+        objective:
+            ``"latency"`` (default) or ``"accuracy"``.
+        """
+        if objective not in ("latency", "accuracy"):
+            raise ValueError("objective must be 'latency' or 'accuracy'")
+        priorities = sorted(self.profiles, reverse=True)
+        per_class_candidates = [
+            self.feasible_drop_ratios(priority, candidates) for priority in priorities
+        ]
+        baseline = self.predict_response_times({p: 0.0 for p in priorities})
+        highest = priorities[0]
+
+        best: Optional[Tuple[Tuple[float, float], Dict[int, float], Dict[int, float]]] = None
+        best_feasible = False
+        for combo in itertools.product(*per_class_candidates):
+            assignment = dict(zip(priorities, combo))
+            responses = self.predict_response_times(assignment)
+            feasible = all(math.isfinite(v) for v in responses.values())
+            if latency_targets:
+                for priority, target in latency_targets.items():
+                    if responses.get(priority, float("inf")) > target:
+                        feasible = False
+            if max_high_priority_degradation is not None and math.isfinite(
+                baseline[highest]
+            ):
+                degradation = responses[highest] / baseline[highest] - 1.0
+                if degradation > max_high_priority_degradation:
+                    feasible = False
+            total_loss = sum(
+                self.accuracy_model.error(theta) for theta in assignment.values()
+            )
+            lowest = priorities[-1]
+            lowest_response = responses.get(lowest, float("inf"))
+            if objective == "latency":
+                score = (lowest_response, total_loss)
+            else:
+                score = (total_loss, lowest_response)
+            if best is None:
+                best = (score, assignment, responses)
+                best_feasible = feasible
+                continue
+            if feasible and not best_feasible:
+                best = (score, assignment, responses)
+                best_feasible = True
+            elif feasible == best_feasible and score < best[0]:
+                best = (score, assignment, responses)
+        assert best is not None  # at least one combination always exists
+        _, assignment, responses = best
+        losses = {
+            priority: self.accuracy_model.error(theta)
+            for priority, theta in assignment.items()
+        }
+        timeouts = dict(sprint_timeouts or {})
+        return DeflatorDecision(
+            drop_ratios=assignment,
+            sprint_timeouts=timeouts,
+            predicted_response_times=responses,
+            predicted_accuracy_loss=losses,
+            feasible=best_feasible,
+        )
+
+    def choose_sprint_timeout(
+        self, priority: int, sprint_fraction: float, speedup: Optional[float] = None
+    ) -> float:
+        """Timeout so the class sprints roughly ``sprint_fraction`` of its execution."""
+        ph = self.service_distribution(priority, 0.0)
+        model = SprintingRateModel.for_budget_fraction(
+            speedup=speedup if speedup is not None else max(self.sprint_speedup, 1.0),
+            mean_execution_time=ph.mean,
+            sprint_fraction=sprint_fraction,
+        )
+        return model.timeout

@@ -1,0 +1,338 @@
+"""The DiAS controller (§3.2, §3.3) and the end-to-end simulation driver.
+
+The controller reproduces the prototype's state machine:
+
+* arriving jobs are placed in the buffer of their priority class;
+* whenever the processing engine is free, the head of the highest non-empty
+  buffer is dispatched with its class's approximation level (the dropper
+  selects the surviving tasks, mirroring the ``findMissingPartitions``
+  modification);
+* under a **preemptive** policy a higher-priority arrival evicts the job in
+  execution — the work done so far is wasted and the job returns to the head
+  of its buffer to be re-run from scratch (the prototype's SIGKILL path);
+* under DiAS (non-preemptive), the job in execution always finishes; if
+  sprinting is enabled, the sprinter boosts the CPU frequency after the
+  class's timeout, subject to the sprint budget;
+* the energy meter charges every interval at the idle/busy/sprint power.
+
+:class:`DiASSimulation` wires these pieces to the engine substrate and runs a
+whole job trace, returning a :class:`SimulationResult` with the metrics the
+paper reports (mean/tail latency per class, queueing/execution decomposition,
+resource waste, energy, accuracy loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.buffers import PriorityBuffers
+from repro.core.dropper import DropPlan, TaskDropper
+from repro.core.policies import SchedulingPolicy
+from repro.core.sprinter import Sprinter
+from repro.engine.cluster import Cluster
+from repro.engine.energy import EnergyMeter
+from repro.engine.execution import JobExecution, build_phases
+from repro.engine.job import Job
+from repro.models.accuracy import AccuracyModel
+from repro.simulation.des import Simulator
+from repro.simulation.metrics import ClassMetrics, JobRecord, MetricsCollector
+from repro.simulation.random_streams import RandomStreams
+
+
+@dataclass(frozen=True)
+class DropRatioDecision:
+    """Per-dispatch drop ratios returned by an online drop-ratio provider."""
+
+    map_drop_ratio: float
+    reduce_drop_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        for value in (self.map_drop_ratio, self.reduce_drop_ratio):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"drop ratios must be in [0, 1), got {value!r}")
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one simulated run of one policy."""
+
+    policy_name: str
+    metrics: MetricsCollector
+    duration: float
+    completed_jobs: int
+    total_energy_joules: float
+    sprinted_seconds: float
+    evictions: int
+    idle_energy_joules: float = 0.0
+    busy_energy_joules: float = 0.0
+    sprint_energy_joules: float = 0.0
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def total_energy_kilojoules(self) -> float:
+        return self.total_energy_joules / 1000.0
+
+    @property
+    def active_energy_joules(self) -> float:
+        """Energy spent while actually processing (busy + sprint, no idle)."""
+        return self.busy_energy_joules + self.sprint_energy_joules
+
+    @property
+    def active_energy_kilojoules(self) -> float:
+        return self.active_energy_joules / 1000.0
+
+    def priorities(self) -> List[int]:
+        return self.metrics.priorities()
+
+    def class_metrics(self, priority: int) -> ClassMetrics:
+        return self.metrics.class_metrics(priority)
+
+    def mean_response_time(self, priority: Optional[int] = None) -> float:
+        return self.metrics.mean_response_time(priority)
+
+    def tail_response_time(self, priority: Optional[int] = None, q: float = 95.0) -> float:
+        return self.metrics.tail_response_time(priority, q)
+
+    def mean_queueing_time(self, priority: int) -> float:
+        return self.class_metrics(priority).queueing_time.mean
+
+    def mean_execution_time(self, priority: int) -> float:
+        return self.class_metrics(priority).execution_time.mean
+
+    def mean_accuracy_loss(self, priority: int) -> float:
+        return self.class_metrics(priority).accuracy_loss_mean
+
+    @property
+    def resource_waste(self) -> float:
+        """Fraction of machine time spent re-processing evicted jobs."""
+        return self.metrics.resource_waste_fraction()
+
+    @property
+    def utilisation(self) -> float:
+        return self.metrics.utilisation()
+
+    def relative_difference(
+        self, baseline: "SimulationResult", priority: int, metric: str = "mean"
+    ) -> float:
+        """Relative latency difference vs ``baseline`` in percent (Fig. 7–11).
+
+        Negative values mean this policy is *faster* than the baseline.
+        """
+        if metric == "mean":
+            ours = self.mean_response_time(priority)
+            theirs = baseline.mean_response_time(priority)
+        elif metric == "tail":
+            ours = self.tail_response_time(priority)
+            theirs = baseline.tail_response_time(priority)
+        else:
+            raise ValueError("metric must be 'mean' or 'tail'")
+        if theirs == 0:
+            return float("nan")
+        return 100.0 * (ours - theirs) / theirs
+
+
+class DiASSimulation:
+    """Simulates one scheduling policy over a fixed job trace."""
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        jobs: Sequence[Job],
+        cluster: Optional[Cluster] = None,
+        accuracy_model: Optional[AccuracyModel] = None,
+        streams: Optional[RandomStreams] = None,
+        seed: int = 0,
+        drop_ratio_provider: Optional[
+            Callable[[Job, float, MetricsCollector], "DropRatioDecision"]
+        ] = None,
+    ) -> None:
+        if not jobs:
+            raise ValueError("the job trace must not be empty")
+        self.policy = policy
+        self.drop_ratio_provider = drop_ratio_provider
+        self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+        self.cluster = cluster or Cluster()
+        self.accuracy_model = accuracy_model or AccuracyModel.paper_default()
+        self.streams = streams or RandomStreams(seed)
+
+        self.sim = Simulator()
+        self.buffers = PriorityBuffers()
+        self.dropper = TaskDropper(self.streams.stream("dropper"))
+        self.metrics = MetricsCollector()
+        self.energy_meter = EnergyMeter(self.cluster.power_model)
+        self.sprinter: Optional[Sprinter] = None
+        if policy.sprints:
+            self.sprinter = Sprinter(
+                self.sim,
+                policy.sprint,
+                on_sprint_start=self._on_sprint_start,
+                on_sprint_end=self._on_sprint_end,
+            )
+
+        self._running: Optional[JobExecution] = None
+        self._running_plan: Optional[DropPlan] = None
+        # Per-job bookkeeping across (possibly multiple, if evicted) attempts.
+        self._job_state: Dict[int, Dict[str, float]] = {}
+        self._completed = 0
+        self._total_evictions = 0
+
+    # -------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run the whole trace to completion (or until the optional horizon)."""
+        for job in self.jobs:
+            self._job_state[job.job_id] = {"wasted": 0.0, "evictions": 0}
+            self.sim.schedule_at(
+                job.arrival_time, self._make_arrival_callback(job), priority=0
+            )
+        self.sim.run(until=until)
+        self.energy_meter.advance(self.sim.now)
+        self.metrics.set_observation_time(self.sim.now)
+        account = self.energy_meter.account
+        return SimulationResult(
+            policy_name=self.policy.name,
+            metrics=self.metrics,
+            duration=self.sim.now,
+            completed_jobs=self._completed,
+            total_energy_joules=self.energy_meter.total_joules,
+            sprinted_seconds=(
+                self.sprinter.total_sprinted_seconds if self.sprinter is not None else 0.0
+            ),
+            evictions=self._total_evictions,
+            idle_energy_joules=account.idle_joules,
+            busy_energy_joules=account.busy_joules,
+            sprint_energy_joules=account.sprint_joules,
+        )
+
+    # --------------------------------------------------------------- events
+    def _make_arrival_callback(self, job: Job):
+        def _callback(_sim: Simulator) -> None:
+            self._on_arrival(job)
+
+        return _callback
+
+    def _on_arrival(self, job: Job) -> None:
+        self.buffers.push(job)
+        if self._running is None:
+            self._dispatch_next()
+            return
+        if self.policy.preemptive and job.priority > self._running.job.priority:
+            self._evict_running()
+            self._dispatch_next()
+
+    def _dispatch_next(self) -> None:
+        job = self.buffers.pop_highest()
+        if job is None:
+            self._running = None
+            self._running_plan = None
+            self.energy_meter.set_mode("idle", self.sim.now)
+            return
+        if self.drop_ratio_provider is not None:
+            decision = self.drop_ratio_provider(job, self.sim.now, self.metrics)
+            map_drop = decision.map_drop_ratio
+            reduce_drop = decision.reduce_drop_ratio
+        else:
+            map_drop = self.policy.map_drop_ratio(job.priority)
+            reduce_drop = self.policy.reduce_drop_ratio(job.priority)
+        plan = self.dropper.plan(job, map_drop, reduce_drop)
+        phases = build_phases(
+            job,
+            map_drop_ratio=map_drop,
+            reduce_drop_ratio=reduce_drop,
+            kept_map_indices=plan.kept_map_indices,
+            kept_reduce_indices=plan.kept_reduce_indices,
+        )
+        # Every dispatch starts at the base frequency; sprinting (if any) is
+        # triggered later by the sprinter's timer.
+        self.cluster.set_sprinting(False)
+        self.energy_meter.set_mode("busy", self.sim.now)
+        execution = JobExecution(
+            self.sim, self.cluster, job, phases, on_complete=self._on_complete
+        )
+        self._running = execution
+        self._running_plan = plan
+        execution.start(speed=self.cluster.speed)
+        if self.sprinter is not None:
+            self.sprinter.on_dispatch(execution)
+
+    def _evict_running(self) -> None:
+        execution = self._running
+        if execution is None:
+            return
+        if self.sprinter is not None:
+            self.sprinter.on_job_end(execution)
+        wasted = execution.evict()
+        self.cluster.set_sprinting(False)
+        job = execution.job
+        state = self._job_state[job.job_id]
+        state["wasted"] += wasted
+        state["evictions"] += 1
+        self._total_evictions += 1
+        self.buffers.push_front(job)
+        self._running = None
+        self._running_plan = None
+
+    def _on_complete(self, execution: JobExecution) -> None:
+        if self.sprinter is not None:
+            self.sprinter.on_job_end(execution)
+        self.cluster.set_sprinting(False)
+        job = execution.job
+        plan = self._running_plan
+        state = self._job_state[job.job_id]
+        effective_drop = plan.effective_drop_ratio if plan is not None else 0.0
+        record = JobRecord(
+            job_id=job.job_id,
+            priority=job.priority,
+            arrival_time=job.arrival_time,
+            start_time=execution.start_time if execution.start_time is not None else job.arrival_time,
+            completion_time=self.sim.now,
+            execution_time=execution.elapsed,
+            wasted_time=state["wasted"],
+            evictions=int(state["evictions"]),
+            drop_ratio=effective_drop,
+            accuracy_loss=self.accuracy_model.error(min(effective_drop, 1.0)),
+            sprinted_time=execution.sprinted_time,
+            size_mb=job.size_mb,
+            num_map_tasks=job.num_map_tasks,
+            num_reduce_tasks=job.num_reduce_tasks,
+        )
+        self.metrics.record_job(record)
+        self.metrics.record_busy_time(execution.elapsed)
+        self._completed += 1
+        self._running = None
+        self._running_plan = None
+        self._dispatch_next()
+
+    # ------------------------------------------------------------- sprinting
+    def _on_sprint_start(self, execution: JobExecution) -> None:
+        self.cluster.set_sprinting(True)
+        if execution.running:
+            execution.set_speed(self.cluster.speed)
+        self.energy_meter.set_mode("sprint", self.sim.now)
+
+    def _on_sprint_end(self, execution: JobExecution) -> None:
+        self.cluster.set_sprinting(False)
+        if execution.running:
+            execution.set_speed(self.cluster.speed)
+            self.energy_meter.set_mode("busy", self.sim.now)
+        else:
+            mode = "busy" if self._running is not None else "idle"
+            self.energy_meter.set_mode(mode, self.sim.now)
+
+
+def run_policy(
+    policy: SchedulingPolicy,
+    jobs: Sequence[Job],
+    cluster: Optional[Cluster] = None,
+    accuracy_model: Optional[AccuracyModel] = None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`DiASSimulation` and run it."""
+    simulation = DiASSimulation(
+        policy=policy,
+        jobs=jobs,
+        cluster=cluster,
+        accuracy_model=accuracy_model,
+        seed=seed,
+    )
+    return simulation.run()

@@ -1,0 +1,131 @@
+"""Task dropping — the approximation mechanism (§3.1, §3.3).
+
+Spark computes the partitions a stage still has to execute through
+``findMissingPartitions()``; DiAS modifies that function to return only
+``⌈n(1 − θ_k)⌉`` of the ``n`` partitions.  :func:`find_missing_partitions`
+reproduces that computation, and :class:`TaskDropper` builds a full
+:class:`DropPlan` for a job: which map/reduce tasks of which stages are kept,
+and the resulting effective drop ratio used to estimate accuracy loss.
+
+Dropped tasks are chosen uniformly at random (the paper: "we randomly choose
+one map task and drop it before its execution"), which is what makes the
+analysis an unbiased sample of the input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.job import Job, effective_task_count
+from repro.models.accuracy import compose_stage_drop_ratios
+
+
+def find_missing_partitions(num_partitions: int, drop_ratio: float) -> int:
+    """Number of partitions Spark should still compute: ``⌈n(1 − θ)⌉``."""
+    return effective_task_count(num_partitions, drop_ratio)
+
+
+@dataclass
+class DropPlan:
+    """The concrete set of tasks kept for one job dispatch."""
+
+    job_id: int
+    map_drop_ratio: float
+    reduce_drop_ratio: float
+    kept_map_indices: Dict[int, List[int]]
+    kept_reduce_indices: Dict[int, List[int]]
+    dropped_map_tasks: int
+    dropped_reduce_tasks: int
+    total_map_tasks: int
+    total_reduce_tasks: int
+    effective_drop_ratio: float
+
+    @property
+    def kept_map_tasks(self) -> int:
+        return self.total_map_tasks - self.dropped_map_tasks
+
+    @property
+    def kept_reduce_tasks(self) -> int:
+        return self.total_reduce_tasks - self.dropped_reduce_tasks
+
+    @property
+    def drops_anything(self) -> bool:
+        return self.dropped_map_tasks > 0 or self.dropped_reduce_tasks > 0
+
+
+class TaskDropper:
+    """Builds :class:`DropPlan` objects for dispatched jobs."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def plan(
+        self,
+        job: Job,
+        map_drop_ratio: float,
+        reduce_drop_ratio: float = 0.0,
+    ) -> DropPlan:
+        """Select which tasks of ``job`` to keep under the given drop ratios.
+
+        The same per-stage ratio is applied to every droppable stage, as in
+        the triangle-count experiments (§5.2.4); non-droppable stages always
+        keep all tasks.  The effective (overall) drop ratio composes the
+        per-stage ratios across the job's droppable stages.
+        """
+        if not 0.0 <= map_drop_ratio < 1.0:
+            raise ValueError("map drop ratio must be in [0, 1)")
+        if not 0.0 <= reduce_drop_ratio < 1.0:
+            raise ValueError("reduce drop ratio must be in [0, 1)")
+
+        kept_map: Dict[int, List[int]] = {}
+        kept_reduce: Dict[int, List[int]] = {}
+        dropped_map = 0
+        dropped_reduce = 0
+        total_map = 0
+        total_reduce = 0
+        droppable_stages = 0
+
+        for stage in job.stages:
+            total_map += stage.num_map_tasks
+            total_reduce += stage.num_reduce_tasks
+            stage_map_drop = map_drop_ratio if stage.droppable else 0.0
+            stage_reduce_drop = reduce_drop_ratio if stage.droppable else 0.0
+            if stage.droppable:
+                droppable_stages += 1
+
+            keep_maps = find_missing_partitions(stage.num_map_tasks, stage_map_drop)
+            keep_reduces = find_missing_partitions(stage.num_reduce_tasks, stage_reduce_drop)
+            kept_map[stage.index] = self._select(stage.num_map_tasks, keep_maps)
+            kept_reduce[stage.index] = self._select(stage.num_reduce_tasks, keep_reduces)
+            dropped_map += stage.num_map_tasks - keep_maps
+            dropped_reduce += stage.num_reduce_tasks - keep_reduces
+
+        if droppable_stages > 0 and map_drop_ratio > 0:
+            effective = compose_stage_drop_ratios([map_drop_ratio] * droppable_stages)
+        else:
+            effective = 0.0
+        return DropPlan(
+            job_id=job.job_id,
+            map_drop_ratio=map_drop_ratio,
+            reduce_drop_ratio=reduce_drop_ratio,
+            kept_map_indices=kept_map,
+            kept_reduce_indices=kept_reduce,
+            dropped_map_tasks=dropped_map,
+            dropped_reduce_tasks=dropped_reduce,
+            total_map_tasks=total_map,
+            total_reduce_tasks=total_reduce,
+            effective_drop_ratio=effective,
+        )
+
+    def _select(self, total: int, keep: int) -> List[int]:
+        """Uniformly select ``keep`` of ``total`` task indices (sorted)."""
+        if keep >= total:
+            return list(range(total))
+        if keep <= 0:
+            return []
+        chosen = self._rng.choice(total, size=keep, replace=False)
+        return sorted(int(i) for i in chosen)

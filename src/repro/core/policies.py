@@ -1,0 +1,154 @@
+"""Scheduling policies evaluated in the paper.
+
+A :class:`SchedulingPolicy` bundles the three knobs DiAS combines (§1, §3):
+
+* whether priorities preempt (evict) lower-priority jobs,
+* the per-priority task-drop ratios (differential approximation), and
+* the sprinting configuration (differential sprinting).
+
+Factory methods build the named configurations used throughout the evaluation:
+
+========  ===========================================================
+``P``     preemptive priority, no approximation, no sprinting
+``NP``    non-preemptive priority, no approximation, no sprinting
+``NPS``   non-preemptive priority + sprinting (Table 2 baseline)
+``DA``    non-preemptive + differential approximation, e.g. DA(0,20)
+``DiAS``  non-preemptive + approximation + sprinting, e.g. DiAS(0,20)
+========  ===========================================================
+
+Drop-ratio subscripts follow the paper's notation ``DA(θ_high, …, θ_low)``
+listed from the highest to the lowest priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.config import SprintConfig
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """A complete scheduling configuration.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"P"`` or ``"DA(0/20)"``.
+    preemptive:
+        If ``True``, a higher-priority arrival evicts the job in execution
+        (which later restarts from scratch, wasting the work done so far).
+    map_drop_ratios:
+        Per-priority map-task drop ratio ``θ_k`` applied to every droppable
+        stage of a job.  Missing priorities drop nothing.
+    reduce_drop_ratios:
+        Per-priority reduce-task drop ratios (the paper mostly drops map
+        tasks; reduce dropping is supported for completeness, §4.1).
+    sprint:
+        Sprinting configuration (disabled by default).
+    """
+
+    name: str
+    preemptive: bool = False
+    map_drop_ratios: Mapping[int, float] = field(default_factory=dict)
+    reduce_drop_ratios: Mapping[int, float] = field(default_factory=dict)
+    sprint: SprintConfig = field(default_factory=SprintConfig.disabled)
+
+    def __post_init__(self) -> None:
+        for label, ratios in (("map", self.map_drop_ratios), ("reduce", self.reduce_drop_ratios)):
+            for priority, ratio in ratios.items():
+                if not 0.0 <= ratio < 1.0:
+                    raise ValueError(
+                        f"{label} drop ratio for priority {priority} must be in [0, 1), got {ratio!r}"
+                    )
+
+    # ------------------------------------------------------------- accessors
+    def map_drop_ratio(self, priority: int) -> float:
+        """Map-task drop ratio for ``priority`` (0 when not configured)."""
+        return float(self.map_drop_ratios.get(priority, 0.0))
+
+    def reduce_drop_ratio(self, priority: int) -> float:
+        """Reduce-task drop ratio for ``priority`` (0 when not configured)."""
+        return float(self.reduce_drop_ratios.get(priority, 0.0))
+
+    @property
+    def approximates(self) -> bool:
+        """Whether any priority class drops tasks."""
+        return any(r > 0 for r in self.map_drop_ratios.values()) or any(
+            r > 0 for r in self.reduce_drop_ratios.values()
+        )
+
+    @property
+    def sprints(self) -> bool:
+        """Whether sprinting is enabled for at least some priority."""
+        if self.sprint.budget_seconds == 0 and not self.sprint.unlimited:
+            return False
+        if self.sprint.sprint_priorities is not None and not self.sprint.sprint_priorities:
+            return False
+        return True
+
+    def with_sprint(self, sprint: SprintConfig, name: Optional[str] = None) -> "SchedulingPolicy":
+        """Copy of this policy with a different sprint configuration."""
+        return replace(self, sprint=sprint, name=name if name is not None else self.name)
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def preemptive_priority() -> "SchedulingPolicy":
+        """``P`` — the production-style preemptive baseline."""
+        return SchedulingPolicy(name="P", preemptive=True)
+
+    @staticmethod
+    def non_preemptive_priority() -> "SchedulingPolicy":
+        """``NP`` — non-preemptive priority, no approximation or sprinting."""
+        return SchedulingPolicy(name="NP", preemptive=False)
+
+    @staticmethod
+    def sprinted_non_preemptive(sprint: SprintConfig) -> "SchedulingPolicy":
+        """``NPS`` — non-preemptive priority plus sprinting (no approximation)."""
+        return SchedulingPolicy(name="NPS", preemptive=False, sprint=sprint)
+
+    @staticmethod
+    def differential_approximation(
+        drop_ratios_by_priority: Mapping[int, float],
+        reduce_drop_ratios: Optional[Mapping[int, float]] = None,
+        name: Optional[str] = None,
+    ) -> "SchedulingPolicy":
+        """``DA`` — non-preemptive priority plus per-priority task dropping."""
+        label = name if name is not None else _format_name("DA", drop_ratios_by_priority)
+        return SchedulingPolicy(
+            name=label,
+            preemptive=False,
+            map_drop_ratios=dict(drop_ratios_by_priority),
+            reduce_drop_ratios=dict(reduce_drop_ratios or {}),
+        )
+
+    @staticmethod
+    def dias(
+        drop_ratios_by_priority: Mapping[int, float],
+        sprint: SprintConfig,
+        reduce_drop_ratios: Optional[Mapping[int, float]] = None,
+        name: Optional[str] = None,
+    ) -> "SchedulingPolicy":
+        """``DiAS`` — the full design: approximation plus sprinting."""
+        label = name if name is not None else _format_name("DiAS", drop_ratios_by_priority)
+        return SchedulingPolicy(
+            name=label,
+            preemptive=False,
+            map_drop_ratios=dict(drop_ratios_by_priority),
+            reduce_drop_ratios=dict(reduce_drop_ratios or {}),
+            sprint=sprint,
+        )
+
+
+def _format_name(prefix: str, drop_ratios_by_priority: Mapping[int, float]) -> str:
+    """Format a policy name like ``DA(0/20)`` from per-priority drop ratios.
+
+    Ratios are listed from the highest priority to the lowest, matching the
+    paper's subscript convention.
+    """
+    ordered = [
+        drop_ratios_by_priority[p] for p in sorted(drop_ratios_by_priority, reverse=True)
+    ]
+    parts = "/".join(f"{round(100 * r):g}" for r in ordered)
+    return f"{prefix}({parts})"

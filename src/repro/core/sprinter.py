@@ -1,0 +1,154 @@
+"""The sprinter: timers, budget tracking and DVFS actuation (§3.2, §3.3).
+
+If sprinting is enabled, the deflator tells the sprinter the sprint timeout
+``T_k`` of every dispatched job.  The sprinter arms a timer; when it fires and
+budget remains, it boosts the CPU frequency (via the controller's callbacks,
+the simulation analogue of ``cpupower``) until the job ends or the budget is
+depleted.  The budget is replenished over time (e.g. six sprint-minutes per
+hour) and never exceeds its cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.config import SprintConfig
+from repro.engine.execution import JobExecution
+from repro.simulation.des import Event, Simulator
+
+
+class Sprinter:
+    """Tracks the sprinting budget and drives per-job sprint timers.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (for timers).
+    config:
+        The sprint configuration (eligibility, timeouts, budget, replenishment).
+    on_sprint_start, on_sprint_end:
+        Controller callbacks that actually change the cluster frequency, the
+        in-flight task completion times and the energy-meter mode.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SprintConfig,
+        on_sprint_start: Callable[[JobExecution], None],
+        on_sprint_end: Callable[[JobExecution], None],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.on_sprint_start = on_sprint_start
+        self.on_sprint_end = on_sprint_end
+
+        self._budget = config.budget_seconds  # None = unlimited
+        self._budget_updated_at = sim.now
+        self._sprinting = False
+        self._sprint_started_at: Optional[float] = None
+        self._timer: Optional[Event] = None
+        self._exhaust_event: Optional[Event] = None
+        self._current: Optional[JobExecution] = None
+        self.total_sprinted_seconds = 0.0
+        self.sprints_started = 0
+        self.sprints_denied = 0
+
+    # --------------------------------------------------------------- budget
+    @property
+    def sprinting(self) -> bool:
+        return self._sprinting
+
+    def available_budget(self) -> Optional[float]:
+        """Current sprint budget in seconds (``None`` = unlimited)."""
+        self._update_budget()
+        return self._budget
+
+    def _update_budget(self) -> None:
+        if self._budget is None:
+            self._budget_updated_at = self.sim.now
+            return
+        now = self.sim.now
+        elapsed = now - self._budget_updated_at
+        if elapsed <= 0:
+            return
+        rate = self.config.replenish_rate - (1.0 if self._sprinting else 0.0)
+        self._budget += rate * elapsed
+        cap = self.config.budget_cap()
+        if cap is not None:
+            self._budget = min(self._budget, cap)
+        self._budget = max(self._budget, 0.0)
+        self._budget_updated_at = now
+
+    # ---------------------------------------------------------------- hooks
+    def on_dispatch(self, execution: JobExecution) -> None:
+        """A job was dispatched; arm its sprint timer if it is eligible."""
+        priority = execution.job.priority
+        if not self.config.sprints(priority):
+            return
+        timeout = self.config.timeout_for(priority)
+        self._current = execution
+        if timeout <= 0:
+            self._try_start_sprint(execution)
+        else:
+            self._timer = self.sim.schedule(
+                timeout, self._make_timer_callback(execution), priority=2
+            )
+
+    def on_job_end(self, execution: JobExecution) -> None:
+        """The job completed or was evicted; cancel timers, stop sprinting."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._sprinting and self._current is execution:
+            self._stop_sprint(execution)
+        if self._current is execution:
+            self._current = None
+
+    # ------------------------------------------------------------ internals
+    def _make_timer_callback(self, execution: JobExecution):
+        def _callback(_sim: Simulator) -> None:
+            self._timer = None
+            if execution.running:
+                self._try_start_sprint(execution)
+
+        return _callback
+
+    def _try_start_sprint(self, execution: JobExecution) -> None:
+        self._update_budget()
+        if self._sprinting:
+            return
+        if self._budget is not None and self._budget <= 0:
+            self.sprints_denied += 1
+            return
+        self._sprinting = True
+        self._sprint_started_at = self.sim.now
+        self.sprints_started += 1
+        self.on_sprint_start(execution)
+        if self._budget is not None:
+            net_drain = 1.0 - self.config.replenish_rate
+            if net_drain > 0:
+                time_to_exhaust = self._budget / net_drain
+                self._exhaust_event = self.sim.schedule(
+                    time_to_exhaust, self._make_exhaust_callback(execution), priority=2
+                )
+
+    def _make_exhaust_callback(self, execution: JobExecution):
+        def _callback(_sim: Simulator) -> None:
+            self._exhaust_event = None
+            if self._sprinting and self._current is execution:
+                self._stop_sprint(execution)
+
+        return _callback
+
+    def _stop_sprint(self, execution: JobExecution) -> None:
+        self._update_budget()
+        self._sprinting = False
+        if self._sprint_started_at is not None:
+            self.total_sprinted_seconds += self.sim.now - self._sprint_started_at
+            self._sprint_started_at = None
+        if self._exhaust_event is not None:
+            self._exhaust_event.cancel()
+            self._exhaust_event = None
+        self.on_sprint_end(execution)

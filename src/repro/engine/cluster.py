@@ -1,0 +1,86 @@
+"""Cluster model: computing slots plus DVFS state.
+
+The paper's testbed is one Spark master and ten workers with two cores each,
+giving 20 computing slots; DiAS changes the CPU frequency of all cluster
+nodes at once when sprinting (§4, "our current approach sprints all available
+cores at the same time").  The :class:`Cluster` therefore exposes a single
+cluster-wide speed factor derived from the :class:`~repro.engine.dvfs.DVFSModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.dvfs import DVFSModel, FrequencyLevel
+from repro.engine.energy import PowerModel
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the cluster."""
+
+    workers: int = 10
+    cores_per_worker: int = 2
+    memory_per_worker_gb: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0 or self.cores_per_worker <= 0:
+            raise ValueError("workers and cores_per_worker must be positive")
+        if self.memory_per_worker_gb <= 0:
+            raise ValueError("memory_per_worker_gb must be positive")
+
+    @property
+    def slots(self) -> int:
+        """Total computing slots ``C`` (cores across workers)."""
+        return self.workers * self.cores_per_worker
+
+    @property
+    def total_memory_gb(self) -> float:
+        return self.workers * self.memory_per_worker_gb
+
+
+class Cluster:
+    """Mutable cluster state: current frequency level and derived speed."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        dvfs: Optional[DVFSModel] = None,
+        power_model: Optional[PowerModel] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.dvfs = dvfs or DVFSModel()
+        self.power_model = power_model or PowerModel()
+        self._sprinting = False
+
+    @property
+    def slots(self) -> int:
+        return self.config.slots
+
+    @property
+    def sprinting(self) -> bool:
+        """Whether the cluster is currently running at the sprint frequency."""
+        return self._sprinting
+
+    @property
+    def frequency(self) -> FrequencyLevel:
+        return self.dvfs.sprint if self._sprinting else self.dvfs.base
+
+    @property
+    def speed(self) -> float:
+        """Current execution-rate multiplier relative to the base frequency."""
+        return self.dvfs.speedup(self.frequency)
+
+    def set_sprinting(self, sprinting: bool) -> bool:
+        """Set the sprint state; returns ``True`` if the state changed."""
+        sprinting = bool(sprinting)
+        changed = sprinting != self._sprinting
+        self._sprinting = sprinting
+        return changed
+
+    def power_mode(self, busy: bool) -> str:
+        """Operating mode for the energy meter given engine business."""
+        if not busy:
+            return "idle"
+        return "sprint" if self._sprinting else "busy"

@@ -1,0 +1,86 @@
+"""DVFS (dynamic voltage and frequency scaling) model used for sprinting.
+
+The paper sprints by raising the CPU clock from 800 MHz to 2.4 GHz via
+``cpupower`` and reports that sprinting reduces the execution time of
+high-priority jobs by *up to 60 %* while raising server power from 180 W to
+270 W (×1.5).
+
+A pure frequency ratio would predict a 3× speedup; the observed ≤60 % latency
+reduction (≈2.5×) reflects that only part of a Spark task is CPU-bound (the
+rest is I/O, shuffle and framework overhead).  We therefore model the
+execution time of a task at frequency ``f`` as::
+
+    t(f) = t_base * (beta * f_base / f + (1 - beta))
+
+where ``beta`` is the CPU-bound fraction of the work.  With ``beta = 0.9`` and
+the paper's frequencies this yields a 2.5× speedup, i.e. a 60 % reduction,
+matching the reported ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrequencyLevel:
+    """A named CPU frequency operating point."""
+
+    name: str
+    frequency_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_mhz!r}")
+
+
+#: The operating points used in the paper's testbed.
+BASE_FREQUENCY = FrequencyLevel("base", 800.0)
+SPRINT_FREQUENCY = FrequencyLevel("sprint", 2400.0)
+
+
+@dataclass(frozen=True)
+class DVFSModel:
+    """Maps a frequency change to an execution-time speedup.
+
+    Parameters
+    ----------
+    base:
+        The sustained (non-sprinted) frequency level.
+    sprint:
+        The boosted frequency level used while sprinting.
+    cpu_bound_fraction:
+        Fraction ``beta`` of task work that scales with frequency.
+    """
+
+    base: FrequencyLevel = BASE_FREQUENCY
+    sprint: FrequencyLevel = SPRINT_FREQUENCY
+    cpu_bound_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_bound_fraction <= 1.0:
+            raise ValueError(
+                f"cpu_bound_fraction must be in [0, 1], got {self.cpu_bound_fraction!r}"
+            )
+        if self.sprint.frequency_mhz < self.base.frequency_mhz:
+            raise ValueError("sprint frequency must be at least the base frequency")
+
+    def time_scale(self, frequency: FrequencyLevel) -> float:
+        """Multiplier applied to base-frequency task durations at ``frequency``."""
+        beta = self.cpu_bound_fraction
+        ratio = self.base.frequency_mhz / frequency.frequency_mhz
+        return beta * ratio + (1.0 - beta)
+
+    def speedup(self, frequency: FrequencyLevel) -> float:
+        """Execution-rate multiplier relative to the base frequency (≥ 1)."""
+        return 1.0 / self.time_scale(frequency)
+
+    @property
+    def sprint_speedup(self) -> float:
+        """Speedup obtained while sprinting."""
+        return self.speedup(self.sprint)
+
+    @property
+    def sprint_time_reduction(self) -> float:
+        """Fractional execution-time reduction while sprinting (paper: ≤ 0.6)."""
+        return 1.0 - self.time_scale(self.sprint)

@@ -1,0 +1,123 @@
+"""A minimal HDFS-like block store.
+
+Spark jobs in the paper read their input from HDFS; the number of input blocks
+(or the configured partition count) determines the number of map tasks and
+therefore the job parallelism.  The block store here captures exactly that
+relationship: datasets have a size in megabytes, are split into fixed-size
+blocks, and expose a partition count used to size the map stage.
+
+The paper splits each text dataset into 50 RDD partitions regardless of size
+(§5.1), so :class:`Dataset` supports both block-derived and explicitly
+configured partition counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named dataset stored in the block store."""
+
+    name: str
+    size_mb: float
+    partitions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError(f"dataset size must be positive, got {self.size_mb!r}")
+        if self.partitions is not None and self.partitions <= 0:
+            raise ValueError(f"partition count must be positive, got {self.partitions!r}")
+
+
+class BlockStore:
+    """Tracks datasets, their blocks and replica placement.
+
+    Parameters
+    ----------
+    block_size_mb:
+        HDFS block size; default 128 MB as in stock HDFS 2.8.
+    replication:
+        Replication factor (the paper deploys three datanodes).
+    datanodes:
+        Number of datanodes storing blocks.
+    """
+
+    def __init__(
+        self,
+        block_size_mb: float = 128.0,
+        replication: int = 3,
+        datanodes: int = 3,
+    ) -> None:
+        if block_size_mb <= 0:
+            raise ValueError("block size must be positive")
+        if replication <= 0 or datanodes <= 0:
+            raise ValueError("replication and datanodes must be positive")
+        if replication > datanodes:
+            raise ValueError("replication factor cannot exceed the number of datanodes")
+        self.block_size_mb = float(block_size_mb)
+        self.replication = int(replication)
+        self.datanodes = int(datanodes)
+        self._datasets: Dict[str, Dataset] = {}
+
+    # ---------------------------------------------------------------- store
+    def add_dataset(self, dataset: Dataset) -> Dataset:
+        """Register a dataset; re-registering the same name overwrites it."""
+        self._datasets[dataset.name] = dataset
+        return dataset
+
+    def create_dataset(
+        self, name: str, size_mb: float, partitions: Optional[int] = None
+    ) -> Dataset:
+        """Create and register a dataset in one call."""
+        return self.add_dataset(Dataset(name=name, size_mb=size_mb, partitions=partitions))
+
+    def get(self, name: str) -> Dataset:
+        if name not in self._datasets:
+            raise KeyError(f"unknown dataset {name!r}")
+        return self._datasets[name]
+
+    def datasets(self) -> List[Dataset]:
+        return list(self._datasets.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    # ------------------------------------------------------------- geometry
+    def num_blocks(self, name: str) -> int:
+        """Number of HDFS blocks the dataset occupies."""
+        dataset = self.get(name)
+        return max(1, math.ceil(dataset.size_mb / self.block_size_mb))
+
+    def num_partitions(self, name: str) -> int:
+        """RDD partitions (map tasks) for the dataset.
+
+        Uses the explicitly configured partition count when present (the paper
+        uses 50 partitions per text dataset), otherwise one partition per block.
+        """
+        dataset = self.get(name)
+        if dataset.partitions is not None:
+            return dataset.partitions
+        return self.num_blocks(name)
+
+    def stored_mb(self) -> float:
+        """Total storage footprint including replication."""
+        return sum(d.size_mb for d in self._datasets.values()) * self.replication
+
+    def block_placement(self, name: str) -> List[List[int]]:
+        """Round-robin placement of each block's replicas on datanodes.
+
+        Returns one list of datanode indices per block.  Placement is
+        deterministic so tests and simulations are reproducible.
+        """
+        blocks = self.num_blocks(name)
+        placement: List[List[int]] = []
+        for block_index in range(blocks):
+            replicas = [
+                (block_index + offset) % self.datanodes for offset in range(self.replication)
+            ]
+            placement.append(replicas)
+        return placement

@@ -1,0 +1,204 @@
+"""Per-priority-class job profiles and task-duration distributions.
+
+A *profile* captures the workload characteristics of one priority class as the
+paper describes them: mean dataset size (e.g. 1117 MB for low priority and
+473 MB for high priority in the reference setup), number of RDD partitions
+(50 for text jobs), mean map/reduce task times, and the setup (overhead) and
+shuffle stage costs.  The overhead is modelled as size-dependent, matching the
+paper's observation (§4.3) that overhead depends on data size and is linearly
+interpolated between the no-drop and 90 %-drop operating points.
+
+Task durations are drawn from a gamma distribution parameterised by mean and
+squared coefficient of variation (SCV); tasks in a Spark stage have "fairly
+similar execution times" (§4.2), so the default SCV is small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TaskTimeModel:
+    """Gamma-distributed task durations with a given mean and SCV."""
+
+    mean: float
+    scv: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError(f"mean task time must be positive, got {self.mean!r}")
+        if self.scv < 0:
+            raise ValueError(f"SCV must be non-negative, got {self.scv!r}")
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` task durations."""
+        if n < 0:
+            raise ValueError("cannot sample a negative number of durations")
+        if n == 0:
+            return np.empty(0)
+        if self.scv == 0:
+            return np.full(n, self.mean)
+        shape = 1.0 / self.scv
+        scale = self.mean * self.scv
+        return rng.gamma(shape, scale, size=n)
+
+    def scaled(self, factor: float) -> "TaskTimeModel":
+        """A model with the mean scaled by ``factor`` (same SCV)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return TaskTimeModel(mean=self.mean * factor, scv=self.scv)
+
+    @property
+    def variance(self) -> float:
+        return self.scv * self.mean**2
+
+    @property
+    def second_moment(self) -> float:
+        return self.variance + self.mean**2
+
+
+@dataclass(frozen=True)
+class JobClassProfile:
+    """Workload profile of one priority class.
+
+    Attributes
+    ----------
+    priority:
+        Priority level; higher values have precedence (paper convention).
+    name:
+        Human-readable label, e.g. ``"high"`` / ``"low"``.
+    mean_size_mb:
+        Mean input dataset size.
+    size_cv:
+        Coefficient of variation of the dataset size (lognormal sizes).
+    partitions:
+        RDD partitions per job → map tasks per job.
+    reduce_tasks:
+        Reduce tasks per job.
+    map_time_per_100mb:
+        Mean map-task duration for a 100 MB-per-partition share of data.  The
+        actual mean map-task time of a job scales linearly with its per-task
+        data share.
+    reduce_time:
+        Mean reduce-task duration (seconds).
+    setup_time_full:
+        Mean setup/overhead duration when no task is dropped.
+    setup_time_min:
+        Mean setup/overhead at the maximum 90 % drop ratio (the paper profiles
+        these two points and linearly interpolates in between).
+    shuffle_time:
+        Mean shuffle-stage duration.
+    task_scv:
+        SCV of task durations within a stage.
+    num_stages:
+        Number of (map, reduce) stage pairs; >1 models multi-stage pipelines
+        such as triangle count.
+    max_accuracy_loss:
+        The relative-error tolerance of this class (0 for the highest
+        priority).  Used by the deflator to bound drop ratios.
+    straggler_probability:
+        Probability that an individual task is a straggler (failure/slow-node
+        injection; 0 disables it).
+    straggler_slowdown:
+        Multiplicative slowdown applied to straggler tasks.
+    """
+
+    priority: int
+    name: str = ""
+    mean_size_mb: float = 473.0
+    size_cv: float = 0.25
+    partitions: int = 50
+    reduce_tasks: int = 10
+    map_time_per_100mb: float = 18.0
+    reduce_time: float = 4.0
+    setup_time_full: float = 12.0
+    setup_time_min: float = 6.0
+    shuffle_time: float = 3.0
+    task_scv: float = 0.05
+    num_stages: int = 1
+    max_accuracy_loss: float = 0.0
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
+        if self.mean_size_mb <= 0:
+            raise ValueError("mean_size_mb must be positive")
+        if self.partitions <= 0 or self.reduce_tasks < 0:
+            raise ValueError("partitions must be positive and reduce_tasks non-negative")
+        if self.num_stages <= 0:
+            raise ValueError("num_stages must be positive")
+        if not 0.0 <= self.max_accuracy_loss <= 1.0:
+            raise ValueError("max_accuracy_loss must be in [0, 1]")
+        if self.setup_time_min > self.setup_time_full:
+            raise ValueError("setup_time_min cannot exceed setup_time_full")
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise ValueError("straggler_probability must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be at least 1")
+
+    # ------------------------------------------------------------- accessors
+    def mean_map_task_time(self, size_mb: Optional[float] = None) -> float:
+        """Mean map-task duration for a job of ``size_mb`` (default: class mean)."""
+        size = self.mean_size_mb if size_mb is None else size_mb
+        per_task_mb = size / self.partitions
+        return self.map_time_per_100mb * per_task_mb / 100.0
+
+    def map_time_model(self, size_mb: Optional[float] = None) -> TaskTimeModel:
+        return TaskTimeModel(mean=self.mean_map_task_time(size_mb), scv=self.task_scv)
+
+    def reduce_time_model(self) -> TaskTimeModel:
+        return TaskTimeModel(mean=self.reduce_time, scv=self.task_scv)
+
+    def setup_time(self, drop_ratio: float = 0.0) -> float:
+        """Mean setup/overhead time under ``drop_ratio``.
+
+        Linear interpolation between the profiled no-drop and 90 %-drop
+        operating points, exactly as §4.3 describes.
+        """
+        if not 0.0 <= drop_ratio <= 0.9:
+            raise ValueError("drop_ratio must be within [0, 0.9]")
+        frac = drop_ratio / 0.9
+        return self.setup_time_full * (1.0 - frac) + self.setup_time_min * frac
+
+    def with_size(self, mean_size_mb: float) -> "JobClassProfile":
+        """Copy of this profile with a different mean dataset size."""
+        return replace(self, mean_size_mb=mean_size_mb)
+
+    def with_priority(self, priority: int, name: Optional[str] = None) -> "JobClassProfile":
+        """Copy of this profile re-labelled with a different priority."""
+        return replace(self, priority=priority, name=name if name is not None else self.name)
+
+    # ------------------------------------------------------------ aggregates
+    def mean_sequential_work(self, drop_ratio: float = 0.0) -> float:
+        """Mean total task work (seconds of slot time) for an average job."""
+        effective_maps = math.ceil(self.partitions * (1.0 - drop_ratio))
+        map_work = effective_maps * self.mean_map_task_time()
+        reduce_work = self.reduce_tasks * self.reduce_time
+        return self.num_stages * (map_work + reduce_work)
+
+    def mean_service_time(self, slots: int, drop_ratio: float = 0.0) -> float:
+        """First-order mean job service time on ``slots`` computing slots.
+
+        Uses the wave approximation: ``⌈tasks/slots⌉`` waves of the mean task
+        time per stage, plus setup and shuffle.  The detailed stochastic models
+        in :mod:`repro.models` refine this estimate; this method is the cheap
+        closed-form used for load calibration.
+        """
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        effective_maps = max(1, math.ceil(self.partitions * (1.0 - drop_ratio)))
+        map_waves = math.ceil(effective_maps / slots)
+        reduce_waves = math.ceil(self.reduce_tasks / slots) if self.reduce_tasks else 0
+        per_stage = (
+            map_waves * self.mean_map_task_time()
+            + self.shuffle_time
+            + reduce_waves * self.reduce_time
+        )
+        return self.setup_time(drop_ratio) + self.num_stages * per_stage

@@ -1,0 +1,46 @@
+"""Experiment harness: per-figure and per-table reproduction entry points.
+
+* :mod:`repro.experiments.harness` — run a set of policies over one scenario
+  on a common job trace and collect comparable results.
+* :mod:`repro.experiments.figures` — one function per figure of the paper
+  (Fig. 4–11), each returning the data series the figure plots.
+* :mod:`repro.experiments.tables` — Table 2 (queueing/execution decomposition).
+* :mod:`repro.experiments.reporting` — plain-text rendering of results in the
+  same rows/series the paper reports.
+"""
+
+from repro.experiments.harness import PolicyComparison, measure_processing_time, run_policies
+from repro.experiments.figures import (
+    figure4_processing_time_validation,
+    figure5_response_time_validation,
+    figure6_accuracy_loss,
+    figure7_two_priority_reference,
+    figure8_sensitivity,
+    figure9_three_priority,
+    figure10_triangle_count,
+    figure11_dias_sprinting,
+)
+from repro.experiments.sweeps import drop_ratio_sweep, load_sweep, priority_mix_sweep
+from repro.experiments.tables import table2_latency_decomposition
+from repro.experiments.reporting import format_comparison, format_figure, format_rows
+
+__all__ = [
+    "drop_ratio_sweep",
+    "load_sweep",
+    "priority_mix_sweep",
+    "format_figure",
+    "PolicyComparison",
+    "measure_processing_time",
+    "run_policies",
+    "figure4_processing_time_validation",
+    "figure5_response_time_validation",
+    "figure6_accuracy_loss",
+    "figure7_two_priority_reference",
+    "figure8_sensitivity",
+    "figure9_three_priority",
+    "figure10_triangle_count",
+    "figure11_dias_sprinting",
+    "table2_latency_decomposition",
+    "format_comparison",
+    "format_rows",
+]

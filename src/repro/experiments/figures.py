@@ -1,0 +1,331 @@
+"""Per-figure reproduction entry points.
+
+Every function regenerates the data series of one figure of the paper and
+returns it as a dictionary with a ``rows`` list (one dict per plotted point or
+bar) plus metadata.  The benchmark harness under ``benchmarks/`` calls these
+functions and prints their rows; EXPERIMENTS.md records how the measured
+series compare to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.config import SprintConfig
+from repro.core.deflator import TaskDeflator
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.harness import PolicyComparison, measure_processing_time, run_policies
+from repro.models.accuracy import AccuracyModel
+from repro.models.wave_level import WaveLevelModel
+from repro.workloads.scenarios import (
+    HIGH,
+    LOW,
+    MEDIUM,
+    Scenario,
+    equal_job_sizes_scenario,
+    low_load_scenario,
+    more_high_priority_scenario,
+    reference_two_priority_scenario,
+    three_priority_scenario,
+    triangle_count_scenario,
+    validation_datasets_scenario,
+)
+from repro.workloads.text import CorpusSpec, synthetic_corpus
+from repro.mapreduce.wordcount import wordcount_accuracy_curve
+
+#: Extra power drawn while sprinting (270 W − 180 W), used to convert the
+#: paper's 22 kJ budget into sprint-seconds.
+SPRINT_EXTRA_WATTS = 90.0
+#: The paper's limited sprinting energy budget.
+LIMITED_SPRINT_BUDGET_JOULES = 22_000.0
+#: The paper's sprint timeout under the limited budget.
+LIMITED_SPRINT_TIMEOUT_S = 65.0
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — processing-time model validation
+# ---------------------------------------------------------------------------
+def figure4_processing_time_validation(
+    drop_ratios: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    num_jobs: int = 25,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Model-predicted vs observed mean job processing time per drop ratio."""
+    scenario = validation_datasets_scenario()
+    slots = scenario.cluster.slots
+    rows: List[Dict[str, float]] = []
+    for priority in scenario.priorities:
+        profile = scenario.profiles[priority]
+        for theta in drop_ratios:
+            model = WaveLevelModel.from_profile(profile, slots, map_drop_ratio=theta)
+            predicted = model.mean_processing_time()
+            observed = measure_processing_time(
+                profile, slots, drop_ratio=theta, num_jobs=num_jobs, seed=seed
+            )
+            rows.append(
+                {
+                    "dataset": profile.name,
+                    "priority": priority,
+                    "drop_ratio": theta,
+                    "model_s": predicted,
+                    "observed_s": observed,
+                    "error_pct": 100.0 * abs(predicted - observed) / observed,
+                }
+            )
+    mean_error = sum(r["error_pct"] for r in rows) / len(rows)
+    return {"figure": "4", "rows": rows, "mean_error_pct": mean_error}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — response-time model validation
+# ---------------------------------------------------------------------------
+def figure5_response_time_validation(
+    drop_ratios: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    num_jobs: int = 300,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Model-predicted vs simulated mean response time vs the low-class drop ratio."""
+    scenario = validation_datasets_scenario(num_jobs=num_jobs)
+    deflator = TaskDeflator(
+        profiles=scenario.profiles,
+        arrival_rates=scenario.arrival_rates,
+        slots=scenario.cluster.slots,
+        model="wave",
+    )
+    rows: List[Dict[str, float]] = []
+    for theta in drop_ratios:
+        assignment = {HIGH: 0.0, LOW: theta}
+        predicted = deflator.predict_response_times(assignment)
+        policy = SchedulingPolicy.differential_approximation(assignment)
+        comparison = run_policies(scenario, [policy], seed=seed, num_jobs=num_jobs)
+        observed = comparison.result(policy.name)
+        for priority in scenario.priorities:
+            rows.append(
+                {
+                    "priority": priority,
+                    "drop_ratio": theta,
+                    "model_s": predicted[priority],
+                    "observed_s": observed.mean_response_time(priority),
+                }
+            )
+    errors = [
+        100.0 * abs(r["model_s"] - r["observed_s"]) / r["observed_s"]
+        for r in rows
+        if r["observed_s"] > 0
+    ]
+    return {
+        "figure": "5",
+        "rows": rows,
+        "mean_error_pct": sum(errors) / len(errors) if errors else float("nan"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — accuracy loss vs drop ratio
+# ---------------------------------------------------------------------------
+#: Corpus used for the Fig. 6 reproduction: heterogeneous topics (half the
+#: words are topic-specific) and a long-tailed vocabulary, which together
+#: yield accuracy-loss magnitudes close to the paper's published points.
+FIGURE6_CORPUS = CorpusSpec(
+    num_documents=150,
+    words_per_document=80,
+    vocabulary_size=4000,
+    num_topics=16,
+    topic_vocabulary_size=200,
+    topic_word_fraction=0.5,
+    zipf_exponent=1.2,
+)
+
+
+def figure6_accuracy_loss(
+    drop_ratios: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+    corpus_spec: Optional[CorpusSpec] = None,
+    num_partitions: int = 50,
+    repetitions: int = 3,
+    top_n: int = 300,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Measured MAPE of the word-count analysis vs map-task drop ratio."""
+    documents = synthetic_corpus(corpus_spec or FIGURE6_CORPUS, seed=seed)
+    measured = wordcount_accuracy_curve(
+        documents,
+        drop_ratios,
+        num_partitions=num_partitions,
+        repetitions=repetitions,
+        top_n=top_n,
+        seed=seed,
+    )
+    fitted = AccuracyModel.from_points([(t, e / 100.0) for t, e in measured if t > 0])
+    paper = AccuracyModel.paper_default()
+    rows = [
+        {
+            "drop_ratio": theta,
+            "measured_mape_pct": error,
+            "fitted_mape_pct": fitted.error_percent(theta),
+            "paper_mape_pct": paper.error_percent(theta),
+        }
+        for theta, error in measured
+    ]
+    return {
+        "figure": "6",
+        "rows": rows,
+        "fitted_coefficient": fitted.coefficient,
+        "fitted_exponent": fitted.exponent,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — two-priority reference setup
+# ---------------------------------------------------------------------------
+def two_priority_policies(drop_ratios: Sequence[float] = (0.1, 0.2)) -> List[SchedulingPolicy]:
+    """P, NP and the DA variants evaluated in Fig. 7 / Fig. 8."""
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.non_preemptive_priority(),
+    ]
+    for theta in drop_ratios:
+        policies.append(
+            SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: theta})
+        )
+    return policies
+
+
+def figure7_two_priority_reference(
+    num_jobs: int = 400, seed: int = 0, scenario: Optional[Scenario] = None
+) -> PolicyComparison:
+    """Fig. 7: P (absolute), NP / DA(0,10) / DA(0,20) relative to P."""
+    scenario = scenario or reference_two_priority_scenario(num_jobs)
+    return run_policies(scenario, two_priority_policies(), baseline="P", seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — sensitivity analysis
+# ---------------------------------------------------------------------------
+def figure8_sensitivity(
+    variant: str, num_jobs: int = 400, seed: int = 0
+) -> PolicyComparison:
+    """Fig. 8(a/b/c): equal sizes, more high-priority, or 50 % load."""
+    scenarios = {
+        "equal_sizes": equal_job_sizes_scenario,
+        "more_high_priority": more_high_priority_scenario,
+        "low_load": low_load_scenario,
+    }
+    if variant not in scenarios:
+        raise ValueError(f"variant must be one of {sorted(scenarios)}, got {variant!r}")
+    scenario = scenarios[variant](num_jobs)
+    return run_policies(scenario, two_priority_policies(), baseline="P", seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — three-priority system
+# ---------------------------------------------------------------------------
+def figure9_three_priority(num_jobs: int = 500, seed: int = 0) -> PolicyComparison:
+    """Fig. 9: P, NP, DA(0,10,20) and DA(0,20,40) on the three-priority mix."""
+    scenario = three_priority_scenario(num_jobs)
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.non_preemptive_priority(),
+        SchedulingPolicy.differential_approximation(
+            {HIGH: 0.0, MEDIUM: 0.1, LOW: 0.2}, name="DA(0/10/20)"
+        ),
+        SchedulingPolicy.differential_approximation(
+            {HIGH: 0.0, MEDIUM: 0.2, LOW: 0.4}, name="DA(0/20/40)"
+        ),
+    ]
+    return run_policies(scenario, policies, baseline="P", seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — triangle count with per-stage drop ratios
+# ---------------------------------------------------------------------------
+def figure10_triangle_count(
+    stage_drop_ratios: Sequence[float] = (0.01, 0.02, 0.05, 0.10, 0.20),
+    num_jobs: int = 300,
+    seed: int = 0,
+) -> PolicyComparison:
+    """Fig. 10: P, NP and DA(0,θ) with per-stage drop ratios on graph jobs."""
+    scenario = triangle_count_scenario(num_jobs)
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.non_preemptive_priority(),
+    ]
+    for theta in stage_drop_ratios:
+        policies.append(
+            SchedulingPolicy.differential_approximation(
+                {HIGH: 0.0, LOW: theta}, name=f"DA(0/{round(100 * theta):g})"
+            )
+        )
+    return run_policies(scenario, policies, baseline="P", seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — full DiAS (approximation + sprinting) and energy
+# ---------------------------------------------------------------------------
+def limited_sprint_config() -> SprintConfig:
+    """The paper's limited budget: 22 kJ, 65 s timeout, 6 sprint-min/hour."""
+    return SprintConfig.from_energy_budget(
+        LIMITED_SPRINT_BUDGET_JOULES,
+        SPRINT_EXTRA_WATTS,
+        sprint_priorities={HIGH},
+        timeout=LIMITED_SPRINT_TIMEOUT_S,
+        replenish_seconds_per_hour=360.0,
+    )
+
+
+def unlimited_sprint_config() -> SprintConfig:
+    """The paper's unlimited budget: sprint high-priority jobs start to finish."""
+    return SprintConfig.unlimited_sprinting(sprint_priorities={HIGH}, timeout=0.0)
+
+
+def dias_policies(sprint: SprintConfig, drop_ratios: Sequence[float] = (0.1, 0.2)) -> List[SchedulingPolicy]:
+    """P baseline plus the DiAS(0,θ) variants for one sprint configuration."""
+    policies = [SchedulingPolicy.preemptive_priority()]
+    for theta in drop_ratios:
+        policies.append(
+            SchedulingPolicy.dias({HIGH: 0.0, LOW: theta}, sprint=sprint)
+        )
+    return policies
+
+
+def figure11_dias_sprinting(
+    budget: str = "limited", num_jobs: int = 300, seed: int = 0
+) -> PolicyComparison:
+    """Fig. 11(a/b): latency of P vs DiAS(0,10)/DiAS(0,20) under one budget.
+
+    The returned comparison also carries the energy totals used by Fig. 11c.
+    """
+    if budget not in ("limited", "unlimited"):
+        raise ValueError("budget must be 'limited' or 'unlimited'")
+    sprint = limited_sprint_config() if budget == "limited" else unlimited_sprint_config()
+    scenario = triangle_count_scenario(num_jobs)
+    return run_policies(scenario, dias_policies(sprint), baseline="P", seed=seed)
+
+
+def figure11_energy_comparison(num_jobs: int = 300, seed: int = 0) -> Dict[str, object]:
+    """Fig. 11c: energy of DiAS variants relative to P, both budgets.
+
+    Two relative differences are reported: on the *total* energy (including
+    the idle power the cluster draws between jobs, which dilutes the effect)
+    and on the *active* energy (busy + sprint), which is the quantity closest
+    to the paper's "energy consumed processing the workload".
+    """
+    rows: List[Dict[str, float]] = []
+    for budget in ("limited", "unlimited"):
+        comparison = figure11_dias_sprinting(budget=budget, num_jobs=num_jobs, seed=seed)
+        baseline = comparison.baseline
+        for name, result in comparison.results.items():
+            rows.append(
+                {
+                    "budget": budget,
+                    "policy": name,
+                    "energy_kj": result.total_energy_kilojoules,
+                    "active_energy_kj": result.active_energy_kilojoules,
+                    "diff_pct": 100.0
+                    * (result.total_energy_kilojoules - baseline.total_energy_kilojoules)
+                    / baseline.total_energy_kilojoules,
+                    "active_diff_pct": 100.0
+                    * (result.active_energy_kilojoules - baseline.active_energy_kilojoules)
+                    / baseline.active_energy_kilojoules,
+                }
+            )
+    return {"figure": "11c", "rows": rows}

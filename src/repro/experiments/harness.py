@@ -1,0 +1,152 @@
+"""Run-one-experiment harness.
+
+The evaluation compares several scheduling policies on the *same* workload
+(Fig. 7–11 report relative differences against the preemptive baseline).  The
+harness generates one job trace per scenario and runs every policy on it with
+an independent cluster instance, then exposes per-class means/tails, relative
+differences, resource waste and energy in one comparable structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.dias import DiASSimulation, SimulationResult
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster
+from repro.engine.execution import JobExecution, build_phases
+from repro.engine.job import JobFactory
+from repro.engine.profiles import JobClassProfile
+from repro.models.accuracy import AccuracyModel
+from repro.simulation.des import Simulator
+from repro.simulation.random_streams import RandomStreams
+from repro.workloads.scenarios import Scenario
+
+
+@dataclass
+class PolicyComparison:
+    """Results of several policies run on one scenario's common trace."""
+
+    scenario_name: str
+    baseline_name: str
+    results: Dict[str, SimulationResult]
+    priorities: List[int]
+
+    @property
+    def baseline(self) -> SimulationResult:
+        return self.results[self.baseline_name]
+
+    def result(self, policy_name: str) -> SimulationResult:
+        return self.results[policy_name]
+
+    def policy_names(self) -> List[str]:
+        return list(self.results)
+
+    def relative_difference(
+        self, policy_name: str, priority: int, metric: str = "mean"
+    ) -> float:
+        """Relative latency difference (percent) of a policy vs the baseline."""
+        return self.results[policy_name].relative_difference(
+            self.baseline, priority, metric
+        )
+
+    def to_rows(self) -> List[Dict[str, float]]:
+        """One row per (policy, priority) with the figures' reported quantities."""
+        rows: List[Dict[str, float]] = []
+        for name, result in self.results.items():
+            for priority in self.priorities:
+                rows.append(
+                    {
+                        "policy": name,
+                        "priority": priority,
+                        "mean_response_s": result.mean_response_time(priority),
+                        "tail_response_s": result.tail_response_time(priority),
+                        "mean_queueing_s": result.mean_queueing_time(priority),
+                        "mean_execution_s": result.mean_execution_time(priority),
+                        "diff_mean_pct": self.relative_difference(name, priority, "mean"),
+                        "diff_tail_pct": self.relative_difference(name, priority, "tail"),
+                        "accuracy_loss_pct": 100.0 * result.mean_accuracy_loss(priority),
+                        "resource_waste_pct": 100.0 * result.resource_waste,
+                        "energy_kj": result.total_energy_kilojoules,
+                        "evictions": float(result.evictions),
+                    }
+                )
+        return rows
+
+
+def run_policies(
+    scenario: Scenario,
+    policies: Sequence[SchedulingPolicy],
+    baseline: Optional[str] = None,
+    seed: int = 0,
+    num_jobs: Optional[int] = None,
+    accuracy_model: Optional[AccuracyModel] = None,
+) -> PolicyComparison:
+    """Run every policy on one common trace generated from ``scenario``."""
+    if not policies:
+        raise ValueError("at least one policy is required")
+    trace = scenario.generate_trace(seed=seed, num_jobs=num_jobs)
+    results: Dict[str, SimulationResult] = {}
+    for policy in policies:
+        cluster = Cluster(
+            config=scenario.cluster.config,
+            dvfs=scenario.cluster.dvfs,
+            power_model=scenario.cluster.power_model,
+        )
+        simulation = DiASSimulation(
+            policy=policy,
+            jobs=trace,
+            cluster=cluster,
+            accuracy_model=accuracy_model,
+            seed=seed,
+        )
+        results[policy.name] = simulation.run()
+    baseline_name = baseline if baseline is not None else policies[0].name
+    if baseline_name not in results:
+        raise ValueError(f"baseline policy {baseline_name!r} was not among the policies run")
+    return PolicyComparison(
+        scenario_name=scenario.name,
+        baseline_name=baseline_name,
+        results=results,
+        priorities=scenario.priorities,
+    )
+
+
+def measure_processing_time(
+    profile: JobClassProfile,
+    slots: int,
+    drop_ratio: float,
+    num_jobs: int = 30,
+    seed: int = 0,
+) -> float:
+    """Observed mean job processing time at a drop ratio (no queueing).
+
+    Used by the Fig. 4 validation: jobs are sampled from the profile and
+    executed in isolation on the engine simulator with the requested fraction
+    of map tasks dropped; the mean wall-clock execution time is returned.
+    """
+    streams = RandomStreams(seed)
+    factory = JobFactory(streams)
+    cluster = Cluster()
+    if cluster.slots != slots:
+        # Build a cluster with the requested number of slots (workers of 2 cores).
+        from repro.engine.cluster import ClusterConfig
+
+        workers = max(1, slots // 2)
+        cluster = Cluster(ClusterConfig(workers=workers, cores_per_worker=max(1, slots // workers)))
+    durations: List[float] = []
+    for _ in range(num_jobs):
+        job = factory.create_job(profile, arrival_time=0.0)
+        phases = build_phases(job, map_drop_ratio=drop_ratio)
+        sim = Simulator()
+        holder: Dict[str, float] = {}
+
+        def _done(execution: JobExecution) -> None:
+            holder["elapsed"] = execution.elapsed
+
+        execution = JobExecution(sim, cluster, job, phases, on_complete=_done)
+        execution.start()
+        sim.run()
+        durations.append(holder["elapsed"])
+    return sum(durations) / len(durations)

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these tables so that running
+``pytest benchmarks/ --benchmark-only`` reproduces, in text form, the same
+rows/series the paper's figures and tables report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.harness import PolicyComparison
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_rows(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def format_comparison(comparison: PolicyComparison, title: str = "") -> str:
+    """Render a :class:`PolicyComparison` the way the paper's bar charts read.
+
+    The baseline policy is shown with absolute latencies; every other policy
+    is shown as a relative difference to it, per priority class, for both the
+    mean and the 95th-percentile latency, together with resource waste and
+    energy.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        f"scenario={comparison.scenario_name}  baseline={comparison.baseline_name}"
+    )
+    rows = comparison.to_rows()
+    columns = [
+        "policy",
+        "priority",
+        "mean_response_s",
+        "tail_response_s",
+        "diff_mean_pct",
+        "diff_tail_pct",
+        "accuracy_loss_pct",
+        "resource_waste_pct",
+        "energy_kj",
+    ]
+    lines.append(format_rows(rows, columns))
+    return "\n".join(lines)
+
+
+def format_figure(result: Mapping[str, object], title: str = "") -> str:
+    """Render a figure-function result (dict with a ``rows`` list)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    rows = result.get("rows", [])
+    lines.append(format_rows(rows))
+    extras = {k: v for k, v in result.items() if k not in ("rows",)}
+    if extras:
+        lines.append("")
+        lines.append("  ".join(f"{k}={_format_value(v)}" for k, v in extras.items() if not hasattr(v, "to_rows")))
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Parameter sweeps over drop ratios, loads and priority mixes.
+
+The paper fixes a handful of operating points; a downstream user typically
+wants the whole curve — e.g. "how does the DA(0,θ) latency/accuracy trade-off
+evolve as θ grows?" or "at which load does non-preemptive scheduling start to
+hurt the high class?".  These helpers run such sweeps on a common methodology
+(fresh trace per point, same seed across policies within a point) and return
+flat row dictionaries ready for :func:`repro.experiments.reporting.format_rows`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.harness import run_policies
+from repro.models.accuracy import AccuracyModel
+from repro.workloads.scenarios import Scenario
+
+
+def drop_ratio_sweep(
+    scenario: Scenario,
+    drop_ratios: Sequence[float],
+    priority: Optional[int] = None,
+    num_jobs: Optional[int] = None,
+    seed: int = 0,
+    accuracy_model: Optional[AccuracyModel] = None,
+) -> List[Dict[str, float]]:
+    """Sweep the low-priority drop ratio and report the latency/accuracy trade-off.
+
+    For every θ the sweep runs P (baseline) and DA with θ applied to
+    ``priority`` (default: the scenario's lowest class), on a common trace per
+    sweep point.
+    """
+    target = priority if priority is not None else scenario.lowest_priority
+    accuracy = accuracy_model or AccuracyModel.paper_default()
+    rows: List[Dict[str, float]] = []
+    for theta in drop_ratios:
+        policies = [SchedulingPolicy.preemptive_priority()]
+        if theta > 0:
+            policy = SchedulingPolicy.differential_approximation(
+                {p: (theta if p == target else 0.0) for p in scenario.priorities}
+            )
+        else:
+            policy = SchedulingPolicy.non_preemptive_priority()
+        policies.append(policy)
+        comparison = run_policies(scenario, policies, baseline="P", seed=seed,
+                                  num_jobs=num_jobs, accuracy_model=accuracy)
+        result = comparison.result(policy.name)
+        rows.append(
+            {
+                "drop_ratio": float(theta),
+                "policy": policy.name,
+                "low_mean_s": result.mean_response_time(scenario.lowest_priority),
+                "low_diff_pct": comparison.relative_difference(
+                    policy.name, scenario.lowest_priority, "mean"
+                ),
+                "low_tail_diff_pct": comparison.relative_difference(
+                    policy.name, scenario.lowest_priority, "tail"
+                ),
+                "high_diff_pct": comparison.relative_difference(
+                    policy.name, scenario.highest_priority, "mean"
+                ),
+                "accuracy_loss_pct": 100.0 * accuracy.error(min(theta, 1.0)),
+            }
+        )
+    return rows
+
+
+def load_sweep(
+    scenario: Scenario,
+    utilisations: Sequence[float],
+    policies: Optional[Sequence[SchedulingPolicy]] = None,
+    num_jobs: Optional[int] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Sweep the target utilisation and compare policies at every load."""
+    if policies is None:
+        policies = [
+            SchedulingPolicy.preemptive_priority(),
+            SchedulingPolicy.non_preemptive_priority(),
+            SchedulingPolicy.differential_approximation(
+                {p: (0.2 if p == scenario.lowest_priority else 0.0)
+                 for p in scenario.priorities}
+            ),
+        ]
+    rows: List[Dict[str, float]] = []
+    for utilisation in utilisations:
+        point = scenario.with_utilisation(utilisation)
+        comparison = run_policies(point, policies, baseline=policies[0].name,
+                                  seed=seed, num_jobs=num_jobs)
+        for policy in policies:
+            result = comparison.result(policy.name)
+            rows.append(
+                {
+                    "utilisation": float(utilisation),
+                    "policy": policy.name,
+                    "high_mean_s": result.mean_response_time(point.highest_priority),
+                    "low_mean_s": result.mean_response_time(point.lowest_priority),
+                    "low_diff_pct": comparison.relative_difference(
+                        policy.name, point.lowest_priority, "mean"
+                    ),
+                    "resource_waste_pct": 100.0 * result.resource_waste,
+                    "energy_kj": result.total_energy_kilojoules,
+                }
+            )
+    return rows
+
+
+def priority_mix_sweep(
+    scenario: Scenario,
+    high_fractions: Sequence[float],
+    drop_ratio: float = 0.2,
+    num_jobs: Optional[int] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Sweep the fraction of high-priority arrivals (the Fig. 8b axis)."""
+    from repro.workloads.scenarios import Scenario as _Scenario
+
+    rows: List[Dict[str, float]] = []
+    for fraction in high_fractions:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("high_fractions must be strictly between 0 and 1")
+        mix = {
+            scenario.highest_priority: fraction,
+            scenario.lowest_priority: 1.0 - fraction,
+        }
+        point = _Scenario(
+            name=f"{scenario.name}-high{fraction:.0%}",
+            description=scenario.description,
+            profiles={p: scenario.profiles[p] for p in mix},
+            class_ratio=mix,
+            target_utilisation=scenario.target_utilisation,
+            num_jobs=scenario.num_jobs,
+            cluster=scenario.cluster,
+        )
+        policies = [
+            SchedulingPolicy.preemptive_priority(),
+            SchedulingPolicy.differential_approximation(
+                {p: (drop_ratio if p == point.lowest_priority else 0.0)
+                 for p in point.priorities}
+            ),
+        ]
+        comparison = run_policies(point, policies, baseline="P", seed=seed,
+                                  num_jobs=num_jobs)
+        da_name = policies[1].name
+        rows.append(
+            {
+                "high_fraction": float(fraction),
+                "low_diff_pct": comparison.relative_difference(
+                    da_name, point.lowest_priority, "mean"
+                ),
+                "low_tail_diff_pct": comparison.relative_difference(
+                    da_name, point.lowest_priority, "tail"
+                ),
+                "high_diff_pct": comparison.relative_difference(
+                    da_name, point.highest_priority, "mean"
+                ),
+                "resource_waste_pct": 100.0 * comparison.result("P").resource_waste,
+            }
+        )
+    return rows

@@ -1,0 +1,46 @@
+"""A miniature MapReduce/Spark-style runtime with task dropping.
+
+The paper's accuracy-loss numbers (Fig. 6) come from actually running the
+analyses on real data with map tasks dropped.  This subpackage provides the
+equivalent capability without Spark:
+
+* :mod:`repro.mapreduce.rdd` — a small RDD abstraction (partitions, narrow
+  transformations, shuffle-based wide transformations) executed by a
+  :class:`~repro.mapreduce.rdd.LocalRuntime` whose stage scheduler implements
+  the DiAS ``findMissingPartitions`` modification: a configurable fraction of
+  each stage's partitions is dropped before execution.
+* :mod:`repro.mapreduce.wordcount` — the text-analysis workload: per-topic
+  word-frequency counting, plus the MAPE accuracy metric the paper reports.
+* :mod:`repro.mapreduce.triangle_count` — the graph-analysis workload: a
+  multi-stage MapReduce triangle count (GraphX-style), plus its relative
+  error under per-stage dropping.
+* :mod:`repro.mapreduce.sampling` — sampling-theory helpers (scaling
+  estimators and error bounds) shared by the two workloads.
+"""
+
+from repro.mapreduce.rdd import RDD, LocalRuntime, StageStats
+from repro.mapreduce.sampling import horvitz_thompson_scale, relative_error
+from repro.mapreduce.triangle_count import (
+    exact_triangle_count,
+    triangle_count_error,
+    triangle_count_job,
+)
+from repro.mapreduce.wordcount import (
+    word_count_job,
+    wordcount_mape,
+    wordcount_accuracy_curve,
+)
+
+__all__ = [
+    "RDD",
+    "LocalRuntime",
+    "StageStats",
+    "horvitz_thompson_scale",
+    "relative_error",
+    "exact_triangle_count",
+    "triangle_count_error",
+    "triangle_count_job",
+    "word_count_job",
+    "wordcount_mape",
+    "wordcount_accuracy_curve",
+]

@@ -1,0 +1,80 @@
+"""Sampling-theory helpers used by the approximate analyses.
+
+Dropping map tasks is statistically equivalent to processing a uniform random
+sample of the input partitions (the choice is uniform in
+:class:`repro.core.dropper.TaskDropper` and :class:`repro.mapreduce.rdd.LocalRuntime`).
+Counts computed on the sample can therefore be scaled back to population
+estimates with a Horvitz–Thompson-style correction, and a normal-approximation
+error bound can be attached — the same reasoning ApproxHadoop applies to task
+dropping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence, Tuple
+
+
+def horvitz_thompson_scale(sample_total: float, kept_fraction: float) -> float:
+    """Scale a sample total back to a population estimate.
+
+    With every unit kept independently-at-random with probability
+    ``kept_fraction``, the unbiased estimator of the population total is the
+    sample total divided by that probability.
+    """
+    if not 0.0 < kept_fraction <= 1.0:
+        raise ValueError("kept_fraction must be in (0, 1]")
+    return sample_total / kept_fraction
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Absolute relative error ``|estimate − truth| / truth`` (0 when truth is 0)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def mean_absolute_percentage_error(
+    estimates: Mapping[str, float], truths: Mapping[str, float], keys: Sequence[str]
+) -> float:
+    """MAPE (in percent) over the given keys, the Fig. 6 accuracy metric.
+
+    Keys absent from ``estimates`` contribute a 100 % error (the value was
+    lost entirely to dropping), matching the most pessimistic reading.
+    """
+    if not keys:
+        raise ValueError("need at least one key to evaluate")
+    total = 0.0
+    for key in keys:
+        truth = truths.get(key, 0.0)
+        estimate = estimates.get(key, 0.0)
+        if truth == 0:
+            continue
+        total += min(1.0, relative_error(estimate, truth))
+    return 100.0 * total / len(keys)
+
+
+def sample_total_confidence_interval(
+    sample_values: Sequence[float], kept_fraction: float, z: float = 1.96
+) -> Tuple[float, float, float]:
+    """Estimate of a population total with a normal-approximation half-width.
+
+    Returns ``(estimate, lower, upper)``.  The variance estimate treats the
+    sample as a simple random sample of partition subtotals, with finite
+    population correction ``(1 − f)``.
+    """
+    if not sample_values:
+        raise ValueError("sample_values must not be empty")
+    if not 0.0 < kept_fraction <= 1.0:
+        raise ValueError("kept_fraction must be in (0, 1]")
+    n = len(sample_values)
+    total_population = max(1, round(n / kept_fraction))
+    sample_mean = sum(sample_values) / n
+    estimate = sample_mean * total_population
+    if n == 1 or kept_fraction == 1.0:
+        return estimate, estimate, estimate
+    variance = sum((v - sample_mean) ** 2 for v in sample_values) / (n - 1)
+    half_width = z * total_population * math.sqrt(
+        max(0.0, (1.0 - kept_fraction)) * variance / n
+    )
+    return estimate, estimate - half_width, estimate + half_width

@@ -1,0 +1,193 @@
+"""The graph-analysis workload: multi-stage MapReduce triangle counting.
+
+The paper's graph jobs run GraphX's triangle count on the Google web graph;
+the computation has three job types (edge RDD, vertex RDD, the count itself)
+and the count consists of six ShuffleMap stages plus one Result stage, with
+task dropping applied at every ShuffleMap stage (§5.1, §5.2.4).
+
+Here the same node-iterator algorithm runs through the mini-MapReduce runtime
+as a chain of shuffle stages:
+
+1. canonicalise and deduplicate edges          (``reduceByKey``)
+2. build adjacency lists                        (``groupByKey``)
+3. emit wedges (open triads) per vertex         (narrow) and deduplicate
+   candidate closing edges                      (``reduceByKey``)
+4. join wedge candidates against the edge set   (``groupByKey``)
+5. count closed wedges per vertex               (``reduceByKey``)
+6. aggregate the global triangle count          (``reduceByKey``)
+
+Every shuffle applies the DiAS drop rule, so a per-stage drop ratio compounds
+across stages exactly as the paper describes; the final estimate is scaled by
+the inverse kept fraction and compared against the exact count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapreduce.rdd import LocalRuntime
+from repro.mapreduce.sampling import relative_error
+
+Edge = Tuple[int, int]
+
+
+def _canonical(edge: Edge) -> Optional[Edge]:
+    u, v = edge
+    if u == v:
+        return None
+    return (u, v) if u < v else (v, u)
+
+
+def exact_triangle_count(edges: Sequence[Edge]) -> int:
+    """Exact triangle count via adjacency-set intersection (reference result)."""
+    adjacency: Dict[int, set] = {}
+    canonical = set()
+    for edge in edges:
+        ce = _canonical(edge)
+        if ce is None:
+            continue
+        canonical.add(ce)
+    for u, v in canonical:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    count = 0
+    for u, v in canonical:
+        count += len(adjacency[u] & adjacency[v])
+    return count // 3
+
+
+def triangle_count_job(
+    edges: Sequence[Edge],
+    num_partitions: int = 20,
+    stage_drop_ratio: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    scale_estimate: bool = True,
+) -> Tuple[float, LocalRuntime]:
+    """Run the multi-stage triangle count and return (estimate, runtime).
+
+    ``stage_drop_ratio`` is applied independently at every shuffle stage, as
+    in the paper's triangle-count experiment; the surviving partial count is
+    scaled by the inverse of the product of the per-stage kept fractions (a
+    triangle survives only if its data survives every stage).
+    """
+    runtime = LocalRuntime(drop_ratio=stage_drop_ratio, rng=rng)
+
+    # Stage 1: canonical, deduplicated edge RDD.
+    edge_rdd = (
+        runtime.parallelize(list(edges), num_partitions)
+        .map(_canonical)
+        .filter(lambda e: e is not None)
+        .map(lambda e: (e, 1))
+        .reduce_by_key(lambda a, _b: a, num_partitions=num_partitions)
+        .map(lambda kv: kv[0])
+    )
+
+    # Stage 2: adjacency lists (vertex RDD).
+    adjacency_rdd = (
+        edge_rdd.flat_map(lambda e: [(e[0], e[1]), (e[1], e[0])])
+        .group_by_key(num_partitions=num_partitions)
+    )
+
+    # Stage 3: wedges — for every vertex, each neighbour pair is a candidate
+    # closing edge; deduplicate identical candidates while keeping multiplicity.
+    def _emit_wedges(kv: Tuple[int, List[int]]) -> Iterable[Tuple[Edge, int]]:
+        _, neighbours = kv
+        unique = sorted(set(neighbours))
+        for i in range(len(unique)):
+            for j in range(i + 1, len(unique)):
+                yield ((unique[i], unique[j]), 1)
+
+    wedge_rdd = adjacency_rdd.flat_map(_emit_wedges).reduce_by_key(
+        lambda a, b: a + b, num_partitions=num_partitions
+    )
+
+    # Stage 4: join wedge candidates with the edge set.
+    tagged_wedges = wedge_rdd.map(lambda kv: (kv[0], ("wedge", kv[1])))
+    tagged_edges = edge_rdd.map(lambda e: (e, ("edge", 1)))
+    joined = runtime.from_partitions(
+        [
+            tagged_wedges.collect(apply_drop=False, description="wedge-materialise"),
+            tagged_edges.collect(apply_drop=False, description="edge-materialise"),
+        ]
+    ).group_by_key(num_partitions=num_partitions)
+
+    # Stage 5: closed wedges are triangles (counted three times, once per vertex).
+    def _closed(kv: Tuple[Edge, List[Tuple[str, int]]]) -> Iterable[Tuple[str, int]]:
+        _, values = kv
+        wedge_count = sum(v for tag, v in values if tag == "wedge")
+        has_edge = any(tag == "edge" for tag, _ in values)
+        if has_edge and wedge_count > 0:
+            yield ("triangles", wedge_count)
+
+    per_edge = joined.flat_map(_closed).reduce_by_key(
+        lambda a, b: a + b, num_partitions=num_partitions
+    )
+
+    # Result stage: aggregate (never dropped, like GraphX's Result stage).
+    totals = dict(per_edge.collect(apply_drop=False, description="result"))
+    raw_count = totals.get("triangles", 0) / 3.0
+
+    if scale_estimate and stage_drop_ratio > 0:
+        shuffle_stages = [s for s in runtime.stages if s.total_tasks > 0 and s.description
+                          in ("reduceByKey", "groupByKey")]
+        kept_fraction = 1.0
+        for stage in shuffle_stages:
+            if stage.total_tasks > 0:
+                kept_fraction *= stage.executed_tasks / stage.total_tasks
+        if kept_fraction > 0:
+            raw_count = raw_count / kept_fraction
+    return raw_count, runtime
+
+
+def triangle_count_error(
+    edges: Sequence[Edge],
+    stage_drop_ratio: float,
+    num_partitions: int = 20,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> float:
+    """Mean relative error (percent) of the approximate triangle count."""
+    exact = exact_triangle_count(edges)
+    if exact == 0:
+        raise ValueError("the input graph contains no triangles")
+    errors = []
+    for rep in range(repetitions):
+        rng = np.random.default_rng(seed * 7919 + rep)
+        estimate, _ = triangle_count_job(
+            edges,
+            num_partitions=num_partitions,
+            stage_drop_ratio=stage_drop_ratio,
+            rng=rng,
+        )
+        errors.append(relative_error(estimate, exact))
+    return 100.0 * sum(errors) / len(errors)
+
+
+def triangle_count_accuracy_curve(
+    edges: Sequence[Edge],
+    stage_drop_ratios: Iterable[float],
+    num_partitions: int = 20,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """Measured (per-stage drop ratio, relative error %) points."""
+    curve: List[Tuple[float, float]] = []
+    for theta in stage_drop_ratios:
+        if theta == 0:
+            curve.append((0.0, 0.0))
+            continue
+        curve.append(
+            (
+                float(theta),
+                triangle_count_error(
+                    edges,
+                    stage_drop_ratio=theta,
+                    num_partitions=num_partitions,
+                    repetitions=repetitions,
+                    seed=seed,
+                ),
+            )
+        )
+    return curve

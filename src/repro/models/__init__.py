@@ -1,0 +1,51 @@
+"""Stochastic models guiding DiAS (Section 4 of the paper).
+
+* :mod:`repro.models.ph` — Phase-Type (PH) distributions: construction,
+  moments, closure operations (convolution, mixture), two-moment fitting.
+* :mod:`repro.models.mmap` — Marked Markovian Arrival Processes (MMAP[K]);
+  the marked Poisson process used in the experiments is a special case.
+* :mod:`repro.models.task_level` — the task-level PH model of §4.1 (Eq. 1).
+* :mod:`repro.models.wave_level` — the wave-level PH model of §4.2.
+* :mod:`repro.models.mg1` — M/G/1 and M[K]/G/1 priority mean-value formulas.
+* :mod:`repro.models.qbd` — matrix-geometric M/PH/1 solver (cross-validation).
+* :mod:`repro.models.priority_queue` — the response-time model used by the
+  deflator: priority MVA on PH service moments plus a fast queue simulator
+  for latency tails.
+* :mod:`repro.models.regression` — the linear interpolation/regression used to
+  parameterise overheads and task times from profiling runs (§4.3).
+* :mod:`repro.models.accuracy` — accuracy-loss curves vs drop ratio (Fig. 6).
+* :mod:`repro.models.sprinting` — effective sprinting-rate model.
+"""
+
+from repro.models.accuracy import AccuracyModel, compose_stage_drop_ratios
+from repro.models.mg1 import (
+    mg1_mean_waiting_time,
+    nonpreemptive_priority_response_times,
+    preemptive_resume_response_times,
+)
+from repro.models.mmap import MarkedMAP
+from repro.models.ph import PhaseType
+from repro.models.priority_queue import PriorityQueueModel, PriorityClassInput
+from repro.models.qbd import MPH1Queue
+from repro.models.regression import LinearInterpolator, LinearRegression
+from repro.models.sprinting import SprintingRateModel
+from repro.models.task_level import TaskLevelModel
+from repro.models.wave_level import WaveLevelModel
+
+__all__ = [
+    "AccuracyModel",
+    "compose_stage_drop_ratios",
+    "mg1_mean_waiting_time",
+    "nonpreemptive_priority_response_times",
+    "preemptive_resume_response_times",
+    "MarkedMAP",
+    "PhaseType",
+    "PriorityQueueModel",
+    "PriorityClassInput",
+    "MPH1Queue",
+    "LinearInterpolator",
+    "LinearRegression",
+    "SprintingRateModel",
+    "TaskLevelModel",
+    "WaveLevelModel",
+]

@@ -1,0 +1,118 @@
+"""Accuracy-loss models: relative error as a function of the drop ratio.
+
+Figure 6 of the paper shows that the mean absolute percentage error of the
+text analysis grows *sub-linearly* with the map-task drop ratio: roughly 8.5 %
+at a 10 % drop, 15 % at 20 %, and ≈32 % at 40 %.  DiAS estimates this curve
+offline and the deflator then inverts it to find the largest admissible drop
+ratio for a class's error tolerance.
+
+Two sources feed the curve:
+
+* measurements from the real mini-MapReduce runs in :mod:`repro.mapreduce`
+  (fit via :meth:`AccuracyModel.from_points`), and
+* the paper's published operating points (:meth:`AccuracyModel.paper_default`)
+  for experiments that only need the published calibration.
+
+The model is a power law ``error(θ) = a · θ^b`` with ``0 < b ≤ 1`` (sub-linear
+growth), fitted in log-log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def compose_stage_drop_ratios(stage_drop_ratios: Sequence[float]) -> float:
+    """Total effective drop ratio of applying per-stage ratios in sequence.
+
+    Dropping ``θ_s`` of the partitions at every stage of a multi-stage pipeline
+    (the triangle-count case, §5.2.4) keeps a fraction ``Π (1 − θ_s)`` of the
+    data overall, so the effective drop ratio is ``1 − Π (1 − θ_s)``.
+    """
+    keep = 1.0
+    for theta in stage_drop_ratios:
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError(f"stage drop ratios must be in [0, 1], got {theta!r}")
+        keep *= 1.0 - theta
+    return 1.0 - keep
+
+
+@dataclass(frozen=True)
+class AccuracyModel:
+    """Power-law accuracy-loss curve ``error(θ) = a · θ^b``."""
+
+    coefficient: float
+    exponent: float
+
+    def __post_init__(self) -> None:
+        if self.coefficient < 0:
+            raise ValueError("coefficient must be non-negative")
+        if self.exponent <= 0:
+            raise ValueError("exponent must be positive")
+
+    # ------------------------------------------------------------ evaluation
+    def error(self, drop_ratio: float) -> float:
+        """Relative error (fraction, not percent) at ``drop_ratio``."""
+        if not 0.0 <= drop_ratio <= 1.0:
+            raise ValueError("drop ratio must be in [0, 1]")
+        if drop_ratio == 0.0:
+            return 0.0
+        return min(1.0, self.coefficient * drop_ratio**self.exponent)
+
+    def error_percent(self, drop_ratio: float) -> float:
+        """Relative error in percent at ``drop_ratio``."""
+        return 100.0 * self.error(drop_ratio)
+
+    def max_drop_for_error(self, error_tolerance: float) -> float:
+        """Largest drop ratio whose predicted error stays within the tolerance."""
+        if error_tolerance < 0:
+            raise ValueError("error tolerance must be non-negative")
+        if error_tolerance == 0 or self.coefficient == 0:
+            return 0.0 if error_tolerance == 0 else 1.0
+        theta = (error_tolerance / self.coefficient) ** (1.0 / self.exponent)
+        return max(0.0, min(1.0, theta))
+
+    def curve(self, drop_ratios: Iterable[float]) -> List[Tuple[float, float]]:
+        """Evaluate the curve at each drop ratio, returning ``(θ, error%)`` pairs."""
+        return [(theta, self.error_percent(theta)) for theta in drop_ratios]
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_points(cls, points: Sequence[Tuple[float, float]]) -> "AccuracyModel":
+        """Fit the power law to measured ``(drop_ratio, error_fraction)`` points.
+
+        The fit is least-squares in log-log space; points with non-positive
+        coordinates are skipped (a drop ratio of zero always has zero error).
+        """
+        usable = [(t, e) for t, e in points if t > 0 and e > 0]
+        if len(usable) < 2:
+            raise ValueError("need at least two positive (drop, error) points to fit")
+        log_t = [math.log(t) for t, _ in usable]
+        log_e = [math.log(e) for _, e in usable]
+        n = len(usable)
+        mean_t = sum(log_t) / n
+        mean_e = sum(log_e) / n
+        ss_tt = sum((lt - mean_t) ** 2 for lt in log_t)
+        if ss_tt == 0:
+            raise ValueError("drop ratios must not all be identical")
+        slope = sum((lt - mean_t) * (le - mean_e) for lt, le in zip(log_t, log_e)) / ss_tt
+        intercept = mean_e - slope * mean_t
+        exponent = max(slope, 1e-6)
+        coefficient = math.exp(intercept)
+        return cls(coefficient=coefficient, exponent=exponent)
+
+    @classmethod
+    def paper_default(cls) -> "AccuracyModel":
+        """The curve through the paper's published operating points (Fig. 6).
+
+        Dropping 10 %, 20 % and 40 % of map tasks yields ≈8.5 %, ≈15 % and
+        ≈32 % mean absolute percentage error, respectively.
+        """
+        return cls.from_points([(0.1, 0.085), (0.2, 0.15), (0.4, 0.32)])
+
+    @classmethod
+    def zero(cls) -> "AccuracyModel":
+        """A degenerate curve with no accuracy loss (exact computation)."""
+        return cls(coefficient=0.0, exponent=1.0)

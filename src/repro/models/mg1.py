@@ -1,0 +1,137 @@
+"""M/G/1 and M[K]/G/1 priority mean-value formulas.
+
+These closed-form results give the exact mean waiting/response times of a
+single-server queue with Poisson arrivals — the arrival model used in the
+paper's experiments — for:
+
+* a single class (Pollaczek–Khinchine),
+* ``K`` priority classes under **non-preemptive** priority (the DiAS and NP
+  configurations), and
+* ``K`` priority classes under **preemptive-resume** priority (an optimistic
+  bound for the paper's preemptive baseline, which actually *restarts* evicted
+  jobs from scratch and therefore performs no better than preemptive-resume).
+
+Classes are identified by their priority value; **higher values have
+precedence**, matching the paper's convention (§4: a priority-``k`` job has
+precedence over jobs in levels ``l < k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class ServiceMoments:
+    """First two moments of a class's service-time distribution."""
+
+    mean: float
+    second_moment: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError("mean service time must be positive")
+        if self.second_moment < self.mean**2:
+            raise ValueError("second moment must be at least mean^2")
+
+    @property
+    def variance(self) -> float:
+        return self.second_moment - self.mean**2
+
+
+def mg1_mean_waiting_time(arrival_rate: float, service: ServiceMoments) -> float:
+    """Pollaczek–Khinchine mean waiting time of an M/G/1 queue."""
+    if arrival_rate < 0:
+        raise ValueError("arrival rate must be non-negative")
+    rho = arrival_rate * service.mean
+    if rho >= 1.0:
+        return float("inf")
+    return arrival_rate * service.second_moment / (2.0 * (1.0 - rho))
+
+
+def _validate_inputs(
+    arrival_rates: Mapping[int, float], services: Mapping[int, ServiceMoments]
+) -> None:
+    if set(arrival_rates) != set(services):
+        raise ValueError("arrival_rates and services must cover the same priority classes")
+    if not arrival_rates:
+        raise ValueError("at least one priority class is required")
+    for k, rate in arrival_rates.items():
+        if rate < 0:
+            raise ValueError(f"arrival rate of class {k} must be non-negative")
+
+
+def total_utilisation(
+    arrival_rates: Mapping[int, float], services: Mapping[int, ServiceMoments]
+) -> float:
+    """Offered load ``ρ = Σ λ_k E[S_k]``."""
+    _validate_inputs(arrival_rates, services)
+    return sum(arrival_rates[k] * services[k].mean for k in arrival_rates)
+
+
+def nonpreemptive_priority_response_times(
+    arrival_rates: Mapping[int, float], services: Mapping[int, ServiceMoments]
+) -> Dict[int, float]:
+    """Mean response time per class under non-preemptive priority.
+
+    Classic result (Cobham): with ``R = Σ_j λ_j E[S_j²] / 2`` the mean residual
+    work found on arrival (including the job in service regardless of class),
+
+        W_k = R / ((1 − ρ_{>k}) (1 − ρ_{>k} − ρ_k)),   T_k = W_k + E[S_k]
+
+    where ``ρ_{>k}`` is the load of classes with *strictly higher* priority.
+    """
+    _validate_inputs(arrival_rates, services)
+    residual = sum(
+        arrival_rates[j] * services[j].second_moment for j in arrival_rates
+    ) / 2.0
+    response: Dict[int, float] = {}
+    for k in arrival_rates:
+        rho_higher = sum(
+            arrival_rates[j] * services[j].mean for j in arrival_rates if j > k
+        )
+        rho_k = arrival_rates[k] * services[k].mean
+        denom = (1.0 - rho_higher) * (1.0 - rho_higher - rho_k)
+        if denom <= 0:
+            response[k] = float("inf")
+            continue
+        waiting = residual / denom
+        response[k] = waiting + services[k].mean
+    return response
+
+
+def preemptive_resume_response_times(
+    arrival_rates: Mapping[int, float], services: Mapping[int, ServiceMoments]
+) -> Dict[int, float]:
+    """Mean response time per class under preemptive-resume priority.
+
+    Standard result: only classes of priority ``≥ k`` matter for class ``k``:
+
+        T_k = E[S_k] / (1 − ρ_{>k})
+              + (Σ_{j ≥ k} λ_j E[S_j²] / 2) / ((1 − ρ_{>k}) (1 − ρ_{>k} − ρ_k))
+    """
+    _validate_inputs(arrival_rates, services)
+    response: Dict[int, float] = {}
+    for k in arrival_rates:
+        higher = [j for j in arrival_rates if j > k]
+        rho_higher = sum(arrival_rates[j] * services[j].mean for j in higher)
+        rho_k = arrival_rates[k] * services[k].mean
+        if rho_higher >= 1.0 or rho_higher + rho_k >= 1.0:
+            response[k] = float("inf")
+            continue
+        residual = sum(
+            arrival_rates[j] * services[j].second_moment for j in higher + [k]
+        ) / 2.0
+        response[k] = services[k].mean / (1.0 - rho_higher) + residual / (
+            (1.0 - rho_higher) * (1.0 - rho_higher - rho_k)
+        )
+    return response
+
+
+def nonpreemptive_priority_waiting_times(
+    arrival_rates: Mapping[int, float], services: Mapping[int, ServiceMoments]
+) -> Dict[int, float]:
+    """Mean waiting (queueing) time per class under non-preemptive priority."""
+    responses = nonpreemptive_priority_response_times(arrival_rates, services)
+    return {k: responses[k] - services[k].mean for k in responses}

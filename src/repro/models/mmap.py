@@ -1,0 +1,155 @@
+"""Marked Markovian Arrival Processes (MMAP[K]).
+
+The queueing model in §4 assumes arrivals follow an MMAP[K] with one stream
+per priority class, parameterised by ``K + 1`` matrices ``(D0, D1, …, DK)``
+where ``Dk`` holds the transition rates that generate class-``k`` arrivals and
+``D = Σ Dk`` is the generator of the underlying Markov chain.  The simplest
+non-trivial case — the one actually used in the paper's experiments — is the
+*marked Poisson process*, where the underlying chain has a single state and
+``Dk = λk``.
+
+This module implements the MMAP[K] representation, validation, per-class
+rates, the marked-Poisson factory, superposition of independent MMAPs, and
+sampling of marked arrival sequences (used by the model-level queue simulator).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class MarkedMAP:
+    """An MMAP[K] given by matrices ``(D0, D1, …, DK)``."""
+
+    def __init__(self, D0: Sequence[Sequence[float]], marked: Sequence[Sequence[Sequence[float]]]) -> None:
+        D0_arr = np.asarray(D0, dtype=float)
+        marked_arrs = [np.asarray(Dk, dtype=float) for Dk in marked]
+        if D0_arr.ndim != 2 or D0_arr.shape[0] != D0_arr.shape[1]:
+            raise ValueError("D0 must be square")
+        if not marked_arrs:
+            raise ValueError("at least one marked matrix is required")
+        for Dk in marked_arrs:
+            if Dk.shape != D0_arr.shape:
+                raise ValueError("all Dk must have the same shape as D0")
+            if np.any(Dk < -1e-12):
+                raise ValueError("marked matrices must be non-negative")
+        self.D0 = D0_arr
+        self.marked = marked_arrs
+        self._validate()
+
+    def _validate(self, tol: float = 1e-8) -> None:
+        D = self.generator
+        row_sums = D.sum(axis=1)
+        if np.any(np.abs(row_sums) > tol):
+            raise ValueError("D = D0 + sum(Dk) must be a generator (zero row sums)")
+        off_diag = self.D0 - np.diag(np.diag(self.D0))
+        if np.any(off_diag < -tol):
+            raise ValueError("off-diagonal entries of D0 must be non-negative")
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_classes(self) -> int:
+        return len(self.marked)
+
+    @property
+    def order(self) -> int:
+        """Number of states of the underlying Markov chain (``ma``)."""
+        return self.D0.shape[0]
+
+    @property
+    def generator(self) -> np.ndarray:
+        """``D = D0 + Σ Dk``."""
+        return self.D0 + sum(self.marked)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution of the underlying chain."""
+        D = self.generator
+        n = self.order
+        A = np.vstack([D.T, np.ones((1, n))])
+        b = np.zeros(n + 1)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    def arrival_rate(self, klass: int) -> float:
+        """Mean arrival rate of class ``klass`` (0-indexed into the marked list)."""
+        pi = self.stationary_distribution()
+        ones = np.ones(self.order)
+        return float(pi @ self.marked[klass] @ ones)
+
+    def total_arrival_rate(self) -> float:
+        return sum(self.arrival_rate(k) for k in range(self.num_classes))
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def marked_poisson(rates: Sequence[float]) -> "MarkedMAP":
+        """Marked Poisson arrivals with one rate per class."""
+        rates_arr = [float(r) for r in rates]
+        if not rates_arr or any(r < 0 for r in rates_arr):
+            raise ValueError("rates must be non-negative and non-empty")
+        total = sum(rates_arr)
+        D0 = [[-total]]
+        marked = [[[r]] for r in rates_arr]
+        return MarkedMAP(D0, marked)
+
+    @staticmethod
+    def superpose(a: "MarkedMAP", b: "MarkedMAP") -> "MarkedMAP":
+        """Superposition of two independent MMAPs with the same class count."""
+        if a.num_classes != b.num_classes:
+            raise ValueError("superposed MMAPs must have the same number of classes")
+        eye_a = np.identity(a.order)
+        eye_b = np.identity(b.order)
+        D0 = np.kron(a.D0, eye_b) + np.kron(eye_a, b.D0)
+        marked = [
+            np.kron(a.marked[k], eye_b) + np.kron(eye_a, b.marked[k])
+            for k in range(a.num_classes)
+        ]
+        return MarkedMAP(D0, marked)
+
+    # -------------------------------------------------------------- sampling
+    def sample_arrivals(
+        self, rng: np.random.Generator, horizon: float
+    ) -> List[Tuple[float, int]]:
+        """Simulate marked arrivals in ``[0, horizon)``.
+
+        Returns a list of ``(time, class_index)`` tuples in time order.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        pi = self.stationary_distribution()
+        state = int(rng.choice(self.order, p=pi))
+        time = 0.0
+        arrivals: List[Tuple[float, int]] = []
+        # The diagonal of D0 already accounts for every event (hidden state
+        # changes and marked arrivals), because D = D0 + Σ Dk has zero row sums.
+        total_exit = -np.diag(self.D0)
+        while True:
+            rate = float(total_exit[state])
+            if rate <= 0:
+                break
+            time += rng.exponential(1.0 / rate)
+            if time >= horizon:
+                break
+            # Choose which transition fired: hidden (D0 off-diagonal) or marked.
+            weights = []
+            outcomes = []
+            for next_state in range(self.order):
+                if next_state != state and self.D0[state, next_state] > 0:
+                    weights.append(self.D0[state, next_state])
+                    outcomes.append((None, next_state))
+            for klass, Dk in enumerate(self.marked):
+                for next_state in range(self.order):
+                    if Dk[state, next_state] > 0:
+                        weights.append(Dk[state, next_state])
+                        outcomes.append((klass, next_state))
+            weights_arr = np.asarray(weights)
+            idx = int(rng.choice(len(outcomes), p=weights_arr / weights_arr.sum()))
+            klass, next_state = outcomes[idx]
+            if klass is not None:
+                arrivals.append((time, klass))
+            state = next_state
+        return arrivals

@@ -1,0 +1,135 @@
+"""Matrix-geometric solver for the M/PH/1 queue.
+
+The M/PH/1 queue is a quasi-birth-death (QBD) process: the level is the number
+of jobs in the system and the phase is the service phase of the job in
+service.  Its stationary distribution is matrix-geometric,
+``π_{n+1} = π_n · R``, where ``R`` solves ``A0 + R·A1 + R²·A2 = 0``.
+
+This solver is used to cross-validate the simpler Pollaczek–Khinchine formula
+(:func:`repro.models.mg1.mg1_mean_waiting_time`) on PH service times and as a
+building block for single-class what-if questions in the deflator.  It follows
+the standard construction of Latouche & Ramaswami (the paper's reference [28]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.models.ph import PhaseType
+
+
+@dataclass
+class MPH1Queue:
+    """An M/PH/1 queue with Poisson arrivals and PH service."""
+
+    arrival_rate: float
+    service: PhaseType
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    # ------------------------------------------------------------ stability
+    @property
+    def utilisation(self) -> float:
+        return self.arrival_rate * self.service.mean
+
+    @property
+    def stable(self) -> bool:
+        return self.utilisation < 1.0
+
+    # -------------------------------------------------------------- blocks
+    def qbd_blocks(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the repeating-level blocks ``(A0, A1, A2)``.
+
+        ``A0`` — arrivals (level up), ``A1`` — local transitions,
+        ``A2`` — service completions (level down, restarting service).
+        """
+        n = self.service.order
+        lam = self.arrival_rate
+        A0 = lam * np.identity(n)
+        A1 = self.service.T - lam * np.identity(n)
+        A2 = np.outer(self.service.exit_rates, self.service.alpha)
+        return A0, A1, A2
+
+    def rate_matrix(self, tol: float = 1e-12, max_iter: int = 100_000) -> np.ndarray:
+        """Solve ``A0 + R·A1 + R²·A2 = 0`` by functional iteration."""
+        if not self.stable:
+            raise ValueError("the queue is unstable (utilisation >= 1)")
+        A0, A1, A2 = self.qbd_blocks()
+        inv_A1 = np.linalg.inv(-A1)
+        R = np.zeros_like(A0)
+        for _ in range(max_iter):
+            R_next = (A0 + R @ R @ A2) @ inv_A1
+            if np.max(np.abs(R_next - R)) < tol:
+                return R_next
+            R = R_next
+        raise RuntimeError("rate-matrix iteration did not converge")
+
+    # ------------------------------------------------------------ solution
+    def solve(self) -> Tuple[float, np.ndarray, np.ndarray]:
+        """Return ``(p0, pi1, R)``: empty probability, level-1 vector, rate matrix.
+
+        The boundary equations of the M/PH/1 QBD are::
+
+            p0 · (−λ) + π_1 · A2 · 1-restart = 0    (flow into/out of level 0)
+
+        Here level 0 has a single state (empty system); an arrival starts
+        service according to ``alpha``.
+        """
+        if not self.stable:
+            raise ValueError("the queue is unstable (utilisation >= 1)")
+        n = self.service.order
+        lam = self.arrival_rate
+        R = self.rate_matrix()
+        A0, A1, A2 = self.qbd_blocks()
+
+        # Unknowns: p0 (scalar) and pi1 (1 x n).  Balance equations:
+        #   level 0:  -lam * p0 + pi1 @ t = 0                 (t = exit rates)
+        #   level 1:  p0 * lam * alpha + pi1 @ (A1 + R @ A2) = 0
+        # Normalisation: p0 + pi1 @ (I - R)^{-1} @ 1 = 1.
+        t = self.service.exit_rates
+        unknowns = n + 1
+        M = np.zeros((unknowns, unknowns))
+        rhs = np.zeros(unknowns)
+
+        # Level-0 balance.
+        M[0, 0] = -lam
+        M[0, 1:] = t
+        # Level-1 balance (n equations, drop one later for normalisation).
+        level1 = np.zeros((n, unknowns))
+        level1[:, 0] = lam * self.service.alpha
+        level1[:, 1:] = (A1 + R @ A2).T
+        M[1:, :] = level1
+        # Replace the last equation with the normalisation condition.
+        inv_ImR = np.linalg.inv(np.identity(n) - R)
+        M[-1, 0] = 1.0
+        M[-1, 1:] = (inv_ImR @ np.ones(n))
+        rhs[-1] = 1.0
+
+        solution = np.linalg.solve(M, rhs)
+        p0 = float(solution[0])
+        pi1 = solution[1:]
+        return p0, pi1, R
+
+    def mean_queue_length(self) -> float:
+        """Mean number of jobs in the system ``E[N]``."""
+        p0, pi1, R = self.solve()
+        n = self.service.order
+        I = np.identity(n)
+        inv = np.linalg.inv(I - R)
+        ones = np.ones(n)
+        # E[N] = sum_{k>=1} k * pi_k 1 with pi_k = pi1 R^{k-1}
+        #      = pi1 (I-R)^{-2} 1
+        return float(pi1 @ inv @ inv @ ones)
+
+    def mean_response_time(self) -> float:
+        """Mean response time via Little's law."""
+        return self.mean_queue_length() / self.arrival_rate
+
+    def mean_waiting_time(self) -> float:
+        """Mean waiting time (response minus service)."""
+        return self.mean_response_time() - self.service.mean

@@ -1,0 +1,92 @@
+"""Lightweight regression and interpolation helpers.
+
+The paper keeps profiling minimal: overhead (setup) times are collected at two
+operating points only — no dropping and 90 % dropping — and linearly
+interpolated in between (§4.3); task execution times are related to input
+sizes with simple linear regressions (§3, §5.3).  These helpers implement
+exactly those two tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class LinearInterpolator:
+    """Piecewise-linear interpolation through a set of ``(x, y)`` points.
+
+    Values outside the observed ``x`` range are clamped to the boundary
+    segments (constant extrapolation), mirroring how the paper treats the two
+    profiled overhead operating points as the admissible range.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two points to interpolate")
+        ordered = sorted(points, key=lambda p: p[0])
+        xs = [float(p[0]) for p in ordered]
+        ys = [float(p[1]) for p in ordered]
+        if len(set(xs)) != len(xs):
+            raise ValueError("x values must be distinct")
+        self._xs = xs
+        self._ys = ys
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._xs, self._ys))
+
+    def __call__(self, x: float) -> float:
+        xs, ys = self._xs, self._ys
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        for i in range(1, len(xs)):
+            if x <= xs[i]:
+                frac = (x - xs[i - 1]) / (xs[i] - xs[i - 1])
+                return ys[i - 1] * (1.0 - frac) + ys[i] * frac
+        return ys[-1]
+
+    @classmethod
+    def two_point(cls, x0: float, y0: float, x1: float, y1: float) -> "LinearInterpolator":
+        """The two-point interpolator used for overhead-vs-drop-ratio (§4.3)."""
+        return cls([(x0, y0), (x1, y1)])
+
+
+@dataclass
+class LinearRegression:
+    """Ordinary least-squares fit of ``y ≈ intercept + slope · x``."""
+
+    intercept: float
+    slope: float
+    r_squared: float
+
+    @classmethod
+    def fit(cls, xs: Sequence[float], ys: Sequence[float]) -> "LinearRegression":
+        if len(xs) != len(ys):
+            raise ValueError("x and y must have the same length")
+        if len(xs) < 2:
+            raise ValueError("need at least two observations to fit a line")
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        x_mean = x.mean()
+        y_mean = y.mean()
+        ss_xx = float(((x - x_mean) ** 2).sum())
+        if ss_xx == 0:
+            raise ValueError("x values must not all be identical")
+        slope = float(((x - x_mean) * (y - y_mean)).sum() / ss_xx)
+        intercept = float(y_mean - slope * x_mean)
+        predictions = intercept + slope * x
+        ss_res = float(((y - predictions) ** 2).sum())
+        ss_tot = float(((y - y_mean) ** 2).sum())
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return cls(intercept=intercept, slope=slope, r_squared=r_squared)
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+    def predict_many(self, xs: Sequence[float]) -> List[float]:
+        return [self.predict(x) for x in xs]

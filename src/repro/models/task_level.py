@@ -1,0 +1,251 @@
+"""Task-level model of the job processing time (§4.1, Eq. 1).
+
+The job processing time is modelled as the absorption time of a Markov chain
+whose phase tracks the current execution step:
+
+* ``O`` — the initial setup (overhead) stage,
+* ``M_t`` — ``t`` map tasks remain, ``1 ≤ t ≤ N̄m``,
+* ``S`` — the intermediate shuffle stage,
+* ``R_u`` — ``u`` reduce tasks remain, ``1 ≤ u ≤ N̄r``,
+
+with transition rates given by Eq. 1 of the paper: map/reduce tasks complete
+at rate ``min(t, C)·µ`` (at most ``C`` slots busy), the setup completes at
+rate ``µo`` and branches to ``M_t̄`` with probability ``pm(t)`` (the job's
+*effective* task count after early dropping, ``t̄ = ⌈t(1 − θm)⌉``), and the
+shuffle branches to ``R_ū`` analogously.
+
+The resulting pair ``(φ, F)`` is a PH representation of the job processing
+time with ``N̄m + N̄r + 2`` phases; all PH machinery (moments, CDF, closure)
+then applies directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.job import effective_task_count
+from repro.models.ph import PhaseType
+
+
+def _normalise_distribution(dist: Mapping[int, float]) -> Dict[int, float]:
+    """Validate and normalise a task-count distribution ``{count: probability}``."""
+    if not dist:
+        raise ValueError("task-count distribution must not be empty")
+    cleaned: Dict[int, float] = {}
+    for count, prob in dist.items():
+        if count < 0:
+            raise ValueError("task counts must be non-negative")
+        if prob < 0:
+            raise ValueError("probabilities must be non-negative")
+        if prob > 0:
+            cleaned[int(count)] = float(prob)
+    total = sum(cleaned.values())
+    if total <= 0:
+        raise ValueError("task-count distribution must have positive total mass")
+    return {count: prob / total for count, prob in cleaned.items()}
+
+
+@dataclass
+class TaskLevelModel:
+    """PH model of the processing time of one priority class (Eq. 1).
+
+    Parameters
+    ----------
+    slots:
+        Number of computing slots ``C``.
+    map_task_distribution:
+        ``pm(t)`` — probability that a job has ``t`` map tasks.
+    reduce_task_distribution:
+        ``pr(u)`` — probability that a job has ``u`` reduce tasks.
+    map_rate, reduce_rate:
+        Per-task service rates ``µm`` and ``µr`` (1 / mean task time).
+    setup_rate:
+        ``µo`` — rate of the setup/overhead stage; ``None`` or ``inf`` removes
+        the setup stage.
+    shuffle_rate:
+        ``µs`` — rate of the shuffle stage; ``None`` or ``inf`` removes it.
+    map_drop_ratio, reduce_drop_ratio:
+        ``θm`` and ``θr``.
+    """
+
+    slots: int
+    map_task_distribution: Mapping[int, float]
+    reduce_task_distribution: Mapping[int, float]
+    map_rate: float
+    reduce_rate: float
+    setup_rate: Optional[float] = None
+    shuffle_rate: Optional[float] = None
+    map_drop_ratio: float = 0.0
+    reduce_drop_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ValueError("slots must be positive")
+        if self.map_rate <= 0 or self.reduce_rate <= 0:
+            raise ValueError("task rates must be positive")
+        if self.setup_rate is not None and self.setup_rate <= 0:
+            raise ValueError("setup rate must be positive (or None)")
+        if self.shuffle_rate is not None and self.shuffle_rate <= 0:
+            raise ValueError("shuffle rate must be positive (or None)")
+        if not 0.0 <= self.map_drop_ratio < 1.0:
+            raise ValueError("map drop ratio must be in [0, 1)")
+        if not 0.0 <= self.reduce_drop_ratio < 1.0:
+            raise ValueError("reduce drop ratio must be in [0, 1)")
+        self.map_task_distribution = _normalise_distribution(self.map_task_distribution)
+        self.reduce_task_distribution = _normalise_distribution(self.reduce_task_distribution)
+
+    # -------------------------------------------------------------- helpers
+    def effective_map_distribution(self) -> Dict[int, float]:
+        """Distribution of ``t̄ = ⌈t(1 − θm)⌉`` induced by ``pm`` and dropping."""
+        return self._effective_distribution(self.map_task_distribution, self.map_drop_ratio)
+
+    def effective_reduce_distribution(self) -> Dict[int, float]:
+        """Distribution of ``ū = ⌈u(1 − θr)⌉`` induced by ``pr`` and dropping."""
+        return self._effective_distribution(self.reduce_task_distribution, self.reduce_drop_ratio)
+
+    @staticmethod
+    def _effective_distribution(dist: Mapping[int, float], drop_ratio: float) -> Dict[int, float]:
+        effective: Dict[int, float] = {}
+        for count, prob in dist.items():
+            kept = effective_task_count(count, drop_ratio)
+            effective[kept] = effective.get(kept, 0.0) + prob
+        return effective
+
+    @property
+    def max_effective_map_tasks(self) -> int:
+        return max(self.effective_map_distribution())
+
+    @property
+    def max_effective_reduce_tasks(self) -> int:
+        return max(self.effective_reduce_distribution())
+
+    # ------------------------------------------------------------ generator
+    def phase_names(self) -> Sequence[str]:
+        """Ordered phase labels: ``O, M_N̄m … M_1, S, R_N̄r … R_1``."""
+        names = ["O"]
+        names += [f"M{t}" for t in range(self.max_effective_map_tasks, 0, -1)]
+        names += ["S"]
+        names += [f"R{u}" for u in range(self.max_effective_reduce_tasks, 0, -1)]
+        return names
+
+    def build(self) -> PhaseType:
+        """Construct the PH representation ``(φ, F)`` of the processing time."""
+        map_dist = self.effective_map_distribution()
+        reduce_dist = self.effective_reduce_distribution()
+        n_map = max(map_dist)
+        n_reduce = max(reduce_dist)
+
+        # Phase indices.
+        names = ["O"] + [f"M{t}" for t in range(n_map, 0, -1)] + ["S"] + [
+            f"R{u}" for u in range(n_reduce, 0, -1)
+        ]
+        index = {name: i for i, name in enumerate(names)}
+        size = len(names)
+        F = np.zeros((size, size))
+
+        setup_rate = self.setup_rate if self.setup_rate is not None else math.inf
+        shuffle_rate = self.shuffle_rate if self.shuffle_rate is not None else math.inf
+
+        def add_rate(src: str, dst: Optional[str], rate: float) -> None:
+            i = index[src]
+            F[i, i] -= rate
+            if dst is not None:
+                F[i, index[dst]] += rate
+
+        # Setup stage O -> M_t̄ with probability pm(t̄) at rate µo.
+        if math.isinf(setup_rate):
+            # No setup stage: start directly in the map stage.  We emulate this
+            # by a very fast setup phase so the phase-space structure (and the
+            # paper's initial vector φ = [1, 0, …]) is preserved.
+            setup_rate = 1e9
+        for kept, prob in map_dist.items():
+            if kept > 0:
+                add_rate("O", f"M{kept}", setup_rate * prob)
+            else:
+                add_rate("O", "S", setup_rate * prob)
+
+        # Map stage countdown.
+        for t in range(n_map, 0, -1):
+            rate = min(t, self.slots) * self.map_rate
+            dst = f"M{t - 1}" if t > 1 else "S"
+            add_rate(f"M{t}", dst, rate)
+
+        # Shuffle stage S -> R_ū with probability pr(ū) at rate µs.
+        if math.isinf(shuffle_rate):
+            shuffle_rate = 1e9
+        exit_prob = 0.0
+        for kept, prob in reduce_dist.items():
+            if kept > 0:
+                add_rate("S", f"R{kept}", shuffle_rate * prob)
+            else:
+                exit_prob += prob
+        if exit_prob > 0:
+            # Absorption straight after shuffle (job with all reduce tasks dropped).
+            add_rate("S", None, shuffle_rate * exit_prob)
+
+        # Reduce stage countdown; R_1 -> absorption (R_0, job completion).
+        for u in range(n_reduce, 0, -1):
+            rate = min(u, self.slots) * self.reduce_rate
+            dst = f"R{u - 1}" if u > 1 else None
+            add_rate(f"R{u}", dst, rate)
+
+        phi = np.zeros(size)
+        phi[index["O"]] = 1.0
+        return PhaseType(phi, F)
+
+    # -------------------------------------------------------------- metrics
+    def mean_processing_time(self) -> float:
+        """Mean job processing time under the configured drop ratios."""
+        return self.build().mean
+
+    def processing_time_scv(self) -> float:
+        return self.build().scv
+
+    def with_drop_ratios(
+        self, map_drop_ratio: float, reduce_drop_ratio: Optional[float] = None
+    ) -> "TaskLevelModel":
+        """Copy of this model with different drop ratios."""
+        return TaskLevelModel(
+            slots=self.slots,
+            map_task_distribution=dict(self.map_task_distribution),
+            reduce_task_distribution=dict(self.reduce_task_distribution),
+            map_rate=self.map_rate,
+            reduce_rate=self.reduce_rate,
+            setup_rate=self.setup_rate,
+            shuffle_rate=self.shuffle_rate,
+            map_drop_ratio=map_drop_ratio,
+            reduce_drop_ratio=(
+                self.reduce_drop_ratio if reduce_drop_ratio is None else reduce_drop_ratio
+            ),
+        )
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile,
+        slots: int,
+        map_drop_ratio: float = 0.0,
+        reduce_drop_ratio: float = 0.0,
+    ) -> "TaskLevelModel":
+        """Build a task-level model from a :class:`JobClassProfile`.
+
+        The setup rate is taken at the requested drop ratio, matching the
+        paper's linear interpolation of the overhead between the profiled
+        no-drop and max-drop operating points.
+        """
+        setup_time = profile.setup_time(min(map_drop_ratio, 0.9))
+        return cls(
+            slots=slots,
+            map_task_distribution={profile.partitions * profile.num_stages: 1.0},
+            reduce_task_distribution={max(profile.reduce_tasks * profile.num_stages, 1): 1.0},
+            map_rate=1.0 / profile.mean_map_task_time(),
+            reduce_rate=1.0 / profile.reduce_time,
+            setup_rate=(1.0 / setup_time) if setup_time > 0 else None,
+            shuffle_rate=(1.0 / profile.shuffle_time) if profile.shuffle_time > 0 else None,
+            map_drop_ratio=map_drop_ratio,
+            reduce_drop_ratio=reduce_drop_ratio,
+        )

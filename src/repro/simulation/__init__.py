@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the simulation kernel on top of which the Spark-like
+processing-engine model (:mod:`repro.engine`) and the DiAS controller
+(:mod:`repro.core`) are built:
+
+* :mod:`repro.simulation.des` — the event-driven simulation kernel
+  (:class:`~repro.simulation.des.Simulator`, :class:`~repro.simulation.des.Event`).
+* :mod:`repro.simulation.random_streams` — named, independently seeded random
+  streams so that changing one source of randomness (e.g. arrivals) does not
+  perturb another (e.g. task durations).
+* :mod:`repro.simulation.metrics` — latency/energy/waste metric collection and
+  summary statistics (means, percentiles, per-class breakdowns).
+"""
+
+from repro.simulation.des import Event, Simulator, SimulationError
+from repro.simulation.metrics import (
+    ClassMetrics,
+    JobRecord,
+    MetricsCollector,
+    SummaryStatistics,
+    percentile,
+)
+from repro.simulation.random_streams import RandomStreams
+from repro.simulation.replication import (
+    ConfidenceInterval,
+    ReplicationRunner,
+    confidence_interval,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "ClassMetrics",
+    "JobRecord",
+    "MetricsCollector",
+    "SummaryStatistics",
+    "percentile",
+    "RandomStreams",
+    "ConfidenceInterval",
+    "ReplicationRunner",
+    "confidence_interval",
+]

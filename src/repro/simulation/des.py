@@ -1,0 +1,189 @@
+"""A small, fast discrete-event simulation kernel.
+
+The kernel is deliberately minimal: a binary-heap event list, a simulation
+clock, and cancellable events.  All higher-level behaviour (job arrivals,
+task completions, sprint timeouts, budget replenishment) is expressed as
+events scheduled by the engine and controller layers.
+
+Design notes
+------------
+* Events are ordered by ``(time, priority, sequence)``.  The sequence number
+  makes ordering deterministic for events scheduled at the same instant, which
+  keeps simulations reproducible across runs and platforms.
+* Cancellation is *lazy*: a cancelled event stays in the heap but is skipped
+  when popped.  This keeps cancellation O(1), which matters because preemption
+  and DVFS changes cancel many in-flight task-completion events.
+* The kernel knows nothing about jobs, priorities or energy; it only runs
+  callbacks at simulated times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid kernel operations (e.g. scheduling in the past)."""
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    priority:
+        Tie-breaking priority for events at the same time (lower fires first).
+    seq:
+        Monotonic sequence number assigned by the simulator.
+    callback:
+        Callable invoked as ``callback(simulator)`` when the event fires.
+    payload:
+        Arbitrary user data attached to the event.
+    cancelled:
+        Lazily-checked cancellation flag.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[["Simulator"], None]
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+
+class Simulator:
+    """Event-driven simulator with a monotonically advancing clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._event_count = 0
+        self._processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (excluding cancelled events)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the heap (including cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[["Simulator"], None],
+        *,
+        priority: int = 0,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event with negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, payload=payload)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["Simulator"], None],
+        *,
+        priority: int = 0,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r} before current time {self._now!r}"
+            )
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            seq=next(self._seq),
+            callback=callback,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._event_count += 1
+        return event
+
+    # -------------------------------------------------------------- execution
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` if empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][1].time
+
+    def step(self) -> Optional[Event]:
+        """Execute the next event.  Returns the event, or ``None`` if empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        _, event = heapq.heappop(self._heap)
+        if event.cancelled:
+            return self.step()
+        self._now = event.time
+        self._processed += 1
+        event.callback(self)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the event list drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time at which the run stopped.
+        """
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._heap:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # -------------------------------------------------------------- internals
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0][1].cancelled:
+            heapq.heappop(self._heap)

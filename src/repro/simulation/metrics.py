@@ -1,0 +1,273 @@
+"""Metric collection for priority-scheduling simulations.
+
+The collector records one :class:`JobRecord` per completed job and exposes the
+summary statistics the paper reports:
+
+* mean and tail (95th percentile) response time per priority class,
+* mean queueing and execution time per class (Table 2),
+* resource waste — machine time spent re-processing evicted jobs as a
+  percentage of total processing time (§5.1),
+* total energy consumed (Fig. 11c),
+* accuracy loss per class (from the applied drop ratios).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+
+    Implemented locally (rather than via numpy) so metric summaries stay
+    dependency-light and behave identically on lists and tuples.  Raises
+    ``ValueError`` on empty input.
+    """
+    if not values:
+        raise ValueError("cannot compute a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be within [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass
+class JobRecord:
+    """Per-job accounting of one completed job."""
+
+    job_id: int
+    priority: int
+    arrival_time: float
+    start_time: float
+    completion_time: float
+    execution_time: float
+    wasted_time: float = 0.0
+    evictions: int = 0
+    drop_ratio: float = 0.0
+    accuracy_loss: float = 0.0
+    sprinted_time: float = 0.0
+    size_mb: float = 0.0
+    num_map_tasks: int = 0
+    num_reduce_tasks: int = 0
+
+    @property
+    def response_time(self) -> float:
+        """End-to-end latency: completion minus arrival."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queueing_time(self) -> float:
+        """Time not spent in productive execution (includes eviction waste)."""
+        return self.response_time - self.execution_time
+
+    @property
+    def slowdown(self) -> float:
+        """Response time divided by (non-wasted) execution time."""
+        if self.execution_time <= 0:
+            return float("inf")
+        return self.response_time / self.execution_time
+
+
+@dataclass
+class SummaryStatistics:
+    """Mean / tail summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "SummaryStatistics":
+        if not values:
+            return cls(count=0, mean=float("nan"), p50=float("nan"),
+                       p95=float("nan"), p99=float("nan"), maximum=float("nan"))
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            maximum=max(values),
+        )
+
+
+@dataclass
+class ClassMetrics:
+    """Aggregated metrics for one priority class."""
+
+    priority: int
+    response_time: SummaryStatistics
+    queueing_time: SummaryStatistics
+    execution_time: SummaryStatistics
+    accuracy_loss_mean: float
+    evictions: int
+    wasted_time: float
+    job_count: int
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulated energy by operating mode (joules)."""
+
+    idle_joules: float = 0.0
+    busy_joules: float = 0.0
+    sprint_joules: float = 0.0
+
+    @property
+    def total_joules(self) -> float:
+        return self.idle_joules + self.busy_joules + self.sprint_joules
+
+    @property
+    def total_kilojoules(self) -> float:
+        return self.total_joules / 1000.0
+
+    def add(self, mode: str, joules: float) -> None:
+        if joules < 0:
+            raise ValueError(f"energy increments must be non-negative, got {joules!r}")
+        if mode == "idle":
+            self.idle_joules += joules
+        elif mode == "busy":
+            self.busy_joules += joules
+        elif mode == "sprint":
+            self.sprint_joules += joules
+        else:
+            raise ValueError(f"unknown energy mode {mode!r}")
+
+
+class MetricsCollector:
+    """Collects per-job records and produces per-class and global summaries."""
+
+    def __init__(self) -> None:
+        self._records: List[JobRecord] = []
+        self.energy = EnergyAccount()
+        self._busy_time = 0.0
+        self._wasted_time = 0.0
+        self._observation_time = 0.0
+
+    # ----------------------------------------------------------- recording
+    def record_job(self, record: JobRecord) -> None:
+        """Add one completed job."""
+        if record.completion_time < record.arrival_time:
+            raise ValueError("job completed before it arrived")
+        self._records.append(record)
+        self._wasted_time += record.wasted_time
+
+    def record_busy_time(self, duration: float) -> None:
+        """Account productive (non-wasted) engine busy time."""
+        if duration < 0:
+            raise ValueError("busy time must be non-negative")
+        self._busy_time += duration
+
+    def set_observation_time(self, duration: float) -> None:
+        """Record the total simulated horizon (for utilisation computations)."""
+        self._observation_time = float(duration)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def records(self) -> List[JobRecord]:
+        return list(self._records)
+
+    @property
+    def job_count(self) -> int:
+        return len(self._records)
+
+    def records_for_priority(self, priority: int) -> List[JobRecord]:
+        return [r for r in self._records if r.priority == priority]
+
+    def priorities(self) -> List[int]:
+        return sorted({r.priority for r in self._records})
+
+    # ------------------------------------------------------------ summaries
+    def class_metrics(self, priority: int) -> ClassMetrics:
+        records = self.records_for_priority(priority)
+        responses = [r.response_time for r in records]
+        queueing = [r.queueing_time for r in records]
+        execution = [r.execution_time for r in records]
+        losses = [r.accuracy_loss for r in records]
+        return ClassMetrics(
+            priority=priority,
+            response_time=SummaryStatistics.from_values(responses),
+            queueing_time=SummaryStatistics.from_values(queueing),
+            execution_time=SummaryStatistics.from_values(execution),
+            accuracy_loss_mean=(sum(losses) / len(losses)) if losses else float("nan"),
+            evictions=sum(r.evictions for r in records),
+            wasted_time=sum(r.wasted_time for r in records),
+            job_count=len(records),
+        )
+
+    def all_class_metrics(self) -> Dict[int, ClassMetrics]:
+        return {priority: self.class_metrics(priority) for priority in self.priorities()}
+
+    def resource_waste_fraction(self) -> float:
+        """Wasted machine time over total (useful + wasted) processing time."""
+        useful = sum(r.execution_time for r in self._records)
+        wasted = self._wasted_time
+        total = useful + wasted
+        if total <= 0:
+            return 0.0
+        return wasted / total
+
+    def utilisation(self) -> float:
+        """Fraction of the observation window the engine was busy."""
+        if self._observation_time <= 0:
+            return float("nan")
+        return (self._busy_time + self._wasted_time) / self._observation_time
+
+    def mean_response_time(self, priority: Optional[int] = None) -> float:
+        records = self._records if priority is None else self.records_for_priority(priority)
+        if not records:
+            return float("nan")
+        return sum(r.response_time for r in records) / len(records)
+
+    def tail_response_time(self, priority: Optional[int] = None, q: float = 95.0) -> float:
+        records = self._records if priority is None else self.records_for_priority(priority)
+        if not records:
+            return float("nan")
+        return percentile([r.response_time for r in records], q)
+
+    # --------------------------------------------------------------- export
+    def to_rows(self) -> List[Dict[str, float]]:
+        """Export per-job rows for reporting / CSV-style dumps."""
+        rows = []
+        for r in self._records:
+            rows.append(
+                {
+                    "job_id": r.job_id,
+                    "priority": r.priority,
+                    "arrival_time": r.arrival_time,
+                    "start_time": r.start_time,
+                    "completion_time": r.completion_time,
+                    "response_time": r.response_time,
+                    "queueing_time": r.queueing_time,
+                    "execution_time": r.execution_time,
+                    "wasted_time": r.wasted_time,
+                    "evictions": r.evictions,
+                    "drop_ratio": r.drop_ratio,
+                    "accuracy_loss": r.accuracy_loss,
+                    "sprinted_time": r.sprinted_time,
+                }
+            )
+        return rows
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Merge another collector's records (e.g. across replications)."""
+        for record in other.records:
+            self.record_job(record)
+        self.energy.idle_joules += other.energy.idle_joules
+        self.energy.busy_joules += other.energy.busy_joules
+        self.energy.sprint_joules += other.energy.sprint_joules
+        self._busy_time += other._busy_time
+        self._observation_time += other._observation_time

@@ -1,0 +1,57 @@
+"""Workload generation: synthetic datasets, job streams and paper scenarios.
+
+* :mod:`repro.workloads.text` — synthetic StackExchange-like corpora (Zipf
+  word distributions with per-topic skew) for the text-analysis accuracy
+  experiments.
+* :mod:`repro.workloads.graph` — synthetic power-law web-graph-like graphs for
+  the triangle-count experiments.
+* :mod:`repro.workloads.arrivals` — Poisson arrival streams and the load
+  calibration that picks arrival rates for a target cluster utilisation.
+* :mod:`repro.workloads.jobs` — job-trace generation from class profiles.
+* :mod:`repro.workloads.scenarios` — the canonical experimental scenarios of
+  §5 (reference setup, sensitivity variants, three priorities, triangle count,
+  sprinting scenarios).
+"""
+
+from repro.workloads.arrivals import calibrate_arrival_rates, poisson_arrival_times
+from repro.workloads.graph import synthetic_web_graph
+from repro.workloads.jobs import generate_job_trace
+from repro.workloads.scenarios import (
+    Scenario,
+    equal_job_sizes_scenario,
+    low_load_scenario,
+    more_high_priority_scenario,
+    reference_two_priority_scenario,
+    sprinting_scenario,
+    three_priority_scenario,
+    triangle_count_scenario,
+    validation_datasets_scenario,
+)
+from repro.workloads.text import synthetic_corpus
+from repro.workloads.traces import (
+    dominant_classes,
+    eviction_statistics,
+    google_like_priority_mix,
+    slowdown_ratio,
+)
+
+__all__ = [
+    "dominant_classes",
+    "eviction_statistics",
+    "google_like_priority_mix",
+    "slowdown_ratio",
+    "calibrate_arrival_rates",
+    "poisson_arrival_times",
+    "synthetic_web_graph",
+    "generate_job_trace",
+    "Scenario",
+    "equal_job_sizes_scenario",
+    "low_load_scenario",
+    "more_high_priority_scenario",
+    "reference_two_priority_scenario",
+    "sprinting_scenario",
+    "three_priority_scenario",
+    "triangle_count_scenario",
+    "validation_datasets_scenario",
+    "synthetic_corpus",
+]

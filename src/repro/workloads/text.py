@@ -1,0 +1,93 @@
+"""Synthetic StackExchange-like text corpora.
+
+The paper's text jobs analyse XML dumps of 164 StackExchange sites, each
+dedicated to a different topic, and compute word popularity per topic.  The
+accuracy of that analysis under task dropping depends on two statistical
+properties that the synthetic corpus reproduces:
+
+* word frequencies are heavy-tailed (Zipf-distributed), so popular words are
+  estimated well from a sample while rare words are noisy;
+* documents about the same topic share topic-specific vocabulary, so
+  partitions are not perfectly homogeneous and dropping them introduces
+  topic-dependent bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Parameters of a synthetic corpus."""
+
+    num_documents: int = 200
+    words_per_document: int = 120
+    vocabulary_size: int = 2000
+    num_topics: int = 8
+    zipf_exponent: float = 1.3
+    topic_word_fraction: float = 0.3
+    topic_vocabulary_size: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0 or self.words_per_document <= 0:
+            raise ValueError("documents and words per document must be positive")
+        if self.vocabulary_size <= 0 or self.topic_vocabulary_size <= 0:
+            raise ValueError("vocabulary sizes must be positive")
+        if self.num_topics <= 0:
+            raise ValueError("num_topics must be positive")
+        if not 1.0 < self.zipf_exponent:
+            raise ValueError("zipf_exponent must exceed 1")
+        if not 0.0 <= self.topic_word_fraction <= 1.0:
+            raise ValueError("topic_word_fraction must be in [0, 1]")
+
+
+def _zipf_probabilities(size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, size + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def synthetic_corpus(
+    spec: Optional[CorpusSpec] = None,
+    seed: int = 0,
+) -> List[str]:
+    """Generate a synthetic corpus as a list of document strings.
+
+    Each document mixes a global Zipf-distributed vocabulary with a smaller
+    topic-specific vocabulary; documents cycle through topics so that RDD
+    partitions (round-robin over documents) contain a mix of topics, as the
+    real per-site dumps do.
+    """
+    spec = spec or CorpusSpec()
+    rng = np.random.default_rng(seed)
+    global_probs = _zipf_probabilities(spec.vocabulary_size, spec.zipf_exponent)
+    topic_probs = _zipf_probabilities(spec.topic_vocabulary_size, spec.zipf_exponent)
+    global_vocab = [f"word{i}" for i in range(spec.vocabulary_size)]
+
+    documents: List[str] = []
+    for doc_index in range(spec.num_documents):
+        topic = doc_index % spec.num_topics
+        topic_vocab = [f"topic{topic}term{i}" for i in range(spec.topic_vocabulary_size)]
+        num_topic_words = int(round(spec.words_per_document * spec.topic_word_fraction))
+        num_global_words = spec.words_per_document - num_topic_words
+        words: List[str] = []
+        if num_global_words > 0:
+            picks = rng.choice(spec.vocabulary_size, size=num_global_words, p=global_probs)
+            words.extend(global_vocab[int(i)] for i in picks)
+        if num_topic_words > 0:
+            picks = rng.choice(
+                spec.topic_vocabulary_size, size=num_topic_words, p=topic_probs
+            )
+            words.extend(topic_vocab[int(i)] for i in picks)
+        rng.shuffle(words)
+        documents.append(" ".join(words))
+    return documents
+
+
+def corpus_size_mb(documents: Sequence[str]) -> float:
+    """Approximate corpus size in megabytes (UTF-8 bytes)."""
+    return sum(len(doc.encode("utf-8")) for doc in documents) / (1024.0 * 1024.0)

@@ -1,0 +1,79 @@
+"""Shared fixtures for the DiAS reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.job import JobFactory
+from repro.engine.profiles import JobClassProfile
+from repro.simulation.random_streams import RandomStreams
+from repro.workloads.scenarios import HIGH, LOW
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(seed=7)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A 4-slot cluster so wave effects are visible with few tasks."""
+    return Cluster(ClusterConfig(workers=2, cores_per_worker=2))
+
+
+@pytest.fixture
+def default_cluster() -> Cluster:
+    """The paper's 20-slot cluster."""
+    return Cluster(ClusterConfig(workers=10, cores_per_worker=2))
+
+
+@pytest.fixture
+def high_profile() -> JobClassProfile:
+    """A small high-priority profile (fast to simulate)."""
+    return JobClassProfile(
+        priority=HIGH,
+        name="high",
+        mean_size_mb=100.0,
+        size_cv=0.1,
+        partitions=8,
+        reduce_tasks=2,
+        map_time_per_100mb=40.0,
+        reduce_time=2.0,
+        setup_time_full=4.0,
+        setup_time_min=2.0,
+        shuffle_time=1.0,
+        task_scv=0.05,
+        max_accuracy_loss=0.0,
+    )
+
+
+@pytest.fixture
+def low_profile() -> JobClassProfile:
+    """A small low-priority profile (larger jobs, tolerates accuracy loss)."""
+    return JobClassProfile(
+        priority=LOW,
+        name="low",
+        mean_size_mb=240.0,
+        size_cv=0.1,
+        partitions=8,
+        reduce_tasks=2,
+        map_time_per_100mb=40.0,
+        reduce_time=2.0,
+        setup_time_full=4.0,
+        setup_time_min=2.0,
+        shuffle_time=1.0,
+        task_scv=0.05,
+        max_accuracy_loss=0.32,
+    )
+
+
+@pytest.fixture
+def job_factory(streams: RandomStreams) -> JobFactory:
+    return JobFactory(streams)

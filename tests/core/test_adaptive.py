@@ -1,0 +1,158 @@
+"""Tests for the online adaptive deflation controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveDeflationController
+from repro.core.dias import DiASSimulation, DropRatioDecision
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.job import Job, StageSpec
+from repro.engine.profiles import JobClassProfile
+from repro.simulation.metrics import JobRecord, MetricsCollector
+from repro.workloads.scenarios import HIGH, LOW
+
+
+def profiles():
+    high = JobClassProfile(priority=HIGH, partitions=4, reduce_tasks=0, shuffle_time=0.0,
+                           setup_time_full=0.0, setup_time_min=0.0, max_accuracy_loss=0.0)
+    low = JobClassProfile(priority=LOW, partitions=4, reduce_tasks=0, shuffle_time=0.0,
+                          setup_time_full=0.0, setup_time_min=0.0, max_accuracy_loss=0.32)
+    return {HIGH: high, LOW: low}
+
+
+def make_job(job_id, priority, arrival, task_time=10.0):
+    stage = StageSpec(index=0, map_task_times=[task_time] * 4, reduce_task_times=[],
+                      shuffle_time=0.0)
+    return Job(job_id=job_id, priority=priority, arrival_time=arrival, size_mb=10.0,
+               stages=[stage], profile=profiles()[priority])
+
+
+def record(priority, response, arrival=0.0):
+    return JobRecord(job_id=0, priority=priority, arrival_time=arrival, start_time=arrival,
+                     completion_time=arrival + response, execution_time=response)
+
+
+def controller(**kwargs):
+    defaults = dict(profiles=profiles(), latency_target=50.0, window=3,
+                    reevaluation_interval=10.0, candidates=(0.0, 0.1, 0.2, 0.4))
+    defaults.update(kwargs)
+    return AdaptiveDeflationController(**defaults)
+
+
+def test_initial_drop_ratios_are_zero():
+    ctl = controller()
+    assert ctl.current_drop_ratios() == {HIGH: 0.0, LOW: 0.0}
+
+
+def test_latency_violation_increases_low_priority_drop_ratio():
+    ctl = controller()
+    metrics = MetricsCollector()
+    for _ in range(3):
+        metrics.record_job(record(HIGH, response=200.0))
+    decision = ctl(make_job(1, LOW, 0.0), now=100.0, metrics=metrics)
+    assert isinstance(decision, DropRatioDecision)
+    assert ctl.current_drop_ratio(LOW) == pytest.approx(0.1)
+    assert ctl.adaptations == 1
+
+
+def test_high_priority_class_never_adapts_with_zero_tolerance():
+    ctl = controller()
+    metrics = MetricsCollector()
+    for _ in range(3):
+        metrics.record_job(record(HIGH, response=500.0))
+    for now in (100.0, 200.0, 300.0):
+        ctl(make_job(1, LOW, 0.0), now=now, metrics=metrics)
+    assert ctl.current_drop_ratio(HIGH) == 0.0
+
+
+def test_drop_ratio_never_exceeds_accuracy_ceiling():
+    ctl = controller()
+    metrics = MetricsCollector()
+    for _ in range(3):
+        metrics.record_job(record(HIGH, response=500.0))
+    for now in range(100, 1000, 20):
+        ctl(make_job(1, LOW, 0.0), now=float(now), metrics=metrics)
+    ceiling = ctl.accuracy_model.max_drop_for_error(0.32)
+    assert ctl.current_drop_ratio(LOW) <= ceiling + 1e-12
+
+
+def test_low_latency_releases_the_approximation():
+    ctl = controller()
+    metrics = MetricsCollector()
+    for _ in range(3):
+        metrics.record_job(record(HIGH, response=200.0))
+    ctl(make_job(1, LOW, 0.0), now=100.0, metrics=metrics)
+    assert ctl.current_drop_ratio(LOW) > 0.0
+    # Now the system recovers: recent latencies far below the target.
+    for _ in range(3):
+        metrics.record_job(record(HIGH, response=5.0))
+    ctl(make_job(2, LOW, 0.0), now=200.0, metrics=metrics)
+    assert ctl.current_drop_ratio(LOW) == 0.0
+
+
+def test_reevaluation_interval_limits_adaptation_rate():
+    ctl = controller(reevaluation_interval=1000.0)
+    metrics = MetricsCollector()
+    for _ in range(3):
+        metrics.record_job(record(HIGH, response=200.0))
+    ctl(make_job(1, LOW, 0.0), now=100.0, metrics=metrics)
+    ctl(make_job(2, LOW, 0.0), now=200.0, metrics=metrics)  # too soon for a second step
+    assert ctl.adaptations == 1
+    assert ctl.current_drop_ratio(LOW) == pytest.approx(0.1)
+
+
+def test_no_adaptation_without_observations():
+    ctl = controller()
+    decision = ctl(make_job(1, LOW, 0.0), now=100.0, metrics=MetricsCollector())
+    assert decision.map_drop_ratio == 0.0
+    assert ctl.adaptations == 0
+
+
+def test_validation_of_parameters():
+    with pytest.raises(ValueError):
+        controller(latency_target=0.0)
+    with pytest.raises(ValueError):
+        controller(window=0)
+    with pytest.raises(ValueError):
+        controller(candidates=(0.2, 0.1))
+    with pytest.raises(ValueError):
+        controller(monitored_priority=99)
+    with pytest.raises(ValueError):
+        controller(release_fraction=0.0)
+
+
+def test_adaptive_controller_plugs_into_the_simulation():
+    # Overloaded low-priority stream: the controller should start dropping.
+    jobs = [make_job(i, LOW, 12.0 * i) for i in range(30)]
+    jobs += [make_job(100 + i, HIGH, 60.0 * i + 5.0) for i in range(6)]
+    ctl = controller(latency_target=30.0, reevaluation_interval=30.0)
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    simulation = DiASSimulation(
+        SchedulingPolicy.non_preemptive_priority(),
+        jobs,
+        cluster=cluster,
+        drop_ratio_provider=ctl,
+    )
+    result = simulation.run()
+    assert result.completed_jobs == len(jobs)
+    assert ctl.adaptations >= 1
+    # Some low-priority jobs were deflated once the target was violated.
+    low_records = result.metrics.records_for_priority(LOW)
+    assert any(r.drop_ratio > 0 for r in low_records)
+    # And the adaptation never exceeded the accuracy ceiling.
+    assert all(r.drop_ratio <= ctl.accuracy_model.max_drop_for_error(0.32) + 1e-9
+               for r in low_records)
+
+
+def test_static_policy_still_used_when_no_provider_given():
+    jobs = [make_job(0, LOW, 0.0)]
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    simulation = DiASSimulation(
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.5}),
+        jobs,
+        cluster=cluster,
+    )
+    result = simulation.run()
+    assert result.metrics.records[0].drop_ratio == pytest.approx(0.5)

@@ -1,0 +1,88 @@
+"""Tests for the sprinting configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SprintConfig
+
+
+def test_disabled_config_sprints_nothing():
+    config = SprintConfig.disabled()
+    assert not config.sprints(0)
+    assert not config.sprints(5)
+    assert config.budget_seconds == 0.0
+
+
+def test_default_config_sprints_every_priority():
+    config = SprintConfig()
+    assert config.sprints(0)
+    assert config.sprints(3)
+
+
+def test_priority_filtering():
+    config = SprintConfig(sprint_priorities=frozenset({2}))
+    assert config.sprints(2)
+    assert not config.sprints(0)
+
+
+def test_timeout_lookup_with_default():
+    config = SprintConfig(timeouts={2: 65.0}, default_timeout=10.0)
+    assert config.timeout_for(2) == 65.0
+    assert config.timeout_for(0) == 10.0
+
+
+def test_unlimited_flag():
+    assert SprintConfig(budget_seconds=None).unlimited
+    assert not SprintConfig(budget_seconds=100.0).unlimited
+
+
+def test_replenish_rate_conversion():
+    config = SprintConfig(replenish_seconds_per_hour=360.0)
+    assert config.replenish_rate == pytest.approx(0.1)
+
+
+def test_budget_cap_defaults_to_initial_budget():
+    config = SprintConfig(budget_seconds=200.0)
+    assert config.budget_cap() == 200.0
+    capped = SprintConfig(budget_seconds=200.0, max_budget_seconds=500.0)
+    assert capped.budget_cap() == 500.0
+
+
+def test_unlimited_sprinting_factory():
+    config = SprintConfig.unlimited_sprinting({2}, timeout=0.0)
+    assert config.unlimited
+    assert config.sprints(2)
+    assert not config.sprints(0)
+    assert config.timeout_for(2) == 0.0
+
+
+def test_limited_sprinting_factory_matches_paper_defaults():
+    config = SprintConfig.limited_sprinting(budget_seconds=244.0, sprint_priorities={2})
+    assert config.budget_seconds == 244.0
+    assert config.timeout_for(2) == 65.0
+    assert config.replenish_seconds_per_hour == 360.0
+
+
+def test_from_energy_budget_converts_joules():
+    # 22 kJ at 90 W extra power is about 244 s of sprinting.
+    config = SprintConfig.from_energy_budget(22_000.0, 90.0, sprint_priorities={2})
+    assert config.budget_seconds == pytest.approx(22_000.0 / 90.0)
+
+
+def test_from_energy_budget_validation():
+    with pytest.raises(ValueError):
+        SprintConfig.from_energy_budget(-1.0, 90.0)
+    with pytest.raises(ValueError):
+        SprintConfig.from_energy_budget(100.0, 0.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SprintConfig(default_timeout=-1.0)
+    with pytest.raises(ValueError):
+        SprintConfig(timeouts={1: -5.0})
+    with pytest.raises(ValueError):
+        SprintConfig(budget_seconds=-1.0)
+    with pytest.raises(ValueError):
+        SprintConfig(replenish_seconds_per_hour=-1.0)

@@ -1,0 +1,155 @@
+"""Tests for the model-guided task deflator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.deflator import TaskDeflator
+from repro.models.accuracy import AccuracyModel
+from repro.workloads.arrivals import calibrate_arrival_rates
+from repro.workloads.scenarios import HIGH, LOW
+
+
+@pytest.fixture
+def deflator(high_profile, low_profile) -> TaskDeflator:
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    rates = calibrate_arrival_rates(
+        profiles, {HIGH: 1.0, LOW: 9.0}, slots=4, target_utilisation=0.8
+    )
+    return TaskDeflator(profiles=profiles, arrival_rates=rates, slots=4)
+
+
+def test_service_distribution_shrinks_with_dropping(deflator):
+    base = deflator.service_distribution(LOW, 0.0).mean
+    dropped = deflator.service_distribution(LOW, 0.5).mean
+    assert dropped < base
+
+
+def test_predict_mean_processing_time_matches_distribution(deflator):
+    assert deflator.predict_mean_processing_time(LOW, 0.2) == pytest.approx(
+        deflator.service_distribution(LOW, 0.2).mean
+    )
+
+
+def test_predicted_utilisation_decreases_with_dropping(deflator):
+    full = deflator.predicted_utilisation({HIGH: 0.0, LOW: 0.0})
+    dropped = deflator.predicted_utilisation({HIGH: 0.0, LOW: 0.5})
+    assert dropped < full
+    assert full == pytest.approx(0.8, abs=0.1)
+
+
+def test_predict_response_times_orders_priorities(deflator):
+    responses = deflator.predict_response_times({HIGH: 0.0, LOW: 0.0})
+    assert responses[HIGH] < responses[LOW]
+
+
+def test_dropping_low_priority_helps_both_classes(deflator):
+    base = deflator.predict_response_times({HIGH: 0.0, LOW: 0.0})
+    dropped = deflator.predict_response_times({HIGH: 0.0, LOW: 0.4})
+    assert dropped[LOW] < base[LOW]
+    assert dropped[HIGH] <= base[HIGH]
+
+
+def test_max_drop_ratio_respects_accuracy_tolerance(deflator, high_profile, low_profile):
+    assert deflator.max_drop_ratio(HIGH) == 0.0
+    expected = deflator.accuracy_model.max_drop_for_error(low_profile.max_accuracy_loss)
+    assert deflator.max_drop_ratio(LOW) == pytest.approx(expected)
+
+
+def test_feasible_drop_ratios_filtered_by_tolerance(deflator):
+    feasible_high = deflator.feasible_drop_ratios(HIGH, (0.0, 0.1, 0.2))
+    feasible_low = deflator.feasible_drop_ratios(LOW, (0.0, 0.1, 0.2))
+    assert feasible_high == [0.0]
+    assert 0.2 in feasible_low
+
+
+def test_choose_latency_objective_prefers_larger_admissible_drop(deflator):
+    decision = deflator.choose(candidates=(0.0, 0.1, 0.2))
+    assert decision.drop_ratio(HIGH) == 0.0
+    assert decision.drop_ratio(LOW) == pytest.approx(0.2)
+    assert decision.feasible
+
+
+def test_choose_accuracy_objective_prefers_no_drop(deflator):
+    decision = deflator.choose(candidates=(0.0, 0.1, 0.2), objective="accuracy")
+    assert decision.drop_ratio(LOW) == 0.0
+
+
+def test_choose_respects_high_priority_degradation_cap(deflator):
+    generous = deflator.choose(candidates=(0.0, 0.2), max_high_priority_degradation=10.0)
+    assert generous.feasible
+    # A negative cap forces the no-drop assignment to be the only feasible one
+    # only if dropping degrades the high class; dropping helps here, so the
+    # decision must still be feasible.
+    strict = deflator.choose(candidates=(0.0, 0.2), max_high_priority_degradation=0.0)
+    assert strict.feasible
+
+
+def test_choose_with_latency_targets(deflator):
+    baseline = deflator.predict_response_times({HIGH: 0.0, LOW: 0.0})
+    # Require the low class to beat a target only reachable by dropping.
+    target = {LOW: baseline[LOW] * 0.8}
+    decision = deflator.choose(candidates=(0.0, 0.1, 0.2), latency_targets=target)
+    assert decision.drop_ratio(LOW) > 0.0
+
+
+def test_choose_reports_predicted_losses(deflator):
+    decision = deflator.choose(candidates=(0.0, 0.2))
+    assert decision.predicted_accuracy_loss[HIGH] == 0.0
+    assert decision.predicted_accuracy_loss[LOW] == pytest.approx(
+        deflator.accuracy_model.error(decision.drop_ratio(LOW))
+    )
+
+
+def test_choose_forwards_sprint_timeouts(deflator):
+    decision = deflator.choose(candidates=(0.0,), sprint_timeouts={HIGH: 65.0})
+    assert decision.sprint_timeouts == {HIGH: 65.0}
+
+
+def test_choose_sprint_timeout_from_budget_fraction(deflator):
+    timeout = deflator.choose_sprint_timeout(HIGH, sprint_fraction=0.35, speedup=2.5)
+    mean = deflator.service_distribution(HIGH, 0.0).mean
+    assert timeout == pytest.approx(mean * 0.65)
+
+
+def test_task_model_variant(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    rates = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 9.0}, 4, 0.5)
+    deflator = TaskDeflator(profiles=profiles, arrival_rates=rates, slots=4, model="task")
+    responses = deflator.predict_response_times({HIGH: 0.0, LOW: 0.0})
+    assert all(math.isfinite(v) for v in responses.values())
+
+
+def test_sprinting_speedup_shrinks_high_priority_service(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    rates = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 9.0}, 4, 0.5)
+    plain = TaskDeflator(profiles=profiles, arrival_rates=rates, slots=4)
+    sprinted = TaskDeflator(
+        profiles=profiles, arrival_rates=rates, slots=4,
+        sprint_speedup=2.5, sprint_priorities={HIGH},
+    )
+    assert sprinted.service_distribution(HIGH, 0.0).mean < plain.service_distribution(HIGH, 0.0).mean
+    # The low class is not sprinted.
+    assert sprinted.service_distribution(LOW, 0.0).mean == pytest.approx(
+        plain.service_distribution(LOW, 0.0).mean
+    )
+
+
+def test_deflator_validation(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    with pytest.raises(ValueError):
+        TaskDeflator(profiles=profiles, arrival_rates={HIGH: 0.1}, slots=4)
+    with pytest.raises(ValueError):
+        TaskDeflator(profiles={}, arrival_rates={}, slots=4)
+    with pytest.raises(ValueError):
+        TaskDeflator(profiles=profiles, arrival_rates={HIGH: 0.1, LOW: 0.1}, slots=4,
+                     model="magic")
+    with pytest.raises(ValueError):
+        TaskDeflator(profiles=profiles, arrival_rates={HIGH: 0.1, LOW: 0.1}, slots=4,
+                     sprint_speedup=0.5)
+    deflator = TaskDeflator(profiles=profiles,
+                            arrival_rates={HIGH: 0.001, LOW: 0.001}, slots=4)
+    with pytest.raises(ValueError):
+        deflator.choose(objective="fastest")

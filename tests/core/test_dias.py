@@ -1,0 +1,190 @@
+"""Tests for the DiAS controller / end-to-end simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SprintConfig
+from repro.core.dias import DiASSimulation, run_policy
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.job import Job, StageSpec
+from repro.engine.profiles import JobClassProfile
+from repro.models.accuracy import AccuracyModel
+from repro.workloads.scenarios import HIGH, LOW
+
+
+def profile_for(priority: int) -> JobClassProfile:
+    return JobClassProfile(priority=priority, partitions=4, reduce_tasks=0,
+                           shuffle_time=0.0, setup_time_full=0.0, setup_time_min=0.0)
+
+
+def make_job(job_id: int, priority: int, arrival: float, task_time: float = 10.0,
+             partitions: int = 4) -> Job:
+    stage = StageSpec(index=0, map_task_times=[task_time] * partitions,
+                      reduce_task_times=[], shuffle_time=0.0)
+    return Job(job_id=job_id, priority=priority, arrival_time=arrival, size_mb=10.0,
+               stages=[stage], profile=profile_for(priority))
+
+
+def small_cluster(slots: int = 2) -> Cluster:
+    return Cluster(ClusterConfig(workers=1, cores_per_worker=slots))
+
+
+# A low job of 4×10 s tasks on 2 slots takes 20 s.
+def test_single_job_runs_to_completion():
+    jobs = [make_job(0, LOW, arrival=0.0)]
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    assert result.completed_jobs == 1
+    assert result.mean_response_time(LOW) == pytest.approx(20.0)
+    assert result.resource_waste == 0.0
+
+
+def test_fcfs_within_class_queues_second_job():
+    jobs = [make_job(0, LOW, 0.0), make_job(1, LOW, 1.0)]
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    records = {r.job_id: r for r in result.metrics.records}
+    assert records[0].response_time == pytest.approx(20.0)
+    # Second job waits until 20 s, runs 20 s, arrived at 1 s.
+    assert records[1].response_time == pytest.approx(39.0)
+    assert records[1].queueing_time == pytest.approx(19.0)
+
+
+def test_non_preemptive_high_priority_waits_for_running_low_job():
+    jobs = [make_job(0, LOW, 0.0), make_job(1, HIGH, 5.0)]
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    records = {r.job_id: r for r in result.metrics.records}
+    # The high job waits for the low job to finish at 20 s, then runs 20 s.
+    assert records[1].response_time == pytest.approx(35.0)
+    assert result.evictions == 0
+
+
+def test_preemptive_policy_evicts_low_job_and_restarts_it():
+    jobs = [make_job(0, LOW, 0.0), make_job(1, HIGH, 5.0)]
+    result = run_policy(SchedulingPolicy.preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    records = {r.job_id: r for r in result.metrics.records}
+    # The high job starts immediately at 5 s and finishes at 25 s.
+    assert records[1].response_time == pytest.approx(20.0)
+    assert records[1].queueing_time == pytest.approx(0.0)
+    # The low job is evicted (5 s wasted) and restarts from scratch at 25 s.
+    assert records[0].evictions == 1
+    assert records[0].wasted_time == pytest.approx(5.0)
+    assert records[0].response_time == pytest.approx(45.0)
+    assert result.evictions == 1
+    assert result.resource_waste == pytest.approx(5.0 / (40.0 + 5.0))
+
+
+def test_higher_priority_job_is_served_before_queued_lower_priority():
+    jobs = [make_job(0, LOW, 0.0), make_job(1, LOW, 1.0), make_job(2, HIGH, 2.0)]
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    records = {r.job_id: r for r in result.metrics.records}
+    # After job 0 completes at 20 s, the queued high job runs before job 1.
+    assert records[2].completion_time < records[1].completion_time
+
+
+def test_da_policy_drops_low_priority_tasks_only():
+    policy = SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.5})
+    jobs = [make_job(0, LOW, 0.0), make_job(1, HIGH, 100.0)]
+    result = run_policy(policy, jobs, cluster=small_cluster())
+    records = {r.job_id: r for r in result.metrics.records}
+    # The low job runs only 2 of its 4 tasks: 10 s instead of 20 s.
+    assert records[0].execution_time == pytest.approx(10.0)
+    assert records[0].drop_ratio == pytest.approx(0.5)
+    assert records[0].accuracy_loss > 0
+    # The high job is untouched.
+    assert records[1].execution_time == pytest.approx(20.0)
+    assert records[1].drop_ratio == 0.0
+    assert records[1].accuracy_loss == 0.0
+
+
+def test_da_improves_low_priority_latency_under_contention():
+    arrivals = [make_job(i, LOW, 15.0 * i) for i in range(10)]
+    arrivals += [make_job(100 + i, HIGH, 40.0 * i + 7.0) for i in range(3)]
+    base = run_policy(SchedulingPolicy.non_preemptive_priority(), arrivals,
+                      cluster=small_cluster())
+    approx = run_policy(
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.5}),
+        arrivals, cluster=small_cluster(),
+    )
+    assert approx.mean_response_time(LOW) < base.mean_response_time(LOW)
+    assert approx.mean_response_time(HIGH) <= base.mean_response_time(HIGH)
+
+
+def test_sprinting_accelerates_high_priority_jobs():
+    sprint = SprintConfig.unlimited_sprinting({HIGH}, timeout=0.0)
+    policy = SchedulingPolicy.dias({HIGH: 0.0, LOW: 0.0}, sprint=sprint)
+    jobs = [make_job(0, HIGH, 0.0)]
+    cluster = small_cluster()
+    result = run_policy(policy, jobs, cluster=cluster)
+    expected = 20.0 / cluster.dvfs.sprint_speedup
+    assert result.mean_response_time(HIGH) == pytest.approx(expected, rel=1e-6)
+    assert result.sprinted_seconds == pytest.approx(expected, rel=1e-6)
+
+
+def test_sprinting_energy_accounted_at_sprint_power():
+    sprint = SprintConfig.unlimited_sprinting({HIGH}, timeout=0.0)
+    policy = SchedulingPolicy.dias({HIGH: 0.0}, sprint=sprint)
+    jobs = [make_job(0, HIGH, 0.0)]
+    cluster = small_cluster()
+    result = run_policy(policy, jobs, cluster=cluster)
+    simulation_duration = result.duration
+    expected_energy = simulation_duration * cluster.power_model.power("sprint")
+    assert result.total_energy_joules == pytest.approx(expected_energy, rel=1e-6)
+
+
+def test_energy_includes_idle_periods():
+    policy = SchedulingPolicy.non_preemptive_priority()
+    jobs = [make_job(0, LOW, 0.0), make_job(1, LOW, 100.0)]
+    cluster = small_cluster()
+    result = run_policy(policy, jobs, cluster=cluster)
+    busy = 40.0 * cluster.power_model.power("busy")
+    idle = 80.0 * cluster.power_model.power("idle")
+    assert result.total_energy_joules == pytest.approx(busy + idle, rel=1e-6)
+
+
+def test_evicted_job_keeps_original_arrival_time_in_metrics():
+    jobs = [make_job(0, LOW, 0.0), make_job(1, HIGH, 5.0)]
+    result = run_policy(SchedulingPolicy.preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    record = [r for r in result.metrics.records if r.job_id == 0][0]
+    assert record.arrival_time == 0.0
+    assert record.start_time >= 25.0  # successful attempt starts after the high job
+
+
+def test_relative_difference_between_policies():
+    jobs = [make_job(i, LOW, 15.0 * i) for i in range(6)]
+    jobs += [make_job(10 + i, HIGH, 31.0 * i + 3.0) for i in range(2)]
+    preemptive = run_policy(SchedulingPolicy.preemptive_priority(), jobs,
+                            cluster=small_cluster())
+    non_preemptive = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                                cluster=small_cluster())
+    diff = non_preemptive.relative_difference(preemptive, HIGH, "mean")
+    assert diff >= 0  # non-preemption can only slow the high class down
+    with pytest.raises(ValueError):
+        non_preemptive.relative_difference(preemptive, HIGH, "median")
+
+
+def test_simulation_requires_jobs():
+    with pytest.raises(ValueError):
+        DiASSimulation(SchedulingPolicy.non_preemptive_priority(), [])
+
+
+def test_custom_accuracy_model_is_used():
+    policy = SchedulingPolicy.differential_approximation({LOW: 0.5})
+    jobs = [make_job(0, LOW, 0.0)]
+    result = run_policy(policy, jobs, cluster=small_cluster(),
+                        accuracy_model=AccuracyModel.zero())
+    assert result.metrics.records[0].accuracy_loss == 0.0
+
+
+def test_utilisation_reported():
+    jobs = [make_job(0, LOW, 0.0), make_job(1, LOW, 30.0)]
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    # 40 s of busy time over a 50 s horizon.
+    assert result.utilisation == pytest.approx(40.0 / 50.0)

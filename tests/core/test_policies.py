@@ -1,0 +1,93 @@
+"""Tests for scheduling-policy definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SprintConfig
+from repro.core.policies import SchedulingPolicy
+
+
+def test_preemptive_baseline():
+    policy = SchedulingPolicy.preemptive_priority()
+    assert policy.name == "P"
+    assert policy.preemptive
+    assert not policy.approximates
+    assert not policy.sprints
+
+
+def test_non_preemptive_baseline():
+    policy = SchedulingPolicy.non_preemptive_priority()
+    assert policy.name == "NP"
+    assert not policy.preemptive
+    assert not policy.approximates
+
+
+def test_differential_approximation_name_follows_paper_convention():
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
+    assert policy.name == "DA(0/20)"
+    assert policy.map_drop_ratio(0) == 0.2
+    assert policy.map_drop_ratio(2) == 0.0
+    assert policy.approximates
+    assert not policy.preemptive
+
+
+def test_three_priority_name_ordering():
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 1: 0.1, 0: 0.2})
+    assert policy.name == "DA(0/10/20)"
+
+
+def test_dias_policy_enables_sprinting():
+    sprint = SprintConfig.unlimited_sprinting({2})
+    policy = SchedulingPolicy.dias({2: 0.0, 0: 0.2}, sprint=sprint)
+    assert policy.name == "DiAS(0/20)"
+    assert policy.sprints
+    assert policy.approximates
+
+
+def test_sprinted_non_preemptive():
+    policy = SchedulingPolicy.sprinted_non_preemptive(SprintConfig.unlimited_sprinting({2}))
+    assert policy.name == "NPS"
+    assert policy.sprints
+    assert not policy.approximates
+
+
+def test_unknown_priority_drops_nothing():
+    policy = SchedulingPolicy.differential_approximation({0: 0.2})
+    assert policy.map_drop_ratio(7) == 0.0
+    assert policy.reduce_drop_ratio(0) == 0.0
+
+
+def test_reduce_drop_ratios_supported():
+    policy = SchedulingPolicy.differential_approximation({0: 0.2}, reduce_drop_ratios={0: 0.1})
+    assert policy.reduce_drop_ratio(0) == 0.1
+
+
+def test_with_sprint_creates_copy():
+    base = SchedulingPolicy.non_preemptive_priority()
+    sprinted = base.with_sprint(SprintConfig.unlimited_sprinting({2}), name="NPS")
+    assert sprinted.sprints
+    assert not base.sprints
+    assert sprinted.name == "NPS"
+
+
+def test_sprints_false_when_no_priority_is_eligible():
+    policy = SchedulingPolicy.dias({0: 0.1}, sprint=SprintConfig(sprint_priorities=frozenset()))
+    assert not policy.sprints
+
+
+def test_sprints_false_for_zero_budget():
+    policy = SchedulingPolicy.dias({0: 0.1}, sprint=SprintConfig(budget_seconds=0.0))
+    assert not policy.sprints
+
+
+def test_drop_ratio_validation():
+    with pytest.raises(ValueError):
+        SchedulingPolicy.differential_approximation({0: 1.0})
+    with pytest.raises(ValueError):
+        SchedulingPolicy.differential_approximation({0: -0.1})
+
+
+def test_custom_name_override():
+    policy = SchedulingPolicy.differential_approximation({0: 0.05}, name="DA(custom)")
+    assert policy.name == "DA(custom)"

@@ -1,0 +1,155 @@
+"""Tests for the sprinter (timers, budget, replenishment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SprintConfig
+from repro.core.sprinter import Sprinter
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.execution import JobExecution, build_phases
+from repro.engine.job import Job, StageSpec
+from repro.engine.profiles import JobClassProfile
+from repro.simulation.des import Simulator
+
+
+def make_job(priority=2, map_time=10.0, partitions=2) -> Job:
+    profile = JobClassProfile(priority=priority, partitions=partitions, reduce_tasks=0,
+                              shuffle_time=0.0, setup_time_full=0.0, setup_time_min=0.0)
+    stage = StageSpec(index=0, map_task_times=[map_time] * partitions,
+                      reduce_task_times=[], shuffle_time=0.0)
+    return Job(job_id=0, priority=priority, arrival_time=0.0, size_mb=10.0,
+               stages=[stage], profile=profile)
+
+
+class Harness:
+    """Wires a sprinter to a single job execution for controlled testing."""
+
+    def __init__(self, config: SprintConfig, job=None, speedup=2.0, slots=2):
+        self.sim = Simulator()
+        self.cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=slots))
+        self.speedup = speedup
+        self.events = []
+        self.sprinter = Sprinter(
+            self.sim, config,
+            on_sprint_start=self._start,
+            on_sprint_end=self._end,
+        )
+        self.job = job if job is not None else make_job()
+        self.execution = JobExecution(
+            self.sim, self.cluster, self.job, build_phases(self.job),
+            on_complete=self._complete,
+        )
+        self.completion_time = None
+
+    def _start(self, execution):
+        self.events.append(("start", self.sim.now))
+        if execution.running:
+            execution.set_speed(self.speedup)
+
+    def _end(self, execution):
+        self.events.append(("end", self.sim.now))
+        if execution.running:
+            execution.set_speed(1.0)
+
+    def _complete(self, execution):
+        self.completion_time = execution.completion_time
+        self.sprinter.on_job_end(execution)
+
+    def run(self):
+        self.execution.start(speed=1.0)
+        self.sprinter.on_dispatch(self.execution)
+        self.sim.run()
+        return self
+
+
+def test_zero_timeout_sprints_from_dispatch():
+    harness = Harness(SprintConfig.unlimited_sprinting({2}, timeout=0.0)).run()
+    # 10 s of work at 2x speed -> 5 s.
+    assert harness.completion_time == pytest.approx(5.0)
+    assert harness.events[0] == ("start", 0.0)
+    assert harness.sprinter.total_sprinted_seconds == pytest.approx(5.0)
+
+
+def test_timeout_delays_the_sprint():
+    harness = Harness(SprintConfig.unlimited_sprinting({2}, timeout=4.0)).run()
+    # 4 s at base + remaining 6 s of work at 2x -> 7 s total.
+    assert harness.completion_time == pytest.approx(7.0)
+    assert harness.events[0] == ("start", 4.0)
+
+
+def test_ineligible_priority_never_sprints():
+    harness = Harness(SprintConfig.unlimited_sprinting({5}, timeout=0.0)).run()
+    assert harness.completion_time == pytest.approx(10.0)
+    assert harness.events == []
+    assert harness.sprinter.sprints_started == 0
+
+
+def test_job_finishing_before_timeout_never_sprints():
+    harness = Harness(SprintConfig.unlimited_sprinting({2}, timeout=50.0)).run()
+    assert harness.completion_time == pytest.approx(10.0)
+    assert harness.events == []
+
+
+def test_budget_exhaustion_stops_the_sprint():
+    config = SprintConfig(
+        sprint_priorities=frozenset({2}), default_timeout=0.0,
+        budget_seconds=2.0, replenish_seconds_per_hour=0.0,
+    )
+    harness = Harness(config).run()
+    # 2 s sprinted at 2x completes 4 s of work; remaining 6 s at base speed.
+    assert harness.completion_time == pytest.approx(2.0 + 6.0)
+    assert ("end", 2.0) in harness.events
+    assert harness.sprinter.total_sprinted_seconds == pytest.approx(2.0)
+    assert harness.sprinter.available_budget() == pytest.approx(0.0)
+
+
+def test_zero_budget_denies_sprint():
+    config = SprintConfig(
+        sprint_priorities=frozenset({2}), default_timeout=0.0, budget_seconds=0.0,
+    )
+    harness = Harness(config).run()
+    assert harness.completion_time == pytest.approx(10.0)
+    assert harness.sprinter.sprints_denied == 1
+
+
+def test_budget_replenishes_over_time():
+    config = SprintConfig(
+        sprint_priorities=frozenset({2}), default_timeout=0.0,
+        budget_seconds=100.0, replenish_seconds_per_hour=3600.0,  # 1 s per s
+    )
+    sim_config_harness = Harness(config)
+    sim_config_harness.run()
+    # With a replenish rate of 1 s/s the budget never drains.
+    assert sim_config_harness.completion_time == pytest.approx(5.0)
+    assert sim_config_harness.sprinter.available_budget() == pytest.approx(100.0)
+
+
+def test_unlimited_budget_reports_none():
+    harness = Harness(SprintConfig.unlimited_sprinting({2})).run()
+    assert harness.sprinter.available_budget() is None
+
+
+def test_eviction_stops_sprint_and_cancels_timer():
+    config = SprintConfig.unlimited_sprinting({2}, timeout=2.0)
+    harness = Harness(config, job=make_job(map_time=20.0))
+    harness.execution.start(speed=1.0)
+    harness.sprinter.on_dispatch(harness.execution)
+    harness.sim.schedule(6.0, lambda s: (harness.execution.evict(),
+                                          harness.sprinter.on_job_end(harness.execution)))
+    harness.sim.run()
+    # Sprint started at 2 s and was force-stopped at eviction time 6 s.
+    assert ("start", 2.0) in harness.events
+    assert ("end", 6.0) in harness.events
+    assert harness.sprinter.total_sprinted_seconds == pytest.approx(4.0)
+    assert not harness.sprinter.sprinting
+
+
+def test_budget_shared_across_successive_jobs():
+    config = SprintConfig(
+        sprint_priorities=frozenset({2}), default_timeout=0.0,
+        budget_seconds=7.0, replenish_seconds_per_hour=0.0,
+    )
+    first = Harness(config).run()
+    # First job sprinted its entire 5 s, leaving 2 s of budget.
+    assert first.sprinter.available_budget() == pytest.approx(2.0)

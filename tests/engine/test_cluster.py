@@ -1,0 +1,68 @@
+"""Tests for the cluster model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.dvfs import DVFSModel
+
+
+def test_default_cluster_matches_paper_testbed():
+    cluster = Cluster()
+    assert cluster.config.workers == 10
+    assert cluster.config.cores_per_worker == 2
+    assert cluster.slots == 20
+
+
+def test_cluster_config_slots_and_memory():
+    config = ClusterConfig(workers=3, cores_per_worker=4, memory_per_worker_gb=8.0)
+    assert config.slots == 12
+    assert config.total_memory_gb == 24.0
+
+
+def test_cluster_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(workers=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(cores_per_worker=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(memory_per_worker_gb=0.0)
+
+
+def test_cluster_starts_at_base_frequency():
+    cluster = Cluster()
+    assert not cluster.sprinting
+    assert cluster.frequency == cluster.dvfs.base
+    assert cluster.speed == pytest.approx(1.0)
+
+
+def test_set_sprinting_changes_speed():
+    cluster = Cluster()
+    changed = cluster.set_sprinting(True)
+    assert changed
+    assert cluster.sprinting
+    assert cluster.frequency == cluster.dvfs.sprint
+    assert cluster.speed == pytest.approx(cluster.dvfs.sprint_speedup)
+
+
+def test_set_sprinting_reports_no_change():
+    cluster = Cluster()
+    assert cluster.set_sprinting(False) is False
+    cluster.set_sprinting(True)
+    assert cluster.set_sprinting(True) is False
+
+
+def test_power_mode_mapping():
+    cluster = Cluster()
+    assert cluster.power_mode(busy=False) == "idle"
+    assert cluster.power_mode(busy=True) == "busy"
+    cluster.set_sprinting(True)
+    assert cluster.power_mode(busy=True) == "sprint"
+    assert cluster.power_mode(busy=False) == "idle"
+
+
+def test_custom_dvfs_model_used_for_speed():
+    cluster = Cluster(dvfs=DVFSModel(cpu_bound_fraction=1.0))
+    cluster.set_sprinting(True)
+    assert cluster.speed == pytest.approx(3.0)

@@ -1,0 +1,60 @@
+"""Tests for the DVFS speedup model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.dvfs import BASE_FREQUENCY, SPRINT_FREQUENCY, DVFSModel, FrequencyLevel
+
+
+def test_frequency_level_rejects_non_positive():
+    with pytest.raises(ValueError):
+        FrequencyLevel("bad", 0.0)
+
+
+def test_default_frequencies_match_paper():
+    assert BASE_FREQUENCY.frequency_mhz == 800.0
+    assert SPRINT_FREQUENCY.frequency_mhz == 2400.0
+
+
+def test_base_frequency_has_no_speedup():
+    model = DVFSModel()
+    assert model.speedup(model.base) == pytest.approx(1.0)
+    assert model.time_scale(model.base) == pytest.approx(1.0)
+
+
+def test_sprint_speedup_between_one_and_frequency_ratio():
+    model = DVFSModel()
+    ratio = SPRINT_FREQUENCY.frequency_mhz / BASE_FREQUENCY.frequency_mhz
+    assert 1.0 < model.sprint_speedup < ratio + 1e-9
+
+
+def test_fully_cpu_bound_speedup_equals_frequency_ratio():
+    model = DVFSModel(cpu_bound_fraction=1.0)
+    assert model.sprint_speedup == pytest.approx(3.0)
+
+
+def test_no_cpu_bound_work_gives_no_speedup():
+    model = DVFSModel(cpu_bound_fraction=0.0)
+    assert model.sprint_speedup == pytest.approx(1.0)
+
+
+def test_default_sprint_time_reduction_matches_paper_ceiling():
+    # The paper reports that sprinting reduces execution time by *up to* 60 %.
+    model = DVFSModel()
+    assert model.sprint_time_reduction == pytest.approx(0.6, abs=0.02)
+
+
+def test_invalid_cpu_bound_fraction_rejected():
+    with pytest.raises(ValueError):
+        DVFSModel(cpu_bound_fraction=1.5)
+
+
+def test_sprint_frequency_must_not_be_below_base():
+    with pytest.raises(ValueError):
+        DVFSModel(base=FrequencyLevel("b", 2000.0), sprint=FrequencyLevel("s", 1000.0))
+
+
+def test_speedup_is_inverse_of_time_scale():
+    model = DVFSModel(cpu_bound_fraction=0.7)
+    assert model.speedup(model.sprint) == pytest.approx(1.0 / model.time_scale(model.sprint))

@@ -1,0 +1,216 @@
+"""Tests for wave-based job execution (phases, speed changes, eviction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.execution import ExecutionPhase, JobExecution, build_phases
+from repro.engine.job import Job, StageSpec
+from repro.engine.profiles import JobClassProfile
+from repro.simulation.des import Simulator
+
+
+def deterministic_profile(partitions=4, reduce_tasks=2) -> JobClassProfile:
+    return JobClassProfile(
+        priority=1,
+        name="test",
+        mean_size_mb=100.0,
+        size_cv=0.0,
+        partitions=partitions,
+        reduce_tasks=reduce_tasks,
+        map_time_per_100mb=partitions * 10.0,  # 10 s per map task at 100 MB
+        reduce_time=5.0,
+        setup_time_full=2.0,
+        setup_time_min=1.0,
+        shuffle_time=3.0,
+        task_scv=0.0,
+    )
+
+
+def deterministic_job(partitions=4, reduce_tasks=2, map_time=10.0, reduce_time=5.0,
+                      shuffle=3.0, priority=1, droppable=True) -> Job:
+    profile = deterministic_profile(partitions, reduce_tasks)
+    stage = StageSpec(
+        index=0,
+        map_task_times=[map_time] * partitions,
+        reduce_task_times=[reduce_time] * reduce_tasks,
+        shuffle_time=shuffle,
+        droppable=droppable,
+    )
+    return Job(job_id=0, priority=priority, arrival_time=0.0, size_mb=100.0,
+               stages=[stage], profile=profile)
+
+
+def run_execution(job, slots=2, drop_ratio=0.0, speed=None):
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=slots))
+    sim = Simulator()
+    done = {}
+    phases = build_phases(job, map_drop_ratio=drop_ratio)
+    execution = JobExecution(sim, cluster, job, phases, on_complete=lambda e: done.setdefault("t", e.completion_time))
+    execution.start(speed=speed)
+    sim.run()
+    return execution, done.get("t"), sim
+
+
+# --------------------------------------------------------------- build_phases
+def test_build_phases_structure():
+    job = deterministic_job()
+    phases = build_phases(job)
+    names = [p.name for p in phases]
+    assert names == ["setup", "map", "shuffle", "reduce"]
+
+
+def test_build_phases_applies_drop_ratio():
+    job = deterministic_job(partitions=4)
+    phases = build_phases(job, map_drop_ratio=0.5)
+    map_phase = [p for p in phases if p.name == "map"][0]
+    assert len(map_phase.durations) == 2  # ⌈4·0.5⌉
+
+
+def test_build_phases_respects_kept_indices():
+    job = deterministic_job(partitions=4)
+    phases = build_phases(job, map_drop_ratio=0.5, kept_map_indices={0: [0, 3]})
+    map_phase = [p for p in phases if p.name == "map"][0]
+    assert len(map_phase.durations) == 2
+
+
+def test_build_phases_non_droppable_stage_keeps_everything():
+    job = deterministic_job(partitions=4, droppable=False)
+    phases = build_phases(job, map_drop_ratio=0.5)
+    map_phase = [p for p in phases if p.name == "map"][0]
+    assert len(map_phase.durations) == 4
+
+
+def test_execution_phase_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        ExecutionPhase("map", 0, [-1.0])
+
+
+# ---------------------------------------------------------------- JobExecution
+def test_execution_wave_timing_is_exact():
+    # 4 map tasks of 10 s on 2 slots = 2 waves = 20 s; shuffle 3 s;
+    # 2 reduce tasks of 5 s on 2 slots = 5 s; setup 2 s -> total 30 s.
+    job = deterministic_job()
+    execution, completion, _ = run_execution(job, slots=2)
+    assert execution.completed
+    assert completion == pytest.approx(2.0 + 20.0 + 3.0 + 5.0)
+
+
+def test_execution_with_more_slots_is_faster():
+    job = deterministic_job(partitions=4)
+    _, t_two_slots, _ = run_execution(job, slots=2)
+    _, t_four_slots, _ = run_execution(job, slots=4)
+    assert t_four_slots < t_two_slots
+    assert t_four_slots == pytest.approx(2.0 + 10.0 + 3.0 + 5.0)
+
+
+def test_execution_with_dropping_is_faster():
+    job = deterministic_job(partitions=4)
+    _, t_full, _ = run_execution(job, slots=2, drop_ratio=0.0)
+    _, t_dropped, _ = run_execution(job, slots=2, drop_ratio=0.5)
+    assert t_dropped < t_full
+
+
+def test_execution_speed_scales_duration():
+    job = deterministic_job()
+    _, t_base, _ = run_execution(job, slots=2, speed=1.0)
+    _, t_fast, _ = run_execution(job, slots=2, speed=2.0)
+    assert t_fast == pytest.approx(t_base / 2.0)
+
+
+def test_mid_flight_speed_change_rescales_remaining_work():
+    job = deterministic_job(partitions=2, reduce_tasks=0, map_time=10.0, shuffle=0.0)
+    # setup 2 s + one wave of 10 s = 12 s at speed 1.
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    sim = Simulator()
+    done = {}
+    phases = build_phases(job)
+    execution = JobExecution(sim, cluster, job, phases,
+                             on_complete=lambda e: done.setdefault("t", e.completion_time))
+    execution.start(speed=1.0)
+    # Double the speed at t = 7 (after setup, 5 s into the 10 s map wave).
+    sim.schedule(7.0, lambda s: execution.set_speed(2.0))
+    sim.run()
+    assert done["t"] == pytest.approx(7.0 + 5.0 / 2.0)
+
+
+def test_sprinted_time_is_tracked():
+    job = deterministic_job(partitions=2, reduce_tasks=0, map_time=10.0, shuffle=0.0)
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    sim = Simulator()
+    execution = JobExecution(sim, cluster, job, build_phases(job), on_complete=lambda e: None)
+    execution.start(speed=1.0)
+    sim.schedule(7.0, lambda s: execution.set_speed(2.0))
+    sim.run()
+    assert execution.sprinted_time == pytest.approx(2.5)
+
+
+def test_eviction_cancels_work_and_reports_wasted_time():
+    job = deterministic_job()
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    sim = Simulator()
+    completed = []
+    execution = JobExecution(sim, cluster, job, build_phases(job),
+                             on_complete=lambda e: completed.append(e))
+    execution.start()
+    wasted = {}
+    sim.schedule(12.0, lambda s: wasted.setdefault("w", execution.evict()))
+    sim.run()
+    assert wasted["w"] == pytest.approx(12.0)
+    assert execution.evicted
+    assert not execution.completed
+    assert completed == []
+    # No events left over from the cancelled tasks.
+    assert sim.peek_time() is None
+
+
+def test_evicting_a_finished_job_is_an_error():
+    job = deterministic_job()
+    execution, _, _ = run_execution(job)
+    with pytest.raises(RuntimeError):
+        execution.evict()
+
+
+def test_double_start_rejected():
+    job = deterministic_job()
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    sim = Simulator()
+    execution = JobExecution(sim, cluster, job, build_phases(job), on_complete=lambda e: None)
+    execution.start()
+    with pytest.raises(RuntimeError):
+        execution.start()
+
+
+def test_elapsed_equals_completion_minus_start():
+    job = deterministic_job()
+    execution, completion, _ = run_execution(job)
+    assert execution.elapsed == pytest.approx(completion - execution.start_time)
+
+
+def test_multi_stage_job_runs_all_stages():
+    profile = deterministic_profile()
+    stages = [
+        StageSpec(index=i, map_task_times=[4.0, 4.0], reduce_task_times=[2.0],
+                  shuffle_time=1.0)
+        for i in range(3)
+    ]
+    job = Job(job_id=0, priority=1, arrival_time=0.0, size_mb=100.0,
+              stages=stages, profile=profile)
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    sim = Simulator()
+    done = {}
+    execution = JobExecution(sim, cluster, job, build_phases(job),
+                             on_complete=lambda e: done.setdefault("t", e.completion_time))
+    execution.start()
+    sim.run()
+    # setup 2 + 3 × (4 + 1 + 2) = 23
+    assert done["t"] == pytest.approx(2.0 + 3 * 7.0)
+
+
+def test_execution_requires_phases():
+    job = deterministic_job()
+    cluster = Cluster()
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        JobExecution(sim, cluster, job, [], on_complete=lambda e: None)

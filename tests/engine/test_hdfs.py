@@ -1,0 +1,89 @@
+"""Tests for the HDFS-like block store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.hdfs import BlockStore, Dataset
+
+
+def test_dataset_requires_positive_size():
+    with pytest.raises(ValueError):
+        Dataset("x", size_mb=0.0)
+
+
+def test_dataset_partition_count_must_be_positive():
+    with pytest.raises(ValueError):
+        Dataset("x", size_mb=10.0, partitions=0)
+
+
+def test_num_blocks_rounds_up():
+    store = BlockStore(block_size_mb=128.0)
+    store.create_dataset("a", size_mb=129.0)
+    assert store.num_blocks("a") == 2
+
+
+def test_small_dataset_has_one_block():
+    store = BlockStore(block_size_mb=128.0)
+    store.create_dataset("tiny", size_mb=1.0)
+    assert store.num_blocks("tiny") == 1
+
+
+def test_explicit_partitions_override_blocks():
+    store = BlockStore()
+    store.create_dataset("text", size_mb=473.0, partitions=50)
+    assert store.num_partitions("text") == 50
+
+
+def test_partitions_default_to_block_count():
+    store = BlockStore(block_size_mb=100.0)
+    store.create_dataset("data", size_mb=450.0)
+    assert store.num_partitions("data") == 5
+
+
+def test_unknown_dataset_raises_key_error():
+    store = BlockStore()
+    with pytest.raises(KeyError):
+        store.get("missing")
+
+
+def test_contains_and_listing():
+    store = BlockStore()
+    store.create_dataset("a", 10.0)
+    store.create_dataset("b", 20.0)
+    assert "a" in store and "b" in store
+    assert {d.name for d in store.datasets()} == {"a", "b"}
+
+
+def test_stored_mb_includes_replication():
+    store = BlockStore(replication=3, datanodes=3)
+    store.create_dataset("a", 100.0)
+    assert store.stored_mb() == pytest.approx(300.0)
+
+
+def test_replication_cannot_exceed_datanodes():
+    with pytest.raises(ValueError):
+        BlockStore(replication=4, datanodes=3)
+
+
+def test_block_placement_has_replication_entries_per_block():
+    store = BlockStore(block_size_mb=100.0, replication=2, datanodes=3)
+    store.create_dataset("a", 250.0)
+    placement = store.block_placement("a")
+    assert len(placement) == 3
+    assert all(len(replicas) == 2 for replicas in placement)
+    assert all(0 <= node < 3 for replicas in placement for node in replicas)
+
+
+def test_block_placement_replicas_are_distinct_nodes():
+    store = BlockStore(block_size_mb=10.0, replication=3, datanodes=3)
+    store.create_dataset("a", 35.0)
+    for replicas in store.block_placement("a"):
+        assert len(set(replicas)) == 3
+
+
+def test_reregistering_dataset_overwrites():
+    store = BlockStore()
+    store.create_dataset("a", 100.0)
+    store.create_dataset("a", 200.0)
+    assert store.get("a").size_mb == 200.0

@@ -1,0 +1,134 @@
+"""Tests for job class profiles and task-time models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.profiles import JobClassProfile, TaskTimeModel
+
+
+# ---------------------------------------------------------------- TaskTimeModel
+def test_task_time_model_mean_and_variance():
+    model = TaskTimeModel(mean=10.0, scv=0.25)
+    assert model.variance == pytest.approx(25.0)
+    assert model.second_moment == pytest.approx(125.0)
+
+
+def test_task_time_model_sampling_matches_mean(rng):
+    model = TaskTimeModel(mean=5.0, scv=0.1)
+    samples = model.sample(rng, 5000)
+    assert abs(samples.mean() - 5.0) / 5.0 < 0.05
+
+
+def test_task_time_model_zero_scv_is_deterministic(rng):
+    model = TaskTimeModel(mean=3.0, scv=0.0)
+    samples = model.sample(rng, 10)
+    assert np.allclose(samples, 3.0)
+
+
+def test_task_time_model_zero_samples(rng):
+    assert TaskTimeModel(mean=1.0).sample(rng, 0).size == 0
+
+
+def test_task_time_model_negative_count_rejected(rng):
+    with pytest.raises(ValueError):
+        TaskTimeModel(mean=1.0).sample(rng, -1)
+
+
+def test_task_time_model_scaled():
+    model = TaskTimeModel(mean=4.0, scv=0.2).scaled(2.0)
+    assert model.mean == 8.0
+    assert model.scv == 0.2
+
+
+def test_task_time_model_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TaskTimeModel(mean=0.0)
+    with pytest.raises(ValueError):
+        TaskTimeModel(mean=1.0, scv=-0.1)
+
+
+# -------------------------------------------------------------- JobClassProfile
+def test_profile_map_task_time_scales_with_size(high_profile):
+    small = high_profile.mean_map_task_time(100.0)
+    large = high_profile.mean_map_task_time(200.0)
+    assert large == pytest.approx(2 * small)
+
+
+def test_profile_setup_time_interpolates_linearly(high_profile):
+    full = high_profile.setup_time(0.0)
+    minimum = high_profile.setup_time(0.9)
+    middle = high_profile.setup_time(0.45)
+    assert full == high_profile.setup_time_full
+    assert minimum == high_profile.setup_time_min
+    assert middle == pytest.approx((full + minimum) / 2)
+
+
+def test_profile_setup_time_rejects_out_of_range(high_profile):
+    with pytest.raises(ValueError):
+        high_profile.setup_time(0.95)
+
+
+def test_profile_with_size_returns_copy(high_profile):
+    bigger = high_profile.with_size(500.0)
+    assert bigger.mean_size_mb == 500.0
+    assert high_profile.mean_size_mb != 500.0
+    assert bigger.priority == high_profile.priority
+
+
+def test_profile_with_priority_relabels(high_profile):
+    relabelled = high_profile.with_priority(5, name="urgent")
+    assert relabelled.priority == 5
+    assert relabelled.name == "urgent"
+
+
+def test_mean_sequential_work_decreases_with_dropping(low_profile):
+    full = low_profile.mean_sequential_work(0.0)
+    dropped = low_profile.mean_sequential_work(0.5)
+    assert dropped < full
+
+
+def test_mean_service_time_decreases_with_more_slots(low_profile):
+    few = low_profile.mean_service_time(2)
+    many = low_profile.mean_service_time(16)
+    assert many < few
+
+
+def test_mean_service_time_decreases_with_dropping(low_profile):
+    assert low_profile.mean_service_time(4, 0.5) < low_profile.mean_service_time(4, 0.0)
+
+
+def test_mean_service_time_reflects_wave_boundaries():
+    profile = JobClassProfile(
+        priority=0, mean_size_mb=100.0, partitions=40, reduce_tasks=0,
+        map_time_per_100mb=40.0, setup_time_full=0.0, setup_time_min=0.0,
+        shuffle_time=0.0,
+    )
+    # 40 tasks on 20 slots = 2 waves; dropping 10% (36 tasks) still needs 2 waves,
+    # dropping 50% (20 tasks) needs only 1.
+    base = profile.mean_service_time(20, 0.0)
+    ten = profile.mean_service_time(20, 0.1)
+    half = profile.mean_service_time(20, 0.5)
+    assert ten == pytest.approx(base)
+    assert half == pytest.approx(base / 2)
+
+
+def test_profile_validation_errors():
+    with pytest.raises(ValueError):
+        JobClassProfile(priority=-1)
+    with pytest.raises(ValueError):
+        JobClassProfile(priority=0, mean_size_mb=-1.0)
+    with pytest.raises(ValueError):
+        JobClassProfile(priority=0, num_stages=0)
+    with pytest.raises(ValueError):
+        JobClassProfile(priority=0, max_accuracy_loss=1.5)
+    with pytest.raises(ValueError):
+        JobClassProfile(priority=0, setup_time_full=5.0, setup_time_min=10.0)
+
+
+def test_profile_service_time_requires_positive_slots(high_profile):
+    with pytest.raises(ValueError):
+        high_profile.mean_service_time(0)

@@ -1,0 +1,82 @@
+"""Tests for straggler/failure injection in the job factory."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.dias import run_policy
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.job import JobFactory
+from repro.engine.profiles import JobClassProfile
+from repro.simulation.random_streams import RandomStreams
+from repro.workloads.scenarios import HIGH, LOW
+
+
+def profile_with_stragglers(probability: float, slowdown: float = 4.0) -> JobClassProfile:
+    return JobClassProfile(
+        priority=LOW, partitions=40, reduce_tasks=0, shuffle_time=0.0,
+        setup_time_full=0.0, setup_time_min=0.0, task_scv=0.0,
+        mean_size_mb=100.0, map_time_per_100mb=40.0,
+        straggler_probability=probability, straggler_slowdown=slowdown,
+    )
+
+
+def test_no_stragglers_by_default():
+    factory = JobFactory(RandomStreams(0))
+    profile = profile_with_stragglers(0.0)
+    job = factory.create_job(profile, arrival_time=0.0, size_mb=100.0)
+    times = job.stages[0].map_task_times
+    assert max(times) == pytest.approx(min(times))
+
+
+def test_stragglers_inflate_some_tasks():
+    factory = JobFactory(RandomStreams(1))
+    profile = profile_with_stragglers(0.2, slowdown=5.0)
+    job = factory.create_job(profile, arrival_time=0.0, size_mb=100.0)
+    times = job.stages[0].map_task_times
+    base = min(times)
+    stragglers = [t for t in times if t > 2 * base]
+    assert stragglers, "expected at least one straggler with p=0.2 over 40 tasks"
+    assert all(t == pytest.approx(base * 5.0) for t in stragglers)
+    assert len(stragglers) < len(times)
+
+
+def test_straggler_injection_is_reproducible():
+    profile = profile_with_stragglers(0.3)
+    a = JobFactory(RandomStreams(5)).create_job(profile, 0.0, size_mb=100.0)
+    b = JobFactory(RandomStreams(5)).create_job(profile, 0.0, size_mb=100.0)
+    assert a.stages[0].map_task_times == b.stages[0].map_task_times
+
+
+def test_straggler_parameters_validated():
+    with pytest.raises(ValueError):
+        profile_with_stragglers(1.5)
+    with pytest.raises(ValueError):
+        profile_with_stragglers(0.1, slowdown=0.5)
+
+
+def test_stragglers_lengthen_jobs_and_dropping_mitigates_them():
+    """Failure injection end to end: stragglers hurt, task dropping recovers."""
+    streams = RandomStreams(2)
+    factory = JobFactory(streams)
+    clean_profile = profile_with_stragglers(0.0)
+    slow_profile = profile_with_stragglers(0.1, slowdown=6.0)
+    cluster = Cluster(ClusterConfig(workers=2, cores_per_worker=2))
+
+    clean_jobs = [factory.create_job(clean_profile, arrival_time=200.0 * i, size_mb=100.0)
+                  for i in range(10)]
+    slow_jobs = [factory.create_job(slow_profile, arrival_time=200.0 * i, size_mb=100.0)
+                 for i in range(10)]
+
+    np_policy = SchedulingPolicy.non_preemptive_priority()
+    da_policy = SchedulingPolicy.differential_approximation({LOW: 0.2, HIGH: 0.0})
+
+    clean = run_policy(np_policy, clean_jobs, cluster=cluster)
+    slow = run_policy(np_policy, slow_jobs, cluster=cluster)
+    slow_with_dropping = run_policy(da_policy, slow_jobs, cluster=cluster)
+
+    assert slow.mean_response_time(LOW) > clean.mean_response_time(LOW)
+    assert slow_with_dropping.mean_response_time(LOW) < slow.mean_response_time(LOW)

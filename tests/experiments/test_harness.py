@@ -1,0 +1,88 @@
+"""Tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.harness import measure_processing_time, run_policies
+from repro.workloads.scenarios import HIGH, LOW, reference_two_priority_scenario
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    scenario = reference_two_priority_scenario(num_jobs=60)
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.non_preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2}),
+    ]
+    return run_policies(scenario, policies, baseline="P", seed=11)
+
+
+def test_all_policies_present(small_comparison):
+    assert set(small_comparison.policy_names()) == {"P", "NP", "DA(0/20)"}
+    assert small_comparison.baseline_name == "P"
+
+
+def test_every_policy_completes_all_jobs(small_comparison):
+    counts = {name: result.completed_jobs for name, result in small_comparison.results.items()}
+    assert len(set(counts.values())) == 1
+    assert next(iter(counts.values())) == 60
+
+
+def test_baseline_relative_difference_is_zero(small_comparison):
+    assert small_comparison.relative_difference("P", LOW, "mean") == 0.0
+    assert small_comparison.relative_difference("P", HIGH, "tail") == 0.0
+
+
+def test_common_trace_means_identical_arrivals(small_comparison):
+    arrival_sets = []
+    for result in small_comparison.results.values():
+        arrival_sets.append(tuple(sorted(r.arrival_time for r in result.metrics.records)))
+    assert len(set(arrival_sets)) == 1
+
+
+def test_only_preemptive_policy_wastes_resources(small_comparison):
+    assert small_comparison.result("P").resource_waste >= 0.0
+    assert small_comparison.result("NP").resource_waste == 0.0
+    assert small_comparison.result("DA(0/20)").resource_waste == 0.0
+
+
+def test_rows_cover_every_policy_and_priority(small_comparison):
+    rows = small_comparison.to_rows()
+    assert len(rows) == 3 * 2
+    assert {(r["policy"], r["priority"]) for r in rows} == {
+        (name, priority) for name in ("P", "NP", "DA(0/20)") for priority in (HIGH, LOW)
+    }
+    for row in rows:
+        assert row["mean_response_s"] > 0
+        assert row["tail_response_s"] >= row["mean_response_s"] * 0.3
+
+
+def test_accuracy_loss_only_for_approximated_class(small_comparison):
+    rows = {(r["policy"], r["priority"]): r for r in small_comparison.to_rows()}
+    assert rows[("DA(0/20)", LOW)]["accuracy_loss_pct"] > 0
+    assert rows[("DA(0/20)", HIGH)]["accuracy_loss_pct"] == 0
+    assert rows[("NP", LOW)]["accuracy_loss_pct"] == 0
+
+
+def test_unknown_baseline_rejected():
+    scenario = reference_two_priority_scenario(num_jobs=10)
+    with pytest.raises(ValueError):
+        run_policies(scenario, [SchedulingPolicy.non_preemptive_priority()], baseline="P")
+
+
+def test_empty_policy_list_rejected():
+    scenario = reference_two_priority_scenario(num_jobs=10)
+    with pytest.raises(ValueError):
+        run_policies(scenario, [])
+
+
+def test_measure_processing_time_decreases_with_dropping():
+    scenario = reference_two_priority_scenario()
+    profile = scenario.profiles[LOW]
+    full = measure_processing_time(profile, slots=20, drop_ratio=0.0, num_jobs=5, seed=0)
+    dropped = measure_processing_time(profile, slots=20, drop_ratio=0.6, num_jobs=5, seed=0)
+    assert dropped < full
+    assert full > 0

@@ -1,0 +1,58 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.harness import run_policies
+from repro.experiments.reporting import format_comparison, format_figure, format_rows
+from repro.workloads.scenarios import HIGH, LOW, reference_two_priority_scenario
+
+
+def test_format_rows_renders_all_columns():
+    rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "y"}]
+    text = format_rows(rows)
+    assert "a" in text and "b" in text
+    assert "2.50" in text
+    assert "y" in text
+
+
+def test_format_rows_with_explicit_columns():
+    rows = [{"a": 1.0, "b": 2.0}]
+    text = format_rows(rows, columns=["b"])
+    assert "b" in text
+    assert "a" not in text.splitlines()[0]
+
+
+def test_format_rows_empty():
+    assert format_rows([]) == "(no rows)"
+
+
+def test_format_rows_handles_nan_and_large_numbers():
+    rows = [{"x": float("nan"), "y": 123456.0}]
+    text = format_rows(rows)
+    assert "nan" in text
+    assert "123456" in text
+
+
+def test_format_comparison_contains_policies_and_baseline():
+    scenario = reference_two_priority_scenario(num_jobs=30)
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2}),
+    ]
+    comparison = run_policies(scenario, policies, baseline="P", seed=0)
+    text = format_comparison(comparison, title="Fig test")
+    assert "Fig test" in text
+    assert "baseline=P" in text
+    assert "DA(0/20)" in text
+    assert "diff_mean_pct" in text
+
+
+def test_format_figure_renders_rows_and_extras():
+    result = {"figure": "6", "rows": [{"drop_ratio": 0.1, "mape": 8.5}], "note": 1.0}
+    text = format_figure(result, title="Figure 6")
+    assert "Figure 6" in text
+    assert "drop_ratio" in text
+    assert "note=1.00" in text

@@ -1,0 +1,66 @@
+"""Tests for parameter sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.sweeps import drop_ratio_sweep, load_sweep, priority_mix_sweep
+from repro.workloads.scenarios import HIGH, LOW, reference_two_priority_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return reference_two_priority_scenario(num_jobs=120)
+
+
+def test_drop_ratio_sweep_rows_cover_all_ratios(scenario):
+    rows = drop_ratio_sweep(scenario, (0.0, 0.2, 0.4), num_jobs=120, seed=2)
+    assert [row["drop_ratio"] for row in rows] == [0.0, 0.2, 0.4]
+    assert rows[0]["policy"] == "NP"
+    assert rows[1]["policy"] == "DA(0/20)"
+
+
+def test_drop_ratio_sweep_latency_improves_and_accuracy_degrades(scenario):
+    rows = drop_ratio_sweep(scenario, (0.0, 0.4), num_jobs=150, seed=2)
+    assert rows[1]["low_diff_pct"] < rows[0]["low_diff_pct"]
+    assert rows[1]["accuracy_loss_pct"] > rows[0]["accuracy_loss_pct"]
+    assert rows[0]["accuracy_loss_pct"] == 0.0
+
+
+def test_load_sweep_reports_every_policy_at_every_load(scenario):
+    rows = load_sweep(scenario, (0.5, 0.8), num_jobs=100, seed=3)
+    assert len(rows) == 2 * 3
+    utilisations = {row["utilisation"] for row in rows}
+    assert utilisations == {0.5, 0.8}
+
+
+def test_load_sweep_waste_grows_with_load(scenario):
+    rows = load_sweep(scenario, (0.4, 0.85), num_jobs=250, seed=5)
+    waste = {
+        (row["utilisation"], row["policy"]): row["resource_waste_pct"] for row in rows
+    }
+    assert waste[(0.85, "P")] >= waste[(0.4, "P")]
+    assert waste[(0.85, "DA(0/20)")] == 0.0
+
+
+def test_load_sweep_accepts_custom_policies(scenario):
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.1}),
+    ]
+    rows = load_sweep(scenario, (0.6,), policies=policies, num_jobs=80, seed=1)
+    assert {row["policy"] for row in rows} == {"P", "DA(0/10)"}
+
+
+def test_priority_mix_sweep_shape(scenario):
+    rows = priority_mix_sweep(scenario, (0.1, 0.5), num_jobs=120, seed=4)
+    assert [row["high_fraction"] for row in rows] == [0.1, 0.5]
+    for row in rows:
+        assert row["low_diff_pct"] < 20.0
+        assert row["resource_waste_pct"] >= 0.0
+
+
+def test_priority_mix_sweep_validates_fraction(scenario):
+    with pytest.raises(ValueError):
+        priority_mix_sweep(scenario, (1.0,), num_jobs=20)

@@ -1,0 +1,44 @@
+"""Tests for the Table 2 reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tables import table2_latency_decomposition
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return table2_latency_decomposition(num_jobs=120, seed=9)
+
+
+def test_table2_has_six_rows(table2):
+    rows = table2["rows"]
+    assert len(rows) == 6
+    assert {r["policy"] for r in rows} == {"NPS", "DiAS(0/10)", "DiAS(0/20)"}
+    assert {r["class"] for r in rows} == {"High", "Low"}
+
+
+def test_table2_sprinting_shortens_high_priority_execution(table2):
+    rows = {(r["policy"], r["class"]): r for r in table2["rows"]}
+    # High-priority jobs sprint, so their execution time is below the
+    # unsprinted low-priority execution time (Table 2: ~100 s vs ~131-148 s).
+    for policy in ("NPS", "DiAS(0/10)", "DiAS(0/20)"):
+        assert rows[(policy, "High")]["mean_execution_s"] < rows[(policy, "Low")]["mean_execution_s"]
+
+
+def test_table2_dropping_shortens_low_priority_execution(table2):
+    rows = {(r["policy"], r["class"]): r for r in table2["rows"]}
+    assert rows[("DiAS(0/20)", "Low")]["mean_execution_s"] < rows[("NPS", "Low")]["mean_execution_s"]
+    assert rows[("DiAS(0/10)", "Low")]["mean_execution_s"] < rows[("NPS", "Low")]["mean_execution_s"]
+
+
+def test_table2_dropping_shortens_low_priority_queueing(table2):
+    rows = {(r["policy"], r["class"]): r for r in table2["rows"]}
+    assert rows[("DiAS(0/20)", "Low")]["mean_queueing_s"] < rows[("NPS", "Low")]["mean_queueing_s"]
+
+
+def test_table2_queueing_times_non_negative(table2):
+    for row in table2["rows"]:
+        assert row["mean_queueing_s"] >= -1e-6
+        assert row["mean_execution_s"] > 0

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the public API the way a downstream user would: build a
+scenario, run several policies on a common trace, feed the deflator, and check
+cross-module consistency (metrics vs engine vs models).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AccuracyModel,
+    Cluster,
+    ClusterConfig,
+    HIGH,
+    LOW,
+    SchedulingPolicy,
+    SprintConfig,
+    TaskDeflator,
+    WaveLevelModel,
+    reference_two_priority_scenario,
+    run_policies,
+)
+from repro.core.dias import run_policy
+from repro.workloads.jobs import generate_job_trace
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return reference_two_priority_scenario(num_jobs=200)
+
+
+@pytest.fixture(scope="module")
+def comparison(scenario):
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.non_preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2}),
+        SchedulingPolicy.dias({HIGH: 0.0, LOW: 0.2},
+                              sprint=SprintConfig.unlimited_sprinting({HIGH})),
+    ]
+    return run_policies(scenario, policies, baseline="P", seed=21)
+
+
+def test_all_jobs_complete_under_every_policy(comparison):
+    for result in comparison.results.values():
+        assert result.completed_jobs == 200
+        assert result.metrics.job_count == 200
+
+
+def test_response_time_decomposition_consistency(comparison):
+    for result in comparison.results.values():
+        for record in result.metrics.records:
+            assert record.response_time == pytest.approx(
+                record.queueing_time + record.execution_time, rel=1e-9
+            )
+            assert record.completion_time >= record.start_time >= record.arrival_time
+
+
+def test_resource_waste_only_under_preemption(comparison):
+    assert comparison.result("P").evictions > 0
+    assert comparison.result("P").resource_waste > 0
+    for name in ("NP", "DA(0/20)", "DiAS(0/20)"):
+        assert comparison.result(name).evictions == 0
+        assert comparison.result(name).resource_waste == 0
+
+
+def test_dropping_reduces_low_priority_execution_time(comparison):
+    np_exec = comparison.result("NP").mean_execution_time(LOW)
+    da_exec = comparison.result("DA(0/20)").mean_execution_time(LOW)
+    assert da_exec < np_exec
+
+
+def test_sprinting_reduces_high_priority_execution_time(comparison):
+    da_exec = comparison.result("DA(0/20)").mean_execution_time(HIGH)
+    dias_exec = comparison.result("DiAS(0/20)").mean_execution_time(HIGH)
+    assert dias_exec < da_exec
+    assert comparison.result("DiAS(0/20)").sprinted_seconds > 0
+
+
+def test_energy_accounting_consistent_with_duration(comparison, scenario):
+    power = scenario.cluster.power_model
+    for result in comparison.results.values():
+        max_energy = result.duration * power.power("sprint")
+        min_energy = result.duration * power.power("idle")
+        assert min_energy <= result.total_energy_joules <= max_energy
+
+
+def test_deflator_predictions_track_simulation(scenario):
+    deflator = TaskDeflator(
+        profiles=scenario.profiles,
+        arrival_rates=scenario.arrival_rates,
+        slots=scenario.cluster.slots,
+    )
+    predicted = deflator.predict_response_times({HIGH: 0.0, LOW: 0.2})
+    policy = SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2})
+    observed = run_policies(scenario, [policy], seed=31).result(policy.name)
+    for priority in (HIGH, LOW):
+        assert predicted[priority] == pytest.approx(
+            observed.mean_response_time(priority), rel=0.6
+        )
+
+
+def test_wave_model_predicts_isolated_execution_time(scenario):
+    profile = scenario.profiles[HIGH]
+    slots = scenario.cluster.slots
+    model = WaveLevelModel.from_profile(profile, slots)
+    trace = generate_job_trace({HIGH: profile}, {HIGH: 0.0001}, num_jobs=20, seed=3)
+    cluster = Cluster(ClusterConfig(workers=10, cores_per_worker=2))
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), trace, cluster=cluster)
+    observed = result.mean_execution_time(HIGH)
+    assert model.mean_processing_time() == pytest.approx(observed, rel=0.2)
+
+
+def test_accuracy_losses_match_the_drop_ratio(comparison):
+    model = AccuracyModel.paper_default()
+    da = comparison.result("DA(0/20)")
+    assert da.mean_accuracy_loss(LOW) == pytest.approx(model.error(0.2), rel=1e-6)
+    assert da.mean_accuracy_loss(HIGH) == 0.0
+
+
+def test_policies_share_identical_traces(comparison):
+    ids = None
+    for result in comparison.results.values():
+        current = sorted(r.job_id for r in result.metrics.records)
+        if ids is None:
+            ids = current
+        assert current == ids

@@ -1,0 +1,105 @@
+"""Qualitative reproduction of the paper's headline claims.
+
+Each test encodes one claim from the abstract/evaluation and checks that the
+simulation reproduces its *shape* (who wins, in which direction, roughly by
+what magnitude).  Exact percentages are not asserted — the substrate is a
+simulator, not the authors' testbed — but directions and orderings are.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    figure7_two_priority_reference,
+    figure11_dias_sprinting,
+    figure11_energy_comparison,
+)
+from repro.workloads.scenarios import HIGH, LOW
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return figure7_two_priority_reference(num_jobs=600, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dias_unlimited():
+    return figure11_dias_sprinting(budget="unlimited", num_jobs=300, seed=17)
+
+
+@pytest.fixture(scope="module")
+def dias_limited():
+    return figure11_dias_sprinting(budget="limited", num_jobs=300, seed=17)
+
+
+# --- §2.1 / §5.2.1: preemptive priority wastes resources on evictions -------
+def test_preemptive_scheduling_wastes_machine_time(reference):
+    waste = reference.result("P").resource_waste
+    assert 0.005 < waste < 0.15  # the paper reports ~4 % in the reference setup
+
+
+def test_non_preemptive_policies_eliminate_waste(reference):
+    for name in ("NP", "DA(0/10)", "DA(0/20)"):
+        assert reference.result(name).resource_waste == 0.0
+
+
+# --- §5.2.1: P favours the high class at the expense of the low class -------
+def test_preemptive_low_priority_much_slower_than_high(reference):
+    p = reference.result("P")
+    assert p.mean_response_time(LOW) > 3 * p.mean_response_time(HIGH)
+
+
+def test_np_improves_low_priority_but_hurts_high_priority(reference):
+    assert reference.relative_difference("NP", LOW, "mean") < -10.0
+    assert reference.relative_difference("NP", HIGH, "mean") > 20.0
+
+
+def test_da20_gives_large_low_priority_gains_with_smaller_high_cost(reference):
+    low_gain = reference.relative_difference("DA(0/20)", LOW, "mean")
+    low_tail_gain = reference.relative_difference("DA(0/20)", LOW, "tail")
+    high_cost = reference.relative_difference("DA(0/20)", HIGH, "mean")
+    np_high_cost = reference.relative_difference("NP", HIGH, "mean")
+    assert low_gain < -45.0           # paper: ~65 % improvement
+    assert low_tail_gain < -45.0
+    assert high_cost < np_high_cost    # approximation softens the NP penalty
+
+
+def test_da20_outperforms_da10_for_low_priority(reference):
+    assert reference.relative_difference("DA(0/20)", LOW, "mean") < reference.relative_difference(
+        "DA(0/10)", LOW, "mean"
+    )
+
+
+def test_accuracy_loss_stays_within_the_advertised_band(reference):
+    da = reference.result("DA(0/20)")
+    assert 0.10 < da.mean_accuracy_loss(LOW) < 0.20  # ~15 % at a 20 % drop
+    assert da.mean_accuracy_loss(HIGH) == 0.0
+
+
+# --- §5.3: full DiAS improves both classes and saves energy ------------------
+def test_full_dias_improves_both_priorities(dias_unlimited):
+    for policy in ("DiAS(0/10)", "DiAS(0/20)"):
+        assert dias_unlimited.relative_difference(policy, LOW, "mean") < -30.0
+        assert dias_unlimited.relative_difference(policy, HIGH, "mean") < 0.0
+
+
+def test_limited_sprinting_also_improves_high_priority(dias_limited):
+    assert dias_limited.relative_difference("DiAS(0/20)", HIGH, "mean") < 0.0
+    assert dias_limited.result("DiAS(0/20)").sprinted_seconds > 0
+
+
+def test_unlimited_sprinting_beats_limited_for_high_priority(dias_limited, dias_unlimited):
+    limited_gain = dias_limited.relative_difference("DiAS(0/20)", HIGH, "mean")
+    unlimited_gain = dias_unlimited.relative_difference("DiAS(0/20)", HIGH, "mean")
+    assert unlimited_gain < limited_gain
+
+
+def test_dias_reduces_energy_despite_sprinting():
+    energy = figure11_energy_comparison(num_jobs=200, seed=19)
+    rows = {(r["budget"], r["policy"]): r for r in energy["rows"]}
+    for budget in ("limited", "unlimited"):
+        for policy in ("DiAS(0/10)", "DiAS(0/20)"):
+            assert rows[(budget, policy)]["diff_pct"] < 0.0
+    # Larger drop ratios save more energy (Fig. 11c).
+    assert rows[("unlimited", "DiAS(0/20)")]["energy_kj"] <= rows[("unlimited", "DiAS(0/10)")]["energy_kj"]

@@ -1,0 +1,66 @@
+"""Reproducibility and robustness of the experiment methodology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.harness import run_policies
+from repro.simulation.replication import ReplicationRunner
+from repro.workloads.scenarios import HIGH, LOW, reference_two_priority_scenario
+
+
+def _policies():
+    return [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2}),
+    ]
+
+
+def test_same_seed_gives_bitwise_identical_results():
+    scenario = reference_two_priority_scenario(num_jobs=120)
+    first = run_policies(scenario, _policies(), baseline="P", seed=7)
+    second = run_policies(scenario, _policies(), baseline="P", seed=7)
+    for name in ("P", "DA(0/20)"):
+        assert first.result(name).mean_response_time(LOW) == second.result(name).mean_response_time(LOW)
+        assert first.result(name).total_energy_joules == second.result(name).total_energy_joules
+
+
+def test_different_seeds_give_different_but_consistent_results():
+    scenario = reference_two_priority_scenario(num_jobs=200)
+    a = run_policies(scenario, _policies(), baseline="P", seed=1)
+    b = run_policies(scenario, _policies(), baseline="P", seed=2)
+    assert a.result("P").mean_response_time(LOW) != b.result("P").mean_response_time(LOW)
+    # The qualitative conclusion holds for both seeds.
+    assert a.relative_difference("DA(0/20)", LOW, "mean") < 0
+    assert b.relative_difference("DA(0/20)", LOW, "mean") < 0
+
+
+def test_policy_order_does_not_change_results():
+    scenario = reference_two_priority_scenario(num_jobs=120)
+    forward = run_policies(scenario, _policies(), baseline="P", seed=3)
+    backward = run_policies(scenario, list(reversed(_policies())), baseline="P", seed=3)
+    assert forward.result("DA(0/20)").mean_response_time(LOW) == pytest.approx(
+        backward.result("DA(0/20)").mean_response_time(LOW)
+    )
+
+
+def test_headline_claim_is_stable_across_replications():
+    """The DA(0,20) low-priority improvement holds across independent traces."""
+    scenario = reference_two_priority_scenario(num_jobs=250)
+
+    def experiment(seed: int):
+        comparison = run_policies(scenario, _policies(), baseline="P", seed=seed)
+        return {
+            "low_improvement_pct": -comparison.relative_difference("DA(0/20)", LOW, "mean"),
+            "waste_pct": 100.0 * comparison.result("P").resource_waste,
+        }
+
+    runner = ReplicationRunner(experiment)
+    runner.run(replications=5, base_seed=100)
+    intervals = runner.intervals(confidence=0.95)
+    improvement = intervals["low_improvement_pct"]
+    waste = intervals["waste_pct"]
+    # Every replication shows a substantial improvement; the interval excludes 0.
+    assert improvement.lower > 20.0
+    assert waste.lower > 0.0

@@ -1,0 +1,159 @@
+"""Tests for the mini-RDD runtime and its task-dropping scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.rdd import LocalRuntime
+
+
+def test_parallelize_splits_into_partitions():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize(range(10), num_partitions=3)
+    assert rdd.get_num_partitions() == 3
+    assert sorted(rdd.collect(apply_drop=False)) == list(range(10))
+
+
+def test_parallelize_validates_partition_count():
+    with pytest.raises(ValueError):
+        LocalRuntime().parallelize([1, 2], num_partitions=0)
+
+
+def test_map_and_filter():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize(range(6), 2).map(lambda x: x * 2).filter(lambda x: x > 4)
+    assert sorted(rdd.collect(apply_drop=False)) == [6, 8, 10]
+
+
+def test_flat_map():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize(["a b", "c"], 2).flat_map(str.split)
+    assert sorted(rdd.collect(apply_drop=False)) == ["a", "b", "c"]
+
+
+def test_map_partitions():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize(range(8), 4).map_partitions(lambda part: [sum(part)])
+    values = rdd.collect(apply_drop=False)
+    assert len(values) == 4
+    assert sum(values) == sum(range(8))
+
+
+def test_reduce_by_key_aggregates():
+    runtime = LocalRuntime()
+    pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+    rdd = runtime.parallelize(pairs, 2).reduce_by_key(lambda x, y: x + y)
+    assert dict(rdd.collect(apply_drop=False)) == {"a": 4, "b": 6}
+
+
+def test_group_by_key_collects_values():
+    runtime = LocalRuntime()
+    pairs = [("a", 1), ("a", 2), ("b", 3)]
+    rdd = runtime.parallelize(pairs, 2).group_by_key()
+    grouped = dict(rdd.collect(apply_drop=False))
+    assert sorted(grouped["a"]) == [1, 2]
+    assert grouped["b"] == [3]
+
+
+def test_wide_transformation_requires_key_value_pairs():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize([1, 2, 3], 2).reduce_by_key(lambda x, y: x + y)
+    with pytest.raises(TypeError):
+        rdd.collect(apply_drop=False)
+
+
+def test_distinct():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize([1, 2, 2, 3, 3, 3], 3).distinct()
+    assert sorted(rdd.collect(apply_drop=False)) == [1, 2, 3]
+
+
+def test_join():
+    runtime = LocalRuntime()
+    left = runtime.parallelize([("a", 1), ("b", 2)], 2)
+    right = runtime.parallelize([("a", 10), ("c", 30)], 2)
+    joined = dict(left.join(right).collect(apply_drop=False))
+    assert joined == {"a": (1, 10)}
+
+
+def test_count_and_reduce_actions():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize(range(10), 5)
+    assert rdd.count(apply_drop=False) == 10
+    assert rdd.reduce(lambda a, b: a + b, apply_drop=False) == 45
+
+
+def test_reduce_empty_rdd_raises():
+    runtime = LocalRuntime()
+    with pytest.raises(ValueError):
+        runtime.parallelize([], 2).reduce(lambda a, b: a + b)
+
+
+def test_collect_as_map():
+    runtime = LocalRuntime()
+    rdd = runtime.parallelize([("x", 1)], 1)
+    assert rdd.collect_as_map(apply_drop=False) == {"x": 1}
+
+
+# ------------------------------------------------------------- task dropping
+def test_select_partitions_keeps_ceil_fraction():
+    runtime = LocalRuntime(drop_ratio=0.2, rng=np.random.default_rng(0))
+    selected = runtime.select_partitions(50)
+    assert len(selected) == 40
+    assert len(set(selected)) == 40
+
+
+def test_no_dropping_keeps_all_partitions_in_order():
+    runtime = LocalRuntime(drop_ratio=0.0)
+    assert runtime.select_partitions(5) == [0, 1, 2, 3, 4]
+
+
+def test_dropping_skips_some_input_in_final_action():
+    runtime = LocalRuntime(drop_ratio=0.5, rng=np.random.default_rng(3))
+    rdd = runtime.parallelize(range(100), 10)
+    values = rdd.collect(apply_drop=True)
+    assert len(values) == 50
+
+
+def test_dropping_applies_at_shuffle_stages():
+    runtime = LocalRuntime(drop_ratio=0.5, rng=np.random.default_rng(1))
+    pairs = [(i % 4, 1) for i in range(40)]
+    rdd = runtime.parallelize(pairs, 10).reduce_by_key(lambda a, b: a + b)
+    counts = dict(rdd.collect(apply_drop=False))
+    # Only half the map partitions were processed, so roughly half the total.
+    assert sum(counts.values()) == 20
+
+
+def test_stage_stats_track_executed_and_dropped():
+    runtime = LocalRuntime(drop_ratio=0.25, rng=np.random.default_rng(2))
+    pairs = [(i % 3, 1) for i in range(24)]
+    runtime.parallelize(pairs, 8).reduce_by_key(lambda a, b: a + b).collect(apply_drop=False)
+    shuffle_stages = [s for s in runtime.stages if s.description == "reduceByKey"]
+    assert len(shuffle_stages) == 1
+    assert shuffle_stages[0].total_tasks == 8
+    assert shuffle_stages[0].executed_tasks == 6
+    assert shuffle_stages[0].dropped_tasks == 2
+    assert shuffle_stages[0].drop_ratio == pytest.approx(0.25)
+
+
+def test_effective_drop_ratio_accumulates_across_stages():
+    runtime = LocalRuntime(drop_ratio=0.5, rng=np.random.default_rng(0))
+    pairs = [(i % 5, 1) for i in range(20)]
+    runtime.parallelize(pairs, 4).reduce_by_key(lambda a, b: a + b).collect(apply_drop=True)
+    assert 0.0 < runtime.effective_drop_ratio <= 0.6
+    assert runtime.total_tasks_executed + runtime.total_tasks_dropped == sum(
+        s.total_tasks for s in runtime.stages
+    )
+
+
+def test_invalid_drop_ratio_rejected():
+    with pytest.raises(ValueError):
+        LocalRuntime(drop_ratio=1.0)
+
+
+def test_from_partitions_preserves_layout():
+    runtime = LocalRuntime()
+    rdd = runtime.from_partitions([[1, 2], [3]])
+    assert rdd.get_num_partitions() == 2
+    assert sorted(rdd.collect(apply_drop=False)) == [1, 2, 3]

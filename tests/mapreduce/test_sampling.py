@@ -1,0 +1,79 @@
+"""Tests for the sampling-theory helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.mapreduce.sampling import (
+    horvitz_thompson_scale,
+    mean_absolute_percentage_error,
+    relative_error,
+    sample_total_confidence_interval,
+)
+
+
+def test_horvitz_thompson_scaling():
+    assert horvitz_thompson_scale(50.0, 0.5) == 100.0
+    assert horvitz_thompson_scale(50.0, 1.0) == 50.0
+
+
+def test_horvitz_thompson_validates_fraction():
+    with pytest.raises(ValueError):
+        horvitz_thompson_scale(10.0, 0.0)
+    with pytest.raises(ValueError):
+        horvitz_thompson_scale(10.0, 1.5)
+
+
+def test_relative_error_basic():
+    assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+    assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+
+def test_relative_error_zero_truth():
+    assert relative_error(0.0, 0.0) == 0.0
+    assert math.isinf(relative_error(1.0, 0.0))
+
+
+def test_mape_over_keys():
+    truths = {"a": 100.0, "b": 50.0}
+    estimates = {"a": 110.0, "b": 50.0}
+    mape = mean_absolute_percentage_error(estimates, truths, ["a", "b"])
+    assert mape == pytest.approx(5.0)
+
+
+def test_mape_missing_key_counts_as_total_loss():
+    truths = {"a": 100.0, "b": 50.0}
+    estimates = {"a": 100.0}
+    mape = mean_absolute_percentage_error(estimates, truths, ["a", "b"])
+    assert mape == pytest.approx(50.0)
+
+
+def test_mape_errors_capped_at_100_percent():
+    truths = {"a": 10.0}
+    estimates = {"a": 1000.0}
+    assert mean_absolute_percentage_error(estimates, truths, ["a"]) == pytest.approx(100.0)
+
+
+def test_mape_requires_keys():
+    with pytest.raises(ValueError):
+        mean_absolute_percentage_error({}, {}, [])
+
+
+def test_confidence_interval_contains_estimate():
+    estimate, lower, upper = sample_total_confidence_interval([10.0, 12.0, 8.0], 0.5)
+    assert lower <= estimate <= upper
+    assert estimate == pytest.approx((30.0 / 3) * 6)
+
+
+def test_confidence_interval_is_degenerate_without_sampling():
+    estimate, lower, upper = sample_total_confidence_interval([10.0, 12.0], 1.0)
+    assert lower == estimate == upper
+
+
+def test_confidence_interval_validation():
+    with pytest.raises(ValueError):
+        sample_total_confidence_interval([], 0.5)
+    with pytest.raises(ValueError):
+        sample_total_confidence_interval([1.0], 0.0)

@@ -1,0 +1,108 @@
+"""Tests for the multi-stage MapReduce triangle count."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.triangle_count import (
+    exact_triangle_count,
+    triangle_count_accuracy_curve,
+    triangle_count_error,
+    triangle_count_job,
+)
+from repro.workloads.graph import synthetic_web_graph
+
+TRIANGLE = [(0, 1), (1, 2), (0, 2)]
+SQUARE = [(0, 1), (1, 2), (2, 3), (3, 0)]
+TWO_TRIANGLES = TRIANGLE + [(2, 3), (3, 4), (2, 4)]
+
+
+@pytest.fixture(scope="module")
+def graph_edges():
+    return synthetic_web_graph(num_nodes=120, edges_per_node=3, triangle_probability=0.4,
+                               seed=2)
+
+
+# ------------------------------------------------------------ exact counting
+def test_exact_count_single_triangle():
+    assert exact_triangle_count(TRIANGLE) == 1
+
+
+def test_exact_count_square_has_no_triangles():
+    assert exact_triangle_count(SQUARE) == 0
+
+
+def test_exact_count_two_triangles():
+    assert exact_triangle_count(TWO_TRIANGLES) == 2
+
+
+def test_exact_count_ignores_duplicates_self_loops_and_direction():
+    edges = TRIANGLE + [(1, 0), (2, 2), (0, 1)]
+    assert exact_triangle_count(edges) == 1
+
+
+def test_exact_count_matches_networkx(graph_edges):
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_edges_from(graph_edges)
+    expected = sum(nx.triangles(graph).values()) // 3
+    assert exact_triangle_count(graph_edges) == expected
+
+
+# ------------------------------------------------------ MapReduce pipeline
+def test_job_without_dropping_is_exact():
+    estimate, runtime = triangle_count_job(TWO_TRIANGLES, num_partitions=3,
+                                           stage_drop_ratio=0.0)
+    assert estimate == pytest.approx(2.0)
+    assert runtime.total_tasks_dropped == 0
+
+
+def test_job_without_dropping_matches_exact_on_synthetic_graph(graph_edges):
+    estimate, _ = triangle_count_job(graph_edges, num_partitions=6, stage_drop_ratio=0.0)
+    assert estimate == pytest.approx(exact_triangle_count(graph_edges))
+
+
+def test_job_runs_multiple_shuffle_stages(graph_edges):
+    _, runtime = triangle_count_job(graph_edges, num_partitions=6, stage_drop_ratio=0.0)
+    shuffles = [s for s in runtime.stages if s.description in ("reduceByKey", "groupByKey")]
+    assert len(shuffles) >= 5
+
+
+def test_dropping_drops_tasks_in_every_shuffle_stage(graph_edges):
+    _, runtime = triangle_count_job(graph_edges, num_partitions=8, stage_drop_ratio=0.25,
+                                    rng=np.random.default_rng(0))
+    shuffles = [s for s in runtime.stages if s.description in ("reduceByKey", "groupByKey")]
+    full_width = [s for s in shuffles if s.total_tasks == 8]
+    # Every shuffle stage that fans out over the full 8 partitions drops 25 %.
+    assert len(full_width) >= 3
+    assert all(s.dropped_tasks == 2 for s in full_width)
+    assert runtime.total_tasks_dropped >= 2 * len(full_width)
+
+
+def test_estimate_with_small_drop_is_in_the_right_ballpark(graph_edges):
+    exact = exact_triangle_count(graph_edges)
+    estimate, _ = triangle_count_job(graph_edges, num_partitions=8, stage_drop_ratio=0.05,
+                                     rng=np.random.default_rng(1))
+    assert estimate == pytest.approx(exact, rel=0.6)
+
+
+def test_error_grows_with_stage_drop_ratio(graph_edges):
+    small = triangle_count_error(graph_edges, stage_drop_ratio=0.02, num_partitions=8,
+                                 repetitions=2, seed=0)
+    large = triangle_count_error(graph_edges, stage_drop_ratio=0.3, num_partitions=8,
+                                 repetitions=2, seed=0)
+    assert small < large
+
+
+def test_error_requires_triangles():
+    with pytest.raises(ValueError):
+        triangle_count_error(SQUARE, stage_drop_ratio=0.1)
+
+
+def test_accuracy_curve_shape(graph_edges):
+    curve = triangle_count_accuracy_curve(graph_edges, (0.0, 0.1), num_partitions=8,
+                                          repetitions=1, seed=0)
+    assert curve[0] == (0.0, 0.0)
+    assert curve[1][1] >= 0.0

@@ -1,0 +1,117 @@
+"""Tests for accuracy-loss models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.accuracy import AccuracyModel, compose_stage_drop_ratios
+
+
+# ------------------------------------------------- compose_stage_drop_ratios
+def test_compose_single_stage_is_identity():
+    assert compose_stage_drop_ratios([0.2]) == pytest.approx(0.2)
+
+
+def test_compose_multiple_stages():
+    assert compose_stage_drop_ratios([0.1, 0.1]) == pytest.approx(1 - 0.9 * 0.9)
+
+
+def test_compose_six_stages_like_triangle_count():
+    # 5% per stage over six ShuffleMap stages.
+    effective = compose_stage_drop_ratios([0.05] * 6)
+    assert effective == pytest.approx(1 - 0.95**6)
+    assert 0.25 < effective < 0.27
+
+
+def test_compose_empty_is_zero():
+    assert compose_stage_drop_ratios([]) == 0.0
+
+
+def test_compose_validates_range():
+    with pytest.raises(ValueError):
+        compose_stage_drop_ratios([1.2])
+
+
+# ------------------------------------------------------------- AccuracyModel
+def test_zero_drop_has_zero_error():
+    assert AccuracyModel.paper_default().error(0.0) == 0.0
+
+
+def test_paper_default_matches_published_points():
+    model = AccuracyModel.paper_default()
+    assert model.error(0.1) == pytest.approx(0.085, abs=0.01)
+    assert model.error(0.2) == pytest.approx(0.15, abs=0.015)
+    assert model.error(0.4) == pytest.approx(0.32, abs=0.03)
+
+
+def test_error_grows_sublinearly():
+    model = AccuracyModel.paper_default()
+    # Sub-linear growth: doubling theta less than doubles the error.
+    assert model.error(0.4) < 2 * model.error(0.2)
+    assert model.exponent < 1.001
+
+
+def test_error_is_monotone_and_capped():
+    model = AccuracyModel.paper_default()
+    errors = [model.error(theta) for theta in (0.1, 0.3, 0.5, 0.8, 1.0)]
+    assert errors == sorted(errors)
+    assert errors[-1] <= 1.0
+
+
+def test_error_percent():
+    model = AccuracyModel(coefficient=0.5, exponent=1.0)
+    assert model.error_percent(0.2) == pytest.approx(10.0)
+
+
+def test_max_drop_for_error_inverts_the_curve():
+    model = AccuracyModel.paper_default()
+    for tolerance in (0.085, 0.15, 0.32):
+        theta = model.max_drop_for_error(tolerance)
+        assert model.error(theta) == pytest.approx(tolerance, rel=1e-6)
+
+
+def test_max_drop_for_zero_tolerance_is_zero():
+    assert AccuracyModel.paper_default().max_drop_for_error(0.0) == 0.0
+
+
+def test_max_drop_is_clamped_to_one():
+    model = AccuracyModel(coefficient=0.1, exponent=1.0)
+    assert model.max_drop_for_error(0.5) == 1.0
+
+
+def test_zero_model_has_no_loss():
+    model = AccuracyModel.zero()
+    assert model.error(0.9) == 0.0
+    assert model.max_drop_for_error(0.1) == 1.0
+
+
+def test_from_points_fits_power_law():
+    truth = AccuracyModel(coefficient=0.6, exponent=0.7)
+    points = [(theta, truth.error(theta)) for theta in (0.1, 0.2, 0.4, 0.6)]
+    fitted = AccuracyModel.from_points(points)
+    assert fitted.coefficient == pytest.approx(0.6, rel=0.05)
+    assert fitted.exponent == pytest.approx(0.7, rel=0.05)
+
+
+def test_from_points_requires_two_positive_points():
+    with pytest.raises(ValueError):
+        AccuracyModel.from_points([(0.0, 0.0), (0.1, 0.05)])
+
+
+def test_curve_returns_percent_pairs():
+    model = AccuracyModel.paper_default()
+    curve = model.curve([0.1, 0.2])
+    assert len(curve) == 2
+    assert curve[0][1] == pytest.approx(8.5, abs=1.0)
+
+
+def test_invalid_drop_ratio_rejected():
+    with pytest.raises(ValueError):
+        AccuracyModel.paper_default().error(1.5)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        AccuracyModel(coefficient=-0.1, exponent=1.0)
+    with pytest.raises(ValueError):
+        AccuracyModel(coefficient=0.1, exponent=0.0)

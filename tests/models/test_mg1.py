@@ -1,0 +1,136 @@
+"""Tests for the M/G/1 and priority mean-value formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.models.mg1 import (
+    ServiceMoments,
+    mg1_mean_waiting_time,
+    nonpreemptive_priority_response_times,
+    nonpreemptive_priority_waiting_times,
+    preemptive_resume_response_times,
+    total_utilisation,
+)
+
+
+def exponential_moments(mean: float) -> ServiceMoments:
+    return ServiceMoments(mean=mean, second_moment=2 * mean * mean)
+
+
+# --------------------------------------------------------------- ServiceMoments
+def test_service_moments_variance():
+    m = ServiceMoments(mean=2.0, second_moment=6.0)
+    assert m.variance == pytest.approx(2.0)
+
+
+def test_service_moments_validation():
+    with pytest.raises(ValueError):
+        ServiceMoments(mean=0.0, second_moment=1.0)
+    with pytest.raises(ValueError):
+        ServiceMoments(mean=2.0, second_moment=3.0)  # below mean^2
+
+
+# ------------------------------------------------------------------------ M/G/1
+def test_mm1_waiting_time_matches_closed_form():
+    # M/M/1: W = rho / (mu - lambda).
+    lam, mu = 0.5, 1.0
+    waiting = mg1_mean_waiting_time(lam, exponential_moments(1.0 / mu))
+    assert waiting == pytest.approx((lam / mu) / (mu - lam))
+
+
+def test_md1_waits_half_as_long_as_mm1():
+    lam = 0.5
+    deterministic = ServiceMoments(mean=1.0, second_moment=1.0)
+    exponential = exponential_moments(1.0)
+    assert mg1_mean_waiting_time(lam, deterministic) == pytest.approx(
+        mg1_mean_waiting_time(lam, exponential) / 2.0
+    )
+
+
+def test_unstable_queue_has_infinite_wait():
+    assert math.isinf(mg1_mean_waiting_time(2.0, exponential_moments(1.0)))
+
+
+# -------------------------------------------------------------------- priority
+def test_total_utilisation():
+    rates = {1: 0.2, 0: 0.3}
+    services = {1: exponential_moments(1.0), 0: exponential_moments(2.0)}
+    assert total_utilisation(rates, services) == pytest.approx(0.2 + 0.6)
+
+
+def test_single_class_nonpreemptive_reduces_to_mg1():
+    rates = {0: 0.5}
+    services = {0: exponential_moments(1.0)}
+    response = nonpreemptive_priority_response_times(rates, services)[0]
+    assert response == pytest.approx(mg1_mean_waiting_time(0.5, services[0]) + 1.0)
+
+
+def test_high_priority_waits_less_than_low_priority():
+    rates = {1: 0.2, 0: 0.4}
+    services = {1: exponential_moments(1.0), 0: exponential_moments(1.0)}
+    np_resp = nonpreemptive_priority_response_times(rates, services)
+    pr_resp = preemptive_resume_response_times(rates, services)
+    assert np_resp[1] < np_resp[0]
+    assert pr_resp[1] < pr_resp[0]
+
+
+def test_preemptive_high_priority_ignores_low_priority_load():
+    # Under preemptive-resume, the top class sees an M/G/1 with only its own load.
+    rates = {1: 0.3, 0: 0.5}
+    services = {1: exponential_moments(1.0), 0: exponential_moments(1.0)}
+    top = preemptive_resume_response_times(rates, services)[1]
+    solo = mg1_mean_waiting_time(0.3, services[1]) + 1.0
+    assert top == pytest.approx(solo)
+
+
+def test_nonpreemptive_high_priority_pays_residual_of_low():
+    rates = {1: 0.3, 0: 0.5}
+    services = {1: exponential_moments(1.0), 0: exponential_moments(1.0)}
+    np_top = nonpreemptive_priority_response_times(rates, services)[1]
+    pr_top = preemptive_resume_response_times(rates, services)[1]
+    assert np_top > pr_top
+
+
+def test_waiting_times_are_response_minus_service():
+    rates = {1: 0.2, 0: 0.4}
+    services = {1: exponential_moments(1.5), 0: exponential_moments(1.0)}
+    responses = nonpreemptive_priority_response_times(rates, services)
+    waits = nonpreemptive_priority_waiting_times(rates, services)
+    for k in rates:
+        assert waits[k] == pytest.approx(responses[k] - services[k].mean)
+
+
+def test_overloaded_class_reports_infinite_response():
+    rates = {1: 0.5, 0: 0.9}
+    services = {1: exponential_moments(1.0), 0: exponential_moments(1.0)}
+    responses = nonpreemptive_priority_response_times(rates, services)
+    assert math.isinf(responses[0])
+    # The high-priority class is still finite under preemption.
+    assert math.isfinite(preemptive_resume_response_times(rates, services)[1])
+
+
+def test_conservation_against_fcfs_single_class_equivalence():
+    # With identical service distributions, the class-weighted mean waiting time
+    # under non-preemptive priority equals the FCFS M/G/1 waiting time
+    # (Kleinrock's conservation law for two classes with equal service).
+    rates = {1: 0.3, 0: 0.4}
+    service = exponential_moments(1.0)
+    services = {1: service, 0: service}
+    waits = nonpreemptive_priority_waiting_times(rates, services)
+    total_rate = sum(rates.values())
+    weighted = sum(rates[k] * waits[k] for k in rates) / total_rate
+    fcfs = mg1_mean_waiting_time(total_rate, service)
+    assert weighted == pytest.approx(fcfs, rel=1e-9)
+
+
+def test_inputs_must_cover_same_classes():
+    with pytest.raises(ValueError):
+        nonpreemptive_priority_response_times({0: 0.1}, {1: exponential_moments(1.0)})
+
+
+def test_rates_must_be_non_negative():
+    with pytest.raises(ValueError):
+        nonpreemptive_priority_response_times({0: -0.1}, {0: exponential_moments(1.0)})

@@ -1,0 +1,91 @@
+"""Tests for Marked Markovian Arrival Processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.mmap import MarkedMAP
+
+
+def test_marked_poisson_rates_recovered():
+    mmap = MarkedMAP.marked_poisson([0.2, 0.5])
+    assert mmap.num_classes == 2
+    assert mmap.order == 1
+    assert mmap.arrival_rate(0) == pytest.approx(0.2)
+    assert mmap.arrival_rate(1) == pytest.approx(0.5)
+    assert mmap.total_arrival_rate() == pytest.approx(0.7)
+
+
+def test_marked_poisson_rejects_negative_rates():
+    with pytest.raises(ValueError):
+        MarkedMAP.marked_poisson([0.2, -0.1])
+
+
+def test_generator_rows_sum_to_zero():
+    mmap = MarkedMAP.marked_poisson([1.0, 2.0])
+    assert np.allclose(mmap.generator.sum(axis=1), 0.0)
+
+
+def test_invalid_generator_rejected():
+    # D0 + D1 rows do not sum to zero.
+    with pytest.raises(ValueError):
+        MarkedMAP([[-1.0]], [[[0.5]]])
+
+
+def test_negative_marked_matrix_rejected():
+    with pytest.raises(ValueError):
+        MarkedMAP([[-1.0]], [[[-1.0]], [[2.0]]])
+
+
+def test_two_state_mmap_stationary_distribution():
+    # Underlying chain flips between two states at rate 1; class-0 arrivals
+    # only occur in state 0, class-1 arrivals only in state 1, both at rate 2.
+    D0 = [[-3.0, 1.0], [1.0, -3.0]]
+    D1 = [[2.0, 0.0], [0.0, 0.0]]
+    D2 = [[0.0, 0.0], [0.0, 2.0]]
+    mmap = MarkedMAP(D0, [D1, D2])
+    pi = mmap.stationary_distribution()
+    assert pi == pytest.approx([0.5, 0.5])
+    assert mmap.arrival_rate(0) == pytest.approx(1.0)
+    assert mmap.arrival_rate(1) == pytest.approx(1.0)
+
+
+def test_superposition_adds_rates():
+    a = MarkedMAP.marked_poisson([0.3, 0.1])
+    b = MarkedMAP.marked_poisson([0.2, 0.4])
+    combined = MarkedMAP.superpose(a, b)
+    assert combined.arrival_rate(0) == pytest.approx(0.5)
+    assert combined.arrival_rate(1) == pytest.approx(0.5)
+
+
+def test_superpose_requires_matching_class_counts():
+    a = MarkedMAP.marked_poisson([0.3])
+    b = MarkedMAP.marked_poisson([0.2, 0.4])
+    with pytest.raises(ValueError):
+        MarkedMAP.superpose(a, b)
+
+
+def test_sampled_arrivals_are_ordered_and_marked(rng):
+    mmap = MarkedMAP.marked_poisson([0.5, 1.5])
+    arrivals = mmap.sample_arrivals(rng, horizon=200.0)
+    times = [t for t, _ in arrivals]
+    classes = {k for _, k in arrivals}
+    assert times == sorted(times)
+    assert classes <= {0, 1}
+    assert all(0 <= t < 200.0 for t in times)
+
+
+def test_sampled_arrival_rates_match_specification(rng):
+    mmap = MarkedMAP.marked_poisson([0.5, 1.5])
+    arrivals = mmap.sample_arrivals(rng, horizon=3000.0)
+    count_low = sum(1 for _, k in arrivals if k == 0)
+    count_high = sum(1 for _, k in arrivals if k == 1)
+    assert count_low / 3000.0 == pytest.approx(0.5, rel=0.15)
+    assert count_high / 3000.0 == pytest.approx(1.5, rel=0.15)
+
+
+def test_sample_requires_positive_horizon(rng):
+    mmap = MarkedMAP.marked_poisson([1.0])
+    with pytest.raises(ValueError):
+        mmap.sample_arrivals(rng, horizon=0.0)

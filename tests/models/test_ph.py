@@ -1,0 +1,195 @@
+"""Tests for Phase-Type distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.ph import PhaseType
+
+
+# ------------------------------------------------------------------ factories
+def test_exponential_moments():
+    ph = PhaseType.exponential(0.5)
+    assert ph.mean == pytest.approx(2.0)
+    assert ph.variance == pytest.approx(4.0)
+    assert ph.scv == pytest.approx(1.0)
+
+
+def test_erlang_moments():
+    ph = PhaseType.erlang(4, 2.0)
+    assert ph.mean == pytest.approx(2.0)
+    assert ph.scv == pytest.approx(0.25)
+
+
+def test_hyperexponential_moments():
+    ph = PhaseType.hyperexponential([0.5, 0.5], [1.0, 3.0])
+    expected_mean = 0.5 * 1.0 + 0.5 / 3.0
+    assert ph.mean == pytest.approx(expected_mean)
+    assert ph.scv > 1.0
+
+
+def test_deterministic_approx_has_tiny_scv():
+    ph = PhaseType.deterministic_approx(5.0, phases=100)
+    assert ph.mean == pytest.approx(5.0)
+    assert ph.scv == pytest.approx(0.01)
+
+
+def test_factory_validation():
+    with pytest.raises(ValueError):
+        PhaseType.exponential(0.0)
+    with pytest.raises(ValueError):
+        PhaseType.erlang(0, 1.0)
+    with pytest.raises(ValueError):
+        PhaseType.hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+
+# ------------------------------------------------------------------ validation
+def test_alpha_must_sum_to_one():
+    with pytest.raises(ValueError):
+        PhaseType([0.5, 0.2], [[-1.0, 0.0], [0.0, -1.0]])
+
+
+def test_off_diagonal_must_be_non_negative():
+    with pytest.raises(ValueError):
+        PhaseType([1.0, 0.0], [[-1.0, -0.5], [0.0, -1.0]])
+
+
+def test_row_sums_must_be_non_positive():
+    with pytest.raises(ValueError):
+        PhaseType([1.0, 0.0], [[-1.0, 2.0], [0.0, -1.0]])
+
+
+def test_dimension_mismatch_rejected():
+    with pytest.raises(ValueError):
+        PhaseType([1.0], [[-1.0, 1.0], [0.0, -1.0]])
+
+
+# --------------------------------------------------------------------- moments
+def test_moment_zero_is_one():
+    assert PhaseType.exponential(1.0).moment(0) == 1.0
+
+
+def test_exponential_third_moment():
+    # E[X^3] of Exp(rate) is 6 / rate^3.
+    ph = PhaseType.exponential(2.0)
+    assert ph.moment(3) == pytest.approx(6.0 / 8.0)
+
+
+def test_second_moment_consistency():
+    ph = PhaseType.erlang(3, 1.5)
+    assert ph.second_moment == pytest.approx(ph.variance + ph.mean**2)
+
+
+# ---------------------------------------------------------------- cdf/pdf/tail
+def test_exponential_cdf_matches_closed_form():
+    ph = PhaseType.exponential(0.7)
+    for x in (0.1, 1.0, 3.0):
+        assert ph.cdf(x) == pytest.approx(1.0 - math.exp(-0.7 * x), abs=1e-9)
+
+
+def test_cdf_is_zero_at_negative_values():
+    assert PhaseType.exponential(1.0).cdf(-1.0) == 0.0
+
+
+def test_sf_is_complement_of_cdf():
+    ph = PhaseType.erlang(2, 1.0)
+    assert ph.sf(1.3) == pytest.approx(1.0 - ph.cdf(1.3))
+
+
+def test_pdf_integrates_to_about_one():
+    ph = PhaseType.erlang(3, 2.0)
+    xs = np.linspace(0, 20, 4000)
+    integral = np.trapezoid([ph.pdf(x) for x in xs], xs)
+    assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+def test_quantile_inverts_cdf():
+    ph = PhaseType.exponential(1.0)
+    x = ph.quantile(0.95)
+    assert ph.cdf(x) == pytest.approx(0.95, abs=1e-4)
+
+
+def test_quantile_zero():
+    assert PhaseType.exponential(1.0).quantile(0.0) == 0.0
+
+
+# ------------------------------------------------------------------ operations
+def test_convolution_adds_means_and_variances():
+    a = PhaseType.exponential(1.0)
+    b = PhaseType.erlang(2, 3.0)
+    c = a.convolve(b)
+    assert c.mean == pytest.approx(a.mean + b.mean)
+    assert c.variance == pytest.approx(a.variance + b.variance)
+
+
+def test_convolve_many():
+    parts = [PhaseType.exponential(1.0) for _ in range(3)]
+    total = parts[0].convolve_many(parts[1:])
+    assert total.mean == pytest.approx(3.0)
+
+
+def test_mixture_mean_is_weighted_average():
+    a = PhaseType.exponential(1.0)   # mean 1
+    b = PhaseType.exponential(0.25)  # mean 4
+    mix = PhaseType.mixture([0.25, 0.75], [a, b])
+    assert mix.mean == pytest.approx(0.25 * 1.0 + 0.75 * 4.0)
+
+
+def test_mixture_weights_validated():
+    a = PhaseType.exponential(1.0)
+    with pytest.raises(ValueError):
+        PhaseType.mixture([0.5, 0.6], [a, a])
+
+
+def test_scaling_scales_moments():
+    ph = PhaseType.erlang(2, 1.0)
+    scaled = ph.scaled(3.0)
+    assert scaled.mean == pytest.approx(3.0 * ph.mean)
+    assert scaled.scv == pytest.approx(ph.scv)
+
+
+def test_scaling_rejects_non_positive_factor():
+    with pytest.raises(ValueError):
+        PhaseType.exponential(1.0).scaled(0.0)
+
+
+# -------------------------------------------------------------------- fitting
+@pytest.mark.parametrize("mean,scv", [(2.0, 1.0), (5.0, 0.5), (1.0, 0.2), (3.0, 4.0)])
+def test_fit_mean_scv_matches_first_two_moments(mean, scv):
+    ph = PhaseType.fit_mean_scv(mean, scv)
+    assert ph.mean == pytest.approx(mean, rel=1e-6)
+    assert ph.scv == pytest.approx(scv, rel=1e-6)
+
+
+def test_fit_mean_scv_zero_scv_is_nearly_deterministic():
+    ph = PhaseType.fit_mean_scv(4.0, 0.0)
+    assert ph.mean == pytest.approx(4.0)
+    assert ph.scv < 0.05
+
+
+def test_fit_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        PhaseType.fit_mean_scv(0.0, 1.0)
+    with pytest.raises(ValueError):
+        PhaseType.fit_mean_scv(1.0, -1.0)
+
+
+# -------------------------------------------------------------------- sampling
+def test_sampling_mean_close_to_analytic(rng):
+    ph = PhaseType.erlang(3, 1.0)
+    samples = ph.sample(rng, 4000)
+    assert abs(samples.mean() - ph.mean) / ph.mean < 0.05
+
+
+def test_sampling_non_negative(rng):
+    ph = PhaseType.hyperexponential([0.3, 0.7], [0.5, 5.0])
+    samples = ph.sample(rng, 200)
+    assert np.all(samples >= 0)
+
+
+def test_repr_mentions_order_and_mean():
+    text = repr(PhaseType.erlang(2, 1.0))
+    assert "order=2" in text

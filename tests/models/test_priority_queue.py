@@ -1,0 +1,131 @@
+"""Tests for the multi-priority queue response-time model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.mg1 import ServiceMoments, nonpreemptive_priority_response_times
+from repro.models.ph import PhaseType
+from repro.models.priority_queue import PriorityClassInput, PriorityQueueModel
+
+
+def two_class_model(load_low=0.5, load_high=0.2) -> PriorityQueueModel:
+    high_service = PhaseType.exponential(1.0)      # mean 1
+    low_service = PhaseType.erlang(2, 1.0)         # mean 2
+    return PriorityQueueModel(
+        [
+            PriorityClassInput(priority=1, arrival_rate=load_high / 1.0, service=high_service),
+            PriorityClassInput(priority=0, arrival_rate=load_low / 2.0, service=low_service),
+        ]
+    )
+
+
+def test_utilisation_sums_class_loads():
+    model = two_class_model(load_low=0.5, load_high=0.2)
+    assert model.utilisation() == pytest.approx(0.7)
+
+
+def test_mean_responses_match_mg1_priority_formulas():
+    model = two_class_model()
+    expected = nonpreemptive_priority_response_times(
+        {1: 0.2, 0: 0.25},
+        {
+            1: ServiceMoments(mean=1.0, second_moment=2.0),
+            0: ServiceMoments(mean=2.0, second_moment=6.0),
+        },
+    )
+    result = model.mean_response_times("nonpreemptive")
+    for k in expected:
+        assert result[k] == pytest.approx(expected[k], rel=1e-9)
+
+
+def test_high_priority_faster_than_low_priority():
+    responses = two_class_model().mean_response_times()
+    assert responses[1] < responses[0]
+
+
+def test_preemptive_resume_bounds_nonpreemptive_for_top_class():
+    model = two_class_model()
+    np_responses = model.mean_response_times("nonpreemptive")
+    pr_responses = model.mean_response_times("preemptive_resume")
+    assert pr_responses[1] <= np_responses[1]
+
+
+def test_waiting_times_subtract_service_mean():
+    model = two_class_model()
+    responses = model.mean_response_times()
+    waits = model.mean_waiting_times()
+    assert waits[1] == pytest.approx(responses[1] - 1.0)
+    assert waits[0] == pytest.approx(responses[0] - 2.0)
+
+
+def test_unknown_discipline_rejected():
+    with pytest.raises(ValueError):
+        two_class_model().mean_response_times("lifo")
+
+
+def test_duplicate_priorities_rejected():
+    service = PhaseType.exponential(1.0)
+    with pytest.raises(ValueError):
+        PriorityQueueModel(
+            [
+                PriorityClassInput(priority=1, arrival_rate=0.1, service=service),
+                PriorityClassInput(priority=1, arrival_rate=0.2, service=service),
+            ]
+        )
+
+
+def test_simulation_matches_analytic_means():
+    model = two_class_model(load_low=0.4, load_high=0.2)
+    rng = np.random.default_rng(42)
+    samples = model.simulate(horizon=60_000.0, rng=rng, discipline="nonpreemptive")
+    analytic = model.mean_response_times("nonpreemptive")
+    for priority in (0, 1):
+        observed = sum(samples[priority]) / len(samples[priority])
+        assert observed == pytest.approx(analytic[priority], rel=0.15)
+
+
+def test_simulation_preemptive_restart_hurts_low_priority():
+    model = two_class_model(load_low=0.5, load_high=0.25)
+    rng = np.random.default_rng(7)
+    non = model.simulate(horizon=20_000.0, rng=rng, discipline="nonpreemptive")
+    rng = np.random.default_rng(7)
+    restart = model.simulate(horizon=20_000.0, rng=rng, discipline="preemptive_restart")
+    mean_non = sum(non[0]) / len(non[0])
+    mean_restart = sum(restart[0]) / len(restart[0])
+    # Restarting evicted jobs from scratch wastes work, so the low class is
+    # slower (or at best comparable) than under non-preemptive scheduling.
+    assert mean_restart > mean_non * 0.9
+
+
+def test_simulation_preemptive_helps_high_priority():
+    model = two_class_model(load_low=0.5, load_high=0.2)
+    rng = np.random.default_rng(3)
+    non = model.simulate(horizon=20_000.0, rng=rng, discipline="nonpreemptive")
+    rng = np.random.default_rng(3)
+    resume = model.simulate(horizon=20_000.0, rng=rng, discipline="preemptive_resume")
+    assert sum(resume[1]) / len(resume[1]) < sum(non[1]) / len(non[1])
+
+
+def test_simulated_summary_has_mean_and_tail():
+    model = two_class_model()
+    summary = model.simulated_summary(horizon=5_000.0, rng=np.random.default_rng(0))
+    for priority in (0, 1):
+        assert summary[priority]["count"] > 0
+        assert summary[priority]["tail"] >= summary[priority]["mean"] * 0.5
+
+
+def test_simulation_validates_inputs():
+    model = two_class_model()
+    with pytest.raises(ValueError):
+        model.simulate(horizon=0.0)
+    with pytest.raises(ValueError):
+        model.simulate(horizon=10.0, discipline="unknown")
+
+
+def test_empty_class_list_rejected():
+    with pytest.raises(ValueError):
+        PriorityQueueModel([])

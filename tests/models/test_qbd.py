@@ -1,0 +1,76 @@
+"""Tests for the matrix-geometric M/PH/1 solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.mg1 import ServiceMoments, mg1_mean_waiting_time
+from repro.models.ph import PhaseType
+from repro.models.qbd import MPH1Queue
+
+
+def test_utilisation_and_stability():
+    queue = MPH1Queue(arrival_rate=0.5, service=PhaseType.exponential(1.0))
+    assert queue.utilisation == pytest.approx(0.5)
+    assert queue.stable
+
+
+def test_unstable_queue_detected():
+    queue = MPH1Queue(arrival_rate=2.0, service=PhaseType.exponential(1.0))
+    assert not queue.stable
+    with pytest.raises(ValueError):
+        queue.mean_queue_length()
+
+
+def test_mm1_mean_queue_length():
+    # M/M/1 with rho = 0.5: E[N] = rho / (1 - rho) = 1.
+    queue = MPH1Queue(arrival_rate=0.5, service=PhaseType.exponential(1.0))
+    assert queue.mean_queue_length() == pytest.approx(1.0, rel=1e-6)
+
+
+def test_mm1_empty_probability():
+    queue = MPH1Queue(arrival_rate=0.3, service=PhaseType.exponential(1.0))
+    p0, _, _ = queue.solve()
+    assert p0 == pytest.approx(0.7, rel=1e-6)
+
+
+@pytest.mark.parametrize("rho", [0.2, 0.5, 0.8])
+def test_mph1_matches_pollaczek_khinchine_for_erlang_service(rho):
+    service = PhaseType.erlang(3, 3.0)  # mean 1, scv 1/3
+    queue = MPH1Queue(arrival_rate=rho, service=service)
+    pk = mg1_mean_waiting_time(
+        rho, ServiceMoments(mean=service.mean, second_moment=service.second_moment)
+    )
+    assert queue.mean_waiting_time() == pytest.approx(pk, rel=1e-4)
+
+
+def test_mph1_matches_pollaczek_khinchine_for_hyperexponential_service():
+    service = PhaseType.hyperexponential([0.4, 0.6], [0.5, 2.0])
+    queue = MPH1Queue(arrival_rate=0.3, service=service)
+    pk = mg1_mean_waiting_time(
+        0.3, ServiceMoments(mean=service.mean, second_moment=service.second_moment)
+    )
+    assert queue.mean_waiting_time() == pytest.approx(pk, rel=1e-4)
+
+
+def test_response_time_is_waiting_plus_service():
+    service = PhaseType.erlang(2, 2.0)
+    queue = MPH1Queue(arrival_rate=0.4, service=service)
+    assert queue.mean_response_time() == pytest.approx(
+        queue.mean_waiting_time() + service.mean, rel=1e-9
+    )
+
+
+def test_rate_matrix_is_nonnegative_with_small_spectral_radius():
+    import numpy as np
+
+    queue = MPH1Queue(arrival_rate=0.6, service=PhaseType.erlang(2, 2.0))
+    R = queue.rate_matrix()
+    assert np.all(R >= -1e-12)
+    eigenvalues = np.linalg.eigvals(R)
+    assert max(abs(eigenvalues)) < 1.0
+
+
+def test_arrival_rate_must_be_positive():
+    with pytest.raises(ValueError):
+        MPH1Queue(arrival_rate=0.0, service=PhaseType.exponential(1.0))

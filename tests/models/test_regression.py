@@ -1,0 +1,78 @@
+"""Tests for the interpolation and regression helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.regression import LinearInterpolator, LinearRegression
+
+
+# ---------------------------------------------------------- LinearInterpolator
+def test_two_point_interpolation():
+    interp = LinearInterpolator.two_point(0.0, 12.0, 0.9, 6.0)
+    assert interp(0.0) == 12.0
+    assert interp(0.9) == 6.0
+    assert interp(0.45) == pytest.approx(9.0)
+
+
+def test_interpolation_clamps_outside_range():
+    interp = LinearInterpolator.two_point(0.0, 10.0, 1.0, 20.0)
+    assert interp(-5.0) == 10.0
+    assert interp(5.0) == 20.0
+
+
+def test_multi_point_interpolation_is_piecewise():
+    interp = LinearInterpolator([(0.0, 0.0), (1.0, 10.0), (2.0, 0.0)])
+    assert interp(0.5) == pytest.approx(5.0)
+    assert interp(1.5) == pytest.approx(5.0)
+
+
+def test_points_order_does_not_matter():
+    interp = LinearInterpolator([(2.0, 4.0), (0.0, 0.0)])
+    assert interp(1.0) == pytest.approx(2.0)
+
+
+def test_interpolator_needs_two_points():
+    with pytest.raises(ValueError):
+        LinearInterpolator([(0.0, 1.0)])
+
+
+def test_interpolator_rejects_duplicate_x():
+    with pytest.raises(ValueError):
+        LinearInterpolator([(1.0, 2.0), (1.0, 3.0)])
+
+
+def test_points_property_is_sorted():
+    interp = LinearInterpolator([(2.0, 4.0), (0.0, 0.0)])
+    assert interp.points == [(0.0, 0.0), (2.0, 4.0)]
+
+
+# ------------------------------------------------------------ LinearRegression
+def test_perfect_line_is_recovered():
+    fit = LinearRegression.fit([0.0, 1.0, 2.0, 3.0], [1.0, 3.0, 5.0, 7.0])
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_noisy_fit_has_r_squared_below_one():
+    xs = [0.0, 1.0, 2.0, 3.0, 4.0]
+    ys = [0.0, 2.2, 3.8, 6.1, 7.9]
+    fit = LinearRegression.fit(xs, ys)
+    assert 0.9 < fit.r_squared <= 1.0
+    assert fit.slope == pytest.approx(2.0, abs=0.2)
+
+
+def test_predict_and_predict_many():
+    fit = LinearRegression(intercept=1.0, slope=2.0, r_squared=1.0)
+    assert fit.predict(3.0) == 7.0
+    assert fit.predict_many([0.0, 1.0]) == [1.0, 3.0]
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        LinearRegression.fit([1.0], [2.0])
+    with pytest.raises(ValueError):
+        LinearRegression.fit([1.0, 2.0], [2.0])
+    with pytest.raises(ValueError):
+        LinearRegression.fit([1.0, 1.0], [1.0, 2.0])

@@ -1,0 +1,98 @@
+"""Tests for the effective sprinting-rate model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.ph import PhaseType
+from repro.models.sprinting import SprintingRateModel
+
+
+def test_no_speedup_changes_nothing():
+    model = SprintingRateModel(speedup=1.0, timeout=10.0)
+    assert model.effective_time_deterministic(100.0) == 100.0
+
+
+def test_deterministic_effective_time_with_timeout():
+    # 100 s job, sprint after 65 s at 2.5x -> 65 + 35/2.5 = 79 s.
+    model = SprintingRateModel(speedup=2.5, timeout=65.0)
+    assert model.effective_time_deterministic(100.0) == pytest.approx(79.0)
+
+
+def test_deterministic_short_job_never_sprints():
+    model = SprintingRateModel(speedup=2.5, timeout=65.0)
+    assert model.effective_time_deterministic(50.0) == 50.0
+    assert model.sprinted_seconds_deterministic(50.0) == 0.0
+
+
+def test_zero_timeout_sprints_whole_job():
+    model = SprintingRateModel(speedup=2.0, timeout=0.0)
+    assert model.effective_time_deterministic(100.0) == pytest.approx(50.0)
+    assert model.sprinted_seconds_deterministic(100.0) == pytest.approx(50.0)
+
+
+def test_budget_cap_limits_sprinting():
+    model = SprintingRateModel(speedup=2.0, timeout=0.0, max_sprint_seconds=10.0)
+    # 10 s of sprinting executes 20 s of work; the remaining 80 s runs at base.
+    assert model.effective_time_deterministic(100.0) == pytest.approx(10.0 + 80.0)
+    assert model.sprinted_seconds_deterministic(100.0) == pytest.approx(10.0)
+
+
+def test_stochastic_effective_mean_for_zero_timeout():
+    base = PhaseType.exponential(1.0 / 100.0)  # mean 100 s
+    model = SprintingRateModel(speedup=2.5, timeout=0.0)
+    assert model.effective_mean_time(base) == pytest.approx(40.0, rel=1e-6)
+
+
+def test_stochastic_effective_mean_with_timeout_between_bounds():
+    base = PhaseType.exponential(1.0 / 100.0)
+    model = SprintingRateModel(speedup=2.5, timeout=65.0)
+    effective = model.effective_mean_time(base)
+    assert 40.0 < effective < 100.0
+
+
+def test_effective_mean_agrees_with_exponential_closed_form():
+    # For Exp(mu) and timeout T: E[min(D,T)] = (1 - exp(-mu T)) / mu.
+    import math
+
+    mean = 100.0
+    timeout = 65.0
+    speedup = 2.5
+    base = PhaseType.exponential(1.0 / mean)
+    expected_before = mean * (1 - math.exp(-timeout / mean))
+    expected = expected_before + (mean - expected_before) / speedup
+    model = SprintingRateModel(speedup=speedup, timeout=timeout)
+    assert model.effective_mean_time(base) == pytest.approx(expected, rel=1e-3)
+
+
+def test_effective_rate_is_reciprocal():
+    base = PhaseType.exponential(1.0 / 50.0)
+    model = SprintingRateModel(speedup=2.0, timeout=0.0)
+    assert model.effective_rate(base) == pytest.approx(1.0 / model.effective_mean_time(base))
+
+
+def test_expected_sprinted_fraction_bounds():
+    base = PhaseType.exponential(1.0 / 100.0)
+    full = SprintingRateModel(speedup=2.5, timeout=0.0).expected_sprinted_fraction(base)
+    partial = SprintingRateModel(speedup=2.5, timeout=65.0).expected_sprinted_fraction(base)
+    assert full == pytest.approx(1.0, rel=1e-6)
+    assert 0.0 < partial < full
+
+
+def test_for_budget_fraction_reproduces_paper_calibration():
+    # ~100 s jobs sprinting 35% of their execution -> a 65 s timeout.
+    model = SprintingRateModel.for_budget_fraction(
+        speedup=2.5, mean_execution_time=100.0, sprint_fraction=0.35
+    )
+    assert model.timeout == pytest.approx(65.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SprintingRateModel(speedup=0.5)
+    with pytest.raises(ValueError):
+        SprintingRateModel(speedup=2.0, timeout=-1.0)
+    with pytest.raises(ValueError):
+        SprintingRateModel.for_budget_fraction(2.0, 100.0, 1.5)
+    with pytest.raises(ValueError):
+        SprintingRateModel(speedup=2.0).effective_time_deterministic(-1.0)

@@ -1,0 +1,120 @@
+"""Tests for the task-level PH model (§4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.ph import PhaseType
+from repro.models.task_level import TaskLevelModel
+
+
+def simple_model(**overrides) -> TaskLevelModel:
+    params = dict(
+        slots=2,
+        map_task_distribution={4: 1.0},
+        reduce_task_distribution={2: 1.0},
+        map_rate=1.0,
+        reduce_rate=2.0,
+        setup_rate=None,
+        shuffle_rate=None,
+        map_drop_ratio=0.0,
+        reduce_drop_ratio=0.0,
+    )
+    params.update(overrides)
+    return TaskLevelModel(**params)
+
+
+def test_model_builds_a_valid_ph():
+    ph = simple_model().build()
+    assert isinstance(ph, PhaseType)
+    assert ph.mean > 0
+
+
+def test_mean_matches_hand_computed_value():
+    # 4 map tasks on 2 slots at rate 1 each: phases M4, M3 run at rate 2,
+    # M2 at rate 2, M1 at rate 1 -> expected map time 0.5 + 0.5 + 0.5 + 1 = 2.5.
+    # 2 reduce tasks at rate 2 on 2 slots: R2 at rate 4, R1 at rate 2 -> 0.5.
+    model = simple_model()
+    assert model.mean_processing_time() == pytest.approx(2.5 + 0.75, rel=1e-6)
+
+
+def test_phase_count_matches_paper_formula():
+    # N̄m + N̄r + 2 phases (setup, maps, shuffle, reduces).
+    model = simple_model(setup_rate=1.0, shuffle_rate=1.0)
+    ph = model.build()
+    assert ph.order == 4 + 2 + 2
+
+
+def test_setup_and_shuffle_increase_mean():
+    without = simple_model().mean_processing_time()
+    with_stages = simple_model(setup_rate=0.5, shuffle_rate=1.0).mean_processing_time()
+    assert with_stages == pytest.approx(without + 2.0 + 1.0, rel=1e-6)
+
+
+def test_dropping_reduces_mean():
+    full = simple_model().mean_processing_time()
+    dropped = simple_model(map_drop_ratio=0.5).mean_processing_time()
+    assert dropped < full
+
+
+def test_effective_distribution_applies_ceiling():
+    model = simple_model(map_task_distribution={5: 1.0}, map_drop_ratio=0.2)
+    assert model.effective_map_distribution() == {4: 1.0}
+
+
+def test_effective_distribution_merges_counts():
+    model = simple_model(
+        map_task_distribution={4: 0.5, 5: 0.5}, map_drop_ratio=0.25
+    )
+    effective = model.effective_map_distribution()
+    # ⌈4·0.75⌉ = 3 and ⌈5·0.75⌉ = 4.
+    assert effective == {3: 0.5, 4: 0.5}
+
+
+def test_random_task_counts_mix_means():
+    fixed_small = simple_model(map_task_distribution={2: 1.0}).mean_processing_time()
+    fixed_large = simple_model(map_task_distribution={6: 1.0}).mean_processing_time()
+    mixed = simple_model(
+        map_task_distribution={2: 0.5, 6: 0.5}
+    ).mean_processing_time()
+    assert fixed_small < mixed < fixed_large
+    assert mixed == pytest.approx((fixed_small + fixed_large) / 2, rel=1e-6)
+
+
+def test_more_slots_means_shorter_jobs():
+    slow = simple_model(slots=1).mean_processing_time()
+    fast = simple_model(slots=4).mean_processing_time()
+    assert fast < slow
+
+
+def test_with_drop_ratios_returns_new_model():
+    base = simple_model()
+    dropped = base.with_drop_ratios(0.5)
+    assert dropped.map_drop_ratio == 0.5
+    assert base.map_drop_ratio == 0.0
+
+
+def test_phase_names_layout():
+    names = simple_model(setup_rate=1.0, shuffle_rate=1.0).phase_names()
+    assert names[0] == "O"
+    assert names[-1] == "R1"
+    assert "S" in names
+
+
+def test_from_profile_reflects_drop_ratio(high_profile):
+    base = TaskLevelModel.from_profile(high_profile, slots=4, map_drop_ratio=0.0)
+    dropped = TaskLevelModel.from_profile(high_profile, slots=4, map_drop_ratio=0.4)
+    assert dropped.mean_processing_time() < base.mean_processing_time()
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        simple_model(slots=0)
+    with pytest.raises(ValueError):
+        simple_model(map_rate=0.0)
+    with pytest.raises(ValueError):
+        simple_model(map_drop_ratio=1.0)
+    with pytest.raises(ValueError):
+        simple_model(map_task_distribution={})
+    with pytest.raises(ValueError):
+        simple_model(map_task_distribution={-1: 1.0})

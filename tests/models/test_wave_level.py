@@ -1,0 +1,136 @@
+"""Tests for the wave-level PH model (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.ph import PhaseType
+from repro.models.wave_level import WaveLevelModel, wave_count_distribution
+
+
+# ------------------------------------------------------- wave_count_distribution
+def test_wave_count_basic():
+    # 40 tasks on 20 slots -> 2 waves.
+    assert wave_count_distribution({40: 1.0}, 0.0, 20) == {2: 1.0}
+
+
+def test_wave_count_with_dropping_crosses_boundary():
+    # 50 tasks, dropping 20% -> 40 tasks -> 2 waves (down from 3).
+    assert wave_count_distribution({50: 1.0}, 0.0, 20) == {3: 1.0}
+    assert wave_count_distribution({50: 1.0}, 0.2, 20) == {2: 1.0}
+
+
+def test_wave_count_mixture():
+    dist = wave_count_distribution({10: 0.5, 30: 0.5}, 0.0, 20)
+    assert dist == {1: 0.5, 2: 0.5}
+
+
+def test_wave_count_all_dropped_gives_zero_waves():
+    assert wave_count_distribution({10: 1.0}, 0.99, 20) == {1: 1.0}  # ⌈10·0.01⌉ = 1
+
+
+def test_wave_count_requires_positive_slots():
+    with pytest.raises(ValueError):
+        wave_count_distribution({10: 1.0}, 0.0, 0)
+
+
+# ----------------------------------------------------------------- WaveLevelModel
+def wave_model(**overrides) -> WaveLevelModel:
+    params = dict(
+        slots=2,
+        map_task_distribution={4: 1.0},
+        reduce_task_distribution={2: 1.0},
+        map_wave_ph=PhaseType.erlang(2, 2.0),     # mean 1 per wave
+        reduce_wave_ph=PhaseType.exponential(2.0),  # mean 0.5 per wave
+        setup_ph=None,
+        shuffle_ph=None,
+        map_drop_ratio=0.0,
+        reduce_drop_ratio=0.0,
+    )
+    params.update(overrides)
+    return WaveLevelModel(**params)
+
+
+def test_wave_model_mean_is_sum_of_wave_means():
+    # 4 map tasks / 2 slots = 2 map waves of mean 1; 2 reduce tasks / 2 slots =
+    # 1 reduce wave of mean 0.5.
+    model = wave_model()
+    assert model.mean_processing_time() == pytest.approx(2.0 + 0.5, rel=1e-6)
+
+
+def test_wave_model_includes_setup_and_shuffle():
+    model = wave_model(
+        setup_ph=PhaseType.exponential(0.5),   # mean 2
+        shuffle_ph=PhaseType.exponential(1.0),  # mean 1
+    )
+    assert model.mean_processing_time() == pytest.approx(2.0 + 2.0 + 1.0 + 0.5, rel=1e-6)
+
+
+def test_wave_model_dropping_whole_wave_reduces_mean():
+    base = wave_model().mean_processing_time()
+    dropped = wave_model(map_drop_ratio=0.5).mean_processing_time()
+    assert dropped == pytest.approx(base - 1.0, rel=1e-6)
+
+
+def test_wave_model_small_drop_keeps_wave_count():
+    # Dropping 10% of 4 tasks keeps 4 effective tasks (⌈3.6⌉) -> same waves.
+    base = wave_model().mean_processing_time()
+    slight = wave_model(map_drop_ratio=0.05).mean_processing_time()
+    assert slight == pytest.approx(base, rel=1e-6)
+
+
+def test_wave_model_matches_paper_two_wave_example_structure():
+    # wm = wr = 2 as in the worked example of §4.2.
+    model = wave_model(map_task_distribution={4: 1.0}, reduce_task_distribution={4: 1.0})
+    qm = model.map_wave_distribution()
+    qr = model.reduce_wave_distribution()
+    assert qm == {2: 1.0}
+    assert qr == {2: 1.0}
+    ph = model.build()
+    # Blocks: 2 map waves of order 2 + 2 reduce waves of order 1.
+    assert ph.order == 2 * 2 + 2 * 1
+
+
+def test_wave_model_mixture_of_wave_counts():
+    model = wave_model(map_task_distribution={2: 0.5, 4: 0.5})
+    # Half the jobs need 1 map wave, half need 2.
+    assert model.map_wave_distribution() == {1: 0.5, 2: 0.5}
+    assert model.mean_processing_time() == pytest.approx(0.5 * 1.0 + 0.5 * 2.0 + 0.5, rel=1e-6)
+
+
+def test_wave_model_per_wave_distributions():
+    waves = [PhaseType.exponential(1.0), PhaseType.exponential(0.5)]  # means 1 and 2
+    model = wave_model(map_wave_ph=waves)
+    assert model.mean_processing_time() == pytest.approx(1.0 + 2.0 + 0.5, rel=1e-6)
+
+
+def test_wave_model_insufficient_per_wave_list_rejected():
+    with pytest.raises(ValueError):
+        wave_model(map_wave_ph=[PhaseType.exponential(1.0)]).build()
+
+
+def test_wave_model_with_drop_ratios_copy():
+    base = wave_model()
+    other = base.with_drop_ratios(0.5)
+    assert other.map_drop_ratio == 0.5
+    assert base.map_drop_ratio == 0.0
+
+
+def test_from_profile_mean_close_to_wave_approximation(low_profile):
+    slots = 4
+    model = WaveLevelModel.from_profile(low_profile, slots)
+    approx = low_profile.mean_service_time(slots)
+    assert model.mean_processing_time() == pytest.approx(approx, rel=0.1)
+
+
+def test_from_profile_dropping_reduces_mean(low_profile):
+    base = WaveLevelModel.from_profile(low_profile, 4, map_drop_ratio=0.0)
+    dropped = WaveLevelModel.from_profile(low_profile, 4, map_drop_ratio=0.5)
+    assert dropped.mean_processing_time() < base.mean_processing_time()
+
+
+def test_wave_model_validation():
+    with pytest.raises(ValueError):
+        wave_model(slots=0)
+    with pytest.raises(ValueError):
+        wave_model(map_drop_ratio=1.0)

@@ -1,0 +1,168 @@
+"""Property-based tests on core invariants of the DiAS components."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dropper import find_missing_partitions
+from repro.engine.dvfs import DVFSModel, FrequencyLevel
+from repro.engine.job import effective_task_count
+from repro.models.accuracy import AccuracyModel, compose_stage_drop_ratios
+from repro.models.mg1 import (
+    ServiceMoments,
+    mg1_mean_waiting_time,
+    nonpreemptive_priority_response_times,
+    nonpreemptive_priority_waiting_times,
+)
+from repro.models.sprinting import SprintingRateModel
+from repro.simulation.metrics import percentile
+
+drop_ratios = st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+task_counts = st.integers(min_value=0, max_value=500)
+
+
+# ----------------------------------------------------------- task dropping
+@given(n=task_counts, theta=drop_ratios)
+@settings(max_examples=200, deadline=None)
+def test_effective_task_count_bounds(n, theta):
+    kept = effective_task_count(n, theta)
+    assert 0 <= kept <= n
+    assert kept == math.ceil(n * (1 - theta))
+    if n > 0 and theta < 1:
+        assert kept >= 1  # the ceiling keeps at least one task
+
+
+@given(n=st.integers(min_value=1, max_value=500), theta=drop_ratios)
+@settings(max_examples=200, deadline=None)
+def test_dropping_is_monotone_in_theta(n, theta):
+    smaller = find_missing_partitions(n, theta)
+    larger_drop = min(0.99, theta + 0.2)
+    assert find_missing_partitions(n, larger_drop) <= smaller
+
+
+# ----------------------------------------------------------- accuracy model
+@given(theta=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_accuracy_error_in_unit_interval(theta):
+    model = AccuracyModel.paper_default()
+    error = model.error(theta)
+    assert 0.0 <= error <= 1.0
+
+
+@given(thetas=st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_composed_drop_ratio_bounds(thetas):
+    composed = compose_stage_drop_ratios(thetas)
+    assert 0.0 <= composed <= 1.0
+    assert composed >= max(thetas) - 1e-12
+
+
+@given(tolerance=st.floats(min_value=0.001, max_value=0.9))
+@settings(max_examples=100, deadline=None)
+def test_max_drop_then_error_is_within_tolerance(tolerance):
+    model = AccuracyModel.paper_default()
+    theta = model.max_drop_for_error(tolerance)
+    assert model.error(theta) <= tolerance + 1e-9
+
+
+# ------------------------------------------------------------------ sprinting
+@given(
+    base_time=st.floats(min_value=1.0, max_value=500.0),
+    timeout=st.floats(min_value=0.0, max_value=500.0),
+    speedup=st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_sprinting_never_slows_a_job_down(base_time, timeout, speedup):
+    model = SprintingRateModel(speedup=speedup, timeout=timeout)
+    effective = model.effective_time_deterministic(base_time)
+    assert effective <= base_time + 1e-9
+    assert effective >= base_time / speedup - 1e-9
+
+
+@given(
+    frequency=st.floats(min_value=800.0, max_value=4000.0),
+    beta=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_dvfs_speedup_bounded_by_frequency_ratio(frequency, beta):
+    model = DVFSModel(
+        base=FrequencyLevel("base", 800.0),
+        sprint=FrequencyLevel("sprint", frequency),
+        cpu_bound_fraction=beta,
+    )
+    assert 1.0 - 1e-9 <= model.sprint_speedup <= frequency / 800.0 + 1e-9
+
+
+# ------------------------------------------------------------------- queueing
+@given(
+    rho=st.floats(min_value=0.05, max_value=0.9),
+    scv=st.floats(min_value=0.1, max_value=4.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_mg1_waiting_time_scales_with_variability(rho, scv):
+    mean = 1.0
+    base = ServiceMoments(mean=mean, second_moment=(1 + scv) * mean**2)
+    waiting = mg1_mean_waiting_time(rho, base)
+    assert waiting >= 0
+    # P-K formula is linear in E[S^2]: doubling the second moment doubles W.
+    doubled = ServiceMoments(mean=mean, second_moment=2 * (1 + scv) * mean**2)
+    assert mg1_mean_waiting_time(rho, doubled) == pytest.approx(2 * waiting, rel=1e-9)
+
+
+@given(
+    lam_high=st.floats(min_value=0.01, max_value=0.4),
+    lam_low=st.floats(min_value=0.01, max_value=0.4),
+    mean_high=st.floats(min_value=0.2, max_value=1.2),
+    mean_low=st.floats(min_value=0.2, max_value=1.2),
+)
+@settings(max_examples=100, deadline=None)
+def test_priority_queue_invariants(lam_high, lam_low, mean_high, mean_low):
+    rates = {1: lam_high, 0: lam_low}
+    services = {
+        1: ServiceMoments(mean=mean_high, second_moment=2 * mean_high**2),
+        0: ServiceMoments(mean=mean_low, second_moment=2 * mean_low**2),
+    }
+    rho = lam_high * mean_high + lam_low * mean_low
+    responses = nonpreemptive_priority_response_times(rates, services)
+    waits = nonpreemptive_priority_waiting_times(rates, services)
+    if rho < 0.95:
+        # Responses exceed service times and the high class waits less.
+        assert responses[1] >= mean_high - 1e-9
+        assert responses[0] >= mean_low - 1e-9
+        assert waits[1] <= waits[0] + 1e-9
+        # Kleinrock conservation: the load-weighted waits equal the FCFS value
+        # computed on the aggregate arrival stream.
+        aggregate_second = (
+            lam_high * services[1].second_moment + lam_low * services[0].second_moment
+        ) / (lam_high + lam_low)
+        aggregate = ServiceMoments(
+            mean=(lam_high * mean_high + lam_low * mean_low) / (lam_high + lam_low),
+            second_moment=max(aggregate_second,
+                              ((lam_high * mean_high + lam_low * mean_low) / (lam_high + lam_low)) ** 2),
+        )
+        fcfs_wait = mg1_mean_waiting_time(lam_high + lam_low, aggregate)
+        weighted = (
+            lam_high * mean_high * waits[1] + lam_low * mean_low * waits[0]
+        ) / rho
+        expected = (lam_high + lam_low) * aggregate.second_moment / 2 / (1 - rho)
+        assert weighted == pytest.approx(expected, rel=1e-6)
+
+
+# ------------------------------------------------------------------ percentile
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+       q=st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=150, deadline=None)
+def test_percentile_within_range(values, q):
+    p = percentile(values, q)
+    assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_percentile_monotone_in_q(values):
+    assert percentile(values, 25) <= percentile(values, 75) + 1e-9
+    assert percentile(values, 0) == pytest.approx(min(values))
+    assert percentile(values, 100) == pytest.approx(max(values))

@@ -1,0 +1,75 @@
+"""Property-based tests for Phase-Type distributions and their closure ops."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.ph import PhaseType
+
+positive_rates = st.floats(min_value=0.05, max_value=50.0, allow_nan=False)
+means = st.floats(min_value=0.05, max_value=200.0, allow_nan=False)
+scvs = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+
+
+@given(mean=means, scv=scvs)
+@settings(max_examples=60, deadline=None)
+def test_two_moment_fit_matches_requested_moments(mean, scv):
+    ph = PhaseType.fit_mean_scv(mean, scv)
+    assert ph.mean == pytest.approx(mean, rel=1e-5)
+    assert ph.scv == pytest.approx(scv, rel=1e-4)
+
+
+@given(mean=means, scv=scvs)
+@settings(max_examples=40, deadline=None)
+def test_fitted_ph_is_a_valid_distribution(mean, scv):
+    ph = PhaseType.fit_mean_scv(mean, scv)
+    # CDF is monotone, within [0, 1] and approaches 1 far in the tail.
+    points = [0.0, mean / 2, mean, 2 * mean, 10 * mean]
+    values = [ph.cdf(x) for x in points]
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+    assert all(values[i] <= values[i + 1] + 1e-9 for i in range(len(values) - 1))
+    assert ph.cdf(60 * mean) > 0.95
+
+
+@given(rate_a=positive_rates, rate_b=positive_rates)
+@settings(max_examples=60, deadline=None)
+def test_convolution_adds_means_and_variances(rate_a, rate_b):
+    a = PhaseType.exponential(rate_a)
+    b = PhaseType.erlang(2, rate_b)
+    c = a.convolve(b)
+    assert c.mean == pytest.approx(a.mean + b.mean, rel=1e-8)
+    assert c.variance == pytest.approx(a.variance + b.variance, rel=1e-8)
+
+
+@given(
+    weight=st.floats(min_value=0.01, max_value=0.99),
+    rate_a=positive_rates,
+    rate_b=positive_rates,
+)
+@settings(max_examples=60, deadline=None)
+def test_mixture_mean_is_weighted_average(weight, rate_a, rate_b):
+    a = PhaseType.exponential(rate_a)
+    b = PhaseType.exponential(rate_b)
+    mix = PhaseType.mixture([weight, 1 - weight], [a, b])
+    assert mix.mean == pytest.approx(weight * a.mean + (1 - weight) * b.mean, rel=1e-8)
+
+
+@given(mean=means, scv=scvs, factor=st.floats(min_value=0.1, max_value=20.0))
+@settings(max_examples=60, deadline=None)
+def test_scaling_preserves_scv(mean, scv, factor):
+    ph = PhaseType.fit_mean_scv(mean, scv)
+    scaled = ph.scaled(factor)
+    assert scaled.mean == pytest.approx(factor * mean, rel=1e-6)
+    assert scaled.scv == pytest.approx(ph.scv, rel=1e-6)
+
+
+@given(k=st.integers(min_value=1, max_value=12), rate=positive_rates)
+@settings(max_examples=60, deadline=None)
+def test_erlang_moments_formulae(k, rate):
+    ph = PhaseType.erlang(k, rate)
+    assert ph.mean == pytest.approx(k / rate, rel=1e-9)
+    assert ph.variance == pytest.approx(k / rate**2, rel=1e-9)
+    assert ph.scv == pytest.approx(1.0 / k, rel=1e-9)

@@ -1,0 +1,152 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.des import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    sim = Simulator(start_time=12.5)
+    assert sim.now == 12.5
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda s: fired.append(s.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda s: order.append("c"))
+    sim.schedule(1.0, lambda s: order.append("a"))
+    sim.schedule(2.0, lambda s: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_priority_then_fifo_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda s: order.append("low"), priority=5)
+    sim.schedule(1.0, lambda s: order.append("first"), priority=0)
+    sim.schedule(1.0, lambda s: order.append("second"), priority=0)
+    sim.run()
+    assert order == ["first", "second", "low"]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda s: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda s: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda s: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda s: fired.append("cancelled"))
+    sim.schedule(2.0, lambda s: fired.append("kept"))
+    event.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancelled_events_do_not_advance_clock():
+    sim = Simulator()
+    event = sim.schedule(10.0, lambda s: None)
+    sim.schedule(1.0, lambda s: None)
+    event.cancel()
+    sim.run()
+    assert sim.now == 1.0
+
+
+def test_events_scheduled_from_callbacks():
+    sim = Simulator()
+    times = []
+
+    def chain(s: Simulator) -> None:
+        times.append(s.now)
+        if len(times) < 3:
+            s.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda s: fired.append(1))
+    sim.schedule(10.0, lambda s: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    # The pending event survives and can still run later.
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_max_events_limit():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda s, i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_stop_from_callback():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda s: (fired.append(1), s.stop()))
+    sim.schedule(2.0, lambda s: fired.append(2))
+    sim.run()
+    assert fired == [1]
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda s: None)
+    sim.schedule(4.0, lambda s: None)
+    event.cancel()
+    assert sim.peek_time() == 4.0
+
+
+def test_step_returns_none_when_empty():
+    sim = Simulator()
+    assert sim.step() is None
+
+
+def test_processed_event_count():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i + 1), lambda s: None)
+    sim.run()
+    assert sim.processed_events == 4
+
+
+def test_payload_is_preserved():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda s: None, payload={"job": 42})
+    assert event.payload == {"job": 42}
+    sim.run()

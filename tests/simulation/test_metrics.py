@@ -1,0 +1,191 @@
+"""Tests for metric collection and summaries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulation.metrics import (
+    EnergyAccount,
+    JobRecord,
+    MetricsCollector,
+    SummaryStatistics,
+    percentile,
+)
+
+
+def make_record(job_id=0, priority=0, arrival=0.0, start=1.0, completion=11.0,
+                execution=8.0, wasted=0.0, evictions=0, **kwargs) -> JobRecord:
+    return JobRecord(
+        job_id=job_id,
+        priority=priority,
+        arrival_time=arrival,
+        start_time=start,
+        completion_time=completion,
+        execution_time=execution,
+        wasted_time=wasted,
+        evictions=evictions,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------- percentile
+def test_percentile_median_of_odd_list():
+    assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 50) == 5.0
+
+
+def test_percentile_extremes():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+# ------------------------------------------------------------------ JobRecord
+def test_job_record_response_and_queueing():
+    record = make_record(arrival=0.0, completion=11.0, execution=8.0)
+    assert record.response_time == 11.0
+    assert record.queueing_time == pytest.approx(3.0)
+
+
+def test_job_record_slowdown():
+    record = make_record(arrival=0.0, completion=16.0, execution=8.0)
+    assert record.slowdown == pytest.approx(2.0)
+
+
+def test_job_record_slowdown_with_zero_execution():
+    record = make_record(execution=0.0)
+    assert math.isinf(record.slowdown)
+
+
+# ---------------------------------------------------------- SummaryStatistics
+def test_summary_statistics_from_values():
+    stats = SummaryStatistics.from_values([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.maximum == 4.0
+
+
+def test_summary_statistics_empty_is_nan():
+    stats = SummaryStatistics.from_values([])
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+
+
+# -------------------------------------------------------------- EnergyAccount
+def test_energy_account_totals():
+    account = EnergyAccount()
+    account.add("idle", 100.0)
+    account.add("busy", 200.0)
+    account.add("sprint", 50.0)
+    assert account.total_joules == 350.0
+    assert account.total_kilojoules == pytest.approx(0.35)
+
+
+def test_energy_account_rejects_negative():
+    account = EnergyAccount()
+    with pytest.raises(ValueError):
+        account.add("busy", -1.0)
+
+
+def test_energy_account_rejects_unknown_mode():
+    account = EnergyAccount()
+    with pytest.raises(ValueError):
+        account.add("turbo", 1.0)
+
+
+# ----------------------------------------------------------- MetricsCollector
+def test_collector_counts_and_means():
+    collector = MetricsCollector()
+    collector.record_job(make_record(job_id=1, priority=0, completion=11.0))
+    collector.record_job(make_record(job_id=2, priority=1, completion=21.0))
+    assert collector.job_count == 2
+    assert collector.priorities() == [0, 1]
+    assert collector.mean_response_time(0) == pytest.approx(11.0)
+    assert collector.mean_response_time(1) == pytest.approx(21.0)
+
+
+def test_collector_rejects_completion_before_arrival():
+    collector = MetricsCollector()
+    with pytest.raises(ValueError):
+        collector.record_job(make_record(arrival=10.0, completion=5.0))
+
+
+def test_resource_waste_fraction():
+    collector = MetricsCollector()
+    collector.record_job(make_record(job_id=1, execution=8.0, wasted=2.0))
+    collector.record_job(make_record(job_id=2, execution=10.0, wasted=0.0))
+    assert collector.resource_waste_fraction() == pytest.approx(2.0 / 20.0)
+
+
+def test_resource_waste_zero_when_no_jobs():
+    assert MetricsCollector().resource_waste_fraction() == 0.0
+
+
+def test_class_metrics_summaries():
+    collector = MetricsCollector()
+    for i, completion in enumerate([11.0, 21.0, 31.0]):
+        collector.record_job(make_record(job_id=i, priority=2, completion=completion))
+    metrics = collector.class_metrics(2)
+    assert metrics.job_count == 3
+    assert metrics.response_time.mean == pytest.approx(21.0)
+    assert metrics.evictions == 0
+
+
+def test_utilisation_uses_observation_time():
+    collector = MetricsCollector()
+    collector.record_busy_time(50.0)
+    collector.set_observation_time(100.0)
+    assert collector.utilisation() == pytest.approx(0.5)
+
+
+def test_utilisation_includes_wasted_time():
+    collector = MetricsCollector()
+    collector.record_busy_time(40.0)
+    collector.record_job(make_record(execution=40.0, wasted=10.0))
+    collector.set_observation_time(100.0)
+    assert collector.utilisation() == pytest.approx(0.5)
+
+
+def test_to_rows_exports_one_row_per_job():
+    collector = MetricsCollector()
+    collector.record_job(make_record(job_id=1))
+    collector.record_job(make_record(job_id=2))
+    rows = collector.to_rows()
+    assert len(rows) == 2
+    assert {row["job_id"] for row in rows} == {1, 2}
+
+
+def test_merge_combines_collectors():
+    a = MetricsCollector()
+    a.record_job(make_record(job_id=1))
+    a.energy.add("busy", 100.0)
+    b = MetricsCollector()
+    b.record_job(make_record(job_id=2))
+    b.energy.add("sprint", 50.0)
+    a.merge(b)
+    assert a.job_count == 2
+    assert a.energy.total_joules == pytest.approx(150.0)
+
+
+def test_tail_response_time_matches_percentile():
+    collector = MetricsCollector()
+    for i in range(1, 101):
+        collector.record_job(make_record(job_id=i, completion=float(i)))
+    assert collector.tail_response_time(q=95.0) == pytest.approx(
+        percentile([float(i) for i in range(1, 101)], 95.0)
+    )

@@ -1,0 +1,74 @@
+"""Tests for named random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.random_streams import RandomStreams
+
+
+def test_same_name_returns_same_generator_object():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("arrivals") is streams.stream("arrivals")
+
+
+def test_different_names_produce_different_sequences():
+    streams = RandomStreams(seed=1)
+    a = streams.stream("arrivals").random(10)
+    b = streams.stream("tasks").random(10)
+    assert not np.allclose(a, b)
+
+
+def test_same_seed_reproduces_sequences():
+    a = RandomStreams(seed=3).stream("x").random(5)
+    b = RandomStreams(seed=3).stream("x").random(5)
+    assert np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=3).stream("x").random(5)
+    b = RandomStreams(seed=4).stream("x").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_stream_independent_of_creation_order():
+    first = RandomStreams(seed=9)
+    first.stream("a")
+    values_b_after_a = first.stream("b").random(5)
+    second = RandomStreams(seed=9)
+    values_b_alone = second.stream("b").random(5)
+    assert np.allclose(values_b_after_a, values_b_alone)
+
+
+def test_exponential_mean_is_roughly_right():
+    streams = RandomStreams(seed=0)
+    draws = [streams.exponential("arr", 10.0) for _ in range(4000)]
+    assert 9.0 < sum(draws) / len(draws) < 11.0
+
+
+def test_exponential_rejects_non_positive_mean():
+    streams = RandomStreams(seed=0)
+    with pytest.raises(ValueError):
+        streams.exponential("arr", 0.0)
+
+
+def test_uniform_bounds():
+    streams = RandomStreams(seed=0)
+    draws = [streams.uniform("u", 2.0, 3.0) for _ in range(100)]
+    assert all(2.0 <= d <= 3.0 for d in draws)
+
+
+def test_choice_with_probabilities():
+    streams = RandomStreams(seed=0)
+    picks = [streams.choice("c", ["a", "b"], [0.0, 1.0]) for _ in range(20)]
+    assert set(picks) == {"b"}
+
+
+def test_fork_creates_independent_registry():
+    base = RandomStreams(seed=5)
+    fork = base.fork(1)
+    assert fork.seed != base.seed
+    a = base.stream("x").random(5)
+    b = fork.stream("x").random(5)
+    assert not np.allclose(a, b)

@@ -1,0 +1,121 @@
+"""Tests for replicated runs and confidence intervals."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulation.replication import (
+    ConfidenceInterval,
+    ReplicationRunner,
+    confidence_interval,
+)
+
+
+def test_confidence_interval_of_constant_samples_is_tight():
+    interval = confidence_interval([5.0, 5.0, 5.0, 5.0])
+    assert interval.mean == 5.0
+    assert interval.half_width == pytest.approx(0.0)
+    assert interval.contains(5.0)
+
+
+def test_confidence_interval_widens_with_variance():
+    tight = confidence_interval([10.0, 10.1, 9.9, 10.05])
+    wide = confidence_interval([10.0, 14.0, 6.0, 12.0])
+    assert wide.half_width > tight.half_width
+
+
+def test_confidence_interval_single_sample_is_infinite():
+    interval = confidence_interval([3.0])
+    assert math.isinf(interval.half_width)
+    assert interval.replications == 1
+
+
+def test_confidence_interval_contains_and_bounds():
+    interval = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.95, replications=5)
+    assert interval.lower == 8.0
+    assert interval.upper == 12.0
+    assert interval.contains(9.0)
+    assert not interval.contains(13.0)
+    assert interval.relative_half_width == pytest.approx(0.2)
+
+
+def test_confidence_interval_validation():
+    with pytest.raises(ValueError):
+        confidence_interval([])
+    with pytest.raises(ValueError):
+        confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+def test_interval_narrows_with_more_replications():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    few = confidence_interval(list(rng.normal(100, 10, size=5)))
+    many = confidence_interval(list(rng.normal(100, 10, size=50)))
+    assert many.half_width < few.half_width
+
+
+def test_replication_runner_collects_all_metrics():
+    def experiment(seed: int):
+        return {"metric_a": float(seed % 7), "metric_b": 2.0}
+
+    runner = ReplicationRunner(experiment)
+    metrics = runner.run(replications=5, base_seed=1)
+    assert set(metrics) == {"metric_a", "metric_b"}
+    assert len(metrics["metric_a"].samples) == 5
+    intervals = runner.intervals()
+    assert intervals["metric_b"].mean == pytest.approx(2.0)
+
+
+def test_replication_runner_uses_distinct_seeds():
+    seen = []
+
+    def experiment(seed: int):
+        seen.append(seed)
+        return {"x": float(seed)}
+
+    ReplicationRunner(experiment).run(replications=4, base_seed=0)
+    assert len(set(seen)) == 4
+
+
+def test_replication_runner_validates_count():
+    with pytest.raises(ValueError):
+        ReplicationRunner(lambda seed: {"x": 1.0}).run(replications=0)
+
+
+def test_run_until_precise_stops_once_target_met():
+    def experiment(seed: int):
+        return {"stable": 100.0 + (seed % 3) * 0.01}
+
+    runner = ReplicationRunner(experiment)
+    interval = runner.run_until_precise(0.01, metric="stable", min_replications=3,
+                                        max_replications=10)
+    assert interval.relative_half_width <= 0.01
+    assert 3 <= interval.replications <= 10
+
+
+def test_run_until_precise_respects_max_replications():
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+
+    def experiment(seed: int):
+        return {"noisy": float(rng.normal(10, 20))}
+
+    runner = ReplicationRunner(experiment)
+    interval = runner.run_until_precise(0.0001, metric="noisy", max_replications=5)
+    assert interval.replications == 5
+
+
+def test_run_until_precise_unknown_metric():
+    runner = ReplicationRunner(lambda seed: {"x": 1.0})
+    with pytest.raises(KeyError):
+        runner.run_until_precise(0.1, metric="missing", min_replications=1, max_replications=2)
+
+
+def test_run_until_precise_validates_target():
+    runner = ReplicationRunner(lambda seed: {"x": 1.0})
+    with pytest.raises(ValueError):
+        runner.run_until_precise(1.5, metric="x")

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import SCENARIOS, _parse_policy, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "figures" in output
+    assert "scenarios" in output
+    assert "reference" in output
+
+
+def test_no_command_prints_help_and_fails(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_parse_policy_variants():
+    assert _parse_policy("P").preemptive
+    assert not _parse_policy("np").preemptive
+    da = _parse_policy("DA(0/20)")
+    assert da.map_drop_ratio(0) == pytest.approx(0.2)
+    assert da.map_drop_ratio(1) == 0.0
+    three = _parse_policy("DA(0/10/20)")
+    assert three.map_drop_ratio(2) == 0.0
+    assert three.map_drop_ratio(1) == pytest.approx(0.1)
+    assert three.map_drop_ratio(0) == pytest.approx(0.2)
+
+
+def test_parse_policy_rejects_garbage():
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_policy("FIFO")
+
+
+def test_all_scenarios_buildable():
+    for name, factory in SCENARIOS.items():
+        scenario = factory()
+        assert scenario.priorities, name
+
+
+def test_compare_command_runs_small_comparison(capsys):
+    code = main([
+        "compare", "--scenario", "reference", "--policies", "P", "DA(0/20)",
+        "--jobs", "40", "--seed", "1",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "DA(0/20)" in output
+    assert "diff_mean_pct" in output
+
+
+def test_table_command(capsys):
+    code = main(["table", "2", "--jobs", "60", "--seed", "1"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Table 2" in output
+    assert "mean_queueing_s" in output
+
+
+def test_figure7_command(capsys):
+    code = main(["figure", "7", "--jobs", "60", "--seed", "1"])
+    assert code == 0
+    assert "Figure 7" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    code = main([
+        "sweep", "--scenario", "reference", "--ratios", "0", "0.2",
+        "--jobs", "50", "--seed", "1",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "drop_ratio" in output
+    assert "accuracy_loss_pct" in output
+
+
+def test_load_sweep_command(capsys):
+    code = main([
+        "load-sweep", "--scenario", "reference", "--utilisations", "0.5",
+        "--jobs", "40", "--seed", "1",
+    ])
+    assert code == 0
+    assert "utilisation" in capsys.readouterr().out
+
+
+def test_invalid_figure_rejected_by_argparse():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "99"])

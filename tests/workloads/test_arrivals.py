@@ -1,0 +1,85 @@
+"""Tests for arrival processes and load calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    calibrate_arrival_rates,
+    expected_utilisation,
+    poisson_arrival_times,
+)
+from repro.workloads.scenarios import HIGH, LOW
+
+
+def test_poisson_by_count_returns_requested_number():
+    times = poisson_arrival_times(rate=0.5, count=20, rng=np.random.default_rng(0))
+    assert len(times) == 20
+    assert times == sorted(times)
+    assert times[0] > 0
+
+
+def test_poisson_by_horizon_stays_within_window():
+    times = poisson_arrival_times(rate=1.0, horizon=100.0, rng=np.random.default_rng(0))
+    assert all(0 < t < 100.0 for t in times)
+    assert 60 < len(times) < 140
+
+
+def test_poisson_mean_interarrival_matches_rate():
+    rate = 2.0
+    times = poisson_arrival_times(rate=rate, count=5000, rng=np.random.default_rng(1))
+    mean_gap = times[-1] / len(times)
+    assert mean_gap == pytest.approx(1.0 / rate, rel=0.05)
+
+
+def test_poisson_requires_exactly_one_stopping_rule():
+    with pytest.raises(ValueError):
+        poisson_arrival_times(rate=1.0)
+    with pytest.raises(ValueError):
+        poisson_arrival_times(rate=1.0, horizon=10.0, count=5)
+    with pytest.raises(ValueError):
+        poisson_arrival_times(rate=0.0, count=5)
+
+
+def test_calibration_hits_target_utilisation(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    rates = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 9.0}, slots=4,
+                                    target_utilisation=0.8)
+    achieved = expected_utilisation(profiles, rates, slots=4)
+    assert achieved == pytest.approx(0.8, rel=1e-9)
+
+
+def test_calibration_respects_class_ratio(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    rates = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 9.0}, slots=4,
+                                    target_utilisation=0.5)
+    assert rates[LOW] / rates[HIGH] == pytest.approx(9.0)
+
+
+def test_lower_target_means_lower_rates(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    heavy = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 1.0}, 4, 0.8)
+    light = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 1.0}, 4, 0.4)
+    assert light[LOW] < heavy[LOW]
+    assert light[LOW] == pytest.approx(heavy[LOW] / 2, rel=1e-9)
+
+
+def test_calibration_with_drop_ratios_allows_higher_rates(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    plain = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 9.0}, 4, 0.8)
+    dropped = calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 9.0}, 4, 0.8,
+                                      drop_ratios={LOW: 0.5})
+    assert dropped[LOW] > plain[LOW]
+
+
+def test_calibration_validation(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    with pytest.raises(ValueError):
+        calibrate_arrival_rates(profiles, {HIGH: 1.0}, 4, 0.8)
+    with pytest.raises(ValueError):
+        calibrate_arrival_rates(profiles, {HIGH: 1.0, LOW: 1.0}, 4, 1.5)
+    with pytest.raises(ValueError):
+        calibrate_arrival_rates(profiles, {HIGH: 0.0, LOW: 0.0}, 4, 0.5)
+    with pytest.raises(ValueError):
+        calibrate_arrival_rates(profiles, {HIGH: -1.0, LOW: 2.0}, 4, 0.5)

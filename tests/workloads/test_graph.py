@@ -1,0 +1,51 @@
+"""Tests for the synthetic graph generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.graph import edge_list_to_partitions, graph_statistics, synthetic_web_graph
+
+
+def test_graph_has_expected_scale():
+    edges = synthetic_web_graph(num_nodes=200, edges_per_node=3, seed=0)
+    stats = graph_statistics(edges)
+    assert stats["nodes"] <= 200
+    assert stats["edges"] > 400
+
+
+def test_graph_is_reproducible():
+    assert synthetic_web_graph(num_nodes=100, seed=5) == synthetic_web_graph(num_nodes=100, seed=5)
+
+
+def test_graph_contains_triangles():
+    edges = synthetic_web_graph(num_nodes=150, edges_per_node=4, triangle_probability=0.5,
+                                seed=1)
+    assert graph_statistics(edges)["triangles"] > 50
+
+
+def test_degree_distribution_is_skewed():
+    edges = synthetic_web_graph(num_nodes=400, edges_per_node=3, seed=2)
+    stats = graph_statistics(edges)
+    assert stats["max_degree"] > 4 * stats["mean_degree"]
+
+
+def test_graph_parameter_validation():
+    with pytest.raises(ValueError):
+        synthetic_web_graph(num_nodes=3, edges_per_node=4)
+    with pytest.raises(ValueError):
+        synthetic_web_graph(num_nodes=10, triangle_probability=1.5)
+
+
+def test_edge_partitioning_covers_all_edges():
+    edges = synthetic_web_graph(num_nodes=100, seed=0)
+    partitions = edge_list_to_partitions(edges, 7, seed=1)
+    assert len(partitions) == 7
+    assert sum(len(p) for p in partitions) == len(edges)
+    flattened = {e for part in partitions for e in part}
+    assert flattened == set(edges)
+
+
+def test_edge_partitioning_validates_count():
+    with pytest.raises(ValueError):
+        edge_list_to_partitions([(0, 1)], 0)

@@ -1,0 +1,89 @@
+"""Tests for job-trace generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.jobs import generate_job_trace, trace_statistics
+from repro.workloads.scenarios import HIGH, LOW
+
+
+def rates():
+    return {HIGH: 0.01, LOW: 0.09}
+
+
+def test_trace_has_requested_number_of_jobs(high_profile, low_profile):
+    trace = generate_job_trace({HIGH: high_profile, LOW: low_profile}, rates(), num_jobs=50)
+    assert len(trace) == 50
+
+
+def test_trace_is_sorted_by_arrival_time(high_profile, low_profile):
+    trace = generate_job_trace({HIGH: high_profile, LOW: low_profile}, rates(), num_jobs=80)
+    arrivals = [job.arrival_time for job in trace]
+    assert arrivals == sorted(arrivals)
+
+
+def test_class_mix_roughly_matches_rates(high_profile, low_profile):
+    trace = generate_job_trace({HIGH: high_profile, LOW: low_profile}, rates(), num_jobs=200)
+    high_jobs = sum(1 for job in trace if job.priority == HIGH)
+    low_jobs = sum(1 for job in trace if job.priority == LOW)
+    assert high_jobs + low_jobs == 200
+    assert 10 <= high_jobs <= 30  # about 10%
+
+
+def test_every_class_with_positive_rate_gets_at_least_one_job(high_profile, low_profile):
+    trace = generate_job_trace({HIGH: high_profile, LOW: low_profile},
+                               {HIGH: 0.0001, LOW: 0.1}, num_jobs=20)
+    assert any(job.priority == HIGH for job in trace)
+
+
+def test_same_seed_reproduces_the_trace(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    a = generate_job_trace(profiles, rates(), num_jobs=40, seed=9)
+    b = generate_job_trace(profiles, rates(), num_jobs=40, seed=9)
+    assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+    assert [j.size_mb for j in a] == [j.size_mb for j in b]
+
+
+def test_different_seed_changes_the_trace(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    a = generate_job_trace(profiles, rates(), num_jobs=40, seed=1)
+    b = generate_job_trace(profiles, rates(), num_jobs=40, seed=2)
+    assert [j.arrival_time for j in a] != [j.arrival_time for j in b]
+
+
+def test_jobs_carry_profile_structure(high_profile, low_profile):
+    trace = generate_job_trace({HIGH: high_profile, LOW: low_profile}, rates(), num_jobs=30)
+    for job in trace:
+        profile = high_profile if job.priority == HIGH else low_profile
+        assert job.stages[0].num_map_tasks == profile.partitions
+        assert len(job.stages) == profile.num_stages
+
+
+def test_job_ids_are_unique(high_profile, low_profile):
+    trace = generate_job_trace({HIGH: high_profile, LOW: low_profile}, rates(), num_jobs=60)
+    ids = [job.job_id for job in trace]
+    assert len(set(ids)) == len(ids)
+
+
+def test_trace_statistics(high_profile, low_profile):
+    trace = generate_job_trace({HIGH: high_profile, LOW: low_profile}, rates(), num_jobs=25)
+    stats = trace_statistics(trace)
+    assert stats["jobs"] == 25
+    assert stats["horizon"] > 0
+    assert stats[f"jobs_priority_{LOW}"] + stats[f"jobs_priority_{HIGH}"] == 25
+
+
+def test_trace_statistics_requires_jobs():
+    with pytest.raises(ValueError):
+        trace_statistics([])
+
+
+def test_generation_validation(high_profile, low_profile):
+    profiles = {HIGH: high_profile, LOW: low_profile}
+    with pytest.raises(ValueError):
+        generate_job_trace(profiles, {HIGH: 0.1}, num_jobs=10)
+    with pytest.raises(ValueError):
+        generate_job_trace(profiles, rates(), num_jobs=0)
+    with pytest.raises(ValueError):
+        generate_job_trace(profiles, {HIGH: 0.0, LOW: 0.0}, num_jobs=10)

@@ -1,0 +1,124 @@
+"""Tests for the canonical paper scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.arrivals import expected_utilisation
+from repro.workloads.scenarios import (
+    HIGH,
+    LOW,
+    MEDIUM,
+    equal_job_sizes_scenario,
+    low_load_scenario,
+    more_high_priority_scenario,
+    reference_two_priority_scenario,
+    sprinting_scenario,
+    three_priority_scenario,
+    triangle_count_scenario,
+    validation_datasets_scenario,
+)
+
+
+def test_reference_scenario_matches_paper_setup():
+    scenario = reference_two_priority_scenario()
+    assert scenario.profiles[LOW].mean_size_mb == pytest.approx(1117.0)
+    assert scenario.profiles[HIGH].mean_size_mb == pytest.approx(473.0)
+    assert scenario.class_ratio[LOW] / scenario.class_ratio[HIGH] == pytest.approx(9.0)
+    assert scenario.target_utilisation == 0.8
+    assert scenario.cluster.slots == 20
+    # The low-priority dataset is 2.36x larger, as in §4.3.
+    ratio = scenario.profiles[LOW].mean_size_mb / scenario.profiles[HIGH].mean_size_mb
+    assert ratio == pytest.approx(2.36, abs=0.01)
+
+
+def test_reference_scenario_calibrated_to_80_percent():
+    scenario = reference_two_priority_scenario()
+    achieved = expected_utilisation(scenario.profiles, scenario.arrival_rates,
+                                    scenario.cluster.slots)
+    assert achieved == pytest.approx(0.8, rel=1e-9)
+
+
+def test_reference_scenario_accuracy_tolerances():
+    scenario = reference_two_priority_scenario()
+    assert scenario.profiles[HIGH].max_accuracy_loss == 0.0
+    assert scenario.profiles[LOW].max_accuracy_loss > 0.0
+
+
+def test_equal_sizes_scenario_uses_same_profile_size():
+    scenario = equal_job_sizes_scenario()
+    assert scenario.profiles[LOW].mean_size_mb == scenario.profiles[HIGH].mean_size_mb
+
+
+def test_more_high_priority_scenario_inverts_ratio():
+    scenario = more_high_priority_scenario()
+    assert scenario.class_ratio[HIGH] / scenario.class_ratio[LOW] == pytest.approx(9.0)
+
+
+def test_low_load_scenario_is_half_utilisation():
+    scenario = low_load_scenario()
+    achieved = expected_utilisation(scenario.profiles, scenario.arrival_rates,
+                                    scenario.cluster.slots)
+    assert achieved == pytest.approx(0.5, rel=1e-9)
+
+
+def test_three_priority_scenario_has_three_classes_and_145_ratio():
+    scenario = three_priority_scenario()
+    assert scenario.priorities == [HIGH, MEDIUM, LOW]
+    assert scenario.class_ratio[MEDIUM] / scenario.class_ratio[HIGH] == pytest.approx(4.0)
+    assert scenario.class_ratio[LOW] / scenario.class_ratio[HIGH] == pytest.approx(5.0)
+
+
+def test_triangle_count_scenario_is_multi_stage():
+    scenario = triangle_count_scenario()
+    assert scenario.profiles[LOW].num_stages == 6
+    assert scenario.class_ratio[HIGH] / scenario.class_ratio[LOW] == pytest.approx(3.0 / 7.0)
+    assert scenario.profiles[LOW].mean_size_mb == scenario.profiles[HIGH].mean_size_mb
+
+
+def test_sprinting_scenario_reuses_triangle_count_workload():
+    scenario = sprinting_scenario()
+    assert scenario.name == "dias-sprinting"
+    assert scenario.profiles[LOW].num_stages == 6
+
+
+def test_validation_scenario_has_both_dataset_sizes():
+    scenario = validation_datasets_scenario()
+    sizes = {scenario.profiles[p].mean_size_mb for p in scenario.priorities}
+    assert sizes == {473.0, 1117.0}
+
+
+def test_scenario_trace_generation_is_reproducible():
+    scenario = reference_two_priority_scenario(num_jobs=40)
+    a = scenario.generate_trace(seed=1)
+    b = scenario.generate_trace(seed=1)
+    assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+    assert len(a) == 40
+
+
+def test_scenario_trace_override_job_count():
+    scenario = reference_two_priority_scenario(num_jobs=40)
+    trace = scenario.generate_trace(seed=0, num_jobs=15)
+    assert len(trace) == 15
+
+
+def test_with_utilisation_rescales_rates():
+    scenario = reference_two_priority_scenario()
+    lighter = scenario.with_utilisation(0.4)
+    assert lighter.total_arrival_rate() < scenario.total_arrival_rate()
+    assert lighter.total_arrival_rate() == pytest.approx(scenario.total_arrival_rate() / 2,
+                                                         rel=1e-9)
+
+
+def test_scenario_priority_helpers():
+    scenario = three_priority_scenario()
+    assert scenario.highest_priority == HIGH
+    assert scenario.lowest_priority == LOW
+
+
+def test_graph_jobs_take_longer_than_high_priority_text_jobs():
+    # Sanity: the triangle-count profile produces ~100+ second jobs on the
+    # default 20-slot cluster, matching Table 2's execution times.
+    scenario = triangle_count_scenario()
+    mean_service = scenario.profiles[LOW].mean_service_time(scenario.cluster.slots)
+    assert 80.0 < mean_service < 300.0

@@ -1,0 +1,74 @@
+"""Tests for the synthetic corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.wordcount import tokenize
+from repro.workloads.text import CorpusSpec, corpus_size_mb, synthetic_corpus
+
+
+def test_corpus_has_requested_document_count():
+    spec = CorpusSpec(num_documents=30, words_per_document=20)
+    corpus = synthetic_corpus(spec, seed=0)
+    assert len(corpus) == 30
+
+
+def test_documents_have_requested_word_count():
+    spec = CorpusSpec(num_documents=5, words_per_document=50)
+    corpus = synthetic_corpus(spec, seed=0)
+    assert all(len(doc.split()) == 50 for doc in corpus)
+
+
+def test_corpus_is_reproducible():
+    spec = CorpusSpec(num_documents=10)
+    assert synthetic_corpus(spec, seed=3) == synthetic_corpus(spec, seed=3)
+    assert synthetic_corpus(spec, seed=3) != synthetic_corpus(spec, seed=4)
+
+
+def test_documents_mix_global_and_topic_vocabulary():
+    spec = CorpusSpec(num_documents=4, words_per_document=100, num_topics=2,
+                      topic_word_fraction=0.5)
+    corpus = synthetic_corpus(spec, seed=1)
+    tokens = tokenize(corpus[0])
+    topic_tokens = [t for t in tokens if t.startswith("topic")]
+    global_tokens = [t for t in tokens if t.startswith("word")]
+    assert len(topic_tokens) == 50
+    assert len(global_tokens) == 50
+
+
+def test_topics_cycle_across_documents():
+    spec = CorpusSpec(num_documents=4, num_topics=2, topic_word_fraction=1.0,
+                      words_per_document=10)
+    corpus = synthetic_corpus(spec, seed=0)
+    assert all(t.startswith("topic0") for t in tokenize(corpus[0]))
+    assert all(t.startswith("topic1") for t in tokenize(corpus[1]))
+    assert all(t.startswith("topic0") for t in tokenize(corpus[2]))
+
+
+def test_word_frequencies_are_heavy_tailed():
+    spec = CorpusSpec(num_documents=50, words_per_document=200, topic_word_fraction=0.0,
+                      vocabulary_size=500, zipf_exponent=1.4)
+    corpus = synthetic_corpus(spec, seed=0)
+    counts = {}
+    for doc in corpus:
+        for token in tokenize(doc):
+            counts[token] = counts.get(token, 0) + 1
+    ordered = sorted(counts.values(), reverse=True)
+    total = sum(ordered)
+    top_ten_share = sum(ordered[:10]) / total
+    assert top_ten_share > 0.3  # the head dominates, as in a Zipf distribution
+
+
+def test_corpus_size_mb_positive():
+    corpus = synthetic_corpus(CorpusSpec(num_documents=5), seed=0)
+    assert corpus_size_mb(corpus) > 0
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CorpusSpec(num_documents=0)
+    with pytest.raises(ValueError):
+        CorpusSpec(zipf_exponent=1.0)
+    with pytest.raises(ValueError):
+        CorpusSpec(topic_word_fraction=1.5)

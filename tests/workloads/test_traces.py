@@ -1,0 +1,102 @@
+"""Tests for the Google-trace-like priority mixes and eviction statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dias import run_policy
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.job import Job, StageSpec
+from repro.engine.profiles import JobClassProfile
+from repro.workloads.traces import (
+    GOOGLE_PRIORITY_LEVELS,
+    PriorityLevelSpec,
+    dominant_classes,
+    eviction_statistics,
+    google_like_priority_mix,
+    slowdown_ratio,
+)
+
+
+def test_mix_covers_all_twelve_levels():
+    mix = google_like_priority_mix()
+    assert len(mix) == GOOGLE_PRIORITY_LEVELS
+    assert sum(spec.share for spec in mix) == pytest.approx(1.0)
+
+
+def test_dominant_levels_hold_the_requested_share():
+    mix = google_like_priority_mix(dominant_levels=(0, 4, 9), dominant_share=0.89)
+    dominant = sum(spec.share for spec in mix if spec.level in (0, 4, 9))
+    assert dominant == pytest.approx(0.89)
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        google_like_priority_mix(dominant_levels=())
+    with pytest.raises(ValueError):
+        google_like_priority_mix(dominant_levels=(99,))
+    with pytest.raises(ValueError):
+        google_like_priority_mix(dominant_share=0.0)
+    with pytest.raises(ValueError):
+        PriorityLevelSpec(level=-1, share=0.1)
+
+
+def test_dominant_classes_preserve_probability_mass():
+    mix = google_like_priority_mix()
+    classes = dominant_classes(mix, num_classes=3)
+    assert len(classes) == 3
+    assert sum(classes.values()) == pytest.approx(1.0)
+    # The lowest dominant class absorbs the biggest share (priority-0 heavy).
+    assert classes[0] > 0.2
+
+
+def test_dominant_classes_two_level_collapse():
+    mix = google_like_priority_mix(dominant_levels=(0, 9), dominant_share=0.9)
+    classes = dominant_classes(mix, num_classes=2)
+    assert len(classes) == 2
+    assert sum(classes.values()) == pytest.approx(1.0)
+
+
+def test_dominant_classes_validation():
+    with pytest.raises(ValueError):
+        dominant_classes([], num_classes=2)
+    with pytest.raises(ValueError):
+        dominant_classes(google_like_priority_mix(), num_classes=0)
+
+
+# ---------------------------------------------------------- eviction statistics
+def _make_job(job_id, priority, arrival, task_time=10.0):
+    profile = JobClassProfile(priority=priority, partitions=2, reduce_tasks=0,
+                              shuffle_time=0.0, setup_time_full=0.0, setup_time_min=0.0)
+    stage = StageSpec(index=0, map_task_times=[task_time, task_time],
+                      reduce_task_times=[], shuffle_time=0.0)
+    return Job(job_id=job_id, priority=priority, arrival_time=arrival, size_mb=10.0,
+               stages=[stage], profile=profile)
+
+
+@pytest.fixture(scope="module")
+def preemptive_result():
+    jobs = [_make_job(0, 0, 0.0), _make_job(1, 2, 5.0), _make_job(2, 0, 50.0)]
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    return run_policy(SchedulingPolicy.preemptive_priority(), jobs, cluster=cluster)
+
+
+def test_eviction_statistics_report_waste_for_the_low_class(preemptive_result):
+    rows = {row["priority"]: row for row in eviction_statistics(preemptive_result)}
+    assert rows[0]["evictions"] == 1
+    assert rows[0]["wasted_machine_time_pct"] > 0
+    assert rows[2]["evictions"] == 0
+    assert rows[2]["wasted_machine_time_pct"] == 0
+
+
+def test_slowdown_ratio_penalises_the_low_class(preemptive_result):
+    assert slowdown_ratio(preemptive_result) > 1.0
+
+
+def test_slowdown_ratio_requires_two_classes():
+    jobs = [_make_job(0, 0, 0.0)]
+    cluster = Cluster(ClusterConfig(workers=1, cores_per_worker=2))
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs, cluster=cluster)
+    with pytest.raises(ValueError):
+        slowdown_ratio(result)
