@@ -1,0 +1,150 @@
+"""Fleet routing — dispatcher comparison on the paper's workloads.
+
+Routes the two-priority (Fig. 7) and three-priority (Fig. 9) workloads,
+scaled to a 4-cluster fleet, through every dispatcher and compares the
+fleet-wide high-priority P95 latency plus the load-imbalance factor.
+
+High-priority tail percentiles of a single run are noisy (only ~10 % of the
+trace is high priority), so each router is evaluated on three independently
+seeded replications of the scenario and the per-job records are pooled before
+taking the percentile.  The seed list is fixed, so results are bit-identical
+across repeated runs.
+
+Expected shape: load-aware routing (JSQ, least-work-left) beats blind random
+routing on the high-priority P95 and keeps the fleet visibly better balanced;
+least-work-left also beats JSQ because queue *length* undercounts the huge
+low-priority jobs (1117 MB vs 473 MB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.reporting import format_rows
+from repro.fleet.simulation import FleetSimulation
+from repro.simulation.metrics import percentile
+from repro.workloads.scenarios import (
+    HIGH,
+    fleet_three_priority_scenario,
+    fleet_two_priority_scenario,
+)
+
+ROUTERS = ["random", "round_robin", "jsq", "least_work_left", "priority_partitioned"]
+SEEDS = (0, 1, 2)
+NUM_CLUSTERS = 4
+JOBS_PER_CLUSTER = 250
+
+
+def _run_routing_comparison(scenario_factory, policy: SchedulingPolicy) -> List[Dict]:
+    """One row per router with pooled-percentile latency and imbalance."""
+    rows: List[Dict] = []
+    for router in ROUTERS:
+        high_responses: List[float] = []
+        all_responses: List[float] = []
+        imbalances: List[float] = []
+        name = router
+        for seed in SEEDS:
+            scenario = scenario_factory(
+                num_clusters=NUM_CLUSTERS, num_jobs_per_cluster=JOBS_PER_CLUSTER
+            )
+            simulation = FleetSimulation(
+                policy=policy,
+                jobs=scenario.generate_trace(seed=seed),
+                clusters=scenario.make_clusters(),
+                dispatcher=router,
+                seed=seed,
+            )
+            result = simulation.run()
+            name = result.dispatcher_name
+            for record in result.records():
+                all_responses.append(record.response_time)
+                if record.priority == HIGH:
+                    high_responses.append(record.response_time)
+            imbalances.append(result.load_imbalance)
+        rows.append(
+            {
+                "router": name,
+                "high_p95_s": percentile(high_responses, 95),
+                "high_mean_s": sum(high_responses) / len(high_responses),
+                "fleet_mean_s": sum(all_responses) / len(all_responses),
+                "load_imbalance": sum(imbalances) / len(imbalances),
+            }
+        )
+    return rows
+
+
+def _by_router(rows: List[Dict]) -> Dict[str, Dict]:
+    return {row["router"]: row for row in rows}
+
+
+def test_fleet_routing_two_priority(benchmark, record_series):
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
+    rows = benchmark.pedantic(
+        _run_routing_comparison,
+        args=(fleet_two_priority_scenario, policy),
+        rounds=1,
+        iterations=1,
+    )
+    record_series(
+        "fleet_routing_two_priority",
+        format_rows(rows),
+    )
+    by_router = _by_router(rows)
+    # Load-aware routing beats blind random routing on the high-priority tail.
+    assert by_router["jsq"]["high_p95_s"] < by_router["random"]["high_p95_s"]
+    assert by_router["least_work_left"]["high_p95_s"] < by_router["random"]["high_p95_s"]
+    # Work-aware routing beats count-based JSQ under bimodal job sizes.
+    assert (
+        by_router["least_work_left"]["high_p95_s"] < by_router["jsq"]["high_p95_s"]
+    )
+    # Load-aware routing also keeps the fleet better balanced than random.
+    assert by_router["jsq"]["load_imbalance"] < by_router["random"]["load_imbalance"]
+
+
+def test_fleet_routing_three_priority(benchmark, record_series):
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 1: 0.1, 0: 0.2})
+    rows = benchmark.pedantic(
+        _run_routing_comparison,
+        args=(fleet_three_priority_scenario, policy),
+        rounds=1,
+        iterations=1,
+    )
+    record_series(
+        "fleet_routing_three_priority",
+        format_rows(rows),
+    )
+    by_router = _by_router(rows)
+    assert by_router["jsq"]["high_p95_s"] < by_router["random"]["high_p95_s"]
+    assert by_router["least_work_left"]["high_p95_s"] < by_router["random"]["high_p95_s"]
+
+
+def test_fleet_routing_is_deterministic(record_series):
+    """The same seeds and router produce bit-identical fleet results."""
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
+
+    def once() -> Dict[str, float]:
+        scenario = fleet_two_priority_scenario(
+            num_clusters=NUM_CLUSTERS, num_jobs_per_cluster=100
+        )
+        simulation = FleetSimulation(
+            policy=policy,
+            jobs=scenario.generate_trace(seed=3),
+            clusters=scenario.make_clusters(),
+            dispatcher="jsq",
+            seed=3,
+        )
+        result = simulation.run()
+        return {
+            "high_p95_s": result.tail_response_time(HIGH),
+            "fleet_mean_s": result.mean_response_time(),
+            "energy_j": result.total_energy_joules,
+            "duration_s": result.duration,
+        }
+
+    first, second = once(), once()
+    record_series(
+        "fleet_routing_determinism",
+        format_rows([{"run": 1, **first}, {"run": 2, **second}]),
+    )
+    assert first == second

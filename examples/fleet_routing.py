@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fleet example: four DiAS clusters behind different dispatchers.
+
+The paper's prototype is one 10-worker Spark cluster; a production deployment
+of differentiated approximation runs many such clusters behind a dispatcher.
+This example:
+
+1. builds the three-priority fleet scenario (the Fig. 9 workload scaled to a
+   4-cluster fleet, ~80 % load per cluster when traffic is balanced),
+2. routes the *same* fleet-wide job trace with random, round-robin, JSQ,
+   least-work-left and priority-partitioned dispatchers,
+3. prints, for each router, the fleet-wide high-priority latency, the overall
+   mean, and the load-imbalance factor (peak-to-mean cluster utilisation).
+
+Run with::
+
+    python examples/fleet_routing.py
+"""
+
+from __future__ import annotations
+
+from repro import HIGH, SchedulingPolicy
+from repro.experiments.reporting import format_rows
+from repro.fleet import FleetSimulation
+from repro.workloads.scenarios import fleet_three_priority_scenario
+
+ROUTERS = ["random", "round_robin", "jsq", "least_work_left", "priority_partitioned"]
+
+
+def main() -> None:
+    scenario = fleet_three_priority_scenario(num_clusters=4, num_jobs_per_cluster=200)
+    print(f"Scenario: {scenario.description}")
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 1: 0.1, 0: 0.2})
+    trace = scenario.generate_trace(seed=0)
+    print(f"Policy:   {policy.name} on every cluster, {len(trace)} jobs fleet-wide")
+    print()
+
+    rows = []
+    for router in ROUTERS:
+        simulation = FleetSimulation(
+            policy=policy,
+            jobs=trace,
+            clusters=scenario.make_clusters(),
+            dispatcher=router,
+            seed=0,
+        )
+        result = simulation.run()
+        rows.append(
+            {
+                "router": result.dispatcher_name,
+                "high_mean_s": result.mean_response_time(HIGH),
+                "high_p95_s": result.tail_response_time(HIGH),
+                "fleet_mean_s": result.mean_response_time(),
+                "load_imbalance": result.load_imbalance,
+                "energy_kj": result.total_energy_kilojoules,
+            }
+        )
+    print(format_rows(rows))
+    print()
+    print(
+        "Load-aware routing (jsq, least_work_left) trims the high-priority tail\n"
+        "versus blind random routing; priority_partitioned isolates the high\n"
+        "class on its own sub-fleet, trading total throughput headroom for the\n"
+        "best high-priority latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

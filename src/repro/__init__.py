@@ -16,6 +16,8 @@ The library is organised in layers:
 * :mod:`repro.workloads` — synthetic datasets, job traces and the paper's
   experimental scenarios.
 * :mod:`repro.experiments` — per-figure/per-table reproduction entry points.
+* :mod:`repro.fleet` — multi-cluster fleet simulation: pluggable routing
+  dispatchers, fleet-wide sprint-budget arbitration and fleet-level metrics.
 
 Quick start::
 
@@ -40,6 +42,7 @@ from repro.engine.energy import EnergyMeter, PowerModel
 from repro.engine.job import Job, JobFactory, StageSpec
 from repro.engine.profiles import JobClassProfile, TaskTimeModel
 from repro.experiments.harness import PolicyComparison, run_policies
+from repro.fleet import FleetResult, FleetSimulation, make_dispatcher, run_fleet
 from repro.models.accuracy import AccuracyModel, compose_stage_drop_ratios
 from repro.models.ph import PhaseType
 from repro.models.priority_queue import PriorityClassInput, PriorityQueueModel
@@ -49,7 +52,10 @@ from repro.workloads.scenarios import (
     HIGH,
     LOW,
     MEDIUM,
+    FleetScenario,
     Scenario,
+    fleet_three_priority_scenario,
+    fleet_two_priority_scenario,
     reference_two_priority_scenario,
     three_priority_scenario,
     triangle_count_scenario,
@@ -88,10 +94,17 @@ __all__ = [
     "PriorityQueueModel",
     "TaskLevelModel",
     "WaveLevelModel",
+    "FleetResult",
+    "FleetSimulation",
+    "make_dispatcher",
+    "run_fleet",
     "HIGH",
     "LOW",
     "MEDIUM",
+    "FleetScenario",
     "Scenario",
+    "fleet_three_priority_scenario",
+    "fleet_two_priority_scenario",
     "reference_two_priority_scenario",
     "three_priority_scenario",
     "triangle_count_scenario",

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro table 2
     python -m repro compare --scenario reference --policies P NP "DA(0/20)"
     python -m repro sweep --scenario reference --ratios 0 0.1 0.2 0.4
+    python -m repro fleet --clusters 4 --router jsq --scenario three-priority
 
 Every command prints the same rows the corresponding paper artefact reports
 and returns a non-zero exit code on invalid arguments.
@@ -25,8 +26,11 @@ from repro.experiments import figures, tables
 from repro.experiments.harness import run_policies
 from repro.experiments.reporting import format_comparison, format_figure, format_rows
 from repro.experiments.sweeps import drop_ratio_sweep, load_sweep
+from repro.fleet.budget import BUDGET_MODES
+from repro.fleet.dispatcher import ROUTERS
+from repro.fleet.simulation import FleetSimulation
 from repro.workloads import scenarios as scenario_module
-from repro.workloads.scenarios import HIGH, LOW, Scenario
+from repro.workloads.scenarios import FleetScenario, HIGH, LOW, Scenario
 
 #: Named scenarios the CLI can build.
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
@@ -37,6 +41,12 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "three-priority": scenario_module.three_priority_scenario,
     "triangle-count": scenario_module.triangle_count_scenario,
     "validation": scenario_module.validation_datasets_scenario,
+}
+
+#: Fleet scenarios the ``fleet`` subcommand can build.
+FLEET_SCENARIOS: Dict[str, Callable[..., FleetScenario]] = {
+    "two-priority": scenario_module.fleet_two_priority_scenario,
+    "three-priority": scenario_module.fleet_three_priority_scenario,
 }
 
 #: Figures the CLI can regenerate (Fig. 8 and 11 take extra options).
@@ -106,6 +116,26 @@ def build_parser() -> argparse.ArgumentParser:
                              default=[0.5, 0.65, 0.8])
     load_parser.add_argument("--jobs", type=int, default=300)
     load_parser.add_argument("--seed", type=int, default=0)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="run a multi-cluster fleet behind a routing dispatcher"
+    )
+    fleet_parser.add_argument("--clusters", type=int, default=4,
+                              help="number of DiAS clusters in the fleet")
+    fleet_parser.add_argument("--router", choices=ROUTERS, default="jsq",
+                              help="routing policy of the fleet dispatcher")
+    fleet_parser.add_argument("--power-of-d", type=int, default=None,
+                              help="probe only d random clusters per decision (jsq)")
+    fleet_parser.add_argument("--scenario", choices=sorted(FLEET_SCENARIOS),
+                              default="two-priority")
+    fleet_parser.add_argument("--policy", type=_parse_policy, default=None,
+                              help="per-cluster scheduling policy "
+                                   "(default: DA with 20%% low-priority dropping)")
+    fleet_parser.add_argument("--jobs", type=int, default=200,
+                              help="jobs per cluster (fleet trace is clusters x jobs)")
+    fleet_parser.add_argument("--budget", choices=BUDGET_MODES, default="per-cluster",
+                              help="sprint-budget arbitration across the fleet")
+    fleet_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -159,7 +189,57 @@ def _run_list() -> str:
     lines = ["figures: " + ", ".join(FIGURES)]
     lines.append("tables: 2")
     lines.append("scenarios: " + ", ".join(sorted(SCENARIOS)))
+    lines.append("fleet scenarios: " + ", ".join(sorted(FLEET_SCENARIOS)))
+    lines.append("fleet routers: " + ", ".join(ROUTERS))
     lines.append("policies: P, NP, DA(<pct>/<pct>[/<pct>]) e.g. DA(0/20)")
+    return "\n".join(lines)
+
+
+def _default_fleet_policy(scenario: FleetScenario) -> SchedulingPolicy:
+    """DA with graduated dropping: 0% for the highest class up to 20% lowest."""
+    priorities = scenario.priorities  # highest first
+    if len(priorities) == 1:
+        ratios = {priorities[0]: 0.0}
+    else:
+        step = 0.2 / (len(priorities) - 1)
+        ratios = {p: round(i * step, 3) for i, p in enumerate(priorities)}
+    return SchedulingPolicy.differential_approximation(ratios)
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    scenario = FLEET_SCENARIOS[args.scenario](
+        num_clusters=args.clusters, num_jobs_per_cluster=args.jobs
+    )
+    policy = args.policy if args.policy is not None else _default_fleet_policy(scenario)
+    trace = scenario.generate_trace(seed=args.seed)
+    simulation = FleetSimulation(
+        policy=policy,
+        jobs=trace,
+        clusters=scenario.make_clusters(),
+        dispatcher=args.router,
+        power_of_d=args.power_of_d,
+        seed=args.seed,
+        sprint_budget=args.budget,
+    )
+    result = simulation.run()
+    title = (
+        f"Fleet: {scenario.name}  router={result.dispatcher_name}  "
+        f"policy={policy.name}  budget={args.budget}"
+    )
+    summary_rows = [{"metric": key, "value": value} for key, value in result.summary().items()]
+    lines = [
+        title,
+        "=" * len(title),
+        "",
+        "Per-class latency (fleet-wide)",
+        format_rows(result.class_rows()),
+        "",
+        "Per-cluster load",
+        format_rows(result.cluster_rows()),
+        "",
+        "Summary",
+        format_rows(summary_rows),
+    ]
     return "\n".join(lines)
 
 
@@ -192,6 +272,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scenario = SCENARIOS[args.scenario]()
             rows = load_sweep(scenario, args.utilisations, num_jobs=args.jobs, seed=args.seed)
             output = format_rows(rows)
+        elif args.command == "fleet":
+            output = _run_fleet(args)
         else:  # pragma: no cover - argparse prevents this
             parser.error(f"unknown command {args.command!r}")
             return 2

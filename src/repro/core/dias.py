@@ -133,12 +133,21 @@ class SimulationResult:
 
 
 class DiASSimulation:
-    """Simulates one scheduling policy over a fixed job trace."""
+    """Simulates one scheduling policy over a fixed job trace.
+
+    The controller can run standalone (it then owns its own DES kernel and
+    drives the whole trace via :meth:`run`) or be *embedded*, e.g. as one
+    cluster of a :class:`~repro.fleet.simulation.FleetSimulation`: pass an
+    external ``simulator`` plus a ``stream_namespace`` so several controllers
+    can share one kernel and one root seed while drawing independent random
+    streams, feed jobs with :meth:`submit`, and collect the result with
+    :meth:`finalize` once the shared kernel has drained.
+    """
 
     def __init__(
         self,
         policy: SchedulingPolicy,
-        jobs: Sequence[Job],
+        jobs: Sequence[Job] = (),
         cluster: Optional[Cluster] = None,
         accuracy_model: Optional[AccuracyModel] = None,
         streams: Optional[RandomStreams] = None,
@@ -146,8 +155,10 @@ class DiASSimulation:
         drop_ratio_provider: Optional[
             Callable[[Job, float, MetricsCollector], "DropRatioDecision"]
         ] = None,
+        simulator: Optional[Simulator] = None,
+        stream_namespace: str = "",
     ) -> None:
-        if not jobs:
+        if not jobs and simulator is None:
             raise ValueError("the job trace must not be empty")
         self.policy = policy
         self.drop_ratio_provider = drop_ratio_provider
@@ -155,12 +166,13 @@ class DiASSimulation:
         self.cluster = cluster or Cluster()
         self.accuracy_model = accuracy_model or AccuracyModel.paper_default()
         self.streams = streams or RandomStreams(seed)
+        self.stream_namespace = stream_namespace
 
-        self.sim = Simulator()
+        self.sim = simulator if simulator is not None else Simulator()
         self.buffers = PriorityBuffers()
-        self.dropper = TaskDropper(self.streams.stream("dropper"))
+        self.dropper = TaskDropper(self.streams.stream(stream_namespace + "dropper"))
         self.metrics = MetricsCollector()
-        self.energy_meter = EnergyMeter(self.cluster.power_model)
+        self.energy_meter = EnergyMeter(self.cluster.power_model, start_time=self.sim.now)
         self.sprinter: Optional[Sprinter] = None
         if policy.sprints:
             self.sprinter = Sprinter(
@@ -176,16 +188,67 @@ class DiASSimulation:
         self._job_state: Dict[int, Dict[str, float]] = {}
         self._completed = 0
         self._total_evictions = 0
+        # Backlog estimate maintained for dispatcher load queries.
+        self._service_estimates: Dict[int, float] = {}
+        self._queued_work = 0.0
+        self._running_estimate = 0.0
+        self._running_started_at = 0.0
+
+    # ---------------------------------------------------------- load queries
+    @property
+    def queue_length(self) -> int:
+        """Jobs currently held by this controller (buffered + in execution)."""
+        return len(self.buffers) + (1 if self._running is not None else 0)
+
+    def work_left(self) -> float:
+        """Estimated slot-seconds of service remaining (buffered + running).
+
+        Buffered jobs count their wave-approximation service time under the
+        policy's drop ratio; the running job counts its estimate minus the
+        time it has already been executing.  Used by least-work-left routing.
+        """
+        remaining = self._queued_work
+        if self._running is not None:
+            elapsed = self.sim.now - self._running_started_at
+            remaining += max(0.0, self._running_estimate - elapsed)
+        return remaining
+
+    def _estimated_service_time(self, job: Job) -> float:
+        estimate = self._service_estimates.get(job.job_id)
+        if estimate is None:
+            estimate = job.ideal_service_time(
+                self.cluster.slots, self.policy.map_drop_ratio(job.priority)
+            )
+            self._service_estimates[job.job_id] = estimate
+        return estimate
 
     # -------------------------------------------------------------- running
-    def run(self, until: Optional[float] = None) -> SimulationResult:
-        """Run the whole trace to completion (or until the optional horizon)."""
+    def submit(self, job: Job) -> None:
+        """Hand ``job`` to this controller at the current simulated time.
+
+        Entry point for external routers (the fleet dispatcher): the job joins
+        its priority buffer immediately, exactly as a scheduled arrival would.
+        """
+        if job.job_id not in self._job_state:
+            self._job_state[job.job_id] = {"wasted": 0.0, "evictions": 0}
+        self._on_arrival(job)
+
+    def schedule_trace(self) -> None:
+        """Schedule every job of the trace as an arrival event."""
         for job in self.jobs:
             self._job_state[job.job_id] = {"wasted": 0.0, "evictions": 0}
             self.sim.schedule_at(
                 job.arrival_time, self._make_arrival_callback(job), priority=0
             )
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run the whole trace to completion (or until the optional horizon)."""
+        self.schedule_trace()
         self.sim.run(until=until)
+        return self.finalize()
+
+    def finalize(self) -> SimulationResult:
+        """Close the books at the current simulated time and build the result."""
         self.energy_meter.advance(self.sim.now)
         self.metrics.set_observation_time(self.sim.now)
         account = self.energy_meter.account
@@ -213,6 +276,7 @@ class DiASSimulation:
 
     def _on_arrival(self, job: Job) -> None:
         self.buffers.push(job)
+        self._queued_work += self._estimated_service_time(job)
         if self._running is None:
             self._dispatch_next()
             return
@@ -227,6 +291,7 @@ class DiASSimulation:
             self._running_plan = None
             self.energy_meter.set_mode("idle", self.sim.now)
             return
+        self._queued_work = max(0.0, self._queued_work - self._estimated_service_time(job))
         if self.drop_ratio_provider is not None:
             decision = self.drop_ratio_provider(job, self.sim.now, self.metrics)
             map_drop = decision.map_drop_ratio
@@ -251,6 +316,8 @@ class DiASSimulation:
         )
         self._running = execution
         self._running_plan = plan
+        self._running_estimate = self._estimated_service_time(job)
+        self._running_started_at = self.sim.now
         execution.start(speed=self.cluster.speed)
         if self.sprinter is not None:
             self.sprinter.on_dispatch(execution)
@@ -269,6 +336,7 @@ class DiASSimulation:
         state["evictions"] += 1
         self._total_evictions += 1
         self.buffers.push_front(job)
+        self._queued_work += self._estimated_service_time(job)
         self._running = None
         self._running_plan = None
 

@@ -11,11 +11,23 @@ hour) and never exceeds its cap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.core.config import SprintConfig
 from repro.engine.execution import JobExecution
 from repro.simulation.des import Event, Simulator
+
+class SprintBudgetPool(Protocol):
+    """Duck-typed shared budget arbiter a sprinter can delegate to."""
+
+    def available(self) -> Optional[float]:
+        """Shared sprint-seconds currently available (``None`` = unlimited)."""
+
+    def on_sprint_start(self, sprinter: "Sprinter") -> None:
+        """A member sprinter started sprinting."""
+
+    def on_sprint_end(self, sprinter: "Sprinter") -> None:
+        """A member sprinter stopped sprinting."""
 
 
 class Sprinter:
@@ -30,6 +42,13 @@ class Sprinter:
     on_sprint_start, on_sprint_end:
         Controller callbacks that actually change the cluster frequency, the
         in-flight task completion times and the energy-meter mode.
+    budget_pool:
+        Optional shared budget arbiter (e.g. a fleet-wide
+        :class:`~repro.fleet.budget.SharedSprintBudget`).  When given, budget
+        accounting is delegated to the pool: the sprinter asks the pool for
+        availability, notifies it on sprint start/end, and may be stopped by
+        the pool via :meth:`force_stop` when the shared budget runs dry.  The
+        local ``config.budget_seconds`` is then ignored.
     """
 
     def __init__(
@@ -38,11 +57,13 @@ class Sprinter:
         config: SprintConfig,
         on_sprint_start: Callable[[JobExecution], None],
         on_sprint_end: Callable[[JobExecution], None],
+        budget_pool: Optional["SprintBudgetPool"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.on_sprint_start = on_sprint_start
         self.on_sprint_end = on_sprint_end
+        self.budget_pool = budget_pool
 
         self._budget = config.budget_seconds  # None = unlimited
         self._budget_updated_at = sim.now
@@ -62,11 +83,13 @@ class Sprinter:
 
     def available_budget(self) -> Optional[float]:
         """Current sprint budget in seconds (``None`` = unlimited)."""
+        if self.budget_pool is not None:
+            return self.budget_pool.available()
         self._update_budget()
         return self._budget
 
     def _update_budget(self) -> None:
-        if self._budget is None:
+        if self.budget_pool is not None or self._budget is None:
             self._budget_updated_at = self.sim.now
             return
         now = self.sim.now
@@ -119,14 +142,18 @@ class Sprinter:
         self._update_budget()
         if self._sprinting:
             return
-        if self._budget is not None and self._budget <= 0:
+        available = self.available_budget()
+        if available is not None and available <= 0:
             self.sprints_denied += 1
             return
         self._sprinting = True
         self._sprint_started_at = self.sim.now
         self.sprints_started += 1
         self.on_sprint_start(execution)
-        if self._budget is not None:
+        if self.budget_pool is not None:
+            # The pool schedules (and reschedules) the shared exhaust event.
+            self.budget_pool.on_sprint_start(self)
+        elif self._budget is not None:
             net_drain = 1.0 - self.config.replenish_rate
             if net_drain > 0:
                 time_to_exhaust = self._budget / net_drain
@@ -142,6 +169,11 @@ class Sprinter:
 
         return _callback
 
+    def force_stop(self) -> None:
+        """Stop the current sprint immediately (shared budget exhausted)."""
+        if self._sprinting and self._current is not None:
+            self._stop_sprint(self._current)
+
     def _stop_sprint(self, execution: JobExecution) -> None:
         self._update_budget()
         self._sprinting = False
@@ -151,4 +183,6 @@ class Sprinter:
         if self._exhaust_event is not None:
             self._exhaust_event.cancel()
             self._exhaust_event = None
+        if self.budget_pool is not None:
+            self.budget_pool.on_sprint_end(self)
         self.on_sprint_end(execution)

@@ -1,0 +1,46 @@
+"""Fleet layer: multi-cluster DiAS simulation with pluggable dispatchers.
+
+This package scales the paper's single-cluster prototype to a fleet of
+independent DiAS-controlled clusters sharing one discrete-event kernel:
+
+* :mod:`repro.fleet.dispatcher` — routing policies (random, round-robin,
+  JSQ with optional power-of-d sampling, least-work-left, and
+  priority-partitioned sub-fleets).
+* :mod:`repro.fleet.budget` — fleet-wide sprint-budget arbitration
+  (per-cluster, shared pool, or disabled).
+* :mod:`repro.fleet.simulation` — :class:`FleetSimulation`, the driver that
+  embeds one :class:`~repro.core.dias.DiASSimulation` per cluster.
+* :mod:`repro.fleet.result` — :class:`FleetResult`, fleet-level latency,
+  energy, waste and load-imbalance aggregation.
+"""
+
+from repro.fleet.budget import BUDGET_MODES, SharedSprintBudget, build_budget_arbiter
+from repro.fleet.dispatcher import (
+    ROUTERS,
+    Dispatcher,
+    JoinShortestQueueDispatcher,
+    LeastWorkLeftDispatcher,
+    PriorityPartitionedDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    make_dispatcher,
+)
+from repro.fleet.result import FleetResult
+from repro.fleet.simulation import FleetSimulation, run_fleet
+
+__all__ = [
+    "BUDGET_MODES",
+    "SharedSprintBudget",
+    "build_budget_arbiter",
+    "ROUTERS",
+    "Dispatcher",
+    "JoinShortestQueueDispatcher",
+    "LeastWorkLeftDispatcher",
+    "PriorityPartitionedDispatcher",
+    "RandomDispatcher",
+    "RoundRobinDispatcher",
+    "make_dispatcher",
+    "FleetResult",
+    "FleetSimulation",
+    "run_fleet",
+]

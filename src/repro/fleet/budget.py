@@ -1,0 +1,165 @@
+"""Fleet-wide sprint-budget arbitration.
+
+A single DiAS cluster meters its own sprint budget inside its
+:class:`~repro.core.sprinter.Sprinter`.  A fleet can instead share one
+facility-level budget (think a datacenter power cap): every sprinting cluster
+drains the common pool at one sprint-second per second, the pool replenishes
+at a fixed rate, and when it runs dry *all* sprinting clusters are throttled
+back to the base frequency at once.
+
+:class:`SharedSprintBudget` implements the
+:class:`~repro.core.sprinter.SprintBudgetPool` protocol the sprinter
+delegates to, and :func:`build_budget_arbiter` maps a fleet budget mode
+(``per-cluster`` / ``shared`` / ``none``) onto the controllers' sprinters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.sprinter import Sprinter
+from repro.simulation.des import Event, Simulator
+
+#: Budget modes understood by :func:`build_budget_arbiter`.
+BUDGET_MODES = ("per-cluster", "shared", "none")
+
+
+class SharedSprintBudget:
+    """One sprint-second pool drained concurrently by several sprinters.
+
+    The pool evolves as ``d/dt budget = replenish_rate − active_sprinters``,
+    clamped to ``[0, cap]``.  Whenever the active set changes the pool
+    reschedules a single *exhaust* event at the projected dry-out time; when
+    it fires, every active sprinter is force-stopped (simultaneous fleet-wide
+    throttling, the defining difference from per-cluster budgets).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        budget_seconds: Optional[float],
+        replenish_seconds_per_hour: float = 0.0,
+        max_budget_seconds: Optional[float] = None,
+    ) -> None:
+        if budget_seconds is not None and budget_seconds < 0:
+            raise ValueError("budget_seconds must be non-negative")
+        if replenish_seconds_per_hour < 0:
+            raise ValueError("replenish_seconds_per_hour must be non-negative")
+        self.sim = sim
+        self._budget = budget_seconds  # None = unlimited
+        self._replenish_rate = replenish_seconds_per_hour / 3600.0
+        self._cap = max_budget_seconds if max_budget_seconds is not None else budget_seconds
+        self._updated_at = sim.now
+        self._active: List[Sprinter] = []
+        self._exhaust_event: Optional[Event] = None
+        self.exhaustions = 0
+
+    # -------------------------------------------------------------- queries
+    @property
+    def unlimited(self) -> bool:
+        return self._budget is None
+
+    @property
+    def active_sprinters(self) -> int:
+        return len(self._active)
+
+    def available(self) -> Optional[float]:
+        """Sprint-seconds left in the pool (``None`` = unlimited)."""
+        self._update()
+        return self._budget
+
+    # ------------------------------------------------------ sprinter events
+    def on_sprint_start(self, sprinter: Sprinter) -> None:
+        self._update()
+        if sprinter not in self._active:
+            self._active.append(sprinter)
+        self._reschedule_exhaust()
+
+    def on_sprint_end(self, sprinter: Sprinter) -> None:
+        self._update()
+        if sprinter in self._active:
+            self._active.remove(sprinter)
+        self._reschedule_exhaust()
+
+    # ------------------------------------------------------------ internals
+    def _update(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._updated_at
+        self._updated_at = now
+        if self._budget is None or elapsed <= 0:
+            return
+        rate = self._replenish_rate - len(self._active)
+        self._budget += rate * elapsed
+        if self._cap is not None:
+            self._budget = min(self._budget, self._cap)
+        self._budget = max(self._budget, 0.0)
+
+    def _reschedule_exhaust(self) -> None:
+        if self._exhaust_event is not None:
+            self._exhaust_event.cancel()
+            self._exhaust_event = None
+        if self._budget is None or not self._active:
+            return
+        net_drain = len(self._active) - self._replenish_rate
+        if net_drain <= 0:
+            return
+        self._exhaust_event = self.sim.schedule(
+            self._budget / net_drain, self._on_exhausted, priority=2
+        )
+
+    def _on_exhausted(self, _sim: Simulator) -> None:
+        self._exhaust_event = None
+        self._update()
+        self.exhaustions += 1
+        # force_stop() re-enters on_sprint_end, which shrinks the active set
+        # and (with nobody left) leaves no exhaust event scheduled.
+        for sprinter in list(self._active):
+            sprinter.force_stop()
+
+
+def build_budget_arbiter(
+    mode: str,
+    sim: Simulator,
+    sprinters: Sequence[Sprinter],
+    shared_budget_seconds: Optional[float] = None,
+) -> Optional[SharedSprintBudget]:
+    """Apply a fleet budget ``mode`` to the clusters' sprinters.
+
+    * ``per-cluster`` — each sprinter keeps its own policy-level budget
+      (nothing to do, returns ``None``).
+    * ``shared`` — one :class:`SharedSprintBudget` is attached to every
+      sprinter.  Its size defaults to the sum of the per-cluster budgets
+      (same total sprint capacity, but fungible across clusters), as does its
+      replenishment rate; ``shared_budget_seconds`` overrides the size.
+    * ``none`` — sprinting budgets are zeroed out by attaching an empty,
+      non-replenishing shared pool (useful as an ablation).
+    """
+    key = mode.strip().lower().replace("_", "-")
+    if key not in BUDGET_MODES:
+        raise ValueError(
+            f"unknown budget mode {mode!r}; expected one of {', '.join(BUDGET_MODES)}"
+        )
+    if key == "per-cluster" or not sprinters:
+        return None
+    if key == "none":
+        pool = SharedSprintBudget(sim, budget_seconds=0.0)
+    else:
+        budgets = [s.config.budget_seconds for s in sprinters]
+        if shared_budget_seconds is not None:
+            total: Optional[float] = shared_budget_seconds
+        elif any(b is None for b in budgets):
+            total = None  # any unlimited member makes the pool unlimited
+        else:
+            total = sum(budgets)
+        replenish = sum(s.config.replenish_seconds_per_hour for s in sprinters)
+        caps = [s.config.budget_cap() for s in sprinters]
+        cap = None if any(c is None for c in caps) else sum(caps)
+        pool = SharedSprintBudget(
+            sim,
+            budget_seconds=total,
+            replenish_seconds_per_hour=replenish,
+            max_budget_seconds=cap,
+        )
+    for sprinter in sprinters:
+        sprinter.budget_pool = pool
+    return pool

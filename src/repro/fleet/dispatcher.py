@@ -1,0 +1,282 @@
+"""Pluggable job-routing policies for a fleet of DiAS clusters.
+
+A production deployment of differentiated approximation does not run one big
+cluster; it runs many independent clusters behind a *dispatcher* that routes
+each arriving job to one of them (the scalable-middleware building-block
+pattern).  A :class:`Dispatcher` sees the arriving job and the live state of
+every cluster controller (queue length, estimated work left) and returns the
+index of the cluster that should serve the job.
+
+Implemented policies
+--------------------
+* :class:`RandomDispatcher` — uniform random cluster choice.
+* :class:`RoundRobinDispatcher` — cyclic assignment.
+* :class:`JoinShortestQueueDispatcher` — route to the cluster with the fewest
+  jobs in the system; optional *power-of-d* sampling probes only ``d``
+  random clusters (the classic JSQ(d) trade-off between dispatcher state and
+  queueing performance).
+* :class:`LeastWorkLeftDispatcher` — route on estimated remaining
+  slot-seconds instead of job counts, which is robust to heterogeneous job
+  sizes (a single huge job counts as one queue entry but many work-seconds).
+* :class:`PriorityPartitionedDispatcher` — pin each priority class to a
+  subset of the clusters (e.g. an isolated high-priority sub-fleet) and
+  balance within the subset by queue length.
+
+Ties are broken uniformly at random when the dispatcher has an rng (the
+default when built through :class:`~repro.fleet.simulation.FleetSimulation`)
+and by lowest cluster index otherwise; either way routing is deterministic
+given the same seed and arrival sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence
+
+import numpy as np
+
+
+class ClusterLoadView(Protocol):
+    """What a dispatcher may observe about one cluster controller."""
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs currently buffered or in execution on this cluster."""
+
+    def work_left(self) -> float:
+        """Estimated slot-seconds of service remaining on this cluster."""
+
+
+class Dispatcher:
+    """Base class: route each arriving job to one cluster index."""
+
+    name = "dispatcher"
+
+    def select(self, job, clusters: Sequence[ClusterLoadView]) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class RandomDispatcher(Dispatcher):
+    """Uniform random routing (the stateless baseline)."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def select(self, job, clusters: Sequence[ClusterLoadView]) -> int:
+        return int(self._rng.integers(len(clusters)))
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """Cyclic assignment; balances counts but is blind to job sizes."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, job, clusters: Sequence[ClusterLoadView]) -> int:
+        index = self._next % len(clusters)
+        self._next = index + 1
+        return index
+
+
+def _shortest_queue(
+    clusters: Sequence[ClusterLoadView],
+    candidates: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Candidate with the fewest jobs in system.
+
+    Ties are broken uniformly at random when an ``rng`` is given (the classic
+    JSQ formulation, still deterministic for a fixed seed) and by lowest index
+    otherwise.
+    """
+    shortest = min(clusters[i].queue_length for i in candidates)
+    tied = [i for i in candidates if clusters[i].queue_length == shortest]
+    if len(tied) == 1 or rng is None:
+        return tied[0]
+    return tied[int(rng.integers(len(tied)))]
+
+
+class JoinShortestQueueDispatcher(Dispatcher):
+    """JSQ, optionally with power-of-d sampling (``JSQ(d)``).
+
+    With ``sample_size=None`` every cluster is probed (plain JSQ); with
+    ``sample_size=d`` only ``d`` distinct random clusters are probed, which
+    models a dispatcher that cannot afford full fleet state per decision.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        sample_size: Optional[int] = None,
+    ) -> None:
+        if sample_size is not None:
+            if sample_size < 1:
+                raise ValueError("sample_size must be at least 1")
+            if rng is None:
+                raise ValueError("power-of-d sampling needs an rng")
+        self._rng = rng
+        self.sample_size = sample_size
+        self.name = "jsq" if sample_size is None else f"jsq({sample_size})"
+
+    def select(self, job, clusters: Sequence[ClusterLoadView]) -> int:
+        if self.sample_size is None or self.sample_size >= len(clusters):
+            candidates: Sequence[int] = range(len(clusters))
+        else:
+            sampled = self._rng.choice(
+                len(clusters), size=self.sample_size, replace=False
+            )
+            candidates = sorted(int(i) for i in sampled)
+        return _shortest_queue(clusters, candidates, rng=self._rng)
+
+
+class LeastWorkLeftDispatcher(Dispatcher):
+    """Route to the cluster with the least estimated remaining work."""
+
+    name = "least_work_left"
+
+    def select(self, job, clusters: Sequence[ClusterLoadView]) -> int:
+        return min(range(len(clusters)), key=lambda i: (clusters[i].work_left(), i))
+
+
+class PriorityPartitionedDispatcher(Dispatcher):
+    """Pin each priority class to a subset of clusters, JSQ within the subset.
+
+    ``assignments`` maps a priority to the cluster indices allowed to serve
+    it; priorities missing from the mapping may use every cluster.  Use
+    :meth:`balanced` to split a fleet among priority classes proportionally
+    to their traffic shares.
+    """
+
+    name = "priority_partitioned"
+
+    def __init__(
+        self,
+        assignments: Mapping[int, Sequence[int]],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._rng = rng
+        if not assignments:
+            raise ValueError("assignments must map at least one priority")
+        self.assignments: Dict[int, List[int]] = {}
+        for priority, indices in assignments.items():
+            cleaned = sorted({int(i) for i in indices})
+            if not cleaned:
+                raise ValueError(f"priority {priority} has an empty cluster subset")
+            if any(i < 0 for i in cleaned):
+                raise ValueError(f"priority {priority} has a negative cluster index")
+            self.assignments[int(priority)] = cleaned
+
+    @classmethod
+    def balanced(
+        cls,
+        priorities: Sequence[int],
+        num_clusters: int,
+        weights: Optional[Mapping[int, float]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "PriorityPartitionedDispatcher":
+        """Split ``num_clusters`` contiguously among ``priorities``.
+
+        Higher priorities are assigned first (from cluster 0 upwards), each
+        class receiving a share of clusters proportional to its ``weights``
+        entry (equal shares by default) and at least one cluster.
+        """
+        ordered = sorted(set(priorities), reverse=True)
+        if not ordered:
+            raise ValueError("at least one priority is required")
+        if num_clusters < len(ordered):
+            raise ValueError(
+                f"need at least {len(ordered)} clusters to partition "
+                f"{len(ordered)} priorities, got {num_clusters}"
+            )
+        shares = {p: float(weights.get(p, 1.0)) if weights else 1.0 for p in ordered}
+        total = sum(shares.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        # Largest-remainder apportionment with a one-cluster floor per class.
+        ideal = {p: num_clusters * shares[p] / total for p in ordered}
+        counts = {p: max(1, int(ideal[p])) for p in ordered}
+        leftover = num_clusters - sum(counts.values())
+        by_deficit = sorted(ordered, key=lambda p: ideal[p] - counts[p], reverse=True)
+        for priority in by_deficit:
+            if leftover <= 0:
+                break
+            counts[priority] += 1
+            leftover -= 1
+        while leftover < 0:
+            # The one-cluster floors over-allocated; shrink the class with the
+            # largest surplus that still has more than one cluster.
+            donor = max(
+                (p for p in ordered if counts[p] > 1),
+                key=lambda p: counts[p] - ideal[p],
+            )
+            counts[donor] -= 1
+            leftover += 1
+        assignments: Dict[int, List[int]] = {}
+        start = 0
+        for priority in ordered:
+            assignments[priority] = list(range(start, start + counts[priority]))
+            start += counts[priority]
+        return cls(assignments, rng=rng)
+
+    def select(self, job, clusters: Sequence[ClusterLoadView]) -> int:
+        allowed = self.assignments.get(job.priority)
+        if allowed is None:
+            candidates: Sequence[int] = range(len(clusters))
+        else:
+            candidates = [i for i in allowed if i < len(clusters)]
+            if not candidates:
+                raise ValueError(
+                    f"no valid cluster for priority {job.priority} in a fleet "
+                    f"of {len(clusters)}"
+                )
+        return _shortest_queue(clusters, candidates, rng=self._rng)
+
+
+#: Router names accepted by :func:`make_dispatcher` (and the CLI).
+ROUTERS = ("random", "round_robin", "jsq", "least_work_left", "priority_partitioned")
+
+
+def make_dispatcher(
+    name: str,
+    rng: Optional[np.random.Generator] = None,
+    power_of_d: Optional[int] = None,
+    priorities: Optional[Sequence[int]] = None,
+    priority_weights: Optional[Mapping[int, float]] = None,
+    num_clusters: Optional[int] = None,
+    assignments: Optional[Mapping[int, Sequence[int]]] = None,
+) -> Dispatcher:
+    """Build a dispatcher by name.
+
+    ``jsq`` honours ``power_of_d``; ``priority_partitioned`` uses explicit
+    ``assignments`` when given, otherwise a balanced partition built from
+    ``priorities`` (optionally weighted by traffic share) and ``num_clusters``.
+    """
+    key = name.strip().lower().replace("-", "_")
+    if key == "random":
+        if rng is None:
+            raise ValueError("the random dispatcher needs an rng")
+        return RandomDispatcher(rng)
+    if key == "round_robin":
+        return RoundRobinDispatcher()
+    if key == "jsq":
+        return JoinShortestQueueDispatcher(rng=rng, sample_size=power_of_d)
+    if key == "least_work_left":
+        return LeastWorkLeftDispatcher()
+    if key == "priority_partitioned":
+        if assignments is not None:
+            return PriorityPartitionedDispatcher(assignments, rng=rng)
+        if priorities is None or num_clusters is None:
+            raise ValueError(
+                "priority_partitioned needs explicit assignments or "
+                "(priorities, num_clusters)"
+            )
+        return PriorityPartitionedDispatcher.balanced(
+            priorities, num_clusters, weights=priority_weights, rng=rng
+        )
+    raise ValueError(f"unknown router {name!r}; expected one of {', '.join(ROUTERS)}")

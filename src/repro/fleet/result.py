@@ -1,0 +1,190 @@
+"""Fleet-level aggregation of per-cluster simulation results.
+
+A :class:`FleetResult` combines the per-cluster
+:class:`~repro.core.dias.SimulationResult` objects of one
+:class:`~repro.fleet.simulation.FleetSimulation` run into the quantities a
+fleet operator cares about: fleet-wide mean/tail latency per priority class,
+total energy, aggregate resource waste, and *load-imbalance* measures that
+expose how well the dispatcher spread the work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dias import SimulationResult
+from repro.simulation.metrics import ClassMetrics, JobRecord, MetricsCollector
+
+
+@dataclass
+class FleetResult:
+    """Everything measured during one fleet run under one routing policy."""
+
+    policy_name: str
+    dispatcher_name: str
+    cluster_results: List[SimulationResult]
+    duration: float
+    dispatch_counts: List[int]
+    budget_mode: str = "per-cluster"
+    _combined: MetricsCollector = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.cluster_results:
+            raise ValueError("a fleet result needs at least one cluster result")
+        if len(self.dispatch_counts) != len(self.cluster_results):
+            raise ValueError("dispatch_counts must have one entry per cluster")
+        combined = MetricsCollector()
+        for result in self.cluster_results:
+            for record in result.metrics.records:
+                combined.record_job(record)
+        combined.set_observation_time(self.duration)
+        self._combined = combined
+
+    # ------------------------------------------------------------- topology
+    @property
+    def num_clusters(self) -> int:
+        return len(self.cluster_results)
+
+    @property
+    def completed_jobs(self) -> int:
+        return sum(r.completed_jobs for r in self.cluster_results)
+
+    @property
+    def evictions(self) -> int:
+        return sum(r.evictions for r in self.cluster_results)
+
+    # ------------------------------------------------------------- latency
+    def priorities(self) -> List[int]:
+        return self._combined.priorities()
+
+    def class_metrics(self, priority: int) -> ClassMetrics:
+        return self._combined.class_metrics(priority)
+
+    def records(self) -> List[JobRecord]:
+        return self._combined.records
+
+    def mean_response_time(self, priority: Optional[int] = None) -> float:
+        return self._combined.mean_response_time(priority)
+
+    def tail_response_time(self, priority: Optional[int] = None, q: float = 95.0) -> float:
+        return self._combined.tail_response_time(priority, q)
+
+    def mean_accuracy_loss(self, priority: int) -> float:
+        return self.class_metrics(priority).accuracy_loss_mean
+
+    # ------------------------------------------------------- energy & waste
+    @property
+    def total_energy_joules(self) -> float:
+        return sum(r.total_energy_joules for r in self.cluster_results)
+
+    @property
+    def total_energy_kilojoules(self) -> float:
+        return self.total_energy_joules / 1000.0
+
+    @property
+    def sprinted_seconds(self) -> float:
+        return sum(r.sprinted_seconds for r in self.cluster_results)
+
+    @property
+    def resource_waste(self) -> float:
+        """Fleet-wide wasted machine time over total processing time."""
+        return self._combined.resource_waste_fraction()
+
+    # ------------------------------------------------------- load imbalance
+    def utilisation_per_cluster(self) -> List[float]:
+        return [r.utilisation for r in self.cluster_results]
+
+    def jobs_per_cluster(self) -> List[int]:
+        return [r.completed_jobs for r in self.cluster_results]
+
+    @property
+    def mean_utilisation(self) -> float:
+        values = self.utilisation_per_cluster()
+        return sum(values) / len(values)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Peak-to-mean ratio of per-cluster utilisation (1.0 = balanced).
+
+        The classic imbalance factor: how much hotter the hottest cluster
+        runs than the fleet average.  Random routing typically shows a
+        clearly larger value than JSQ/least-work-left on the same trace.
+        """
+        values = self.utilisation_per_cluster()
+        mean = sum(values) / len(values)
+        if mean <= 0:
+            return 1.0
+        return max(values) / mean
+
+    @property
+    def utilisation_cv(self) -> float:
+        """Coefficient of variation of per-cluster utilisation."""
+        values = self.utilisation_per_cluster()
+        mean = sum(values) / len(values)
+        if mean <= 0:
+            return 0.0
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return math.sqrt(variance) / mean
+
+    @property
+    def dispatch_imbalance(self) -> float:
+        """Peak-to-mean ratio of routed-job counts per cluster."""
+        total = sum(self.dispatch_counts)
+        if total <= 0:
+            return 1.0
+        mean = total / len(self.dispatch_counts)
+        return max(self.dispatch_counts) / mean
+
+    # --------------------------------------------------------------- export
+    def cluster_rows(self) -> List[Dict[str, float]]:
+        """One row per cluster: routing counts, utilisation, energy."""
+        rows: List[Dict[str, float]] = []
+        for index, result in enumerate(self.cluster_results):
+            rows.append(
+                {
+                    "cluster": index,
+                    "routed_jobs": float(self.dispatch_counts[index]),
+                    "completed_jobs": float(result.completed_jobs),
+                    "utilisation": result.utilisation,
+                    "mean_response_s": result.mean_response_time(),
+                    "energy_kj": result.total_energy_kilojoules,
+                    "evictions": float(result.evictions),
+                }
+            )
+        return rows
+
+    def class_rows(self) -> List[Dict[str, float]]:
+        """One row per priority class with fleet-level latency figures."""
+        rows: List[Dict[str, float]] = []
+        for priority in sorted(self.priorities(), reverse=True):
+            metrics = self.class_metrics(priority)
+            rows.append(
+                {
+                    "priority": priority,
+                    "jobs": float(metrics.job_count),
+                    "mean_response_s": metrics.response_time.mean,
+                    "p95_response_s": metrics.response_time.p95,
+                    "mean_queueing_s": metrics.queueing_time.mean,
+                    "accuracy_loss_pct": 100.0 * metrics.accuracy_loss_mean,
+                }
+            )
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Headline fleet metrics in one flat mapping."""
+        return {
+            "clusters": float(self.num_clusters),
+            "completed_jobs": float(self.completed_jobs),
+            "duration_s": self.duration,
+            "mean_response_s": self.mean_response_time(),
+            "p95_response_s": self.tail_response_time(),
+            "mean_utilisation": self.mean_utilisation,
+            "load_imbalance": self.load_imbalance,
+            "utilisation_cv": self.utilisation_cv,
+            "resource_waste_pct": 100.0 * self.resource_waste,
+            "energy_kj": self.total_energy_kilojoules,
+            "sprinted_s": self.sprinted_seconds,
+            "evictions": float(self.evictions),
+        }

@@ -1,0 +1,193 @@
+"""Multi-cluster DiAS simulation on one shared DES kernel.
+
+A :class:`FleetSimulation` embeds ``N`` independent
+:class:`~repro.core.dias.DiASSimulation` controllers — each with its own
+cluster, priority buffers, dropper, sprinter and energy meter — in a single
+:class:`~repro.simulation.des.Simulator`.  Arriving jobs are routed to one
+cluster by a pluggable :class:`~repro.fleet.dispatcher.Dispatcher`, and the
+sprint budget can either stay per-cluster or be pooled fleet-wide through a
+:class:`~repro.fleet.budget.SharedSprintBudget`.
+
+Because every controller draws its randomness from the same
+:class:`~repro.simulation.random_streams.RandomStreams` root under a
+``fleet/cluster<i>/`` namespace, a fleet run is fully deterministic for a
+given seed, independent of the routing policy being compared.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.dias import DiASSimulation, DropRatioDecision
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster
+from repro.engine.job import Job
+from repro.fleet.budget import SharedSprintBudget, build_budget_arbiter
+from repro.fleet.dispatcher import Dispatcher, make_dispatcher
+from repro.fleet.result import FleetResult
+from repro.models.accuracy import AccuracyModel
+from repro.simulation.des import Simulator
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.random_streams import RandomStreams
+
+
+class FleetSimulation:
+    """Runs one scheduling policy on a fleet of clusters behind a dispatcher.
+
+    Parameters
+    ----------
+    policy:
+        The DiAS scheduling policy every cluster runs.
+    jobs:
+        The fleet-wide job trace (arrival-time ordered or not; it is sorted).
+    num_clusters:
+        Fleet size; ignored when explicit ``clusters`` are given.
+    dispatcher:
+        A :class:`Dispatcher` instance or a router name understood by
+        :func:`~repro.fleet.dispatcher.make_dispatcher` (``random``,
+        ``round_robin``, ``jsq``, ``least_work_left``,
+        ``priority_partitioned``).
+    power_of_d:
+        Optional JSQ(d) sample size when ``dispatcher`` is the name ``jsq``.
+    clusters:
+        Optional explicit cluster substrates, one per fleet member.
+    sprint_budget:
+        ``per-cluster`` (default), ``shared`` or ``none`` — see
+        :func:`~repro.fleet.budget.build_budget_arbiter`.
+    shared_budget_seconds:
+        Optional override of the shared pool size (``sprint_budget="shared"``).
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        jobs: Sequence[Job],
+        num_clusters: int = 2,
+        dispatcher: Union[Dispatcher, str] = "round_robin",
+        power_of_d: Optional[int] = None,
+        clusters: Optional[Sequence[Cluster]] = None,
+        accuracy_model: Optional[AccuracyModel] = None,
+        streams: Optional[RandomStreams] = None,
+        seed: int = 0,
+        sprint_budget: str = "per-cluster",
+        shared_budget_seconds: Optional[float] = None,
+        drop_ratio_provider: Optional[
+            Callable[[Job, float, MetricsCollector], DropRatioDecision]
+        ] = None,
+    ) -> None:
+        if not jobs:
+            raise ValueError("the fleet job trace must not be empty")
+        if clusters is not None:
+            clusters = list(clusters)
+            num_clusters = len(clusters)
+        if num_clusters < 1:
+            raise ValueError("a fleet needs at least one cluster")
+
+        self.policy = policy
+        self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+        self.streams = streams or RandomStreams(seed)
+        self.sim = Simulator()
+        self.budget_mode = sprint_budget
+
+        if isinstance(dispatcher, str):
+            # Traffic shares drive the balanced priority partition: classes
+            # with more jobs in the trace receive more clusters.
+            traffic: dict = {}
+            for job in self.jobs:
+                traffic[job.priority] = traffic.get(job.priority, 0) + 1
+            dispatcher = make_dispatcher(
+                dispatcher,
+                rng=self.streams.stream("fleet/dispatcher"),
+                power_of_d=power_of_d,
+                priorities=sorted(traffic, reverse=True),
+                priority_weights={p: float(c) for p, c in traffic.items()},
+                num_clusters=num_clusters,
+            )
+        self.dispatcher = dispatcher
+
+        self.controllers: List[DiASSimulation] = []
+        for index in range(num_clusters):
+            cluster = clusters[index] if clusters is not None else Cluster()
+            self.controllers.append(
+                DiASSimulation(
+                    policy=policy,
+                    jobs=(),
+                    cluster=cluster,
+                    accuracy_model=accuracy_model,
+                    streams=self.streams,
+                    simulator=self.sim,
+                    stream_namespace=f"fleet/cluster{index}/",
+                    drop_ratio_provider=drop_ratio_provider,
+                )
+            )
+
+        sprinters = [c.sprinter for c in self.controllers if c.sprinter is not None]
+        self.budget_pool: Optional[SharedSprintBudget] = build_budget_arbiter(
+            sprint_budget, self.sim, sprinters, shared_budget_seconds
+        )
+
+        self.dispatch_counts = [0] * num_clusters
+        self._ran = False
+
+    # -------------------------------------------------------------- topology
+    @property
+    def num_clusters(self) -> int:
+        return len(self.controllers)
+
+    # --------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None) -> FleetResult:
+        """Route and process the whole trace; aggregate per-cluster results."""
+        if self._ran:
+            raise RuntimeError("a FleetSimulation can only be run once")
+        self._ran = True
+        for job in self.jobs:
+            self.sim.schedule_at(
+                job.arrival_time, self._make_routing_callback(job), priority=0
+            )
+        self.sim.run(until=until)
+        results = [controller.finalize() for controller in self.controllers]
+        return FleetResult(
+            policy_name=self.policy.name,
+            dispatcher_name=self.dispatcher.name,
+            cluster_results=results,
+            duration=self.sim.now,
+            dispatch_counts=list(self.dispatch_counts),
+            budget_mode=self.budget_mode,
+        )
+
+    # ---------------------------------------------------------------- events
+    def _make_routing_callback(self, job: Job):
+        def _callback(_sim: Simulator) -> None:
+            self._route(job)
+
+        return _callback
+
+    def _route(self, job: Job) -> None:
+        index = self.dispatcher.select(job, self.controllers)
+        if not 0 <= index < self.num_clusters:
+            raise ValueError(
+                f"dispatcher {self.dispatcher.name!r} returned invalid cluster "
+                f"index {index} for a fleet of {self.num_clusters}"
+            )
+        self.dispatch_counts[index] += 1
+        self.controllers[index].submit(job)
+
+
+def run_fleet(
+    policy: SchedulingPolicy,
+    jobs: Sequence[Job],
+    num_clusters: int,
+    dispatcher: Union[Dispatcher, str] = "round_robin",
+    seed: int = 0,
+    **kwargs,
+) -> FleetResult:
+    """Convenience wrapper: build a :class:`FleetSimulation` and run it."""
+    simulation = FleetSimulation(
+        policy=policy,
+        jobs=jobs,
+        num_clusters=num_clusters,
+        dispatcher=dispatcher,
+        seed=seed,
+        **kwargs,
+    )
+    return simulation.run()

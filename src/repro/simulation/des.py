@@ -12,7 +12,13 @@ Design notes
   keeps simulations reproducible across runs and platforms.
 * Cancellation is *lazy*: a cancelled event stays in the heap but is skipped
   when popped.  This keeps cancellation O(1), which matters because preemption
-  and DVFS changes cancel many in-flight task-completion events.
+  and DVFS changes cancel many in-flight task-completion events.  Skipping is
+  iterative, so arbitrarily long runs of cancelled entries (preemption or DVFS
+  storms) cannot exhaust the Python recursion limit.
+* Heap entries are flat ``(time, priority, seq, event)`` tuples.  ``seq`` is
+  unique per simulator, so comparisons never reach the (incomparable) event
+  object, and the hot scheduling path avoids an extra method call and nested
+  tuple per event.
 * The kernel knows nothing about jobs, priorities or energy; it only runs
   callbacks at simulated times.
 """
@@ -126,7 +132,7 @@ class Simulator:
             callback=callback,
             payload=payload,
         )
-        heapq.heappush(self._heap, (event.sort_key(), event))
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         self._event_count += 1
         return event
 
@@ -136,20 +142,19 @@ class Simulator:
         self._discard_cancelled()
         if not self._heap:
             return None
-        return self._heap[0][1].time
+        return self._heap[0][0]
 
     def step(self) -> Optional[Event]:
         """Execute the next event.  Returns the event, or ``None`` if empty."""
-        self._discard_cancelled()
-        if not self._heap:
-            return None
-        _, event = heapq.heappop(self._heap)
-        if event.cancelled:
-            return self.step()
-        self._now = event.time
-        self._processed += 1
-        event.callback(self)
-        return event
+        while self._heap:
+            event = heapq.heappop(self._heap)[3]
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(self)
+            return event
+        return None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the event list drains, ``until`` is reached, or ``max_events``.
@@ -185,5 +190,5 @@ class Simulator:
 
     # -------------------------------------------------------------- internals
     def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0][1].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)

@@ -15,6 +15,13 @@ the trace length.  The factory functions mirror the setups of §5:
 * :func:`validation_datasets_scenario` — the §4.3 validation datasets
   (Fig. 4 / Fig. 5).
 * :func:`sprinting_scenario` — the full-DiAS sprinting setup of §5.3.
+
+Beyond the paper, :class:`FleetScenario` scales a single-cluster scenario to
+``N`` clusters behind a dispatcher: per-class arrival rates are multiplied by
+the fleet size so each member still sees the base scenario's load when
+traffic is spread evenly.  :func:`fleet_two_priority_scenario` and
+:func:`fleet_three_priority_scenario` are the canonical fleet setups used by
+the routing benchmark and the ``repro fleet`` CLI command.
 """
 
 from __future__ import annotations
@@ -259,6 +266,106 @@ def sprinting_scenario(num_jobs: int = 300) -> Scenario:
     scenario = triangle_count_scenario(num_jobs)
     return replace(scenario, name="dias-sprinting",
                    description="Full DiAS: approximation + sprinting on graph analytics")
+
+
+# ---------------------------------------------------------------------------
+# Fleet scenarios (multi-cluster deployments behind a dispatcher)
+# ---------------------------------------------------------------------------
+@dataclass
+class FleetScenario:
+    """A single-cluster scenario scaled out to a fleet of clusters.
+
+    The fleet serves ``num_clusters`` times the base scenario's traffic: the
+    per-class arrival rates are multiplied by the fleet size, so a perfectly
+    balanced dispatcher reproduces the base load on every member.  Traces are
+    generated fleet-wide (default ``base.num_jobs × num_clusters`` jobs) and
+    routed at simulation time by the dispatcher under test.
+    """
+
+    base: Scenario
+    num_clusters: int
+    name: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ValueError("a fleet needs at least one cluster")
+        if not self.name:
+            self.name = f"fleet-{self.base.name}-x{self.num_clusters}"
+        if not self.description:
+            self.description = (
+                f"{self.num_clusters} clusters, each at the load of: "
+                f"{self.base.description}"
+            )
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def profiles(self) -> Dict[int, JobClassProfile]:
+        return self.base.profiles
+
+    @property
+    def priorities(self) -> List[int]:
+        return self.base.priorities
+
+    @property
+    def class_ratio(self) -> Dict[int, float]:
+        return self.base.class_ratio
+
+    @property
+    def num_jobs(self) -> int:
+        return self.base.num_jobs * self.num_clusters
+
+    @property
+    def arrival_rates(self) -> Dict[int, float]:
+        """Fleet-wide arrival rates: the base rates times the fleet size."""
+        return {
+            priority: rate * self.num_clusters
+            for priority, rate in self.base.arrival_rates.items()
+        }
+
+    def total_arrival_rate(self) -> float:
+        return sum(self.arrival_rates.values())
+
+    def generate_trace(self, seed: int = 0, num_jobs: Optional[int] = None) -> List[Job]:
+        """Sample one fleet-wide job trace."""
+        return generate_job_trace(
+            self.profiles,
+            self.arrival_rates,
+            num_jobs=num_jobs if num_jobs is not None else self.num_jobs,
+            streams=RandomStreams(seed),
+        )
+
+    def make_clusters(self) -> List[Cluster]:
+        """Fresh cluster substrates, one per fleet member."""
+        template = self.base.cluster
+        return [
+            Cluster(
+                config=template.config,
+                dvfs=template.dvfs,
+                power_model=template.power_model,
+            )
+            for _ in range(self.num_clusters)
+        ]
+
+
+def fleet_two_priority_scenario(
+    num_clusters: int = 4, num_jobs_per_cluster: int = 200
+) -> FleetScenario:
+    """The Fig. 7 reference workload served by a fleet of clusters."""
+    return FleetScenario(
+        base=reference_two_priority_scenario(num_jobs=num_jobs_per_cluster),
+        num_clusters=num_clusters,
+    )
+
+
+def fleet_three_priority_scenario(
+    num_clusters: int = 4, num_jobs_per_cluster: int = 200
+) -> FleetScenario:
+    """The Fig. 9 three-priority workload served by a fleet of clusters."""
+    return FleetScenario(
+        base=three_priority_scenario(num_jobs=num_jobs_per_cluster),
+        num_clusters=num_clusters,
+    )
 
 
 # ---------------------------------------------------------------------------

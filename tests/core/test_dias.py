@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+import math
+
 from repro.core.config import SprintConfig
-from repro.core.dias import DiASSimulation, run_policy
+from repro.core.dias import DiASSimulation, DropRatioDecision, run_policy
 from repro.core.policies import SchedulingPolicy
 from repro.engine.cluster import Cluster, ClusterConfig
 from repro.engine.job import Job, StageSpec
@@ -188,3 +190,47 @@ def test_utilisation_reported():
                         cluster=small_cluster())
     # 40 s of busy time over a 50 s horizon.
     assert result.utilisation == pytest.approx(40.0 / 50.0)
+
+
+def test_relative_difference_tail_uses_p95_not_mean():
+    # Odd task counts round up under 50% dropping (⌈n(1−θ)⌉), so the drop
+    # speeds jobs up unevenly and the mean and tail differences diverge.
+    jobs = [make_job(i, LOW, 200.0 * i, partitions=2 + i) for i in range(5)]
+    baseline = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                          cluster=small_cluster())
+    ours = run_policy(SchedulingPolicy.differential_approximation({LOW: 0.5}), jobs,
+                      cluster=small_cluster())
+    tail_diff = ours.relative_difference(baseline, LOW, "tail")
+    expected = 100.0 * (
+        ours.tail_response_time(LOW) - baseline.tail_response_time(LOW)
+    ) / baseline.tail_response_time(LOW)
+    assert tail_diff == pytest.approx(expected)
+    assert tail_diff != ours.relative_difference(baseline, LOW, "mean")
+
+
+def test_relative_difference_nan_for_zero_or_nan_baseline():
+    jobs = [make_job(0, LOW, 0.0)]
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    # The baseline never saw a HIGH job: its mean is nan, and a nan baseline
+    # must propagate to the relative difference rather than raise.
+    assert math.isnan(result.relative_difference(result, HIGH, "mean"))
+    assert math.isnan(result.relative_difference(result, HIGH, "tail"))
+
+
+def test_relative_difference_rejects_unknown_metric():
+    jobs = [make_job(0, LOW, 0.0)]
+    result = run_policy(SchedulingPolicy.non_preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    with pytest.raises(ValueError):
+        result.relative_difference(result, LOW, "p99")
+
+
+def test_drop_ratio_decision_validates_bounds():
+    decision = DropRatioDecision(map_drop_ratio=0.0, reduce_drop_ratio=0.999)
+    assert decision.map_drop_ratio == 0.0
+    for bad in (-0.01, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            DropRatioDecision(map_drop_ratio=bad)
+        with pytest.raises(ValueError):
+            DropRatioDecision(map_drop_ratio=0.0, reduce_drop_ratio=bad)

@@ -1,0 +1,136 @@
+"""Tests for fleet-wide sprint-budget arbitration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SprintConfig
+from repro.core.sprinter import Sprinter
+from repro.fleet.budget import SharedSprintBudget, build_budget_arbiter
+from repro.simulation.des import Simulator
+
+
+class RecordingSprinter:
+    """Stands in for a Sprinter: records force_stop calls."""
+
+    def __init__(self) -> None:
+        self.force_stops = 0
+
+    def force_stop(self) -> None:
+        self.force_stops += 1
+
+
+def test_pool_drains_one_second_per_active_sprinter():
+    sim = Simulator()
+    pool = SharedSprintBudget(sim, budget_seconds=100.0)
+    sprinter = RecordingSprinter()
+    pool.on_sprint_start(sprinter)
+    sim.schedule(30.0, lambda s: None)
+    sim.run(until=30.0)
+    assert pool.available() == pytest.approx(70.0)
+    pool.on_sprint_end(sprinter)
+    sim.schedule(50.0, lambda s: None)
+    sim.run(until=80.0)
+    assert pool.available() == pytest.approx(70.0)  # nobody draining
+
+
+def test_pool_drains_faster_with_concurrent_sprinters():
+    sim = Simulator()
+    pool = SharedSprintBudget(sim, budget_seconds=100.0)
+    first, second = RecordingSprinter(), RecordingSprinter()
+    pool.on_sprint_start(first)
+    pool.on_sprint_start(second)
+    sim.schedule(20.0, lambda s: None)
+    sim.run(until=20.0)
+    assert pool.available() == pytest.approx(60.0)  # 2 s of budget per second
+
+
+def test_pool_exhaust_event_force_stops_all_active_sprinters():
+    sim = Simulator()
+    pool = SharedSprintBudget(sim, budget_seconds=10.0)
+    first, second = RecordingSprinter(), RecordingSprinter()
+    pool.on_sprint_start(first)
+    pool.on_sprint_start(second)
+    sim.run()
+    # Two sprinters drain 10 s of budget in 5 s of simulated time.
+    assert sim.now == pytest.approx(5.0)
+    assert first.force_stops == 1
+    assert second.force_stops == 1
+    assert pool.available() == pytest.approx(0.0)
+    assert pool.exhaustions == 1
+
+
+def test_pool_replenishes_up_to_cap():
+    sim = Simulator()
+    pool = SharedSprintBudget(
+        sim, budget_seconds=10.0, replenish_seconds_per_hour=3600.0,
+        max_budget_seconds=15.0,
+    )
+    sim.schedule(100.0, lambda s: None)
+    sim.run()
+    assert pool.available() == pytest.approx(15.0)  # capped, not 110
+
+
+def test_unlimited_pool_never_schedules_exhaustion():
+    sim = Simulator()
+    pool = SharedSprintBudget(sim, budget_seconds=None)
+    pool.on_sprint_start(RecordingSprinter())
+    sim.schedule(1000.0, lambda s: None)
+    sim.run()
+    assert pool.available() is None
+    assert pool.exhaustions == 0
+
+
+def test_pool_rejects_negative_configuration():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SharedSprintBudget(sim, budget_seconds=-1.0)
+    with pytest.raises(ValueError):
+        SharedSprintBudget(sim, budget_seconds=1.0, replenish_seconds_per_hour=-1.0)
+
+
+# ------------------------------------------------------------ budget modes
+def _sprinters(sim: Simulator, count: int, budget: float = 50.0):
+    config = SprintConfig.limited_sprinting(budget_seconds=budget)
+    return [
+        Sprinter(sim, config, on_sprint_start=lambda e: None, on_sprint_end=lambda e: None)
+        for _ in range(count)
+    ]
+
+
+def test_per_cluster_mode_leaves_sprinters_alone():
+    sim = Simulator()
+    sprinters = _sprinters(sim, 3)
+    assert build_budget_arbiter("per-cluster", sim, sprinters) is None
+    assert all(s.budget_pool is None for s in sprinters)
+
+
+def test_shared_mode_pools_the_sum_of_cluster_budgets():
+    sim = Simulator()
+    sprinters = _sprinters(sim, 3, budget=50.0)
+    pool = build_budget_arbiter("shared", sim, sprinters)
+    assert pool is not None
+    assert pool.available() == pytest.approx(150.0)
+    assert all(s.budget_pool is pool for s in sprinters)
+    assert all(s.available_budget() == pytest.approx(150.0) for s in sprinters)
+
+
+def test_shared_mode_honours_explicit_budget_override():
+    sim = Simulator()
+    sprinters = _sprinters(sim, 2)
+    pool = build_budget_arbiter("shared", sim, sprinters, shared_budget_seconds=42.0)
+    assert pool.available() == pytest.approx(42.0)
+
+
+def test_none_mode_denies_all_sprinting():
+    sim = Simulator()
+    sprinters = _sprinters(sim, 2)
+    pool = build_budget_arbiter("none", sim, sprinters)
+    assert pool.available() == 0.0
+    assert all(s.available_budget() == 0.0 for s in sprinters)
+
+
+def test_unknown_mode_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        build_budget_arbiter("global", sim, _sprinters(sim, 1))

@@ -1,0 +1,192 @@
+"""Tests for the fleet routing dispatchers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.fleet.dispatcher import (
+    ROUTERS,
+    JoinShortestQueueDispatcher,
+    LeastWorkLeftDispatcher,
+    PriorityPartitionedDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    make_dispatcher,
+)
+
+
+@dataclass
+class FakeCluster:
+    """Minimal ClusterLoadView: fixed queue length and work left."""
+
+    queue_length: int = 0
+    work: float = 0.0
+
+    def work_left(self) -> float:
+        return self.work
+
+
+@dataclass
+class FakeJob:
+    priority: int = 0
+
+
+def clusters_with_queues(*lengths: int):
+    return [FakeCluster(queue_length=length) for length in lengths]
+
+
+# ------------------------------------------------------------------ random
+def test_random_dispatcher_stays_in_range_and_is_seed_deterministic():
+    clusters = clusters_with_queues(0, 0, 0, 0)
+    picks_a = [
+        RandomDispatcher(np.random.default_rng(5)).select(FakeJob(), clusters)
+        for _ in range(1)
+    ]
+    dispatcher = RandomDispatcher(np.random.default_rng(5))
+    picks_b = [dispatcher.select(FakeJob(), clusters) for _ in range(20)]
+    assert all(0 <= i < 4 for i in picks_b)
+    assert len(set(picks_b)) > 1  # actually spreads
+    repeat = RandomDispatcher(np.random.default_rng(5))
+    assert [repeat.select(FakeJob(), clusters) for _ in range(20)] == picks_b
+    assert picks_a[0] == picks_b[0]
+
+
+# -------------------------------------------------------------- round robin
+def test_round_robin_cycles_through_all_clusters():
+    clusters = clusters_with_queues(9, 9, 9)
+    dispatcher = RoundRobinDispatcher()
+    assert [dispatcher.select(FakeJob(), clusters) for _ in range(7)] == [
+        0, 1, 2, 0, 1, 2, 0,
+    ]
+
+
+# --------------------------------------------------------------------- jsq
+def test_jsq_picks_the_shortest_queue():
+    clusters = clusters_with_queues(3, 1, 2)
+    assert JoinShortestQueueDispatcher().select(FakeJob(), clusters) == 1
+
+
+def test_jsq_breaks_ties_by_lowest_index_without_rng():
+    clusters = clusters_with_queues(2, 1, 1)
+    assert JoinShortestQueueDispatcher().select(FakeJob(), clusters) == 1
+
+
+def test_jsq_breaks_ties_randomly_with_rng():
+    clusters = clusters_with_queues(0, 0, 0, 0)
+    dispatcher = JoinShortestQueueDispatcher(rng=np.random.default_rng(0))
+    picks = {dispatcher.select(FakeJob(), clusters) for _ in range(40)}
+    assert len(picks) > 1
+
+
+def test_jsq_power_of_d_probes_a_subset():
+    clusters = clusters_with_queues(0, 5, 5, 5)
+    # With d=2 the empty cluster 0 is only found when it is sampled.
+    dispatcher = JoinShortestQueueDispatcher(
+        rng=np.random.default_rng(1), sample_size=2
+    )
+    picks = [dispatcher.select(FakeJob(), clusters) for _ in range(30)]
+    assert all(0 <= i < 4 for i in picks)
+    assert 0 in picks  # eventually sampled
+    assert any(i != 0 for i in picks)  # but not probed every time
+    assert dispatcher.name == "jsq(2)"
+
+
+def test_jsq_power_of_d_requires_rng_and_positive_d():
+    with pytest.raises(ValueError):
+        JoinShortestQueueDispatcher(sample_size=2)
+    with pytest.raises(ValueError):
+        JoinShortestQueueDispatcher(rng=np.random.default_rng(0), sample_size=0)
+
+
+# ----------------------------------------------------------- least work left
+def test_least_work_left_uses_work_not_counts():
+    clusters = [
+        FakeCluster(queue_length=1, work=500.0),
+        FakeCluster(queue_length=3, work=30.0),
+    ]
+    assert LeastWorkLeftDispatcher().select(FakeJob(), clusters) == 1
+
+
+# ------------------------------------------------------ priority partitioned
+def test_priority_partitioned_pins_classes_to_subsets():
+    clusters = clusters_with_queues(0, 9, 0, 9)
+    dispatcher = PriorityPartitionedDispatcher({1: [0, 1], 0: [2, 3]})
+    assert dispatcher.select(FakeJob(priority=1), clusters) == 0
+    assert dispatcher.select(FakeJob(priority=0), clusters) == 2
+
+
+def test_priority_partitioned_unknown_priority_uses_all_clusters():
+    clusters = clusters_with_queues(4, 0, 9)
+    dispatcher = PriorityPartitionedDispatcher({5: [0]})
+    assert dispatcher.select(FakeJob(priority=1), clusters) == 1
+
+
+def test_priority_partitioned_validation():
+    with pytest.raises(ValueError):
+        PriorityPartitionedDispatcher({})
+    with pytest.raises(ValueError):
+        PriorityPartitionedDispatcher({0: []})
+    with pytest.raises(ValueError):
+        PriorityPartitionedDispatcher({0: [-1]})
+    dispatcher = PriorityPartitionedDispatcher({0: [7]})
+    with pytest.raises(ValueError):
+        dispatcher.select(FakeJob(priority=0), clusters_with_queues(0, 0))
+
+
+def test_balanced_partition_weights_by_traffic_share():
+    dispatcher = PriorityPartitionedDispatcher.balanced(
+        [2, 0], num_clusters=4, weights={2: 1.0, 0: 9.0}
+    )
+    assert dispatcher.assignments[2] == [0]
+    assert dispatcher.assignments[0] == [1, 2, 3]
+
+
+def test_balanced_partition_equal_weights_cover_all_clusters():
+    dispatcher = PriorityPartitionedDispatcher.balanced([2, 1, 0], num_clusters=6)
+    covered = sorted(i for subset in dispatcher.assignments.values() for i in subset)
+    assert covered == list(range(6))
+    assert all(dispatcher.assignments[p] for p in (2, 1, 0))
+
+
+def test_balanced_partition_one_cluster_floor_rebalances():
+    # Floors of 1 for the two tiny classes over-allocate; the dominant class
+    # must donate back so the partition still covers exactly num_clusters.
+    dispatcher = PriorityPartitionedDispatcher.balanced(
+        [2, 1, 0], num_clusters=3, weights={2: 0.1, 1: 0.1, 0: 0.8}
+    )
+    covered = sorted(i for subset in dispatcher.assignments.values() for i in subset)
+    assert covered == [0, 1, 2]
+    assert all(len(subset) == 1 for subset in dispatcher.assignments.values())
+
+
+def test_balanced_partition_needs_enough_clusters():
+    with pytest.raises(ValueError):
+        PriorityPartitionedDispatcher.balanced([2, 1, 0], num_clusters=2)
+
+
+# ---------------------------------------------------------------- registry
+def test_make_dispatcher_builds_every_router():
+    rng = np.random.default_rng(0)
+    for name in ROUTERS:
+        dispatcher = make_dispatcher(
+            name, rng=rng, priorities=[2, 0], num_clusters=4
+        )
+        assert dispatcher.select(FakeJob(priority=0), clusters_with_queues(0, 0, 0, 0)) in range(4)
+
+
+def test_make_dispatcher_normalises_names_and_rejects_unknown():
+    assert make_dispatcher("Round-Robin").name == "round_robin"
+    with pytest.raises(ValueError):
+        make_dispatcher("fifo")
+    with pytest.raises(ValueError):
+        make_dispatcher("random")  # needs an rng
+    with pytest.raises(ValueError):
+        make_dispatcher("priority_partitioned")  # needs priorities/clusters
+
+
+def test_make_dispatcher_jsq_power_of_d():
+    dispatcher = make_dispatcher("jsq", rng=np.random.default_rng(0), power_of_d=2)
+    assert dispatcher.name == "jsq(2)"

@@ -1,0 +1,118 @@
+"""Tests for fleet-level result aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dias import SimulationResult
+from repro.fleet.result import FleetResult
+from repro.simulation.metrics import JobRecord, MetricsCollector
+
+
+def make_cluster_result(
+    records,
+    duration: float = 100.0,
+    energy: float = 1000.0,
+    busy_time: float = None,
+) -> SimulationResult:
+    metrics = MetricsCollector()
+    for record in records:
+        metrics.record_job(record)
+        metrics.record_busy_time(
+            record.execution_time if busy_time is None else busy_time
+        )
+    metrics.set_observation_time(duration)
+    return SimulationResult(
+        policy_name="NP",
+        metrics=metrics,
+        duration=duration,
+        completed_jobs=len(records),
+        total_energy_joules=energy,
+        sprinted_seconds=0.0,
+        evictions=sum(r.evictions for r in records),
+    )
+
+
+def record(job_id: int, priority: int, arrival: float, completion: float,
+           execution: float, wasted: float = 0.0, evictions: int = 0) -> JobRecord:
+    return JobRecord(
+        job_id=job_id, priority=priority, arrival_time=arrival,
+        start_time=arrival, completion_time=completion,
+        execution_time=execution, wasted_time=wasted, evictions=evictions,
+    )
+
+
+@pytest.fixture
+def fleet_result() -> FleetResult:
+    cluster0 = make_cluster_result(
+        [
+            record(0, 0, 0.0, 30.0, 20.0),
+            record(1, 2, 5.0, 15.0, 10.0),
+        ],
+        energy=1200.0,
+    )
+    cluster1 = make_cluster_result(
+        [record(2, 0, 0.0, 50.0, 40.0, wasted=10.0, evictions=1)],
+        energy=800.0,
+    )
+    return FleetResult(
+        policy_name="NP",
+        dispatcher_name="jsq",
+        cluster_results=[cluster0, cluster1],
+        duration=100.0,
+        dispatch_counts=[2, 1],
+    )
+
+
+def test_fleet_result_combines_jobs_and_classes(fleet_result):
+    assert fleet_result.num_clusters == 2
+    assert fleet_result.completed_jobs == 3
+    assert fleet_result.priorities() == [0, 2]
+    # Priority 0: responses 30 and 50 across the two clusters.
+    assert fleet_result.mean_response_time(0) == pytest.approx(40.0)
+    assert fleet_result.mean_response_time(2) == pytest.approx(10.0)
+    assert fleet_result.mean_response_time() == pytest.approx((30 + 10 + 50) / 3)
+    assert fleet_result.class_metrics(0).job_count == 2
+
+
+def test_fleet_result_energy_waste_and_evictions(fleet_result):
+    assert fleet_result.total_energy_joules == pytest.approx(2000.0)
+    assert fleet_result.total_energy_kilojoules == pytest.approx(2.0)
+    assert fleet_result.evictions == 1
+    # Waste: 10 wasted over 70 useful + 10 wasted.
+    assert fleet_result.resource_waste == pytest.approx(10.0 / 80.0)
+
+
+def test_fleet_result_load_imbalance(fleet_result):
+    # Cluster utilisations: (20+10)/100 = 0.30 and (40+10)/100 = 0.50.
+    assert fleet_result.utilisation_per_cluster() == pytest.approx([0.30, 0.50])
+    assert fleet_result.mean_utilisation == pytest.approx(0.40)
+    assert fleet_result.load_imbalance == pytest.approx(0.50 / 0.40)
+    assert fleet_result.utilisation_cv == pytest.approx(0.25)
+    assert fleet_result.dispatch_imbalance == pytest.approx(2 / 1.5)
+
+
+def test_fleet_result_rows_and_summary(fleet_result):
+    cluster_rows = fleet_result.cluster_rows()
+    assert [row["cluster"] for row in cluster_rows] == [0, 1]
+    assert cluster_rows[0]["routed_jobs"] == 2.0
+    class_rows = fleet_result.class_rows()
+    assert [row["priority"] for row in class_rows] == [2, 0]
+    summary = fleet_result.summary()
+    assert summary["clusters"] == 2.0
+    assert summary["completed_jobs"] == 3.0
+    assert summary["load_imbalance"] == pytest.approx(1.25)
+
+
+def test_fleet_result_validation():
+    with pytest.raises(ValueError):
+        FleetResult(
+            policy_name="NP", dispatcher_name="jsq", cluster_results=[],
+            duration=1.0, dispatch_counts=[],
+        )
+    cluster = make_cluster_result([record(0, 0, 0.0, 10.0, 5.0)])
+    with pytest.raises(ValueError):
+        FleetResult(
+            policy_name="NP", dispatcher_name="jsq", cluster_results=[cluster],
+            duration=1.0, dispatch_counts=[1, 1],
+        )

@@ -150,3 +150,41 @@ def test_payload_is_preserved():
     event = sim.schedule(1.0, lambda s: None, payload={"job": 42})
     assert event.payload == {"job": 42}
     sim.run()
+
+
+def test_step_survives_thousands_of_consecutive_cancelled_events():
+    """A long run of cancelled entries must not hit the recursion limit."""
+    sim = Simulator()
+    cancelled = [sim.schedule(1.0, lambda s: None) for _ in range(5000)]
+    for event in cancelled:
+        event.cancel()
+    fired = []
+    sim.schedule(2.0, lambda s: fired.append(s.now))
+    assert sim.step() is not None
+    assert fired == [2.0]
+    assert sim.pending_events == 0
+
+
+def test_run_survives_cancellation_storm_interleaved():
+    """Cancellation storms interleaved with live events drain iteratively."""
+    sim = Simulator()
+    fired = []
+    for burst in range(5):
+        doomed = [
+            sim.schedule(float(burst) + 0.5, lambda s: None) for _ in range(2000)
+        ]
+        for event in doomed:
+            event.cancel()
+        sim.schedule(float(burst) + 1.0, lambda s: fired.append(s.now))
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert sim.processed_events == 5
+
+
+def test_heap_entries_are_flat_tuples():
+    """The hot path pushes (time, priority, seq, event) entries directly."""
+    sim = Simulator()
+    event = sim.schedule(3.0, lambda s: None, priority=7)
+    entry = sim._heap[0]
+    assert entry == (3.0, 7, event.seq, event)
+    assert entry[:3] == event.sort_key()

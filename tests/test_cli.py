@@ -94,3 +94,49 @@ def test_invalid_figure_rejected_by_argparse():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["figure", "99"])
+
+
+def test_fleet_command_runs_small_fleet(capsys):
+    code = main([
+        "fleet", "--clusters", "2", "--router", "jsq",
+        "--scenario", "two-priority", "--jobs", "25", "--seed", "1",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "router=jsq" in output
+    assert "Per-cluster load" in output
+    assert "load_imbalance" in output
+
+
+def test_fleet_command_three_priority_default_policy(capsys):
+    code = main([
+        "fleet", "--clusters", "3", "--router", "least_work_left",
+        "--scenario", "three-priority", "--jobs", "20",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "policy=DA(0/10/20)" in output
+
+
+def test_fleet_command_shared_budget_and_explicit_policy(capsys):
+    code = main([
+        "fleet", "--clusters", "2", "--router", "round_robin",
+        "--jobs", "15", "--policy", "DA(0/20)", "--budget", "shared",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "budget=shared" in output
+    assert "policy=DA(0/20)" in output
+
+
+def test_fleet_command_rejects_unknown_router():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fleet", "--router", "fifo"])
+
+
+def test_list_mentions_fleet_routers(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "fleet routers" in output
+    assert "least_work_left" in output

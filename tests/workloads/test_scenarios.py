@@ -9,7 +9,10 @@ from repro.workloads.scenarios import (
     HIGH,
     LOW,
     MEDIUM,
+    FleetScenario,
     equal_job_sizes_scenario,
+    fleet_three_priority_scenario,
+    fleet_two_priority_scenario,
     low_load_scenario,
     more_high_priority_scenario,
     reference_two_priority_scenario,
@@ -122,3 +125,38 @@ def test_graph_jobs_take_longer_than_high_priority_text_jobs():
     scenario = triangle_count_scenario()
     mean_service = scenario.profiles[LOW].mean_service_time(scenario.cluster.slots)
     assert 80.0 < mean_service < 300.0
+
+
+def test_fleet_scenario_scales_rates_and_jobs_with_fleet_size():
+    fleet = fleet_two_priority_scenario(num_clusters=4, num_jobs_per_cluster=50)
+    base = fleet.base
+    assert fleet.num_jobs == 200
+    assert fleet.total_arrival_rate() == pytest.approx(4 * base.total_arrival_rate())
+    for priority, rate in base.arrival_rates.items():
+        assert fleet.arrival_rates[priority] == pytest.approx(4 * rate)
+    assert fleet.priorities == base.priorities
+
+
+def test_fleet_scenario_trace_is_fleet_sized_and_deterministic():
+    fleet = fleet_three_priority_scenario(num_clusters=3, num_jobs_per_cluster=20)
+    first = fleet.generate_trace(seed=4)
+    second = fleet.generate_trace(seed=4)
+    assert len(first) == 60
+    assert [j.arrival_time for j in first] == [j.arrival_time for j in second]
+    assert len(fleet.generate_trace(seed=4, num_jobs=10)) == 10
+
+
+def test_fleet_scenario_builds_fresh_clusters_per_member():
+    fleet = fleet_two_priority_scenario(num_clusters=3)
+    clusters = fleet.make_clusters()
+    assert len(clusters) == 3
+    assert len({id(c) for c in clusters}) == 3
+    assert all(c.slots == fleet.base.cluster.slots for c in clusters)
+
+
+def test_fleet_scenario_naming_and_validation():
+    fleet = fleet_two_priority_scenario(num_clusters=2)
+    assert fleet.name == "fleet-reference-two-priority-x2"
+    assert "2 clusters" in fleet.description
+    with pytest.raises(ValueError):
+        FleetScenario(base=reference_two_priority_scenario(), num_clusters=0)
