@@ -78,7 +78,7 @@ def _by_router(rows: List[Dict]) -> Dict[str, Dict]:
     return {row["router"]: row for row in rows}
 
 
-def test_fleet_routing_two_priority(benchmark, record_series):
+def test_fleet_routing_two_priority(benchmark, record_series, record_json):
     policy = SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
     rows = benchmark.pedantic(
         _run_routing_comparison,
@@ -89,6 +89,18 @@ def test_fleet_routing_two_priority(benchmark, record_series):
     record_series(
         "fleet_routing_two_priority",
         format_rows(rows),
+    )
+    record_json(
+        "fleet_routing_two_priority",
+        rows,
+        seeds=SEEDS,
+        config={
+            "scenario": "fleet-two-priority",
+            "clusters": NUM_CLUSTERS,
+            "jobs_per_cluster": JOBS_PER_CLUSTER,
+            "policy": "DA(0/20)",
+            "routers": list(ROUTERS),
+        },
     )
     by_router = _by_router(rows)
     # Load-aware routing beats blind random routing on the high-priority tail.
@@ -102,7 +114,7 @@ def test_fleet_routing_two_priority(benchmark, record_series):
     assert by_router["jsq"]["load_imbalance"] < by_router["random"]["load_imbalance"]
 
 
-def test_fleet_routing_three_priority(benchmark, record_series):
+def test_fleet_routing_three_priority(benchmark, record_series, record_json):
     policy = SchedulingPolicy.differential_approximation({2: 0.0, 1: 0.1, 0: 0.2})
     rows = benchmark.pedantic(
         _run_routing_comparison,
@@ -113,6 +125,18 @@ def test_fleet_routing_three_priority(benchmark, record_series):
     record_series(
         "fleet_routing_three_priority",
         format_rows(rows),
+    )
+    record_json(
+        "fleet_routing_three_priority",
+        rows,
+        seeds=SEEDS,
+        config={
+            "scenario": "fleet-three-priority",
+            "clusters": NUM_CLUSTERS,
+            "jobs_per_cluster": JOBS_PER_CLUSTER,
+            "policy": "DA(0/10/20)",
+            "routers": list(ROUTERS),
+        },
     )
     by_router = _by_router(rows)
     assert by_router["jsq"]["high_p95_s"] < by_router["random"]["high_p95_s"]

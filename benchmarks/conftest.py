@@ -7,13 +7,19 @@ timed by pytest-benchmark, each benchmark writes the reproduced data series to
     pytest benchmarks/ --benchmark-only
 
 leaves a plain-text copy of every reproduced series on disk regardless of
-output capturing.
+output capturing.  Benchmarks that compare policies (fleet routing, DAG stage
+scheduling) additionally persist machine-readable results through
+``record_json``: ``benchmarks/results/<name>.json`` holds the metric rows
+plus the seeds and configuration that produced them, so downstream tooling
+can diff runs without parsing the formatted tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence
 
 import pytest
 
@@ -35,5 +41,39 @@ def record_series(results_dir):
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n===== {name} =====")
         print(text)
+
+    return _record
+
+
+@pytest.fixture
+def record_json(results_dir):
+    """Return a function that persists machine-readable benchmark results.
+
+    ``benchmarks/results/<name>.json`` gets a single JSON object::
+
+        {"benchmark": <name>, "seeds": [...], "config": {...}, "rows": [...]}
+
+    ``rows`` is the list of metric mappings the benchmark also formats as
+    text; ``config`` records the knobs (scenario, cluster count, policy, ...)
+    needed to regenerate them.  Keys are sorted so reruns at the same seed
+    produce byte-identical files.
+    """
+
+    def _record(
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        seeds: Optional[Sequence[int]] = None,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        payload = {
+            "benchmark": name,
+            "seeds": list(seeds) if seeds is not None else [],
+            "config": dict(config) if config is not None else {},
+            "rows": [dict(row) for row in rows],
+        }
+        path = results_dir / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
 
     return _record

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""DAG example: stage-dependency jobs under four stage schedulers.
+
+The paper's DiAS engine executes jobs as linear chains of map/reduce stages;
+real query plans and ML pipelines are stage *DAGs* whose independent branches
+compete for the cluster's slots.  This example:
+
+1. builds the layered-DAG scenario (random 4-layer query plans, two priority
+   classes, ~80 % sequential load on the paper's 20-slot cluster),
+2. runs the *same* job trace (common random numbers) under every stage
+   scheduler — fifo, critical_path_first, shortest_remaining_work and
+   widest_first,
+3. prints per-scheduler mean makespan, the critical-path stretch (makespan
+   over the per-job lower bound; 1.0 is optimal) and response times,
+4. shows slack-biased dropping: the low-priority class's 20 % drop ratio is
+   reweighted per stage so off-critical-path stages absorb more of the
+   dropping.
+
+Run with::
+
+    python examples/dag_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro import SchedulingPolicy
+from repro.dag import STAGE_SCHEDULERS, DagSimulation
+from repro.experiments.reporting import format_rows
+from repro.workloads.scenarios import HIGH, LOW, dag_layered_scenario
+
+
+def main() -> None:
+    scenario = dag_layered_scenario(num_jobs=100)
+    print(f"Scenario: {scenario.description}")
+    policy = SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2})
+    trace = scenario.generate_trace(seed=0)
+    stages = sum(job.num_stages for job in trace)
+    print(f"Policy:   {policy.name}, {len(trace)} jobs, {stages} stages total")
+    print()
+
+    rows = []
+    for scheduler in STAGE_SCHEDULERS:
+        result = DagSimulation(
+            policy=policy,
+            jobs=scenario.generate_trace(seed=0),
+            scheduler=scheduler,
+            cluster=scenario.cluster,
+            seed=0,
+        ).run()
+        rows.append(
+            {
+                "scheduler": result.scheduler_name,
+                "mean_makespan_s": result.mean_makespan(),
+                "cp_stretch": result.mean_critical_path_stretch(),
+                "mean_response_s": result.mean_response_time(),
+                "high_p95_s": result.tail_response_time(HIGH),
+            }
+        )
+    print(format_rows(rows))
+    print()
+
+    biased = DagSimulation(
+        policy=policy,
+        jobs=scenario.generate_trace(seed=0),
+        scheduler="critical_path_first",
+        cluster=scenario.cluster,
+        seed=0,
+        slack_biased=True,
+    ).run()
+    print(
+        "Slack-biased dropping (critical_path_first): "
+        f"mean makespan {biased.mean_makespan():.1f} s, "
+        f"low-priority accuracy loss {100 * biased.mean_accuracy_loss(LOW):.1f} %"
+    )
+    print()
+    print(
+        "critical_path_first keeps the longest dependency chain supplied with\n"
+        "slots, so its makespan sits closest to the per-job lower bound;\n"
+        "widest_first maximises instantaneous occupancy but starves the\n"
+        "critical path and pays for it at the join points."
+    )
+
+
+if __name__ == "__main__":
+    main()

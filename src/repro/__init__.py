@@ -18,6 +18,9 @@ The library is organised in layers:
 * :mod:`repro.experiments` — per-figure/per-table reproduction entry points.
 * :mod:`repro.fleet` — multi-cluster fleet simulation: pluggable routing
   dispatchers, fleet-wide sprint-budget arbitration and fleet-level metrics.
+* :mod:`repro.dag` — stage-DAG jobs (query plans, ML pipelines): dependency
+  graphs, pluggable stage schedulers, critical-path/slack analytics and
+  DiAS-style per-stage differential approximation.
 
 Quick start::
 
@@ -36,6 +39,16 @@ from repro.core.deflator import DeflatorDecision, TaskDeflator
 from repro.core.dias import DiASSimulation, SimulationResult, run_policy
 from repro.core.dropper import DropPlan, TaskDropper, find_missing_partitions
 from repro.core.policies import SchedulingPolicy
+from repro.dag import (
+    DagExecution,
+    DagJob,
+    DagSimulation,
+    DagStage,
+    StageDAG,
+    analyze_critical_path,
+    make_stage_scheduler,
+    run_dag_policy,
+)
 from repro.engine.cluster import Cluster, ClusterConfig
 from repro.engine.dvfs import DVFSModel, FrequencyLevel
 from repro.engine.energy import EnergyMeter, PowerModel
@@ -52,8 +65,12 @@ from repro.workloads.scenarios import (
     HIGH,
     LOW,
     MEDIUM,
+    DagScenario,
     FleetScenario,
     Scenario,
+    dag_fork_join_scenario,
+    dag_layered_scenario,
+    dag_triangle_count_scenario,
     fleet_three_priority_scenario,
     fleet_two_priority_scenario,
     reference_two_priority_scenario,
@@ -98,11 +115,23 @@ __all__ = [
     "FleetSimulation",
     "make_dispatcher",
     "run_fleet",
+    "DagExecution",
+    "DagJob",
+    "DagSimulation",
+    "DagStage",
+    "StageDAG",
+    "analyze_critical_path",
+    "make_stage_scheduler",
+    "run_dag_policy",
     "HIGH",
     "LOW",
     "MEDIUM",
+    "DagScenario",
     "FleetScenario",
     "Scenario",
+    "dag_fork_join_scenario",
+    "dag_layered_scenario",
+    "dag_triangle_count_scenario",
     "fleet_three_priority_scenario",
     "fleet_two_priority_scenario",
     "reference_two_priority_scenario",

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro compare --scenario reference --policies P NP "DA(0/20)"
     python -m repro sweep --scenario reference --ratios 0 0.1 0.2 0.4
     python -m repro fleet --clusters 4 --router jsq --scenario three-priority
+    python -m repro dag --scenario layered --scheduler critical_path_first
 
 Every command prints the same rows the corresponding paper artefact reports
 and returns a non-zero exit code on invalid arguments.
@@ -22,6 +23,8 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.policies import SchedulingPolicy
+from repro.dag.schedulers import STAGE_SCHEDULERS
+from repro.dag.simulation import DagSimulation
 from repro.experiments import figures, tables
 from repro.experiments.harness import run_policies
 from repro.experiments.reporting import format_comparison, format_figure, format_rows
@@ -30,7 +33,13 @@ from repro.fleet.budget import BUDGET_MODES
 from repro.fleet.dispatcher import ROUTERS
 from repro.fleet.simulation import FleetSimulation
 from repro.workloads import scenarios as scenario_module
-from repro.workloads.scenarios import FleetScenario, HIGH, LOW, Scenario
+from repro.workloads.scenarios import (
+    DagScenario,
+    FleetScenario,
+    HIGH,
+    LOW,
+    Scenario,
+)
 
 #: Named scenarios the CLI can build.
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
@@ -48,6 +57,27 @@ FLEET_SCENARIOS: Dict[str, Callable[..., FleetScenario]] = {
     "two-priority": scenario_module.fleet_two_priority_scenario,
     "three-priority": scenario_module.fleet_three_priority_scenario,
 }
+
+#: DAG scenarios the ``dag`` subcommand can build.
+DAG_SCENARIOS: Dict[str, Callable[..., DagScenario]] = {
+    "layered": scenario_module.dag_layered_scenario,
+    "fork-join": scenario_module.dag_fork_join_scenario,
+    "triangle-count": scenario_module.dag_triangle_count_scenario,
+}
+
+
+def _check_choice(kind: str, value: str, valid: Sequence[str]) -> str:
+    """Validate a CLI name against ``valid``; raise with the full choice list.
+
+    The raised :class:`ValueError` is caught by :func:`main`, which prints the
+    message and exits non-zero — no raw traceback for a typo'd router or
+    stage-scheduler name.
+    """
+    if value in valid:
+        return value
+    raise ValueError(
+        f"unknown {kind} {value!r}; valid choices: {', '.join(valid)}"
+    )
 
 #: Figures the CLI can regenerate (Fig. 8 and 11 take extra options).
 FIGURES = ("4", "5", "6", "7", "8", "9", "10", "11")
@@ -122,8 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_parser.add_argument("--clusters", type=int, default=4,
                               help="number of DiAS clusters in the fleet")
-    fleet_parser.add_argument("--router", choices=ROUTERS, default="jsq",
-                              help="routing policy of the fleet dispatcher")
+    fleet_parser.add_argument("--router", default="jsq",
+                              help="routing policy of the fleet dispatcher "
+                                   f"({', '.join(ROUTERS)})")
     fleet_parser.add_argument("--power-of-d", type=int, default=None,
                               help="probe only d random clusters per decision (jsq)")
     fleet_parser.add_argument("--scenario", choices=sorted(FLEET_SCENARIOS),
@@ -136,6 +167,23 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--budget", choices=BUDGET_MODES, default="per-cluster",
                               help="sprint-budget arbitration across the fleet")
     fleet_parser.add_argument("--seed", type=int, default=0)
+
+    dag_parser = subparsers.add_parser(
+        "dag", help="run stage-DAG jobs under a pluggable stage scheduler"
+    )
+    dag_parser.add_argument("--scenario", choices=sorted(DAG_SCENARIOS),
+                            default="layered")
+    dag_parser.add_argument("--scheduler", default="critical_path_first",
+                            help="stage scheduler "
+                                 f"({', '.join(STAGE_SCHEDULERS)})")
+    dag_parser.add_argument("--policy", type=_parse_policy, default=None,
+                            help="scheduling policy "
+                                 "(default: DA with 20%% low-priority dropping)")
+    dag_parser.add_argument("--slack-biased", action="store_true",
+                            help="bias task dropping toward off-critical-path "
+                                 "stages using per-stage slack")
+    dag_parser.add_argument("--jobs", type=int, default=150)
+    dag_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -191,6 +239,8 @@ def _run_list() -> str:
     lines.append("scenarios: " + ", ".join(sorted(SCENARIOS)))
     lines.append("fleet scenarios: " + ", ".join(sorted(FLEET_SCENARIOS)))
     lines.append("fleet routers: " + ", ".join(ROUTERS))
+    lines.append("dag scenarios: " + ", ".join(sorted(DAG_SCENARIOS)))
+    lines.append("dag stage schedulers: " + ", ".join(STAGE_SCHEDULERS))
     lines.append("policies: P, NP, DA(<pct>/<pct>[/<pct>]) e.g. DA(0/20)")
     return "\n".join(lines)
 
@@ -207,6 +257,7 @@ def _default_fleet_policy(scenario: FleetScenario) -> SchedulingPolicy:
 
 
 def _run_fleet(args: argparse.Namespace) -> str:
+    _check_choice("router", args.router, list(ROUTERS))
     scenario = FLEET_SCENARIOS[args.scenario](
         num_clusters=args.clusters, num_jobs_per_cluster=args.jobs
     )
@@ -243,6 +294,63 @@ def _run_fleet(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_dag(args: argparse.Namespace) -> str:
+    _check_choice("stage scheduler", args.scheduler, list(STAGE_SCHEDULERS))
+    scenario = DAG_SCENARIOS[args.scenario](num_jobs=args.jobs)
+    policy = (
+        args.policy
+        if args.policy is not None
+        else SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2})
+    )
+    trace = scenario.generate_trace(seed=args.seed)
+    simulation = DagSimulation(
+        policy=policy,
+        jobs=trace,
+        scheduler=args.scheduler,
+        cluster=scenario.cluster,
+        seed=args.seed,
+        slack_biased=args.slack_biased,
+    )
+    result = simulation.run()
+    title = (
+        f"DAG: {scenario.name}  scheduler={result.scheduler_name}  "
+        f"policy={policy.name}  slack_biased={args.slack_biased}"
+    )
+    class_rows = []
+    for priority in sorted(result.priorities(), reverse=True):
+        metrics = result.class_metrics(priority)
+        class_rows.append(
+            {
+                "priority": priority,
+                "jobs": float(metrics.job_count),
+                "mean_response_s": metrics.response_time.mean,
+                "p95_response_s": metrics.response_time.p95,
+                "mean_makespan_s": result.mean_makespan(priority),
+                "accuracy_loss_pct": 100.0 * metrics.accuracy_loss_mean,
+            }
+        )
+    summary_rows = [
+        {"metric": "completed_jobs", "value": float(result.completed_jobs)},
+        {"metric": "mean_makespan_s", "value": result.mean_makespan()},
+        {"metric": "mean_cp_stretch", "value": result.mean_critical_path_stretch()},
+        {"metric": "mean_response_s", "value": result.mean_response_time()},
+        {"metric": "p95_response_s", "value": result.tail_response_time()},
+        {"metric": "utilisation", "value": result.utilisation},
+        {"metric": "energy_kj", "value": result.total_energy_kilojoules},
+    ]
+    lines = [
+        title,
+        "=" * len(title),
+        "",
+        "Per-class latency",
+        format_rows(class_rows),
+        "",
+        "Summary (cp_stretch = makespan over per-job lower bound)",
+        format_rows(summary_rows),
+    ]
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -274,6 +382,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = format_rows(rows)
         elif args.command == "fleet":
             output = _run_fleet(args)
+        elif args.command == "dag":
+            output = _run_dag(args)
         else:  # pragma: no cover - argparse prevents this
             parser.error(f"unknown command {args.command!r}")
             return 2

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -76,10 +76,40 @@ class TaskDropper:
         keep all tasks.  The effective (overall) drop ratio composes the
         per-stage ratios across the job's droppable stages.
         """
-        if not 0.0 <= map_drop_ratio < 1.0:
-            raise ValueError("map drop ratio must be in [0, 1)")
-        if not 0.0 <= reduce_drop_ratio < 1.0:
-            raise ValueError("reduce drop ratio must be in [0, 1)")
+        uniform_map = {stage.index: map_drop_ratio for stage in job.stages}
+        uniform_reduce = {stage.index: reduce_drop_ratio for stage in job.stages}
+        return self.plan_stages(
+            job,
+            uniform_map,
+            uniform_reduce,
+            requested_map_ratio=map_drop_ratio,
+            requested_reduce_ratio=reduce_drop_ratio,
+        )
+
+    def plan_stages(
+        self,
+        job: Job,
+        stage_map_ratios: Mapping[int, float],
+        stage_reduce_ratios: Optional[Mapping[int, float]] = None,
+        requested_map_ratio: Optional[float] = None,
+        requested_reduce_ratio: Optional[float] = None,
+    ) -> DropPlan:
+        """Select kept tasks under *per-stage* drop ratios.
+
+        This is the DAG-aware entry point: stages of one job may drop at
+        different ratios (e.g. slack-biased dropping keeps critical-path
+        stages intact and drops more off the critical path).  Stages missing
+        from the mappings, and non-droppable stages, keep all their tasks.
+        Works on any job exposing ``job_id`` and a ``stages`` sequence —
+        linear :class:`~repro.engine.job.Job` and DAG jobs alike.
+        """
+        stage_reduce_ratios = stage_reduce_ratios or {}
+        for label, ratios in (("map", stage_map_ratios), ("reduce", stage_reduce_ratios)):
+            for index, ratio in ratios.items():
+                if not 0.0 <= ratio < 1.0:
+                    raise ValueError(
+                        f"{label} drop ratio for stage {index} must be in [0, 1), got {ratio!r}"
+                    )
 
         kept_map: Dict[int, List[int]] = {}
         kept_reduce: Dict[int, List[int]] = {}
@@ -87,15 +117,26 @@ class TaskDropper:
         dropped_reduce = 0
         total_map = 0
         total_reduce = 0
-        droppable_stages = 0
+        applied_map_ratios: List[float] = []
+        droppable_map_tasks = 0
+        droppable_reduce_tasks = 0
+        weighted_map = 0.0
+        weighted_reduce = 0.0
 
         for stage in job.stages:
             total_map += stage.num_map_tasks
             total_reduce += stage.num_reduce_tasks
-            stage_map_drop = map_drop_ratio if stage.droppable else 0.0
-            stage_reduce_drop = reduce_drop_ratio if stage.droppable else 0.0
             if stage.droppable:
-                droppable_stages += 1
+                stage_map_drop = float(stage_map_ratios.get(stage.index, 0.0))
+                stage_reduce_drop = float(stage_reduce_ratios.get(stage.index, 0.0))
+                applied_map_ratios.append(stage_map_drop)
+                droppable_map_tasks += stage.num_map_tasks
+                droppable_reduce_tasks += stage.num_reduce_tasks
+                weighted_map += stage_map_drop * stage.num_map_tasks
+                weighted_reduce += stage_reduce_drop * stage.num_reduce_tasks
+            else:
+                stage_map_drop = 0.0
+                stage_reduce_drop = 0.0
 
             keep_maps = find_missing_partitions(stage.num_map_tasks, stage_map_drop)
             keep_reduces = find_missing_partitions(stage.num_reduce_tasks, stage_reduce_drop)
@@ -104,14 +145,22 @@ class TaskDropper:
             dropped_map += stage.num_map_tasks - keep_maps
             dropped_reduce += stage.num_reduce_tasks - keep_reduces
 
-        if droppable_stages > 0 and map_drop_ratio > 0:
-            effective = compose_stage_drop_ratios([map_drop_ratio] * droppable_stages)
+        if any(ratio > 0 for ratio in applied_map_ratios):
+            effective = compose_stage_drop_ratios(applied_map_ratios)
         else:
             effective = 0.0
+        if requested_map_ratio is None:
+            requested_map_ratio = (
+                weighted_map / droppable_map_tasks if droppable_map_tasks else 0.0
+            )
+        if requested_reduce_ratio is None:
+            requested_reduce_ratio = (
+                weighted_reduce / droppable_reduce_tasks if droppable_reduce_tasks else 0.0
+            )
         return DropPlan(
             job_id=job.job_id,
-            map_drop_ratio=map_drop_ratio,
-            reduce_drop_ratio=reduce_drop_ratio,
+            map_drop_ratio=requested_map_ratio,
+            reduce_drop_ratio=requested_reduce_ratio,
             kept_map_indices=kept_map,
             kept_reduce_indices=kept_reduce,
             dropped_map_tasks=dropped_map,

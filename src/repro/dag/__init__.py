@@ -1,0 +1,65 @@
+"""DAG layer: stage-dependency jobs with pluggable stage schedulers.
+
+This package generalises the paper's linear map/reduce stage chains to
+**stage DAGs** — the execution model of Spark/GraphX query plans, SQL
+physical plans and ML pipelines:
+
+* :mod:`repro.dag.graph` — :class:`DagStage` (a
+  :class:`~repro.engine.job.StageSpec` with dependency edges),
+  :class:`StageDAG` (validated acyclicity, deterministic topological
+  iteration) and :class:`DagJob`.
+* :mod:`repro.dag.analytics` — PERT-style critical-path/slack analysis,
+  HEFT-style upward ranks, lower-bound makespans, and slack-biased drop
+  ratios that shift task dropping off the critical path.
+* :mod:`repro.dag.schedulers` — pluggable stage schedulers (``fifo``,
+  ``critical_path_first``, ``shortest_remaining_work``, ``widest_first``)
+  choosing which ready stage gets free slots.
+* :mod:`repro.dag.execution` — :class:`DagExecution`, the frontier-driven
+  engine running ready stages concurrently on the cluster's slots (with DVFS
+  rescaling and eviction, like the linear engine).
+* :mod:`repro.dag.simulation` — :class:`DagSimulation`, DiAS (buffers,
+  per-stage differential approximation, sprinting, energy) on DAG jobs.
+"""
+
+from repro.dag.analytics import (
+    CriticalPathAnalysis,
+    analyze_critical_path,
+    slack_biased_drop_ratios,
+    stage_duration,
+    upward_ranks,
+)
+from repro.dag.execution import DagExecution, StageRun
+from repro.dag.graph import DagJob, DagStage, StageDAG
+from repro.dag.schedulers import (
+    STAGE_SCHEDULERS,
+    CriticalPathFirstScheduler,
+    FifoStageScheduler,
+    ShortestRemainingWorkScheduler,
+    StageScheduler,
+    WidestFirstScheduler,
+    make_stage_scheduler,
+)
+from repro.dag.simulation import DagSimulation, DagSimulationResult, run_dag_policy
+
+__all__ = [
+    "CriticalPathAnalysis",
+    "analyze_critical_path",
+    "slack_biased_drop_ratios",
+    "stage_duration",
+    "upward_ranks",
+    "DagExecution",
+    "StageRun",
+    "DagJob",
+    "DagStage",
+    "StageDAG",
+    "STAGE_SCHEDULERS",
+    "CriticalPathFirstScheduler",
+    "FifoStageScheduler",
+    "ShortestRemainingWorkScheduler",
+    "StageScheduler",
+    "WidestFirstScheduler",
+    "make_stage_scheduler",
+    "DagSimulation",
+    "DagSimulationResult",
+    "run_dag_policy",
+]

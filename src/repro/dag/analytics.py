@@ -1,0 +1,236 @@
+"""Critical-path and slack analytics for stage DAGs.
+
+Classic PERT-style analysis over a :class:`~repro.dag.graph.StageDAG`:
+
+* the *duration* of a stage on ``C`` slots is its wave-scheduled makespan
+  (map waves + shuffle + reduce waves, the same LPT bound the linear engine
+  uses);
+* forward pass → earliest start/finish per stage, whose maximum is the
+  **critical-path length**: no stage scheduler can finish the DAG faster;
+* backward pass → latest finish and per-stage **slack** (how long a stage may
+  be delayed without stretching the critical path);
+* the **lower-bound makespan** combines the critical path with the total-work
+  bound ``Σ work / C`` — whichever binds.
+
+The slack signal has two consumers: the ``critical_path_first`` stage
+scheduler (prioritise zero-slack stages when slots are scarce) and
+:func:`slack_biased_drop_ratios`, which shifts a class's task dropping toward
+off-critical-path stages so approximation costs accuracy, not latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dag.graph import DagStage, StageDAG
+from repro.engine.job import wave_time
+
+
+def stage_duration(
+    stage: DagStage,
+    slots: int,
+    map_durations: Optional[Sequence[float]] = None,
+    reduce_durations: Optional[Sequence[float]] = None,
+) -> float:
+    """Wave-scheduled makespan of one stage on ``slots`` slots.
+
+    Kept task durations may be passed explicitly (after dropping); the shuffle
+    counts only when the stage actually runs reduce tasks, matching
+    :func:`~repro.engine.execution.build_phases`.
+    """
+    if slots <= 0:
+        raise ValueError("slots must be positive")
+    maps = stage.map_task_times if map_durations is None else list(map_durations)
+    reduces = (
+        stage.reduce_task_times if reduce_durations is None else list(reduce_durations)
+    )
+    total = wave_time(maps, slots)
+    if reduces:
+        if stage.shuffle_time > 0:
+            total += stage.shuffle_time
+        total += wave_time(reduces, slots)
+    return total
+
+
+@dataclass
+class CriticalPathAnalysis:
+    """The full forward/backward pass over one DAG."""
+
+    slots: int
+    durations: Dict[int, float]
+    earliest_start: Dict[int, float]
+    earliest_finish: Dict[int, float]
+    latest_finish: Dict[int, float]
+    slack: Dict[int, float]
+    critical_path: Tuple[int, ...]
+    total_work: float
+
+    @property
+    def critical_path_length(self) -> float:
+        """Length of the longest dependency chain (seconds)."""
+        return max(self.earliest_finish.values()) if self.earliest_finish else 0.0
+
+    @property
+    def work_bound(self) -> float:
+        """Total task work divided by the slot count."""
+        return self.total_work / self.slots
+
+    @property
+    def lower_bound_makespan(self) -> float:
+        """No schedule on ``slots`` slots can beat this makespan."""
+        return max(self.critical_path_length, self.work_bound)
+
+    def is_critical(self, index: int, tolerance: float = 1e-9) -> bool:
+        return self.slack[index] <= tolerance
+
+
+def _resolve_durations(
+    dag: StageDAG, slots: int, overrides: Optional[Mapping[int, float]]
+) -> Dict[int, float]:
+    """Per-stage durations on ``slots`` slots, honouring explicit overrides."""
+    durations: Dict[int, float] = {}
+    for stage in dag:
+        if overrides is not None and stage.index in overrides:
+            durations[stage.index] = float(overrides[stage.index])
+        else:
+            durations[stage.index] = stage_duration(stage, slots)
+    return durations
+
+
+def analyze_critical_path(
+    dag: StageDAG,
+    slots: int,
+    stage_durations: Optional[Mapping[int, float]] = None,
+) -> CriticalPathAnalysis:
+    """Run the PERT forward/backward pass over ``dag`` on ``slots`` slots.
+
+    ``stage_durations`` overrides the per-stage wave durations (e.g. to
+    analyse the DAG *after* task dropping); by default each stage's full task
+    list is used.
+    """
+    durations = _resolve_durations(dag, slots, stage_durations)
+
+    earliest_start: Dict[int, float] = {}
+    earliest_finish: Dict[int, float] = {}
+    for index in dag.topological_order():
+        start = max(
+            (earliest_finish[p] for p in dag.parents(index)), default=0.0
+        )
+        earliest_start[index] = start
+        earliest_finish[index] = start + durations[index]
+
+    horizon = max(earliest_finish.values())
+    latest_finish: Dict[int, float] = {}
+    for index in reversed(dag.topological_order()):
+        children = dag.children(index)
+        if not children:
+            latest_finish[index] = horizon
+        else:
+            latest_finish[index] = min(
+                latest_finish[c] - durations[c] for c in children
+            )
+    slack = {
+        index: latest_finish[index] - earliest_finish[index]
+        for index in durations
+    }
+
+    # Walk the path backwards from the latest-finishing sink, at each step
+    # following the parent that determined the earliest start.
+    tail = max(earliest_finish, key=lambda i: (earliest_finish[i], i))
+    path: List[int] = [tail]
+    while dag.parents(path[-1]):
+        parents = dag.parents(path[-1])
+        path.append(max(parents, key=lambda p: (earliest_finish[p], p)))
+    path.reverse()
+
+    return CriticalPathAnalysis(
+        slots=slots,
+        durations=durations,
+        earliest_start=earliest_start,
+        earliest_finish=earliest_finish,
+        latest_finish=latest_finish,
+        slack=slack,
+        critical_path=tuple(path),
+        total_work=dag.total_work(),
+    )
+
+
+def upward_ranks(
+    dag: StageDAG, slots: int, stage_durations: Optional[Mapping[int, float]] = None
+) -> Dict[int, float]:
+    """HEFT-style upward rank: longest remaining path from each stage to a sink.
+
+    ``rank[s] = duration[s] + max(rank[child])`` — the quantity the
+    ``critical_path_first`` scheduler maximises when picking which ready stage
+    receives free slots.
+    """
+    analysis_durations = _resolve_durations(dag, slots, stage_durations)
+    ranks: Dict[int, float] = {}
+    for index in reversed(dag.topological_order()):
+        best_child = max((ranks[c] for c in dag.children(index)), default=0.0)
+        ranks[index] = analysis_durations[index] + best_child
+    return ranks
+
+
+def slack_biased_drop_ratios(
+    dag: StageDAG,
+    base_ratio: float,
+    slots: int,
+    bias: float = 1.0,
+    max_ratio: float = 0.9,
+) -> Dict[int, float]:
+    """Per-stage drop ratios that shift dropping off the critical path.
+
+    The uniform policy drops ``base_ratio`` of every droppable stage's tasks.
+    Here, each droppable stage's ratio is reweighted by its slack while the
+    task-weighted mean ratio (the class's accuracy budget) stays fixed.  With
+    ``bias > 0`` zero-slack (critical) stages drop *less* and high-slack
+    stages drop *more*: in the slot-constrained (work-bound) regime — where
+    total work over ``C`` slots, not the critical path, determines the
+    makespan — shifting drops off the critical path costs no latency and
+    leaves the longest dependency chain's tasks intact, so the schedule stays
+    robust when task-time estimates err.  ``bias < 0`` inverts the weighting
+    (concentrate dropping *on* the critical path), which shortens the
+    critical-path bound directly and is the latency-optimal choice when the
+    critical path binds.
+
+    ``bias`` controls the strength (0 = uniform); ratios are clamped to
+    ``[0, max_ratio]``.
+    """
+    if not 0.0 <= base_ratio < 1.0:
+        raise ValueError("base_ratio must be in [0, 1)")
+    droppable = [stage for stage in dag if stage.droppable]
+    ratios: Dict[int, float] = {
+        stage.index: 0.0 for stage in dag if not stage.droppable
+    }
+    if not droppable or base_ratio == 0.0:
+        ratios.update({stage.index: base_ratio for stage in droppable})
+        return ratios
+
+    analysis = analyze_critical_path(dag, slots)
+    max_slack = max(analysis.slack[stage.index] for stage in droppable)
+    if max_slack <= 0.0:
+        # Fully serial DAG: no off-critical work to shift onto.
+        ratios.update({stage.index: base_ratio for stage in droppable})
+        return ratios
+
+    weights = {
+        stage.index: max(
+            0.0, 1.0 + bias * (analysis.slack[stage.index] / max_slack - 0.5)
+        )
+        for stage in droppable
+    }
+    # Normalise so the task-weighted mean ratio matches the uniform policy.
+    work = {stage.index: stage.total_work() for stage in droppable}
+    total_work = sum(work.values())
+    weighted = sum(weights[i] * work[i] for i in weights)
+    if weighted <= 0 or total_work <= 0:
+        ratios.update({stage.index: base_ratio for stage in droppable})
+        return ratios
+    scale = total_work / weighted
+    for stage in droppable:
+        ratios[stage.index] = min(
+            max_ratio, max(0.0, base_ratio * weights[stage.index] * scale)
+        )
+    return ratios

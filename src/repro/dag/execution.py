@@ -1,0 +1,416 @@
+"""Execution of one DAG job on the cluster inside the simulator.
+
+:class:`DagExecution` generalises the linear
+:class:`~repro.engine.execution.JobExecution`: instead of a fixed sequence of
+phases, it maintains the DAG's *frontier* — stages whose parents have all
+completed — and lets every ready stage compete for the cluster's ``C``
+computing slots.  Each time a slot frees up, the pluggable
+:class:`~repro.dag.schedulers.StageScheduler` picks which ready stage the slot
+serves next, one task at a time.  Within a stage the usual Spark discipline
+holds: all map tasks, then the (serial) shuffle, then all reduce tasks.
+
+Like its linear counterpart, the execution supports the two dynamic
+operations DiAS needs — :meth:`DagExecution.set_speed` (cluster-wide DVFS
+rescales all in-flight tasks) and :meth:`DagExecution.evict` (preemptive
+eviction cancels everything and reports the wasted wall time) — so the DiAS
+controller machinery (sprinter, energy meter, preemptive baseline) drives DAG
+jobs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.dag.analytics import (
+    CriticalPathAnalysis,
+    analyze_critical_path,
+    stage_duration,
+    upward_ranks,
+)
+from repro.dag.graph import DagJob, DagStage
+from repro.dag.schedulers import StageScheduler, make_stage_scheduler
+from repro.engine.cluster import Cluster
+from repro.engine.job import effective_task_count
+from repro.simulation.des import Event, Simulator
+
+#: Sentinel slot key for the job-level setup task.
+_SETUP_SLOT = -1
+
+
+class StageRun:
+    """Runtime state of one stage: phase pointer, pending tasks, bookkeeping.
+
+    Satisfies the :class:`~repro.dag.schedulers.StageRunView` protocol the
+    stage schedulers observe.
+    """
+
+    def __init__(
+        self,
+        stage: DagStage,
+        map_durations: Sequence[float],
+        reduce_durations: Sequence[float],
+    ) -> None:
+        self.stage = stage
+        # (durations, parallel) per phase; empty phases are skipped on entry.
+        self._phases: List[tuple] = [(list(map_durations), True)]
+        if stage.shuffle_time > 0 and reduce_durations:
+            self._phases.append(([stage.shuffle_time], False))
+        self._phases.append((list(reduce_durations), True))
+        self._phase_index = -1
+        self.pending: List[float] = []
+        self._parallel = True
+        self.active = 0
+        self.ready_seq = -1
+        self.unfinished_parents = len(stage.parents)
+        self.done = False
+        self.rank = 0.0
+        self._undispatched = sum(d for durations, _ in self._phases for d in durations)
+
+    # ----------------------------------------------------- scheduler queries
+    @property
+    def index(self) -> int:
+        return self.stage.index
+
+    @property
+    def ready(self) -> bool:
+        return self.ready_seq >= 0 and not self.done
+
+    @property
+    def pending_tasks(self) -> int:
+        return len(self.pending)
+
+    def remaining_work(self) -> float:
+        """Undispatched task work left in this stage (seconds)."""
+        return self._undispatched
+
+    @property
+    def dispatchable(self) -> bool:
+        """Whether a free slot could serve a task of this stage right now."""
+        if not self.ready or not self.pending:
+            return False
+        return self._parallel or self.active == 0
+
+    # ------------------------------------------------------------ life cycle
+    def activate(self, ready_seq: int) -> None:
+        """All parents finished: enter the first non-empty phase."""
+        self.ready_seq = ready_seq
+        self._advance_to_nonempty_phase()
+
+    def pop_task(self) -> float:
+        duration = self.pending.pop(0)
+        self._undispatched -= duration
+        self.active += 1
+        return duration
+
+    def task_finished(self) -> bool:
+        """One task completed; returns ``True`` when the whole stage is done."""
+        self.active -= 1
+        if self.pending or self.active > 0:
+            return False
+        self._advance_to_nonempty_phase()
+        return self.done
+
+    def _advance_to_nonempty_phase(self) -> None:
+        while True:
+            self._phase_index += 1
+            if self._phase_index >= len(self._phases):
+                self.done = True
+                self.pending = []
+                return
+            durations, parallel = self._phases[self._phase_index]
+            if durations:
+                self.pending = list(durations)
+                self._parallel = parallel
+                return
+
+
+@dataclass
+class _ActiveTask:
+    """Book-keeping for one in-flight task on one slot."""
+
+    slot: int
+    event: Event
+    speed: float
+    stage_run: Optional[StageRun]
+
+
+class DagExecution:
+    """Executes one DAG job's stages on the cluster within the simulator.
+
+    Parameters
+    ----------
+    scheduler:
+        A :class:`StageScheduler` instance or name; consulted once per free
+        slot whenever more than one ready stage has pending tasks.
+    map_drop_ratio / reduce_drop_ratio:
+        Uniform per-stage drop ratios (droppable stages only), mirroring
+        :func:`~repro.engine.execution.build_phases`.
+    stage_map_drop_ratios / stage_reduce_drop_ratios:
+        Optional per-stage ratio overrides (e.g. slack-biased dropping).
+    kept_map_indices / kept_reduce_indices:
+        Explicit kept-task indices from a dropper plan; take precedence over
+        any ratio.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        job: DagJob,
+        scheduler: StageScheduler = "fifo",
+        on_complete: Optional[Callable[["DagExecution"], None]] = None,
+        map_drop_ratio: float = 0.0,
+        reduce_drop_ratio: float = 0.0,
+        stage_map_drop_ratios: Optional[Mapping[int, float]] = None,
+        stage_reduce_drop_ratios: Optional[Mapping[int, float]] = None,
+        kept_map_indices: Optional[Mapping[int, Sequence[int]]] = None,
+        kept_reduce_indices: Optional[Mapping[int, Sequence[int]]] = None,
+        setup_drop_ratio: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.job = job
+        self.scheduler = make_stage_scheduler(scheduler)
+        self.on_complete = on_complete or (lambda execution: None)
+        self._setup_time = job.setup_time(
+            map_drop_ratio if setup_drop_ratio is None else setup_drop_ratio
+        )
+
+        kept_durations: Dict[int, float] = {}
+        self._runs: Dict[int, StageRun] = {}
+        for stage in job.dag:
+            maps = self._kept(
+                stage.map_task_times,
+                stage,
+                kept_map_indices,
+                stage_map_drop_ratios,
+                map_drop_ratio,
+            )
+            reduces = self._kept(
+                stage.reduce_task_times,
+                stage,
+                kept_reduce_indices,
+                stage_reduce_drop_ratios,
+                reduce_drop_ratio,
+            )
+            self._runs[stage.index] = StageRun(stage, maps, reduces)
+            kept_durations[stage.index] = stage_duration(
+                stage, cluster.slots, map_durations=maps, reduce_durations=reduces
+            )
+        self.analysis: CriticalPathAnalysis = analyze_critical_path(
+            job.dag, cluster.slots, stage_durations=kept_durations
+        )
+        for index, rank in upward_ranks(
+            job.dag, cluster.slots, stage_durations=kept_durations
+        ).items():
+            self._runs[index].rank = rank
+
+        self._active: Dict[int, _ActiveTask] = {}
+        self._free_slots: List[int] = []
+        self._ready_counter = 0
+        self._remaining_stages = len(self._runs)
+
+        self.started = False
+        self.completed = False
+        self.evicted = False
+        self.start_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+
+        self._speed = 1.0
+        self._speed_since: Optional[float] = None
+        self.sprinted_time = 0.0
+
+    @staticmethod
+    def _kept(
+        durations: Sequence[float],
+        stage: DagStage,
+        kept_indices: Optional[Mapping[int, Sequence[int]]],
+        stage_ratios: Optional[Mapping[int, float]],
+        uniform_ratio: float,
+    ) -> List[float]:
+        if kept_indices is not None and stage.index in kept_indices:
+            return [durations[i] for i in kept_indices[stage.index]]
+        if not stage.droppable:
+            return list(durations)
+        ratio = uniform_ratio
+        if stage_ratios is not None:
+            ratio = stage_ratios.get(stage.index, uniform_ratio)
+        keep = effective_task_count(len(durations), ratio)
+        return list(durations[:keep])
+
+    # --------------------------------------------------------------- queries
+    @property
+    def running(self) -> bool:
+        return self.started and not self.completed and not self.evicted
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time of this attempt so far (or total, once completed)."""
+        if self.start_time is None:
+            return 0.0
+        end = self.completion_time if self.completion_time is not None else self.sim.now
+        return end - self.start_time
+
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Total wall time of the completed execution (``None`` before)."""
+        return self.elapsed if self.completed else None
+
+    @property
+    def lower_bound_makespan(self) -> float:
+        """Setup plus the critical-path/work lower bound on the kept tasks."""
+        return self._setup_time + self.analysis.lower_bound_makespan
+
+    def stage_run(self, index: int) -> StageRun:
+        return self._runs[index]
+
+    # ---------------------------------------------------------------- control
+    def start(self, speed: Optional[float] = None) -> None:
+        """Begin executing the job at the current simulation time."""
+        if self.started:
+            raise RuntimeError("DAG execution already started")
+        self.started = True
+        self.start_time = self.sim.now
+        self._speed = float(speed) if speed is not None else self.cluster.speed
+        self._speed_since = self.sim.now
+        self._free_slots = list(range(self.cluster.slots))
+        if self._setup_time > 0:
+            event = self.sim.schedule(
+                self._setup_time / self._speed, self._on_setup_done, priority=1
+            )
+            self._active[_SETUP_SLOT] = _ActiveTask(
+                slot=_SETUP_SLOT, event=event, speed=self._speed, stage_run=None
+            )
+        else:
+            self._activate_sources()
+
+    def set_speed(self, speed: float) -> None:
+        """Apply a cluster-wide speed change (DVFS) to all in-flight tasks."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if not self.running:
+            self._speed = float(speed)
+            self._speed_since = self.sim.now
+            return
+        now = self.sim.now
+        self._accumulate_sprint(now)
+        old_speed = self._speed
+        self._speed = float(speed)
+        self._speed_since = now
+        if old_speed == speed:
+            return
+        for slot, active in list(self._active.items()):
+            remaining_wall = max(0.0, active.event.time - now)
+            remaining_work = remaining_wall * active.speed
+            active.event.cancel()
+            if slot == _SETUP_SLOT:
+                new_event = self.sim.schedule(
+                    remaining_work / speed, self._on_setup_done, priority=1
+                )
+            else:
+                new_event = self.sim.schedule(
+                    remaining_work / speed, self._make_task_callback(slot), priority=1
+                )
+            self._active[slot] = _ActiveTask(
+                slot=slot, event=new_event, speed=speed, stage_run=active.stage_run
+            )
+
+    def evict(self) -> float:
+        """Cancel all in-flight work; returns the wasted wall time of the attempt."""
+        if not self.running:
+            raise RuntimeError("cannot evict a DAG execution that is not running")
+        now = self.sim.now
+        self._accumulate_sprint(now)
+        for active in self._active.values():
+            active.event.cancel()
+        self._active.clear()
+        self.evicted = True
+        return now - (self.start_time if self.start_time is not None else now)
+
+    # -------------------------------------------------------------- internals
+    def _accumulate_sprint(self, now: float) -> None:
+        if self._speed_since is not None and self._speed > 1.0:
+            self.sprinted_time += now - self._speed_since
+        self._speed_since = now
+
+    def _on_setup_done(self, _sim: Simulator) -> None:
+        if not self.running:
+            return
+        self._active.pop(_SETUP_SLOT, None)
+        self._activate_sources()
+
+    def _activate_sources(self) -> None:
+        for index in self.job.dag.sources():
+            self._activate_stage(self._runs[index])
+        if self._remaining_stages == 0:
+            self._finish()
+            return
+        self._fill_slots()
+
+    def _activate_stage(self, run: StageRun) -> None:
+        """Mark ``run`` ready; stages emptied by dropping complete in cascade."""
+        stack = [run]
+        while stack:
+            current = stack.pop()
+            current.activate(self._ready_counter)
+            self._ready_counter += 1
+            if current.done:
+                self._remaining_stages -= 1
+                for child_index in self.job.dag.children(current.index):
+                    child = self._runs[child_index]
+                    child.unfinished_parents -= 1
+                    if child.unfinished_parents == 0:
+                        stack.append(child)
+
+    def _fill_slots(self) -> None:
+        while self._free_slots:
+            eligible = [run for run in self._runs.values() if run.dispatchable]
+            if not eligible:
+                break
+            run = self.scheduler.select(eligible)
+            slot = self._free_slots.pop()
+            duration = run.pop_task()
+            event = self.sim.schedule(
+                duration / self._speed, self._make_task_callback(slot), priority=1
+            )
+            self._active[slot] = _ActiveTask(
+                slot=slot, event=event, speed=self._speed, stage_run=run
+            )
+
+    def _make_task_callback(self, slot: int) -> Callable[[Simulator], None]:
+        def _callback(_sim: Simulator) -> None:
+            self._on_task_done(slot)
+
+        return _callback
+
+    def _on_task_done(self, slot: int) -> None:
+        if not self.running:
+            return
+        active = self._active.pop(slot, None)
+        if active is None:
+            return
+        self._free_slots.append(slot)
+        run = active.stage_run
+        if run is not None and run.task_finished():
+            self._remaining_stages -= 1
+            for child_index in self.job.dag.children(run.index):
+                child = self._runs[child_index]
+                child.unfinished_parents -= 1
+                if child.unfinished_parents == 0:
+                    self._activate_stage(child)
+        if self._remaining_stages == 0 and not self._active:
+            self._finish()
+            return
+        self._fill_slots()
+
+    def _finish(self) -> None:
+        now = self.sim.now
+        self._accumulate_sprint(now)
+        self.completed = True
+        self.completion_time = now
+        self.on_complete(self)

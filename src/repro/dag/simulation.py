@@ -1,0 +1,319 @@
+"""DiAS on stage DAGs: the DAG-aware controller and simulation driver.
+
+:class:`DagSimulation` mirrors :class:`~repro.core.dias.DiASSimulation` — the
+same priority buffers, non-preemptive (or preemptive) head-of-line
+dispatching, per-class differential approximation, sprinting and energy
+accounting — but each job is a :class:`~repro.dag.graph.DagJob` executed by a
+:class:`~repro.dag.execution.DagExecution`, with a pluggable stage scheduler
+choosing which ready stage gets free slots.
+
+DiAS integration is per-stage: a class's drop ratio ``θ_k`` is applied to
+every droppable stage of the DAG through
+:meth:`~repro.core.dropper.TaskDropper.plan_stages`; with
+``slack_biased=True`` the ratios are first reweighted by
+:func:`~repro.dag.analytics.slack_biased_drop_ratios` so dropping
+concentrates on off-critical-path stages at the same overall accuracy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.buffers import PriorityBuffers
+from repro.core.dias import SimulationResult
+from repro.core.dropper import DropPlan, TaskDropper
+from repro.core.policies import SchedulingPolicy
+from repro.core.sprinter import Sprinter
+from repro.dag.analytics import slack_biased_drop_ratios
+from repro.dag.execution import DagExecution
+from repro.dag.graph import DagJob
+from repro.dag.schedulers import StageScheduler, make_stage_scheduler
+from repro.engine.cluster import Cluster
+from repro.engine.energy import EnergyMeter
+from repro.models.accuracy import AccuracyModel
+from repro.simulation.des import Simulator
+from repro.simulation.metrics import JobRecord, MetricsCollector
+from repro.simulation.random_streams import RandomStreams
+
+
+@dataclass
+class DagSimulationResult(SimulationResult):
+    """A :class:`~repro.core.dias.SimulationResult` plus DAG analytics."""
+
+    scheduler_name: str = "fifo"
+    dag_rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def mean_makespan(self, priority: Optional[int] = None) -> float:
+        """Mean per-job makespan (execution wall time) in seconds."""
+        records = (
+            self.metrics.records
+            if priority is None
+            else self.metrics.records_for_priority(priority)
+        )
+        if not records:
+            return float("nan")
+        return sum(r.execution_time for r in records) / len(records)
+
+    def mean_critical_path_stretch(self) -> float:
+        """Mean makespan over its per-job lower bound (1.0 = optimal)."""
+        stretches = [row["cp_stretch"] for row in self.dag_rows]
+        if not stretches:
+            return float("nan")
+        return sum(stretches) / len(stretches)
+
+
+class DagSimulation:
+    """Simulates one scheduling policy over a fixed DAG-job trace.
+
+    Parameters
+    ----------
+    policy:
+        The DiAS scheduling policy (preemption, per-class drop ratios,
+        sprinting) applied to the trace.
+    jobs:
+        The DAG-job trace (sorted by arrival time internally).
+    scheduler:
+        Stage-scheduler name or instance.  When a *name* is given, a fresh
+        instance is built per dispatched job; a passed-in *instance* is
+        shared across all jobs of the run, so it must not keep per-job
+        state (the built-in schedulers are stateless).
+    slack_biased:
+        When ``True``, per-class drop ratios are reweighted by per-stage
+        slack before planning which tasks to drop.
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        jobs: Sequence[DagJob],
+        scheduler: Union[str, StageScheduler] = "fifo",
+        cluster: Optional[Cluster] = None,
+        accuracy_model: Optional[AccuracyModel] = None,
+        streams: Optional[RandomStreams] = None,
+        seed: int = 0,
+        slack_biased: bool = False,
+    ) -> None:
+        if not jobs:
+            raise ValueError("the DAG job trace must not be empty")
+        self.policy = policy
+        self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+        self.cluster = cluster or Cluster()
+        self.accuracy_model = accuracy_model or AccuracyModel.paper_default()
+        self.streams = streams or RandomStreams(seed)
+        self.slack_biased = slack_biased
+        self._scheduler_spec = scheduler
+
+        self.sim = Simulator()
+        self.buffers = PriorityBuffers()
+        self.dropper = TaskDropper(self.streams.stream("dag/dropper"))
+        self.metrics = MetricsCollector()
+        self.energy_meter = EnergyMeter(self.cluster.power_model, start_time=self.sim.now)
+        self.sprinter: Optional[Sprinter] = None
+        if policy.sprints:
+            self.sprinter = Sprinter(
+                self.sim,
+                policy.sprint,
+                on_sprint_start=self._on_sprint_start,
+                on_sprint_end=self._on_sprint_end,
+            )
+
+        self._running: Optional[DagExecution] = None
+        self._running_plan: Optional[DropPlan] = None
+        self._job_state: Dict[int, Dict[str, float]] = {}
+        self._completed = 0
+        self._total_evictions = 0
+        self.dag_rows: List[Dict[str, float]] = []
+
+    # --------------------------------------------------------------- queries
+    @property
+    def scheduler_name(self) -> str:
+        return make_stage_scheduler(self._scheduler_spec).name
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.buffers) + (1 if self._running is not None else 0)
+
+    # --------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None) -> DagSimulationResult:
+        """Run the whole trace to completion (or until the optional horizon)."""
+        for job in self.jobs:
+            self._job_state[job.job_id] = {"wasted": 0.0, "evictions": 0}
+            self.sim.schedule_at(
+                job.arrival_time, self._make_arrival_callback(job), priority=0
+            )
+        self.sim.run(until=until)
+        return self.finalize()
+
+    def finalize(self) -> DagSimulationResult:
+        """Close the books at the current simulated time and build the result."""
+        self.energy_meter.advance(self.sim.now)
+        self.metrics.set_observation_time(self.sim.now)
+        account = self.energy_meter.account
+        return DagSimulationResult(
+            policy_name=self.policy.name,
+            metrics=self.metrics,
+            duration=self.sim.now,
+            completed_jobs=self._completed,
+            total_energy_joules=self.energy_meter.total_joules,
+            sprinted_seconds=(
+                self.sprinter.total_sprinted_seconds if self.sprinter is not None else 0.0
+            ),
+            evictions=self._total_evictions,
+            idle_energy_joules=account.idle_joules,
+            busy_energy_joules=account.busy_joules,
+            sprint_energy_joules=account.sprint_joules,
+            scheduler_name=self.scheduler_name,
+            dag_rows=list(self.dag_rows),
+        )
+
+    # ---------------------------------------------------------------- events
+    def _make_arrival_callback(self, job: DagJob):
+        def _callback(_sim: Simulator) -> None:
+            self._on_arrival(job)
+
+        return _callback
+
+    def _on_arrival(self, job: DagJob) -> None:
+        self.buffers.push(job)
+        if self._running is None:
+            self._dispatch_next()
+            return
+        if self.policy.preemptive and job.priority > self._running.job.priority:
+            self._evict_running()
+            self._dispatch_next()
+
+    def _stage_ratios(self, job: DagJob) -> Dict[int, float]:
+        base = self.policy.map_drop_ratio(job.priority)
+        if self.slack_biased and base > 0.0:
+            return slack_biased_drop_ratios(job.dag, base, self.cluster.slots)
+        return {stage.index: base for stage in job.dag if stage.droppable}
+
+    def _dispatch_next(self) -> None:
+        job = self.buffers.pop_highest()
+        if job is None:
+            self._running = None
+            self._running_plan = None
+            self.energy_meter.set_mode("idle", self.sim.now)
+            return
+        map_ratios = self._stage_ratios(job)
+        reduce_base = self.policy.reduce_drop_ratio(job.priority)
+        reduce_ratios = {
+            stage.index: reduce_base for stage in job.dag if stage.droppable
+        }
+        plan = self.dropper.plan_stages(job, map_ratios, reduce_ratios)
+        self.cluster.set_sprinting(False)
+        self.energy_meter.set_mode("busy", self.sim.now)
+        execution = DagExecution(
+            self.sim,
+            self.cluster,
+            job,
+            scheduler=make_stage_scheduler(self._scheduler_spec),
+            on_complete=self._on_complete,
+            kept_map_indices=plan.kept_map_indices,
+            kept_reduce_indices=plan.kept_reduce_indices,
+            setup_drop_ratio=min(plan.map_drop_ratio, 0.9),
+        )
+        self._running = execution
+        self._running_plan = plan
+        execution.start(speed=self.cluster.speed)
+        if self.sprinter is not None:
+            self.sprinter.on_dispatch(execution)
+
+    def _evict_running(self) -> None:
+        execution = self._running
+        if execution is None:
+            return
+        if self.sprinter is not None:
+            self.sprinter.on_job_end(execution)
+        wasted = execution.evict()
+        self.cluster.set_sprinting(False)
+        job = execution.job
+        state = self._job_state[job.job_id]
+        state["wasted"] += wasted
+        state["evictions"] += 1
+        self._total_evictions += 1
+        self.buffers.push_front(job)
+        self._running = None
+        self._running_plan = None
+
+    def _on_complete(self, execution: DagExecution) -> None:
+        if self.sprinter is not None:
+            self.sprinter.on_job_end(execution)
+        self.cluster.set_sprinting(False)
+        job = execution.job
+        plan = self._running_plan
+        state = self._job_state[job.job_id]
+        effective_drop = plan.effective_drop_ratio if plan is not None else 0.0
+        record = JobRecord(
+            job_id=job.job_id,
+            priority=job.priority,
+            arrival_time=job.arrival_time,
+            start_time=execution.start_time if execution.start_time is not None else job.arrival_time,
+            completion_time=self.sim.now,
+            execution_time=execution.elapsed,
+            wasted_time=state["wasted"],
+            evictions=int(state["evictions"]),
+            drop_ratio=effective_drop,
+            accuracy_loss=self.accuracy_model.error(min(effective_drop, 1.0)),
+            sprinted_time=execution.sprinted_time,
+            size_mb=job.size_mb,
+            num_map_tasks=job.num_map_tasks,
+            num_reduce_tasks=job.num_reduce_tasks,
+        )
+        self.metrics.record_job(record)
+        self.metrics.record_busy_time(execution.elapsed)
+        lower_bound = execution.lower_bound_makespan
+        self.dag_rows.append(
+            {
+                "job_id": job.job_id,
+                "priority": job.priority,
+                "stages": job.num_stages,
+                "makespan_s": execution.elapsed,
+                "lower_bound_s": lower_bound,
+                "cp_stretch": (
+                    execution.elapsed / lower_bound if lower_bound > 0 else 1.0
+                ),
+                "critical_path_len": len(execution.analysis.critical_path),
+            }
+        )
+        self._completed += 1
+        self._running = None
+        self._running_plan = None
+        self._dispatch_next()
+
+    # ------------------------------------------------------------- sprinting
+    def _on_sprint_start(self, execution: DagExecution) -> None:
+        self.cluster.set_sprinting(True)
+        if execution.running:
+            execution.set_speed(self.cluster.speed)
+        self.energy_meter.set_mode("sprint", self.sim.now)
+
+    def _on_sprint_end(self, execution: DagExecution) -> None:
+        self.cluster.set_sprinting(False)
+        if execution.running:
+            execution.set_speed(self.cluster.speed)
+            self.energy_meter.set_mode("busy", self.sim.now)
+        else:
+            mode = "busy" if self._running is not None else "idle"
+            self.energy_meter.set_mode(mode, self.sim.now)
+
+
+def run_dag_policy(
+    policy: SchedulingPolicy,
+    jobs: Sequence[DagJob],
+    scheduler: Union[str, StageScheduler] = "fifo",
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    slack_biased: bool = False,
+) -> DagSimulationResult:
+    """Convenience wrapper: build a :class:`DagSimulation` and run it."""
+    simulation = DagSimulation(
+        policy=policy,
+        jobs=jobs,
+        scheduler=scheduler,
+        cluster=cluster,
+        seed=seed,
+        slack_biased=slack_biased,
+    )
+    return simulation.run()

@@ -123,7 +123,7 @@ def effective_task_count(task_count: int, drop_ratio: float) -> int:
     return max(0, math.ceil(task_count * (1.0 - drop_ratio)))
 
 
-def _wave_time(durations: Sequence[float], slots: int) -> float:
+def wave_time(durations: Sequence[float], slots: int) -> float:
     """Makespan of ``durations`` scheduled greedily (LPT) on ``slots`` slots."""
     if not durations:
         return 0.0
@@ -132,6 +132,10 @@ def _wave_time(durations: Sequence[float], slots: int) -> float:
         idx = finish.index(min(finish))
         finish[idx] += duration
     return max(finish)
+
+
+#: Backwards-compatible private alias (the DAG analytics use the public name).
+_wave_time = wave_time
 
 
 class JobFactory:

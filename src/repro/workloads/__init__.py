@@ -8,16 +8,34 @@
 * :mod:`repro.workloads.arrivals` — Poisson arrival streams and the load
   calibration that picks arrival rates for a target cluster utilisation.
 * :mod:`repro.workloads.jobs` — job-trace generation from class profiles.
+* :mod:`repro.workloads.dag` — stage-DAG topologies (layered, fork-join,
+  triangle count) and DAG-job trace generation.
 * :mod:`repro.workloads.scenarios` — the canonical experimental scenarios of
   §5 (reference setup, sensitivity variants, three priorities, triangle count,
-  sprinting scenarios).
+  sprinting scenarios) plus the fleet and DAG scenario families.
 """
 
 from repro.workloads.arrivals import calibrate_arrival_rates, poisson_arrival_times
+from repro.workloads.dag import (
+    DagJobFactory,
+    TOPOLOGIES,
+    chain_topology,
+    fork_join_topology,
+    generate_dag_trace,
+    layered_topology,
+    triangle_count_topology,
+)
 from repro.workloads.graph import synthetic_web_graph
 from repro.workloads.jobs import generate_job_trace
 from repro.workloads.scenarios import (
+    DagScenario,
+    FleetScenario,
     Scenario,
+    dag_fork_join_scenario,
+    dag_layered_scenario,
+    dag_triangle_count_scenario,
+    fleet_three_priority_scenario,
+    fleet_two_priority_scenario,
     equal_job_sizes_scenario,
     low_load_scenario,
     more_high_priority_scenario,
@@ -42,8 +60,22 @@ __all__ = [
     "slowdown_ratio",
     "calibrate_arrival_rates",
     "poisson_arrival_times",
+    "DagJobFactory",
+    "TOPOLOGIES",
+    "chain_topology",
+    "fork_join_topology",
+    "generate_dag_trace",
+    "layered_topology",
+    "triangle_count_topology",
     "synthetic_web_graph",
     "generate_job_trace",
+    "DagScenario",
+    "FleetScenario",
+    "dag_fork_join_scenario",
+    "dag_layered_scenario",
+    "dag_triangle_count_scenario",
+    "fleet_three_priority_scenario",
+    "fleet_two_priority_scenario",
     "Scenario",
     "equal_job_sizes_scenario",
     "low_load_scenario",

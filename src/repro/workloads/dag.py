@@ -1,0 +1,273 @@
+"""DAG workload generation: topologies, the DAG job factory, and traces.
+
+Three topology families cover the workloads a stage-DAG engine unlocks:
+
+* :func:`layered_topology` — random layered DAGs (each stage depends on one
+  or two stages of the previous layer), the generic query-plan/ML-pipeline
+  shape used by the stage-scheduler benchmark;
+* :func:`fork_join_topology` — a source stage fans out to parallel branch
+  chains that join in a sink stage (SQL fork-join plans);
+* :func:`triangle_count_topology` — the GraphX-style triangle count: a chain
+  of ShuffleMap stages plus a non-droppable Result stage.  With
+  ``num_stages=n`` and no result stage this reduces to today's linear chain,
+  so the DAG layer strictly generalises the existing engine;
+* :func:`chain_topology` — the degenerate linear chain itself.
+
+All randomness is drawn from named
+:class:`~repro.simulation.random_streams.RandomStreams`, and — crucially for
+common-random-numbers comparisons — trace generation never consults the stage
+scheduler, so every scheduler under test sees a byte-identical job sequence.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dag.graph import DagJob, DagStage, StageDAG
+from repro.engine.profiles import JobClassProfile
+from repro.simulation.random_streams import RandomStreams
+from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.jobs import allocate_class_counts
+
+#: Topology family names understood by :class:`DagJobFactory`.
+TOPOLOGIES = ("layered", "fork_join", "triangle_count", "chain")
+
+#: An edge list: one ``(stage_index, parent_indices)`` pair per stage.
+TopologySpec = List[Tuple[int, Tuple[int, ...]]]
+
+
+def chain_topology(length: int) -> TopologySpec:
+    """A linear chain — the paper's existing stage model as a DAG."""
+    if length < 1:
+        raise ValueError("a chain needs at least one stage")
+    return [(i, (i - 1,) if i > 0 else ()) for i in range(length)]
+
+
+def fork_join_topology(branches: int, branch_length: int) -> TopologySpec:
+    """Source → ``branches`` parallel chains of ``branch_length`` → join sink."""
+    if branches < 1 or branch_length < 1:
+        raise ValueError("branches and branch_length must be positive")
+    spec: TopologySpec = [(0, ())]
+    index = 1
+    tails: List[int] = []
+    for _ in range(branches):
+        parent = 0
+        for _ in range(branch_length):
+            spec.append((index, (parent,)))
+            parent = index
+            index += 1
+        tails.append(parent)
+    spec.append((index, tuple(tails)))
+    return spec
+
+
+def layered_topology(
+    rng: np.random.Generator,
+    num_layers: int = 4,
+    min_width: int = 2,
+    max_width: int = 4,
+    max_parents: int = 2,
+) -> TopologySpec:
+    """A random layered DAG: each stage depends on 1..``max_parents`` stages
+    of the previous layer.
+
+    Layer widths are drawn uniformly from ``[min_width, max_width]``; layer 0
+    stages are sources.  The result is acyclic by construction (edges only
+    point from earlier to later layers), which the property tests verify
+    through :class:`~repro.dag.graph.StageDAG` validation.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be positive")
+    if not 1 <= min_width <= max_width:
+        raise ValueError("need 1 <= min_width <= max_width")
+    if max_parents < 1:
+        raise ValueError("max_parents must be positive")
+    spec: TopologySpec = []
+    previous: List[int] = []
+    index = 0
+    for layer in range(num_layers):
+        width = int(rng.integers(min_width, max_width + 1))
+        current: List[int] = []
+        for _ in range(width):
+            if previous:
+                k = int(rng.integers(1, min(max_parents, len(previous)) + 1))
+                chosen = rng.choice(len(previous), size=k, replace=False)
+                parents = tuple(sorted(previous[int(i)] for i in chosen))
+            else:
+                parents = ()
+            spec.append((index, parents))
+            current.append(index)
+            index += 1
+        previous = current
+    return spec
+
+
+def triangle_count_topology(num_shuffle_stages: int = 6, result_stage: bool = True) -> TopologySpec:
+    """The GraphX triangle count: a ShuffleMap chain plus a Result stage.
+
+    With ``result_stage=False`` this is exactly :func:`chain_topology` — the
+    linear special case the existing engine models.
+    """
+    spec = chain_topology(num_shuffle_stages)
+    if result_stage:
+        spec.append((num_shuffle_stages, (num_shuffle_stages - 1,)))
+    return spec
+
+
+class DagJobFactory:
+    """Samples concrete :class:`~repro.dag.graph.DagJob` instances.
+
+    Per-stage map/reduce task durations are drawn from the class profile's
+    gamma task-time models, exactly like the linear
+    :class:`~repro.engine.job.JobFactory`; the topology decides how stages
+    depend on each other and how map tasks are spread across stages.
+    """
+
+    def __init__(self, streams: RandomStreams) -> None:
+        self._streams = streams
+        self._ids = itertools.count()
+
+    def next_job_id(self) -> int:
+        return next(self._ids)
+
+    def sample_size_mb(self, profile: JobClassProfile) -> float:
+        """Draw a dataset size (lognormal with the profile's mean and CV)."""
+        rng = self._streams.stream(f"dag/size/priority{profile.priority}")
+        if profile.size_cv <= 0:
+            return profile.mean_size_mb
+        sigma2 = math.log(1.0 + profile.size_cv**2)
+        mu = math.log(profile.mean_size_mb) - sigma2 / 2.0
+        return float(rng.lognormal(mean=mu, sigma=math.sqrt(sigma2)))
+
+    def create_job(
+        self,
+        profile: JobClassProfile,
+        topology: str,
+        arrival_time: float,
+        size_mb: Optional[float] = None,
+        label: str = "",
+        **params,
+    ) -> DagJob:
+        """Create one DAG job of the given topology family."""
+        key = topology.strip().lower().replace("-", "_")
+        if key not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {topology!r}; expected one of {', '.join(TOPOLOGIES)}"
+            )
+        size = self.sample_size_mb(profile) if size_mb is None else float(size_mb)
+        topo_rng = self._streams.stream(f"dag/topology/priority{profile.priority}")
+        task_rng = self._streams.stream(f"dag/tasks/priority{profile.priority}")
+
+        if key == "chain":
+            spec = chain_topology(int(params.get("length", profile.num_stages)))
+            task_counts = {i: profile.partitions for i, _ in spec}
+            non_droppable: Sequence[int] = ()
+        elif key == "triangle_count":
+            shuffle_stages = int(params.get("num_shuffle_stages", profile.num_stages))
+            with_result = bool(params.get("result_stage", True))
+            spec = triangle_count_topology(shuffle_stages, result_stage=with_result)
+            task_counts = {i: profile.partitions for i, _ in spec}
+            non_droppable = (shuffle_stages,) if with_result else ()
+            if with_result:
+                # The Result stage aggregates: few, short tasks.
+                task_counts[shuffle_stages] = max(1, profile.reduce_tasks)
+        elif key == "fork_join":
+            branches = int(params.get("branches", 4))
+            branch_length = int(params.get("branch_length", 2))
+            spec = fork_join_topology(branches, branch_length)
+            per_branch = max(2, profile.partitions // branches)
+            task_counts = {i: per_branch for i, _ in spec}
+            # Source scans and sink join touch the whole dataset.
+            task_counts[0] = profile.partitions
+            task_counts[spec[-1][0]] = profile.partitions
+            non_droppable = (spec[-1][0],)
+        else:  # layered
+            spec = layered_topology(
+                topo_rng,
+                num_layers=int(params.get("num_layers", 4)),
+                min_width=int(params.get("min_width", 2)),
+                max_width=int(params.get("max_width", 4)),
+                max_parents=int(params.get("max_parents", 2)),
+            )
+            min_tasks = int(params.get("min_tasks", 4))
+            max_tasks = int(params.get("max_tasks", profile.partitions))
+            task_counts = {
+                i: int(topo_rng.integers(min_tasks, max_tasks + 1)) for i, _ in spec
+            }
+            non_droppable = ()
+
+        map_model = profile.map_time_model(size)
+        reduce_model = profile.reduce_time_model()
+        stages: List[DagStage] = []
+        for index, parents in spec:
+            num_maps = task_counts[index]
+            num_reduces = profile.reduce_tasks
+            stages.append(
+                DagStage(
+                    index=index,
+                    map_task_times=[float(t) for t in map_model.sample(task_rng, num_maps)],
+                    reduce_task_times=[
+                        float(t) for t in reduce_model.sample(task_rng, num_reduces)
+                    ],
+                    shuffle_time=profile.shuffle_time,
+                    droppable=index not in non_droppable,
+                    parents=parents,
+                    name=f"{key}-{index}",
+                )
+            )
+        return DagJob(
+            job_id=self.next_job_id(),
+            priority=profile.priority,
+            arrival_time=float(arrival_time),
+            size_mb=size,
+            dag=StageDAG(stages),
+            profile=profile,
+            label=label or f"{profile.name}-{key}",
+        )
+
+
+def generate_dag_trace(
+    profiles: Mapping[int, JobClassProfile],
+    arrival_rates: Mapping[int, float],
+    topologies: Mapping[int, str],
+    num_jobs: int,
+    streams: Optional[RandomStreams] = None,
+    seed: int = 0,
+    topology_params: Optional[Mapping[int, Mapping]] = None,
+) -> List[DagJob]:
+    """Generate ``num_jobs`` DAG jobs across all classes, sorted by arrival.
+
+    Mirrors :func:`~repro.workloads.jobs.generate_job_trace`: per-class counts
+    proportional to arrival rates, an independent Poisson arrival stream per
+    class, and per-class topology families from ``topologies``.
+    """
+    if set(profiles) != set(arrival_rates):
+        raise ValueError("profiles and arrival_rates must cover the same priorities")
+    missing = set(profiles) - set(topologies)
+    if missing:
+        raise ValueError(f"topologies missing for priorities {sorted(missing)}")
+    streams = streams or RandomStreams(seed)
+    factory = DagJobFactory(streams)
+    topology_params = topology_params or {}
+    counts = allocate_class_counts(arrival_rates, num_jobs)
+
+    jobs: List[DagJob] = []
+    for priority, count in counts.items():
+        if count <= 0:
+            continue
+        rate = arrival_rates[priority]
+        rng = streams.stream(f"dag/arrivals/priority{priority}")
+        times = poisson_arrival_times(rate, count=count, rng=rng)
+        params = dict(topology_params.get(priority, {}))
+        for arrival in times:
+            jobs.append(
+                factory.create_job(
+                    profiles[priority], topologies[priority], arrival_time=arrival, **params
+                )
+            )
+    jobs.sort(key=lambda job: job.arrival_time)
+    return jobs

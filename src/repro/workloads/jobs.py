@@ -17,6 +17,38 @@ from repro.simulation.random_streams import RandomStreams
 from repro.workloads.arrivals import poisson_arrival_times
 
 
+def allocate_class_counts(
+    arrival_rates: Mapping[int, float], num_jobs: int
+) -> Dict[int, int]:
+    """Split ``num_jobs`` among priority classes proportionally to their rates.
+
+    Every class with a positive rate receives at least one job; the lowest
+    priority absorbs the remainder.  Shared by the linear and DAG trace
+    generators so both allocate identically.
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    total_rate = sum(rate for rate in arrival_rates.values() if rate > 0)
+    if total_rate <= 0:
+        raise ValueError("at least one class needs a positive arrival rate")
+    counts: Dict[int, int] = {}
+    remaining = num_jobs
+    ordered = sorted(arrival_rates, reverse=True)
+    for index, priority in enumerate(ordered):
+        rate = arrival_rates[priority]
+        if rate <= 0:
+            counts[priority] = 0
+            continue
+        if index == len(ordered) - 1:
+            counts[priority] = remaining
+        else:
+            share = max(1, round(num_jobs * rate / total_rate))
+            share = min(share, remaining - (len(ordered) - index - 1))
+            counts[priority] = max(1, share)
+            remaining -= counts[priority]
+    return counts
+
+
 def generate_job_trace(
     profiles: Mapping[int, JobClassProfile],
     arrival_rates: Mapping[int, float],
@@ -33,31 +65,11 @@ def generate_job_trace(
     """
     if set(profiles) != set(arrival_rates):
         raise ValueError("profiles and arrival_rates must cover the same priorities")
-    if num_jobs <= 0:
-        raise ValueError("num_jobs must be positive")
     streams = streams or RandomStreams(seed)
     factory = JobFactory(streams)
 
-    total_rate = sum(rate for rate in arrival_rates.values() if rate > 0)
-    if total_rate <= 0:
-        raise ValueError("at least one class needs a positive arrival rate")
-
     jobs: List[Job] = []
-    counts: Dict[int, int] = {}
-    remaining = num_jobs
-    ordered = sorted(profiles, reverse=True)
-    for index, priority in enumerate(ordered):
-        rate = arrival_rates[priority]
-        if rate <= 0:
-            counts[priority] = 0
-            continue
-        if index == len(ordered) - 1:
-            counts[priority] = remaining
-        else:
-            share = max(1, round(num_jobs * rate / total_rate))
-            share = min(share, remaining - (len(ordered) - index - 1))
-            counts[priority] = max(1, share)
-            remaining -= counts[priority]
+    counts = allocate_class_counts(arrival_rates, num_jobs)
 
     for priority, count in counts.items():
         if count <= 0:

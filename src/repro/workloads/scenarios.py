@@ -22,6 +22,17 @@ the fleet size so each member still sees the base scenario's load when
 traffic is spread evenly.  :func:`fleet_two_priority_scenario` and
 :func:`fleet_three_priority_scenario` are the canonical fleet setups used by
 the routing benchmark and the ``repro fleet`` CLI command.
+
+:class:`DagScenario` extends the workload model to stage-DAG jobs (the
+``repro dag`` CLI command and the stage-scheduler benchmark):
+
+* :func:`dag_layered_scenario` — random layered query-plan DAGs in two
+  priority classes, the canonical setup for comparing stage schedulers;
+* :func:`dag_fork_join_scenario` — SQL-style fork-join plans (source scan,
+  parallel branch chains, non-droppable join sink);
+* :func:`dag_triangle_count_scenario` — the GraphX triangle count as a DAG
+  (six ShuffleMap stages plus a non-droppable Result stage); dropping the
+  result stage reduces it to today's linear chain.
 """
 
 from __future__ import annotations
@@ -365,6 +376,144 @@ def fleet_three_priority_scenario(
     return FleetScenario(
         base=three_priority_scenario(num_jobs=num_jobs_per_cluster),
         num_clusters=num_clusters,
+    )
+
+
+# ---------------------------------------------------------------------------
+# DAG scenarios (stage-dependency jobs; the `repro dag` command)
+# ---------------------------------------------------------------------------
+@dataclass
+class DagScenario:
+    """An experimental configuration over stage-DAG jobs.
+
+    ``profiles`` double as calibration inputs: their ``num_stages`` and
+    ``partitions`` fields should approximate the expected DAG shape (stage
+    count and mean tasks per stage) so
+    :func:`~repro.workloads.arrivals.calibrate_arrival_rates` targets the
+    right sequential load.  ``topologies`` maps each priority to a topology
+    family of :mod:`repro.workloads.dag`, with optional per-class
+    ``topology_params``.
+    """
+
+    name: str
+    description: str
+    profiles: Dict[int, JobClassProfile]
+    class_ratio: Dict[int, float]
+    target_utilisation: float
+    topologies: Dict[int, str]
+    topology_params: Dict[int, Dict] = field(default_factory=dict)
+    num_jobs: int = 200
+    cluster: Cluster = field(default_factory=default_cluster)
+    arrival_rates: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if set(self.topologies) != set(self.profiles):
+            raise ValueError("topologies must cover exactly the profile priorities")
+        if not self.arrival_rates:
+            self.arrival_rates = calibrate_arrival_rates(
+                self.profiles,
+                self.class_ratio,
+                slots=self.cluster.slots,
+                target_utilisation=self.target_utilisation,
+            )
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def priorities(self) -> List[int]:
+        return sorted(self.profiles, reverse=True)
+
+    def total_arrival_rate(self) -> float:
+        return sum(self.arrival_rates.values())
+
+    def generate_trace(self, seed: int = 0, num_jobs: Optional[int] = None):
+        """Sample one DAG-job trace for this scenario.
+
+        Trace generation is independent of the stage scheduler under test, so
+        every scheduler sees an identical (common-random-numbers) sequence.
+        """
+        from repro.workloads.dag import generate_dag_trace
+
+        return generate_dag_trace(
+            self.profiles,
+            self.arrival_rates,
+            self.topologies,
+            num_jobs=num_jobs if num_jobs is not None else self.num_jobs,
+            streams=RandomStreams(seed),
+            topology_params=self.topology_params,
+        )
+
+
+def dag_layered_scenario(num_jobs: int = 200) -> DagScenario:
+    """Random layered query-plan DAGs, two priorities, ~80 % sequential load.
+
+    Each job is a 4-layer DAG of 2–4 stages per layer with 4–24 map tasks per
+    stage — wide enough that ready stages compete for the 20 slots, which is
+    what separates the stage schedulers.
+    """
+    # Calibration view: ~12 stages of ~14 map tasks each.
+    base = text_profile(HIGH, "high", HIGH_PRIORITY_SIZE_MB, max_accuracy_loss=0.0)
+    profiles = {
+        HIGH: replace(base, num_stages=12, partitions=14, reduce_tasks=4),
+        LOW: replace(
+            text_profile(LOW, "low", LOW_PRIORITY_SIZE_MB, max_accuracy_loss=0.32),
+            num_stages=12,
+            partitions=14,
+            reduce_tasks=4,
+        ),
+    }
+    params = {"num_layers": 4, "min_width": 2, "max_width": 4, "min_tasks": 4, "max_tasks": 24}
+    return DagScenario(
+        name="dag-layered",
+        description="Random layered stage DAGs (query plans), 9:1 low:high, ~80% load",
+        profiles=profiles,
+        class_ratio={LOW: 9.0, HIGH: 1.0},
+        target_utilisation=0.8,
+        topologies={HIGH: "layered", LOW: "layered"},
+        topology_params={HIGH: dict(params), LOW: dict(params)},
+        num_jobs=num_jobs,
+    )
+
+
+def dag_fork_join_scenario(num_jobs: int = 200) -> DagScenario:
+    """Fork-join query plans: scan → 4 parallel branch chains → join sink."""
+    base = text_profile(HIGH, "high", HIGH_PRIORITY_SIZE_MB, max_accuracy_loss=0.0)
+    profiles = {
+        # 1 + 4×2 + 1 = 10 stages; branches carry partitions/branches tasks.
+        HIGH: replace(base, num_stages=10, partitions=24, reduce_tasks=4),
+        LOW: replace(
+            text_profile(LOW, "low", LOW_PRIORITY_SIZE_MB, max_accuracy_loss=0.32),
+            num_stages=10,
+            partitions=24,
+            reduce_tasks=4,
+        ),
+    }
+    params = {"branches": 4, "branch_length": 2}
+    return DagScenario(
+        name="dag-fork-join",
+        description="Fork-join query plans (scan, 4 branches, join), 9:1 low:high",
+        profiles=profiles,
+        class_ratio={LOW: 9.0, HIGH: 1.0},
+        target_utilisation=0.8,
+        topologies={HIGH: "fork_join", LOW: "fork_join"},
+        topology_params={HIGH: dict(params), LOW: dict(params)},
+        num_jobs=num_jobs,
+    )
+
+
+def dag_triangle_count_scenario(num_jobs: int = 200) -> DagScenario:
+    """The GraphX triangle count as a stage DAG (chain + Result stage)."""
+    profiles = {
+        HIGH: graph_profile(HIGH, "high", max_accuracy_loss=0.0),
+        LOW: graph_profile(LOW, "low", max_accuracy_loss=0.32),
+    }
+    return DagScenario(
+        name="dag-triangle-count",
+        description="Triangle-count DAGs (6 ShuffleMap stages + Result), 3:7 high:low",
+        profiles=profiles,
+        class_ratio={HIGH: 3.0, LOW: 7.0},
+        target_utilisation=0.8,
+        topologies={HIGH: "triangle_count", LOW: "triangle_count"},
+        num_jobs=num_jobs,
     )
 
 

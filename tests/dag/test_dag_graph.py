@@ -1,0 +1,143 @@
+"""Tests for the StageDAG / DagJob model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.graph import DagJob, DagStage, StageDAG
+from repro.workloads.scenarios import HIGH
+
+
+def stage(index, parents=(), maps=(1.0, 1.0), reduces=(0.5,), shuffle=0.5, **kw):
+    return DagStage(
+        index=index,
+        map_task_times=list(maps),
+        reduce_task_times=list(reduces),
+        shuffle_time=shuffle,
+        parents=tuple(parents),
+        **kw,
+    )
+
+
+def diamond() -> StageDAG:
+    """0 → {1, 2} → 3."""
+    return StageDAG(
+        [stage(0), stage(1, parents=(0,)), stage(2, parents=(0,)), stage(3, parents=(1, 2))]
+    )
+
+
+# ------------------------------------------------------------------ stages
+def test_dag_stage_is_a_stage_spec():
+    s = stage(0)
+    assert s.num_map_tasks == 2
+    assert s.num_reduce_tasks == 1
+    assert s.total_work() == pytest.approx(2.5)
+
+
+def test_dag_stage_rejects_self_dependency():
+    with pytest.raises(ValueError, match="depend on itself"):
+        stage(1, parents=(1,))
+
+
+def test_dag_stage_rejects_duplicate_parent():
+    with pytest.raises(ValueError, match="duplicate parent"):
+        stage(2, parents=(0, 0))
+
+
+# -------------------------------------------------------------- validation
+def test_empty_dag_rejected():
+    with pytest.raises(ValueError, match="at least one stage"):
+        StageDAG([])
+
+
+def test_duplicate_stage_index_rejected():
+    with pytest.raises(ValueError, match="duplicate stage index"):
+        StageDAG([stage(0), stage(0)])
+
+
+def test_unknown_parent_rejected():
+    with pytest.raises(ValueError, match="unknown stage"):
+        StageDAG([stage(0), stage(1, parents=(7,))])
+
+
+def test_cycle_rejected():
+    with pytest.raises(ValueError, match="cycle"):
+        StageDAG(
+            [stage(0, parents=(2,)), stage(1, parents=(0,)), stage(2, parents=(1,))]
+        )
+
+
+def test_two_stage_cycle_rejected():
+    with pytest.raises(ValueError, match="cycle"):
+        StageDAG([stage(0, parents=(1,)), stage(1, parents=(0,))])
+
+
+# ---------------------------------------------------------------- topology
+def test_topological_order_respects_dependencies():
+    dag = diamond()
+    order = dag.topological_order()
+    assert sorted(order) == [0, 1, 2, 3]
+    for s in dag:
+        for parent in s.parents:
+            assert order.index(parent) < order.index(s.index)
+
+
+def test_topological_order_is_deterministic_lowest_index_first():
+    dag = StageDAG([stage(3), stage(1), stage(2, parents=(1, 3))])
+    assert dag.topological_order() == [1, 3, 2]
+
+
+def test_sources_sinks_children():
+    dag = diamond()
+    assert dag.sources() == [0]
+    assert dag.sinks() == [3]
+    assert dag.children(0) == [1, 2]
+    assert dag.parents(3) == (1, 2)
+    assert dag.num_edges == 4
+    assert dag.depth() == 3
+
+
+def test_linear_chain_detection():
+    chain = StageDAG([stage(0), stage(1, parents=(0,)), stage(2, parents=(1,))])
+    assert chain.is_linear_chain
+    assert not diamond().is_linear_chain
+
+
+def test_total_work_sums_stages():
+    assert diamond().total_work() == pytest.approx(4 * 2.5)
+
+
+# -------------------------------------------------------------------- jobs
+def make_job(dag, profile, **kw):
+    defaults = dict(job_id=0, priority=HIGH, arrival_time=0.0, size_mb=100.0)
+    defaults.update(kw)
+    return DagJob(dag=dag, profile=profile, **defaults)
+
+
+def test_dag_job_exposes_stage_view(high_profile):
+    job = make_job(diamond(), high_profile)
+    assert [s.index for s in job.stages] == [0, 1, 2, 3]
+    assert job.num_stages == 4
+    assert job.num_map_tasks == 8
+    assert job.num_reduce_tasks == 4
+    assert job.total_work() == pytest.approx(10.0)
+    assert job.setup_time(0.0) == high_profile.setup_time_full
+
+
+def test_dag_job_rejects_nonpositive_size(high_profile):
+    with pytest.raises(ValueError, match="size"):
+        make_job(diamond(), high_profile, size_mb=0.0)
+
+
+def test_ideal_service_time_includes_setup(high_profile):
+    job = make_job(diamond(), high_profile)
+    assert job.ideal_service_time(slots=4) > high_profile.setup_time_full
+    with pytest.raises(ValueError, match="slots"):
+        job.ideal_service_time(slots=0)
+
+
+def test_ideal_service_time_decreases_with_dropping(high_profile):
+    job = make_job(diamond(), high_profile)
+    assert job.ideal_service_time(slots=1, drop_ratio=0.5) < job.ideal_service_time(
+        slots=1, drop_ratio=0.0
+    )

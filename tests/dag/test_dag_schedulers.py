@@ -1,0 +1,75 @@
+"""Tests for the pluggable stage schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.dag.schedulers import (
+    STAGE_SCHEDULERS,
+    CriticalPathFirstScheduler,
+    FifoStageScheduler,
+    ShortestRemainingWorkScheduler,
+    StageScheduler,
+    WidestFirstScheduler,
+    make_stage_scheduler,
+)
+
+
+@dataclass
+class FakeRun:
+    """Minimal StageRunView stand-in."""
+
+    index: int
+    ready_seq: int = 0
+    rank: float = 0.0
+    pending_tasks: int = 1
+    work: float = 1.0
+
+    def remaining_work(self) -> float:
+        return self.work
+
+
+def test_make_stage_scheduler_by_name_and_aliases():
+    for name in STAGE_SCHEDULERS:
+        scheduler = make_stage_scheduler(name)
+        assert isinstance(scheduler, StageScheduler)
+        assert scheduler.name == name
+    assert isinstance(make_stage_scheduler("critical-path-first"), CriticalPathFirstScheduler)
+    assert isinstance(make_stage_scheduler("  FIFO "), FifoStageScheduler)
+
+
+def test_make_stage_scheduler_idempotent_on_instances():
+    scheduler = FifoStageScheduler()
+    assert make_stage_scheduler(scheduler) is scheduler
+
+
+def test_make_stage_scheduler_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown stage scheduler"):
+        make_stage_scheduler("lifo")
+
+
+def test_fifo_picks_earliest_ready_then_lowest_index():
+    runs = [FakeRun(index=2, ready_seq=1), FakeRun(index=0, ready_seq=2), FakeRun(index=1, ready_seq=1)]
+    assert FifoStageScheduler().select(runs).index == 1
+
+
+def test_critical_path_first_picks_highest_rank():
+    runs = [FakeRun(index=0, rank=5.0), FakeRun(index=1, rank=9.0), FakeRun(index=2, rank=7.0)]
+    assert CriticalPathFirstScheduler().select(runs).index == 1
+
+
+def test_critical_path_first_breaks_ties_fifo():
+    runs = [FakeRun(index=2, rank=5.0, ready_seq=3), FakeRun(index=1, rank=5.0, ready_seq=1)]
+    assert CriticalPathFirstScheduler().select(runs).index == 1
+
+
+def test_shortest_remaining_work_picks_least_work():
+    runs = [FakeRun(index=0, work=9.0), FakeRun(index=1, work=2.0), FakeRun(index=2, work=4.0)]
+    assert ShortestRemainingWorkScheduler().select(runs).index == 1
+
+
+def test_widest_first_picks_most_pending_tasks():
+    runs = [FakeRun(index=0, pending_tasks=3), FakeRun(index=1, pending_tasks=8), FakeRun(index=2, pending_tasks=5)]
+    assert WidestFirstScheduler().select(runs).index == 1

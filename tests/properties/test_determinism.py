@@ -1,0 +1,218 @@
+"""Common-random-numbers determinism and DAG structural invariants.
+
+The paper's relative-difference methodology requires every policy under
+comparison to see *identical* job sequences (common random numbers).  These
+tests pin that property at the trace level — byte-identical serialised traces
+across stage schedulers and fleet dispatchers for a fixed seed — and check
+the structural invariants of the DAG layer (acyclicity rejection, topological
+order, critical-path bounds) over randomly generated topologies.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policies import SchedulingPolicy
+from repro.dag.analytics import analyze_critical_path, stage_duration
+from repro.dag.graph import DagStage, StageDAG
+from repro.dag.simulation import run_dag_policy
+from repro.fleet.simulation import FleetSimulation
+from repro.workloads.dag import layered_topology
+from repro.workloads.scenarios import (
+    HIGH,
+    dag_layered_scenario,
+    fleet_two_priority_scenario,
+)
+
+
+# --------------------------------------------------------- trace serialisers
+def serialise_dag_trace(trace) -> bytes:
+    """Canonical byte encoding of a DAG-job trace (full sampled content)."""
+    payload = [
+        {
+            "job_id": job.job_id,
+            "priority": job.priority,
+            "arrival": job.arrival_time,
+            "size_mb": job.size_mb,
+            "stages": [
+                {
+                    "index": s.index,
+                    "parents": list(s.parents),
+                    "maps": s.map_task_times,
+                    "reduces": s.reduce_task_times,
+                    "shuffle": s.shuffle_time,
+                    "droppable": s.droppable,
+                }
+                for s in job.stages
+            ],
+        }
+        for job in trace
+    ]
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def serialise_job_trace(trace) -> bytes:
+    """Canonical byte encoding of a linear-job trace."""
+    payload = [
+        {
+            "job_id": job.job_id,
+            "priority": job.priority,
+            "arrival": job.arrival_time,
+            "size_mb": job.size_mb,
+            "stages": [
+                {
+                    "index": s.index,
+                    "maps": s.map_task_times,
+                    "reduces": s.reduce_task_times,
+                    "shuffle": s.shuffle_time,
+                }
+                for s in job.stages
+            ],
+        }
+        for job in trace
+    ]
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+# ------------------------------------------------- common random numbers: DAG
+def test_stage_schedulers_see_byte_identical_traces():
+    """Trace generation must not depend on the stage scheduler under test."""
+    scenario = dag_layered_scenario(num_jobs=25)
+    baseline = serialise_dag_trace(scenario.generate_trace(seed=11))
+    # Regenerate "for" two different schedulers: the scheduler is not an
+    # input to generation, so the bytes must match exactly.
+    for _scheduler in ("fifo", "critical_path_first"):
+        assert serialise_dag_trace(scenario.generate_trace(seed=11)) == baseline
+    assert serialise_dag_trace(scenario.generate_trace(seed=12)) != baseline
+
+
+def test_dag_runs_identical_across_repeats_per_scheduler():
+    scenario = dag_layered_scenario(num_jobs=20)
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
+    for scheduler in ("fifo", "shortest_remaining_work"):
+        results = [
+            run_dag_policy(
+                policy,
+                scenario.generate_trace(seed=6),
+                scheduler=scheduler,
+                cluster=scenario.cluster,
+                seed=6,
+            )
+            for _ in range(2)
+        ]
+        rows_a = [
+            (r.job_id, r.completion_time, r.execution_time)
+            for r in results[0].metrics.records
+        ]
+        rows_b = [
+            (r.job_id, r.completion_time, r.execution_time)
+            for r in results[1].metrics.records
+        ]
+        assert rows_a == rows_b
+
+
+# ----------------------------------------------- common random numbers: fleet
+def test_fleet_dispatchers_see_byte_identical_traces():
+    scenario = fleet_two_priority_scenario(num_clusters=3, num_jobs_per_cluster=20)
+    baseline = serialise_job_trace(scenario.generate_trace(seed=11))
+    for _dispatcher in ("round_robin", "least_work_left"):
+        assert serialise_job_trace(scenario.generate_trace(seed=11)) == baseline
+
+
+def test_fleet_run_identical_across_repeats_per_dispatcher():
+    scenario = fleet_two_priority_scenario(num_clusters=3, num_jobs_per_cluster=15)
+    policy = SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
+    for dispatcher in ("round_robin", "jsq"):
+        outcomes = []
+        for _ in range(2):
+            simulation = FleetSimulation(
+                policy=policy,
+                jobs=scenario.generate_trace(seed=8),
+                clusters=scenario.make_clusters(),
+                dispatcher=dispatcher,
+                seed=8,
+            )
+            result = simulation.run()
+            outcomes.append(
+                (
+                    tuple(result.dispatch_counts),
+                    result.mean_response_time(),
+                    result.tail_response_time(HIGH),
+                    result.total_energy_joules,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------- DAG invariants (random)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_random_layered_topologies_are_valid_dags(seed):
+    rng = np.random.default_rng(seed)
+    spec = layered_topology(rng, num_layers=4, min_width=1, max_width=4)
+    stages = [
+        DagStage(
+            index=index,
+            map_task_times=[1.0],
+            reduce_task_times=[],
+            shuffle_time=0.0,
+            parents=parents,
+        )
+        for index, parents in spec
+    ]
+    dag = StageDAG(stages)  # construction itself asserts acyclicity
+    order = dag.topological_order()
+    positions = {index: pos for pos, index in enumerate(order)}
+    for s in dag:
+        for parent in s.parents:
+            assert positions[parent] < positions[s.index]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    slots=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_critical_path_at_least_longest_stage(seed, slots):
+    rng = np.random.default_rng(seed)
+    spec = layered_topology(rng, num_layers=3, min_width=1, max_width=3)
+    stages = [
+        DagStage(
+            index=index,
+            map_task_times=list(rng.uniform(0.5, 5.0, size=int(rng.integers(1, 6)))),
+            reduce_task_times=[],
+            shuffle_time=0.0,
+            parents=parents,
+        )
+        for index, parents in spec
+    ]
+    dag = StageDAG(stages)
+    analysis = analyze_critical_path(dag, slots=slots)
+    longest = max(stage_duration(s, slots) for s in dag)
+    assert analysis.critical_path_length >= longest - 1e-9
+    assert analysis.lower_bound_makespan >= analysis.critical_path_length - 1e-9
+    # Slack is non-negative and zero along the reported critical path.
+    assert all(slack >= -1e-9 for slack in analysis.slack.values())
+    for index in analysis.critical_path:
+        assert analysis.slack[index] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_cycle_rejection_invariant():
+    """Any back edge added to a chain must be rejected."""
+    for length in (2, 3, 5):
+        stages = [
+            DagStage(
+                index=i,
+                map_task_times=[1.0],
+                reduce_task_times=[],
+                shuffle_time=0.0,
+                parents=(i - 1,) if i > 0 else (length - 1,),
+            )
+            for i in range(length)
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            StageDAG(stages)

@@ -129,10 +129,15 @@ def test_fleet_command_shared_budget_and_explicit_policy(capsys):
     assert "policy=DA(0/20)" in output
 
 
-def test_fleet_command_rejects_unknown_router():
-    parser = build_parser()
-    with pytest.raises(SystemExit):
-        parser.parse_args(["fleet", "--router", "fifo"])
+def test_fleet_command_rejects_unknown_router(capsys):
+    """A typo'd router exits non-zero with the valid choices, no traceback."""
+    code = main(["fleet", "--router", "mystery", "--jobs", "5"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "unknown router 'mystery'" in err
+    assert "valid choices:" in err
+    for router in ("random", "round_robin", "jsq", "least_work_left"):
+        assert router in err
 
 
 def test_list_mentions_fleet_routers(capsys):
@@ -140,3 +145,50 @@ def test_list_mentions_fleet_routers(capsys):
     output = capsys.readouterr().out
     assert "fleet routers" in output
     assert "least_work_left" in output
+
+
+def test_list_mentions_dag_layer(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "dag scenarios" in output
+    assert "critical_path_first" in output
+
+
+def test_dag_command_runs_small_scenario(capsys):
+    code = main([
+        "dag", "--scenario", "layered", "--scheduler", "critical_path_first",
+        "--jobs", "15", "--seed", "1",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "scheduler=critical_path_first" in output
+    assert "mean_cp_stretch" in output
+    assert "mean_makespan_s" in output
+
+
+def test_dag_command_slack_biased_and_policy(capsys):
+    code = main([
+        "dag", "--scenario", "fork-join", "--scheduler", "fifo",
+        "--jobs", "10", "--policy", "DA(0/30)", "--slack-biased",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "policy=DA(0/30)" in output
+    assert "slack_biased=True" in output
+
+
+def test_dag_command_rejects_unknown_scheduler(capsys):
+    """A typo'd stage scheduler exits non-zero listing the valid names."""
+    code = main(["dag", "--scheduler", "lifo", "--jobs", "5"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "unknown stage scheduler 'lifo'" in err
+    assert "valid choices:" in err
+    for scheduler in ("fifo", "critical_path_first", "widest_first"):
+        assert scheduler in err
+
+
+def test_dag_command_rejects_unknown_scenario():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["dag", "--scenario", "mystery"])

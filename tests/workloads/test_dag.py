@@ -1,0 +1,157 @@
+"""Tests for the DAG workload generators and trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import StageDAG
+from repro.simulation.random_streams import RandomStreams
+from repro.workloads.dag import (
+    DagJobFactory,
+    chain_topology,
+    fork_join_topology,
+    generate_dag_trace,
+    layered_topology,
+    triangle_count_topology,
+)
+from repro.workloads.scenarios import (
+    HIGH,
+    LOW,
+    dag_fork_join_scenario,
+    dag_layered_scenario,
+    dag_triangle_count_scenario,
+    graph_profile,
+    text_profile,
+)
+
+
+# -------------------------------------------------------------- topologies
+def test_chain_topology_shape():
+    spec = chain_topology(4)
+    assert spec == [(0, ()), (1, (0,)), (2, (1,)), (3, (2,))]
+    with pytest.raises(ValueError):
+        chain_topology(0)
+
+
+def test_fork_join_topology_shape():
+    spec = fork_join_topology(branches=3, branch_length=2)
+    assert len(spec) == 1 + 3 * 2 + 1
+    sink_index, sink_parents = spec[-1]
+    assert sink_index == 7
+    assert len(sink_parents) == 3
+    # Every branch chain starts at the source.
+    assert spec[1] == (1, (0,))
+
+
+def test_layered_topology_respects_layer_structure():
+    rng = np.random.default_rng(0)
+    spec = layered_topology(rng, num_layers=5, min_width=2, max_width=4, max_parents=2)
+    assert all(len(parents) <= 2 for _, parents in spec)
+    # Sources are exactly the first layer; all parents point backwards.
+    for index, parents in spec:
+        assert all(p < index for p in parents)
+
+
+def test_layered_topology_validates_params():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        layered_topology(rng, num_layers=0)
+    with pytest.raises(ValueError):
+        layered_topology(rng, min_width=3, max_width=2)
+
+
+def test_triangle_count_reduces_to_chain():
+    assert triangle_count_topology(6, result_stage=False) == chain_topology(6)
+    spec = triangle_count_topology(6, result_stage=True)
+    assert spec[-1] == (6, (5,))
+
+
+# ----------------------------------------------------------------- factory
+def test_factory_builds_valid_dags():
+    factory = DagJobFactory(RandomStreams(0))
+    profile = text_profile(HIGH, "high", 473.0, max_accuracy_loss=0.0)
+    for topology in ("layered", "fork_join", "triangle_count", "chain"):
+        job = factory.create_job(profile, topology, arrival_time=1.0)
+        assert isinstance(job.dag, StageDAG)  # construction validates acyclicity
+        assert job.arrival_time == 1.0
+        assert job.num_map_tasks > 0
+        assert job.size_mb > 0
+
+
+def test_factory_triangle_count_has_non_droppable_result():
+    factory = DagJobFactory(RandomStreams(0))
+    profile = graph_profile(LOW, "low")
+    job = factory.create_job(profile, "triangle_count", arrival_time=0.0)
+    assert job.dag.is_linear_chain
+    result_stage = job.dag.stage(profile.num_stages)
+    assert not result_stage.droppable
+    assert all(job.dag.stage(i).droppable for i in range(profile.num_stages))
+
+
+def test_factory_rejects_unknown_topology():
+    factory = DagJobFactory(RandomStreams(0))
+    profile = text_profile(HIGH, "high", 473.0, max_accuracy_loss=0.0)
+    with pytest.raises(ValueError, match="unknown topology"):
+        factory.create_job(profile, "butterfly", arrival_time=0.0)
+
+
+def test_factory_is_deterministic_per_seed():
+    profile = text_profile(HIGH, "high", 473.0, max_accuracy_loss=0.0)
+    a = DagJobFactory(RandomStreams(9)).create_job(profile, "layered", 0.0)
+    b = DagJobFactory(RandomStreams(9)).create_job(profile, "layered", 0.0)
+    assert a.size_mb == b.size_mb
+    assert [s.map_task_times for s in a.stages] == [s.map_task_times for s in b.stages]
+    assert [s.parents for s in a.stages] == [s.parents for s in b.stages]
+
+
+# ------------------------------------------------------------------ traces
+def test_generate_dag_trace_sorted_and_complete():
+    profiles = {
+        HIGH: text_profile(HIGH, "high", 473.0, max_accuracy_loss=0.0),
+        LOW: text_profile(LOW, "low", 1117.0, max_accuracy_loss=0.32),
+    }
+    trace = generate_dag_trace(
+        profiles,
+        arrival_rates={HIGH: 0.01, LOW: 0.05},
+        topologies={HIGH: "fork_join", LOW: "layered"},
+        num_jobs=30,
+        seed=1,
+    )
+    assert len(trace) == 30
+    arrivals = [job.arrival_time for job in trace]
+    assert arrivals == sorted(arrivals)
+    assert {job.priority for job in trace} == {HIGH, LOW}
+    job_ids = [job.job_id for job in trace]
+    assert len(set(job_ids)) == len(job_ids)
+
+
+def test_generate_dag_trace_validates_inputs():
+    profiles = {HIGH: text_profile(HIGH, "high", 473.0, max_accuracy_loss=0.0)}
+    with pytest.raises(ValueError, match="same priorities"):
+        generate_dag_trace(profiles, {LOW: 0.1}, {HIGH: "chain"}, num_jobs=5)
+    with pytest.raises(ValueError, match="topologies missing"):
+        generate_dag_trace(profiles, {HIGH: 0.1}, {}, num_jobs=5)
+    with pytest.raises(ValueError, match="num_jobs"):
+        generate_dag_trace(profiles, {HIGH: 0.1}, {HIGH: "chain"}, num_jobs=0)
+
+
+# --------------------------------------------------------------- scenarios
+@pytest.mark.parametrize(
+    "factory", [dag_layered_scenario, dag_fork_join_scenario, dag_triangle_count_scenario]
+)
+def test_dag_scenarios_generate_valid_traces(factory):
+    scenario = factory(num_jobs=12)
+    assert scenario.arrival_rates
+    assert scenario.total_arrival_rate() > 0
+    trace = scenario.generate_trace(seed=0)
+    assert len(trace) == 12
+    assert all(job.num_stages >= 1 for job in trace)
+
+
+def test_dag_scenario_trace_is_seed_deterministic():
+    scenario = dag_layered_scenario(num_jobs=10)
+    a = scenario.generate_trace(seed=4)
+    b = scenario.generate_trace(seed=4)
+    assert [j.size_mb for j in a] == [j.size_mb for j in b]
+    assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
