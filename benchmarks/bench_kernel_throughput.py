@@ -1,0 +1,344 @@
+#!/usr/bin/env python
+"""Kernel + parallel-engine performance benchmark, recorded to BENCH_perf.json.
+
+Measures, in one run:
+
+1. **DES event-loop throughput** of the optimised kernel against the retained
+   pre-PR reference implementation (embedded below verbatim: dataclass
+   events, ``itertools.count`` sequencing, ``peek``/``step`` delegation, no
+   heap compaction) on two workloads:
+
+   * ``chain`` — self-rescheduling ticks over a small steady-state heap; the
+     classic "event loop overhead" measurement.
+   * ``timeout_storm`` — every tick arms a far-future timeout event and
+     cancels the previously armed one, the sprint-timeout/preemption/DVFS
+     pattern that motivates heap compaction.  The reference kernel's heap
+     grows without bound here; the optimised kernel compacts.
+
+2. **Simulation throughput** (jobs/sec) of a full DiAS run on the reference
+   two-priority scenario.
+
+3. **Parallel replication speedup**: eight replications of a policy
+   comparison executed serially and with ``--jobs N`` worker processes, plus
+   a bitwise-equality check between the serial and parallel metric samples.
+   The benchmark **fails (exit 1) if serial/parallel equivalence is
+   violated** — wall-clock speedup depends on the host's core count (recorded
+   in the output), equivalence must hold everywhere.
+
+Usage::
+
+    python benchmarks/bench_kernel_throughput.py             # full run
+    python benchmarks/bench_kernel_throughput.py --quick     # CI smoke mode
+    python benchmarks/bench_kernel_throughput.py --jobs 4 --output BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import itertools
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.policies import SchedulingPolicy  # noqa: E402
+from repro.experiments.parallel import PolicyComparisonExperiment  # noqa: E402
+from repro.simulation.des import Simulator  # noqa: E402
+from repro.simulation.replication import ReplicationRunner  # noqa: E402
+from repro.workloads import scenarios as scenario_module  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Retained reference implementation: the pre-PR kernel, verbatim.  Kept here
+# (not in src/) so the speedup is measured against the same baseline in every
+# future run instead of a number recorded once and never re-validated.
+# ---------------------------------------------------------------------------
+@dataclass(order=False)
+class _LegacyEvent:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[["_LegacySimulator"], None]
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _LegacySimulator:
+    """The seed kernel: dataclass events, peek/step delegation, no compaction."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._event_count = 0
+        self._processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay, callback, *, priority=0, payload=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, payload=payload)
+
+    def schedule_at(self, time, callback, *, priority=0, payload=None):
+        if time < self._now:
+            raise ValueError(f"schedule in the past {time!r}")
+        event = _LegacyEvent(
+            time=float(time), priority=int(priority), seq=next(self._seq),
+            callback=callback, payload=payload,
+        )
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        self._event_count += 1
+        return event
+
+    def peek_time(self):
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)[3]
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(self)
+            return event
+        return None
+
+    def run(self, until=None, max_events=None):
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._heap:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+
+
+# ---------------------------------------------------------------------------
+# Kernel workloads
+# ---------------------------------------------------------------------------
+def _tick(sim) -> None:
+    sim.schedule(1.0, _tick)
+
+
+def _chain_workload(sim, num_events: int, chains: int = 16) -> None:
+    """Self-rescheduling ticks over a small steady-state heap."""
+    for i in range(chains):
+        sim.schedule(float(i) / chains, _tick)
+    sim.run(max_events=num_events)
+
+
+def _noop(sim) -> None:
+    pass
+
+
+def _timeout_storm_workload(sim, num_events: int) -> None:
+    """Arm a far-future timeout per tick, cancelling the previous one.
+
+    Mirrors sprint timeouts / preemption / DVFS churn: without compaction the
+    heap accumulates one dead far-future entry per processed event.
+    """
+    state: Dict[str, Any] = {"timeout": None, "count": 0}
+
+    def tick(s) -> None:
+        state["count"] += 1
+        previous = state["timeout"]
+        if previous is not None:
+            previous.cancel()
+        state["timeout"] = s.schedule(1e12, _noop)
+        if state["count"] < num_events:
+            s.schedule(1.0, tick)
+        else:
+            s.stop()
+
+    sim.schedule(0.0, tick)
+    sim.run()
+
+
+def _best_of(repeats: int, run_once: Callable[[], float]) -> float:
+    return min(run_once() for _ in range(repeats))
+
+
+def _measure_kernel(
+    workload: Callable, num_events: int, repeats: int
+) -> Dict[str, float]:
+    results: Dict[str, float] = {}
+    for label, factory in (("reference", _LegacySimulator), ("optimized", Simulator)):
+        def run_once() -> float:
+            sim = factory()
+            start = time.perf_counter()
+            workload(sim, num_events)
+            elapsed = time.perf_counter() - start
+            run_once.final_heap = sim.pending_events  # type: ignore[attr-defined]
+            return elapsed
+        elapsed = _best_of(repeats, run_once)
+        results[f"{label}_events_per_sec"] = num_events / elapsed
+        results[f"{label}_final_heap"] = float(run_once.final_heap)  # type: ignore[attr-defined]
+    results["speedup"] = (
+        results["optimized_events_per_sec"] / results["reference_events_per_sec"]
+    )
+    results["num_events"] = float(num_events)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Simulation + parallel benchmarks
+# ---------------------------------------------------------------------------
+def _measure_simulation(num_jobs: int, repeats: int, seed: int) -> Dict[str, float]:
+    from repro.experiments.harness import run_policies
+
+    scenario = scenario_module.reference_two_priority_scenario()
+    policy = [SchedulingPolicy.preemptive_priority()]
+
+    def run_once() -> float:
+        start = time.perf_counter()
+        run_policies(scenario, policy, seed=seed, num_jobs=num_jobs)
+        return time.perf_counter() - start
+
+    elapsed = _best_of(repeats, run_once)
+    return {"num_jobs": float(num_jobs), "jobs_per_sec": num_jobs / elapsed}
+
+
+def _measure_parallel(
+    num_jobs: int, replications: int, jobs: int, seed: int
+) -> Dict[str, Any]:
+    scenario = scenario_module.reference_two_priority_scenario()
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation(
+            {p: (0.2 if p == scenario.lowest_priority else 0.0)
+             for p in scenario.priorities}
+        ),
+    ]
+    experiment = PolicyComparisonExperiment(scenario, policies, num_jobs=num_jobs)
+
+    start = time.perf_counter()
+    serial = ReplicationRunner(experiment).run(replications, base_seed=seed, jobs=1)
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = ReplicationRunner(experiment).run(replications, base_seed=seed, jobs=jobs)
+    parallel_elapsed = time.perf_counter() - start
+
+    serial_samples = {name: metric.samples for name, metric in serial.items()}
+    parallel_samples = {name: metric.samples for name, metric in parallel.items()}
+    return {
+        "num_jobs": float(num_jobs),
+        "replications": float(replications),
+        "jobs": float(jobs),
+        "serial_seconds": serial_elapsed,
+        "parallel_seconds": parallel_elapsed,
+        "speedup": serial_elapsed / parallel_elapsed if parallel_elapsed else float("nan"),
+        "bitwise_equal": serial_samples == parallel_samples,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel-speedup section")
+    parser.add_argument("--replications", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=str(Path(__file__).resolve().parents[1] / "BENCH_perf.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        chain_events, storm_events, sim_jobs, par_jobs, repeats = 60_000, 30_000, 80, 30, 2
+    else:
+        chain_events, storm_events, sim_jobs, par_jobs, repeats = 300_000, 200_000, 300, 100, 3
+
+    print("== DES kernel event-loop throughput (vs retained pre-PR reference) ==")
+    chain = _measure_kernel(_chain_workload, chain_events, repeats)
+    print(f"chain:         reference {chain['reference_events_per_sec']:,.0f} ev/s   "
+          f"optimized {chain['optimized_events_per_sec']:,.0f} ev/s   "
+          f"speedup {chain['speedup']:.2f}x")
+    storm = _measure_kernel(_timeout_storm_workload, storm_events, repeats)
+    print(f"timeout_storm: reference {storm['reference_events_per_sec']:,.0f} ev/s   "
+          f"optimized {storm['optimized_events_per_sec']:,.0f} ev/s   "
+          f"speedup {storm['speedup']:.2f}x   "
+          f"final heap {storm['reference_final_heap']:.0f} -> {storm['optimized_final_heap']:.0f}")
+
+    print("== DiAS simulation throughput ==")
+    simulation = _measure_simulation(sim_jobs, repeats, args.seed)
+    print(f"reference scenario: {simulation['jobs_per_sec']:,.1f} jobs/s")
+
+    print(f"== Parallel replication ({args.replications} replications, --jobs {args.jobs}) ==")
+    parallel = _measure_parallel(par_jobs, args.replications, args.jobs, args.seed)
+    print(f"serial {parallel['serial_seconds']:.2f}s   parallel {parallel['parallel_seconds']:.2f}s   "
+          f"speedup {parallel['speedup']:.2f}x   bitwise_equal {parallel['bitwise_equal']}")
+
+    payload = {
+        "benchmark": "bench_kernel_throughput",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "quick": args.quick,
+        "kernel": {"chain": chain, "timeout_storm": storm},
+        "simulation": simulation,
+        "parallel": parallel,
+        "targets": {
+            "kernel_speedup": 2.0,
+            "parallel_speedup_at_4_jobs": 2.5,
+            "note": "parallel wall-clock speedup requires >= jobs physical cores; "
+                    "bitwise serial/parallel equivalence is asserted on every host",
+        },
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+
+    if not parallel["bitwise_equal"]:
+        print("FAIL: parallel metrics differ from serial metrics", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,16 @@ Usage (after ``pip install -e .``)::
     python -m repro figure 11 --budget unlimited
     python -m repro table 2
     python -m repro compare --scenario reference --policies P NP "DA(0/20)"
-    python -m repro sweep --scenario reference --ratios 0 0.1 0.2 0.4
+    python -m repro compare --replications 8 --jobs 4   # CI table, 4 workers
+    python -m repro sweep --scenario reference --ratios 0 0.1 0.2 0.4 --jobs 4
     python -m repro fleet --clusters 4 --router jsq --scenario three-priority
     python -m repro dag --scenario layered --scheduler critical_path_first
+
+``--num-jobs`` controls the number of *simulated* jobs per trace; ``--jobs N``
+fans independent work units (replications, sweep points, policy runs) across
+``N`` worker processes with results bitwise-identical to a serial run;
+``--replications R`` replicates the experiment over independent seeds and
+reports Student-t confidence intervals.
 
 Every command prints the same rows the corresponding paper artefact reports
 and returns a non-zero exit code on invalid arguments.
@@ -25,10 +32,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.policies import SchedulingPolicy
 from repro.dag.schedulers import STAGE_SCHEDULERS
 from repro.dag.simulation import DagSimulation
+from repro.dag.simulation import replicate_dag
 from repro.experiments import figures, tables
 from repro.experiments.harness import run_policies
+from repro.experiments.parallel import (
+    PolicyComparisonExperiment,
+    RowSweepExperiment,
+    interval_rows,
+    replicate_rows,
+)
 from repro.experiments.reporting import format_comparison, format_figure, format_rows
 from repro.experiments.sweeps import drop_ratio_sweep, load_sweep
+from repro.fleet.simulation import replicate_fleet
+from repro.simulation.replication import ReplicationRunner
 from repro.fleet.budget import BUDGET_MODES
 from repro.fleet.dispatcher import ROUTERS
 from repro.fleet.simulation import FleetSimulation
@@ -83,6 +99,27 @@ def _check_choice(kind: str, value: str, valid: Sequence[str]) -> str:
 FIGURES = ("4", "5", "6", "7", "8", "9", "10", "11")
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be an integer >= 1 (e.g. ``--jobs``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 1, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` (worker processes) and ``--replications`` (independent seeds)."""
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for independent work units "
+                             "(results are bitwise-identical to --jobs 1)")
+    parser.add_argument("--replications", type=_positive_int, default=1, metavar="R",
+                        help="replicate over R independent seeds and report "
+                             "Student-t confidence intervals")
+
+
 def _parse_policy(name: str) -> SchedulingPolicy:
     """Parse a policy name like ``P``, ``NP``, ``DA(0/20)`` or ``DA(0/10/20)``."""
     cleaned = name.strip()
@@ -113,8 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure_parser = subparsers.add_parser("figure", help="regenerate one figure")
     figure_parser.add_argument("number", choices=FIGURES)
-    figure_parser.add_argument("--jobs", type=int, default=None,
-                               help="override the number of jobs per run")
+    figure_parser.add_argument("--num-jobs", type=int, default=None,
+                               help="override the number of simulated jobs per run")
     figure_parser.add_argument("--seed", type=int, default=0)
     figure_parser.add_argument("--variant", default="equal_sizes",
                                choices=["equal_sizes", "more_high_priority", "low_load"],
@@ -124,28 +161,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     table_parser = subparsers.add_parser("table", help="regenerate one table")
     table_parser.add_argument("number", choices=["2"])
-    table_parser.add_argument("--jobs", type=int, default=300)
+    table_parser.add_argument("--num-jobs", type=int, default=300)
     table_parser.add_argument("--seed", type=int, default=0)
 
     compare_parser = subparsers.add_parser("compare", help="compare policies on a scenario")
     compare_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
     compare_parser.add_argument("--policies", nargs="+", default=["P", "NP", "DA(0/20)"])
-    compare_parser.add_argument("--jobs", type=int, default=400)
+    compare_parser.add_argument("--num-jobs", type=int, default=400,
+                                help="simulated jobs per trace")
     compare_parser.add_argument("--seed", type=int, default=0)
+    _add_parallel_flags(compare_parser)
 
     sweep_parser = subparsers.add_parser("sweep", help="sweep the low-priority drop ratio")
     sweep_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
     sweep_parser.add_argument("--ratios", nargs="+", type=float,
                               default=[0.0, 0.1, 0.2, 0.4])
-    sweep_parser.add_argument("--jobs", type=int, default=300)
+    sweep_parser.add_argument("--num-jobs", type=int, default=300,
+                              help="simulated jobs per trace")
     sweep_parser.add_argument("--seed", type=int, default=0)
+    _add_parallel_flags(sweep_parser)
 
     load_parser = subparsers.add_parser("load-sweep", help="sweep the system load")
     load_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
     load_parser.add_argument("--utilisations", nargs="+", type=float,
                              default=[0.5, 0.65, 0.8])
-    load_parser.add_argument("--jobs", type=int, default=300)
+    load_parser.add_argument("--num-jobs", type=int, default=300,
+                             help="simulated jobs per trace")
     load_parser.add_argument("--seed", type=int, default=0)
+    _add_parallel_flags(load_parser)
 
     fleet_parser = subparsers.add_parser(
         "fleet", help="run a multi-cluster fleet behind a routing dispatcher"
@@ -162,11 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--policy", type=_parse_policy, default=None,
                               help="per-cluster scheduling policy "
                                    "(default: DA with 20%% low-priority dropping)")
-    fleet_parser.add_argument("--jobs", type=int, default=200,
-                              help="jobs per cluster (fleet trace is clusters x jobs)")
+    fleet_parser.add_argument("--num-jobs", type=int, default=200,
+                              help="jobs per cluster (fleet trace is clusters x num-jobs)")
     fleet_parser.add_argument("--budget", choices=BUDGET_MODES, default="per-cluster",
                               help="sprint-budget arbitration across the fleet")
     fleet_parser.add_argument("--seed", type=int, default=0)
+    _add_parallel_flags(fleet_parser)
 
     dag_parser = subparsers.add_parser(
         "dag", help="run stage-DAG jobs under a pluggable stage scheduler"
@@ -182,14 +226,16 @@ def build_parser() -> argparse.ArgumentParser:
     dag_parser.add_argument("--slack-biased", action="store_true",
                             help="bias task dropping toward off-critical-path "
                                  "stages using per-stage slack")
-    dag_parser.add_argument("--jobs", type=int, default=150)
+    dag_parser.add_argument("--num-jobs", type=int, default=150,
+                            help="simulated DAG jobs per trace")
     dag_parser.add_argument("--seed", type=int, default=0)
+    _add_parallel_flags(dag_parser)
     return parser
 
 
 def _run_figure(args: argparse.Namespace) -> str:
     number = args.number
-    jobs = args.jobs
+    jobs = args.num_jobs
     if number == "4":
         result = figures.figure4_processing_time_validation(
             num_jobs=jobs or 25, seed=args.seed
@@ -259,9 +305,28 @@ def _default_fleet_policy(scenario: FleetScenario) -> SchedulingPolicy:
 def _run_fleet(args: argparse.Namespace) -> str:
     _check_choice("router", args.router, list(ROUTERS))
     scenario = FLEET_SCENARIOS[args.scenario](
-        num_clusters=args.clusters, num_jobs_per_cluster=args.jobs
+        num_clusters=args.clusters, num_jobs_per_cluster=args.num_jobs
     )
     policy = args.policy if args.policy is not None else _default_fleet_policy(scenario)
+    if args.replications > 1:
+        metrics = replicate_fleet(
+            scenario,
+            policy,
+            args.replications,
+            dispatcher=args.router,
+            power_of_d=args.power_of_d,
+            sprint_budget=args.budget,
+            base_seed=args.seed,
+            jobs=args.jobs,
+        )
+        title = (
+            f"Fleet: {scenario.name}  router={args.router}  policy={policy.name}  "
+            f"budget={args.budget}  replications={args.replications}"
+        )
+        return "\n".join(
+            [title, "=" * len(title), "", "Replicated fleet metrics (95% CI)",
+             format_rows(interval_rows(metrics))]
+        )
     trace = scenario.generate_trace(seed=args.seed)
     simulation = FleetSimulation(
         policy=policy,
@@ -296,12 +361,30 @@ def _run_fleet(args: argparse.Namespace) -> str:
 
 def _run_dag(args: argparse.Namespace) -> str:
     _check_choice("stage scheduler", args.scheduler, list(STAGE_SCHEDULERS))
-    scenario = DAG_SCENARIOS[args.scenario](num_jobs=args.jobs)
+    scenario = DAG_SCENARIOS[args.scenario](num_jobs=args.num_jobs)
     policy = (
         args.policy
         if args.policy is not None
         else SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2})
     )
+    if args.replications > 1:
+        metrics = replicate_dag(
+            scenario,
+            policy,
+            args.replications,
+            scheduler=args.scheduler,
+            slack_biased=args.slack_biased,
+            base_seed=args.seed,
+            jobs=args.jobs,
+        )
+        title = (
+            f"DAG: {scenario.name}  scheduler={args.scheduler}  policy={policy.name}  "
+            f"slack_biased={args.slack_biased}  replications={args.replications}"
+        )
+        return "\n".join(
+            [title, "=" * len(title), "", "Replicated DAG metrics (95% CI)",
+             format_rows(interval_rows(metrics))]
+        )
     trace = scenario.generate_trace(seed=args.seed)
     simulation = DagSimulation(
         policy=policy,
@@ -364,21 +447,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "figure":
             output = _run_figure(args)
         elif args.command == "table":
-            result = tables.table2_latency_decomposition(num_jobs=args.jobs, seed=args.seed)
+            result = tables.table2_latency_decomposition(num_jobs=args.num_jobs, seed=args.seed)
             output = "Table 2\n" + format_rows(result["rows"])
         elif args.command == "compare":
             scenario = SCENARIOS[args.scenario]()
             policies = [_parse_policy(name) for name in args.policies]
-            comparison = run_policies(scenario, policies, baseline=policies[0].name,
-                                      seed=args.seed, num_jobs=args.jobs)
-            output = format_comparison(comparison, f"Scenario {args.scenario}")
+            if args.replications > 1:
+                experiment = PolicyComparisonExperiment(
+                    scenario, policies, baseline=policies[0].name,
+                    num_jobs=args.num_jobs,
+                )
+                metrics = ReplicationRunner(experiment).run(
+                    args.replications, base_seed=args.seed, jobs=args.jobs
+                )
+                output = (
+                    f"Scenario {args.scenario} — {args.replications} replications (95% CI)\n"
+                    + format_rows(interval_rows(metrics))
+                )
+            else:
+                comparison = run_policies(scenario, policies, baseline=policies[0].name,
+                                          seed=args.seed, num_jobs=args.num_jobs,
+                                          jobs=args.jobs)
+                output = format_comparison(comparison, f"Scenario {args.scenario}")
         elif args.command == "sweep":
             scenario = SCENARIOS[args.scenario]()
-            rows = drop_ratio_sweep(scenario, args.ratios, num_jobs=args.jobs, seed=args.seed)
+            if args.replications > 1:
+                experiment = RowSweepExperiment(
+                    drop_ratio_sweep,
+                    {"scenario": scenario, "drop_ratios": args.ratios,
+                     "num_jobs": args.num_jobs},
+                )
+                rows = replicate_rows(experiment, args.replications,
+                                      base_seed=args.seed, jobs=args.jobs)
+            else:
+                rows = drop_ratio_sweep(scenario, args.ratios, num_jobs=args.num_jobs,
+                                        seed=args.seed, jobs=args.jobs)
             output = format_rows(rows)
         elif args.command == "load-sweep":
             scenario = SCENARIOS[args.scenario]()
-            rows = load_sweep(scenario, args.utilisations, num_jobs=args.jobs, seed=args.seed)
+            if args.replications > 1:
+                experiment = RowSweepExperiment(
+                    load_sweep,
+                    {"scenario": scenario, "utilisations": args.utilisations,
+                     "num_jobs": args.num_jobs},
+                )
+                rows = replicate_rows(experiment, args.replications,
+                                      base_seed=args.seed, jobs=args.jobs)
+            else:
+                rows = load_sweep(scenario, args.utilisations, num_jobs=args.num_jobs,
+                                  seed=args.seed, jobs=args.jobs)
             output = format_rows(rows)
         elif args.command == "fleet":
             output = _run_fleet(args)

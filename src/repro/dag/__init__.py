@@ -39,7 +39,7 @@ from repro.dag.schedulers import (
     WidestFirstScheduler,
     make_stage_scheduler,
 )
-from repro.dag.simulation import DagSimulation, DagSimulationResult, run_dag_policy
+from repro.dag.simulation import DagSimulation, DagSimulationResult, replicate_dag, run_dag_policy
 
 __all__ = [
     "CriticalPathAnalysis",
@@ -61,5 +61,6 @@ __all__ = [
     "make_stage_scheduler",
     "DagSimulation",
     "DagSimulationResult",
+    "replicate_dag",
     "run_dag_policy",
 ]

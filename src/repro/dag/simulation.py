@@ -299,6 +299,36 @@ class DagSimulation:
             self.energy_meter.set_mode(mode, self.sim.now)
 
 
+def replicate_dag(
+    scenario,
+    policy: SchedulingPolicy,
+    replications: int,
+    scheduler: Union[str, StageScheduler] = "fifo",
+    slack_biased: bool = False,
+    base_seed: int = 0,
+    jobs: int = 1,
+):
+    """Replicate one DAG configuration over independent seeds.
+
+    Each replication regenerates the scenario's DAG-job trace from its
+    :func:`~repro.simulation.replication.replication_seed` and runs a fresh
+    :class:`DagSimulation`, collecting makespan/latency/energy headline
+    metrics.  ``jobs`` fans the replications across worker processes with
+    metrics bitwise-identical to a serial run.  Returns
+    ``{metric_name: ReplicatedMetric}``.
+    """
+    from repro.experiments.parallel import DagExperiment
+    from repro.simulation.replication import ReplicationRunner
+
+    experiment = DagExperiment(
+        scenario=scenario,
+        policy=policy,
+        scheduler=scheduler if isinstance(scheduler, str) else scheduler.name,
+        slack_biased=slack_biased,
+    )
+    return ReplicationRunner(experiment).run(replications, base_seed=base_seed, jobs=jobs)
+
+
 def run_dag_policy(
     policy: SchedulingPolicy,
     jobs: Sequence[DagJob],

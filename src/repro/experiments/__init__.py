@@ -7,6 +7,8 @@
 * :mod:`repro.experiments.tables` — Table 2 (queueing/execution decomposition).
 * :mod:`repro.experiments.reporting` — plain-text rendering of results in the
   same rows/series the paper reports.
+* :mod:`repro.experiments.parallel` — process-pool fan-out of replications,
+  sweep points and policy runs with bitwise serial/parallel equivalence.
 """
 
 from repro.experiments.harness import PolicyComparison, measure_processing_time, run_policies
@@ -20,11 +22,23 @@ from repro.experiments.figures import (
     figure10_triangle_count,
     figure11_dias_sprinting,
 )
+from repro.experiments.parallel import (
+    DagExperiment,
+    FleetExperiment,
+    ParallelRunner,
+    PolicyComparisonExperiment,
+    parallel_map,
+)
 from repro.experiments.sweeps import drop_ratio_sweep, load_sweep, priority_mix_sweep
 from repro.experiments.tables import table2_latency_decomposition
 from repro.experiments.reporting import format_comparison, format_figure, format_rows
 
 __all__ = [
+    "DagExperiment",
+    "FleetExperiment",
+    "ParallelRunner",
+    "PolicyComparisonExperiment",
+    "parallel_map",
     "drop_ratio_sweep",
     "load_sweep",
     "priority_mix_sweep",

@@ -75,6 +75,26 @@ class PolicyComparison:
         return rows
 
 
+def _run_single_policy(payload) -> SimulationResult:
+    """Run one policy on a shared trace (module-level so it can cross processes).
+
+    Each policy run builds its own fresh :class:`Cluster` from the scenario's
+    immutable config/DVFS/power specs and is seeded identically to the serial
+    path, so running policies in parallel preserves common random numbers and
+    produces bitwise-identical metrics.
+    """
+    policy, trace, config, dvfs, power_model, accuracy_model, seed = payload
+    cluster = Cluster(config=config, dvfs=dvfs, power_model=power_model)
+    simulation = DiASSimulation(
+        policy=policy,
+        jobs=trace,
+        cluster=cluster,
+        accuracy_model=accuracy_model,
+        seed=seed,
+    )
+    return simulation.run()
+
+
 def run_policies(
     scenario: Scenario,
     policies: Sequence[SchedulingPolicy],
@@ -82,26 +102,35 @@ def run_policies(
     seed: int = 0,
     num_jobs: Optional[int] = None,
     accuracy_model: Optional[AccuracyModel] = None,
+    jobs: int = 1,
 ) -> PolicyComparison:
-    """Run every policy on one common trace generated from ``scenario``."""
+    """Run every policy on one common trace generated from ``scenario``.
+
+    ``jobs`` fans the (independent) per-policy runs across worker processes;
+    results are keyed back by policy in input order, so the comparison is
+    bitwise-identical to a serial run.
+    """
+    from repro.experiments.parallel import parallel_map
+
     if not policies:
         raise ValueError("at least one policy is required")
     trace = scenario.generate_trace(seed=seed, num_jobs=num_jobs)
-    results: Dict[str, SimulationResult] = {}
-    for policy in policies:
-        cluster = Cluster(
-            config=scenario.cluster.config,
-            dvfs=scenario.cluster.dvfs,
-            power_model=scenario.cluster.power_model,
+    payloads = [
+        (
+            policy,
+            trace,
+            scenario.cluster.config,
+            scenario.cluster.dvfs,
+            scenario.cluster.power_model,
+            accuracy_model,
+            seed,
         )
-        simulation = DiASSimulation(
-            policy=policy,
-            jobs=trace,
-            cluster=cluster,
-            accuracy_model=accuracy_model,
-            seed=seed,
-        )
-        results[policy.name] = simulation.run()
+        for policy in policies
+    ]
+    outcomes = parallel_map(_run_single_policy, payloads, jobs=jobs)
+    results: Dict[str, SimulationResult] = {
+        policy.name: outcome for policy, outcome in zip(policies, outcomes)
+    }
     baseline_name = baseline if baseline is not None else policies[0].name
     if baseline_name not in results:
         raise ValueError(f"baseline policy {baseline_name!r} was not among the policies run")

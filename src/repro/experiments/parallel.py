@@ -1,0 +1,292 @@
+"""Parallel experiment execution engine.
+
+Replications, sweep points and policy runs are *embarrassingly parallel*:
+each unit of work is a pure function of its inputs (scenario, policy, seed),
+with all randomness rooted in the seed via
+:class:`~repro.simulation.random_streams.RandomStreams`.  This module fans
+such units across a :class:`concurrent.futures.ProcessPoolExecutor` while
+guaranteeing **bitwise-identical results to serial execution**:
+
+* seeds are partitioned deterministically up front
+  (:func:`~repro.simulation.replication.replication_seed`), never drawn from
+  shared state, so common random numbers (CRN) are preserved;
+* results are folded back in submission order, regardless of which worker
+  finishes first;
+* ``jobs=1`` short-circuits to an in-process loop over the *same* work
+  function, so the serial path and the parallel path cannot drift apart.
+
+Work functions must be picklable (module-level callables or instances of
+module-level classes); closures raise a descriptive error rather than an
+opaque pickling traceback.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.simulation.replication import ReplicatedMetric, ReplicationRunner
+
+
+def validate_jobs(jobs: int) -> int:
+    """Validate a worker-process count; raises ``ValueError`` below 1."""
+    if jobs is None or int(jobs) != jobs or jobs < 1:
+        raise ValueError(
+            f"jobs must be an integer >= 1 (the number of worker processes), got {jobs!r}"
+        )
+    return int(jobs)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any], items: Iterable[Any], jobs: int = 1
+) -> List[Any]:
+    """Map ``fn`` over ``items`` on ``jobs`` processes, preserving order.
+
+    With ``jobs=1`` (or fewer than two items) this is a plain in-process
+    loop, so serial callers run the exact same code path as parallel ones.
+    Results are returned in input order; the output is therefore independent
+    of worker scheduling.
+    """
+    validate_jobs(jobs)
+    work = list(items)
+    if jobs == 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        pickle.dumps(fn)
+    except Exception as error:
+        raise ValueError(
+            "the work function must be picklable to fan out across processes "
+            "(use a module-level function or class instance, not a closure): "
+            f"{error}"
+        ) from error
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        futures = [pool.submit(fn, item) for item in work]
+        return [future.result() for future in futures]
+
+
+class ParallelRunner:
+    """Fans independent experiment units across a process pool.
+
+    A thin, reusable handle around :func:`parallel_map` with a fixed worker
+    count — convenient when one component runs several fan-outs at the same
+    parallelism.  The CLI and the ``jobs=`` parameters of
+    :class:`ReplicationRunner`, :func:`repro.experiments.harness.run_policies`
+    and the sweep helpers call :func:`parallel_map` directly; both routes
+    share the same validation and ordering guarantees.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = validate_jobs(jobs)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        return parallel_map(fn, items, jobs=self.jobs)
+
+    def run_replications(
+        self,
+        experiment: Callable[[int], Dict[str, float]],
+        replications: int,
+        base_seed: int = 0,
+    ) -> Dict[str, ReplicatedMetric]:
+        """Run a seed->metrics experiment ``replications`` times in parallel."""
+        runner = ReplicationRunner(experiment)
+        return runner.run(replications, base_seed=base_seed, jobs=self.jobs)
+
+
+# --------------------------------------------------------------------------
+# Picklable experiment adapters (module-level classes so instances can cross
+# the process boundary; lazy imports avoid import cycles with the layers that
+# call back into this module).
+# --------------------------------------------------------------------------
+class PolicyComparisonExperiment:
+    """Seed -> flat metrics of a multi-policy comparison on one scenario.
+
+    Produces, per policy and priority, the mean/tail response times plus the
+    fleet-level waste/energy — the quantities the paper's bar charts report —
+    keyed ``"<policy>/p<priority>/<metric>"``.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        policies: Sequence,
+        baseline: Optional[str] = None,
+        num_jobs: Optional[int] = None,
+        accuracy_model=None,
+    ) -> None:
+        self.scenario = scenario
+        self.policies = list(policies)
+        self.baseline = baseline
+        self.num_jobs = num_jobs
+        self.accuracy_model = accuracy_model
+
+    def __call__(self, seed: int) -> Dict[str, float]:
+        from repro.experiments.harness import run_policies
+
+        comparison = run_policies(
+            self.scenario,
+            self.policies,
+            baseline=self.baseline,
+            seed=seed,
+            num_jobs=self.num_jobs,
+            accuracy_model=self.accuracy_model,
+        )
+        metrics: Dict[str, float] = {}
+        for name, result in comparison.results.items():
+            for priority in comparison.priorities:
+                prefix = f"{name}/p{priority}"
+                metrics[f"{prefix}/mean_response_s"] = result.mean_response_time(priority)
+                metrics[f"{prefix}/p95_response_s"] = result.tail_response_time(priority)
+            metrics[f"{name}/resource_waste_pct"] = 100.0 * result.resource_waste
+            metrics[f"{name}/energy_kj"] = result.total_energy_kilojoules
+        return metrics
+
+
+class FleetExperiment:
+    """Seed -> headline fleet metrics for one fleet scenario/router/policy."""
+
+    def __init__(
+        self,
+        scenario,
+        policy,
+        dispatcher: str = "round_robin",
+        power_of_d: Optional[int] = None,
+        sprint_budget: str = "per-cluster",
+    ) -> None:
+        self.scenario = scenario
+        self.policy = policy
+        self.dispatcher = dispatcher
+        self.power_of_d = power_of_d
+        self.sprint_budget = sprint_budget
+
+    def __call__(self, seed: int) -> Dict[str, float]:
+        from repro.fleet.simulation import FleetSimulation
+
+        trace = self.scenario.generate_trace(seed=seed)
+        simulation = FleetSimulation(
+            policy=self.policy,
+            jobs=trace,
+            clusters=self.scenario.make_clusters(),
+            dispatcher=self.dispatcher,
+            power_of_d=self.power_of_d,
+            seed=seed,
+            sprint_budget=self.sprint_budget,
+        )
+        return dict(simulation.run().summary())
+
+
+class DagExperiment:
+    """Seed -> headline DAG metrics for one DAG scenario/scheduler/policy."""
+
+    def __init__(
+        self,
+        scenario,
+        policy,
+        scheduler: str = "fifo",
+        slack_biased: bool = False,
+    ) -> None:
+        self.scenario = scenario
+        self.policy = policy
+        self.scheduler = scheduler
+        self.slack_biased = slack_biased
+
+    def __call__(self, seed: int) -> Dict[str, float]:
+        from repro.dag.simulation import DagSimulation
+        from repro.engine.cluster import Cluster
+
+        # Build a fresh cluster per replication from the scenario's immutable
+        # specs: Cluster carries run state (sprinting mode), and sharing one
+        # instance across in-process replications would let run N leak state
+        # into run N+1 — breaking bitwise serial/parallel equivalence.
+        source = self.scenario.cluster
+        cluster = Cluster(
+            config=source.config, dvfs=source.dvfs, power_model=source.power_model
+        )
+        trace = self.scenario.generate_trace(seed=seed)
+        simulation = DagSimulation(
+            policy=self.policy,
+            jobs=trace,
+            scheduler=self.scheduler,
+            cluster=cluster,
+            seed=seed,
+            slack_biased=self.slack_biased,
+        )
+        result = simulation.run()
+        return {
+            "completed_jobs": float(result.completed_jobs),
+            "mean_makespan_s": result.mean_makespan(),
+            "mean_cp_stretch": result.mean_critical_path_stretch(),
+            "mean_response_s": result.mean_response_time(),
+            "p95_response_s": result.tail_response_time(),
+            "resource_waste_pct": 100.0 * result.resource_waste,
+            "energy_kj": result.total_energy_kilojoules,
+        }
+
+
+class RowSweepExperiment:
+    """Seed -> row list of one sweep function (picklable wrapper for sweeps)."""
+
+    def __init__(self, sweep: Callable[..., List[Dict[str, float]]], kwargs: Mapping[str, Any]) -> None:
+        self.sweep = sweep
+        self.kwargs = dict(kwargs)
+
+    def __call__(self, seed: int) -> List[Dict[str, float]]:
+        return self.sweep(seed=seed, **self.kwargs)
+
+
+def replicate_rows(
+    row_experiment: Callable[[int], List[Dict[str, float]]],
+    replications: int,
+    base_seed: int = 0,
+    jobs: int = 1,
+) -> List[Dict[str, float]]:
+    """Replicate a row-producing experiment and average numeric columns.
+
+    Runs ``row_experiment`` once per :func:`replication_seed`, aligns the
+    returned row lists positionally (every replication must produce the same
+    row shape), averages numeric fields across replications, and annotates
+    each row with the replication count.  Non-numeric fields are taken from
+    the first replication.
+    """
+    from repro.simulation.replication import replication_seed
+
+    if replications <= 0:
+        raise ValueError("replications must be positive")
+    seeds = [replication_seed(base_seed, index) for index in range(replications)]
+    per_seed_rows = parallel_map(row_experiment, seeds, jobs=jobs)
+    first = per_seed_rows[0]
+    if any(len(rows) != len(first) for rows in per_seed_rows[1:]):
+        raise ValueError("every replication must produce the same number of rows")
+    averaged: List[Dict[str, float]] = []
+    for row_index, template in enumerate(first):
+        row: Dict[str, float] = {}
+        for key, value in template.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                row[key] = value
+                continue
+            row[key] = sum(
+                rows[row_index][key] for rows in per_seed_rows
+            ) / replications
+        row["replications"] = float(replications)
+        averaged.append(row)
+    return averaged
+
+
+def interval_rows(
+    metrics: Mapping[str, ReplicatedMetric], confidence: float = 0.95
+) -> List[Dict[str, float]]:
+    """Render replicated metrics as mean +/- half-width rows for reporting."""
+    rows: List[Dict[str, float]] = []
+    for name, metric in metrics.items():
+        interval = metric.interval(confidence)
+        rows.append(
+            {
+                "metric": name,
+                "mean": interval.mean,
+                "half_width": interval.half_width,
+                "lower": interval.lower,
+                "upper": interval.upper,
+                "replications": float(interval.replications),
+            }
+        )
+    return rows

@@ -6,16 +6,53 @@ evolve as θ grows?" or "at which load does non-preemptive scheduling start to
 hurt the high class?".  These helpers run such sweeps on a common methodology
 (fresh trace per point, same seed across policies within a point) and return
 flat row dictionaries ready for :func:`repro.experiments.reporting.format_rows`.
+
+Every sweep point is an independent simulation, so each helper accepts
+``jobs``: points fan out across a process pool via
+:func:`repro.experiments.parallel.parallel_map` and rows are assembled in
+sweep order, making the parallel output bitwise-identical to the serial one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.policies import SchedulingPolicy
 from repro.experiments.harness import run_policies
+from repro.experiments.parallel import parallel_map
 from repro.models.accuracy import AccuracyModel
 from repro.workloads.scenarios import Scenario
+
+
+def _drop_ratio_point(payload) -> Dict[str, float]:
+    """One θ point of :func:`drop_ratio_sweep` (module-level: picklable)."""
+    scenario, theta, target, accuracy, num_jobs, seed = payload
+    policies = [SchedulingPolicy.preemptive_priority()]
+    if theta > 0:
+        policy = SchedulingPolicy.differential_approximation(
+            {p: (theta if p == target else 0.0) for p in scenario.priorities}
+        )
+    else:
+        policy = SchedulingPolicy.non_preemptive_priority()
+    policies.append(policy)
+    comparison = run_policies(scenario, policies, baseline="P", seed=seed,
+                              num_jobs=num_jobs, accuracy_model=accuracy)
+    result = comparison.result(policy.name)
+    return {
+        "drop_ratio": float(theta),
+        "policy": policy.name,
+        "low_mean_s": result.mean_response_time(scenario.lowest_priority),
+        "low_diff_pct": comparison.relative_difference(
+            policy.name, scenario.lowest_priority, "mean"
+        ),
+        "low_tail_diff_pct": comparison.relative_difference(
+            policy.name, scenario.lowest_priority, "tail"
+        ),
+        "high_diff_pct": comparison.relative_difference(
+            policy.name, scenario.highest_priority, "mean"
+        ),
+        "accuracy_loss_pct": 100.0 * accuracy.error(min(theta, 1.0)),
+    }
 
 
 def drop_ratio_sweep(
@@ -25,43 +62,42 @@ def drop_ratio_sweep(
     num_jobs: Optional[int] = None,
     seed: int = 0,
     accuracy_model: Optional[AccuracyModel] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, float]]:
     """Sweep the low-priority drop ratio and report the latency/accuracy trade-off.
 
     For every θ the sweep runs P (baseline) and DA with θ applied to
     ``priority`` (default: the scenario's lowest class), on a common trace per
-    sweep point.
+    sweep point.  ``jobs`` runs sweep points on that many worker processes.
     """
     target = priority if priority is not None else scenario.lowest_priority
     accuracy = accuracy_model or AccuracyModel.paper_default()
+    payloads = [
+        (scenario, theta, target, accuracy, num_jobs, seed) for theta in drop_ratios
+    ]
+    return parallel_map(_drop_ratio_point, payloads, jobs=jobs)
+
+
+def _load_point(payload) -> List[Dict[str, float]]:
+    """One utilisation point of :func:`load_sweep` (module-level: picklable)."""
+    scenario, utilisation, policies, num_jobs, seed = payload
+    point = scenario.with_utilisation(utilisation)
+    comparison = run_policies(point, policies, baseline=policies[0].name,
+                              seed=seed, num_jobs=num_jobs)
     rows: List[Dict[str, float]] = []
-    for theta in drop_ratios:
-        policies = [SchedulingPolicy.preemptive_priority()]
-        if theta > 0:
-            policy = SchedulingPolicy.differential_approximation(
-                {p: (theta if p == target else 0.0) for p in scenario.priorities}
-            )
-        else:
-            policy = SchedulingPolicy.non_preemptive_priority()
-        policies.append(policy)
-        comparison = run_policies(scenario, policies, baseline="P", seed=seed,
-                                  num_jobs=num_jobs, accuracy_model=accuracy)
+    for policy in policies:
         result = comparison.result(policy.name)
         rows.append(
             {
-                "drop_ratio": float(theta),
+                "utilisation": float(utilisation),
                 "policy": policy.name,
-                "low_mean_s": result.mean_response_time(scenario.lowest_priority),
+                "high_mean_s": result.mean_response_time(point.highest_priority),
+                "low_mean_s": result.mean_response_time(point.lowest_priority),
                 "low_diff_pct": comparison.relative_difference(
-                    policy.name, scenario.lowest_priority, "mean"
+                    policy.name, point.lowest_priority, "mean"
                 ),
-                "low_tail_diff_pct": comparison.relative_difference(
-                    policy.name, scenario.lowest_priority, "tail"
-                ),
-                "high_diff_pct": comparison.relative_difference(
-                    policy.name, scenario.highest_priority, "mean"
-                ),
-                "accuracy_loss_pct": 100.0 * accuracy.error(min(theta, 1.0)),
+                "resource_waste_pct": 100.0 * result.resource_waste,
+                "energy_kj": result.total_energy_kilojoules,
             }
         )
     return rows
@@ -73,6 +109,7 @@ def load_sweep(
     policies: Optional[Sequence[SchedulingPolicy]] = None,
     num_jobs: Optional[int] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[Dict[str, float]]:
     """Sweep the target utilisation and compare policies at every load."""
     if policies is None:
@@ -84,27 +121,56 @@ def load_sweep(
                  for p in scenario.priorities}
             ),
         ]
+    policies = list(policies)
+    payloads = [
+        (scenario, utilisation, policies, num_jobs, seed)
+        for utilisation in utilisations
+    ]
     rows: List[Dict[str, float]] = []
-    for utilisation in utilisations:
-        point = scenario.with_utilisation(utilisation)
-        comparison = run_policies(point, policies, baseline=policies[0].name,
-                                  seed=seed, num_jobs=num_jobs)
-        for policy in policies:
-            result = comparison.result(policy.name)
-            rows.append(
-                {
-                    "utilisation": float(utilisation),
-                    "policy": policy.name,
-                    "high_mean_s": result.mean_response_time(point.highest_priority),
-                    "low_mean_s": result.mean_response_time(point.lowest_priority),
-                    "low_diff_pct": comparison.relative_difference(
-                        policy.name, point.lowest_priority, "mean"
-                    ),
-                    "resource_waste_pct": 100.0 * result.resource_waste,
-                    "energy_kj": result.total_energy_kilojoules,
-                }
-            )
+    for point_rows in parallel_map(_load_point, payloads, jobs=jobs):
+        rows.extend(point_rows)
     return rows
+
+
+def _priority_mix_point(payload) -> Dict[str, float]:
+    """One mix point of :func:`priority_mix_sweep` (module-level: picklable)."""
+    scenario, fraction, drop_ratio, num_jobs, seed = payload
+    mix = {
+        scenario.highest_priority: fraction,
+        scenario.lowest_priority: 1.0 - fraction,
+    }
+    point = Scenario(
+        name=f"{scenario.name}-high{fraction:.0%}",
+        description=scenario.description,
+        profiles={p: scenario.profiles[p] for p in mix},
+        class_ratio=mix,
+        target_utilisation=scenario.target_utilisation,
+        num_jobs=scenario.num_jobs,
+        cluster=scenario.cluster,
+    )
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation(
+            {p: (drop_ratio if p == point.lowest_priority else 0.0)
+             for p in point.priorities}
+        ),
+    ]
+    comparison = run_policies(point, policies, baseline="P", seed=seed,
+                              num_jobs=num_jobs)
+    da_name = policies[1].name
+    return {
+        "high_fraction": float(fraction),
+        "low_diff_pct": comparison.relative_difference(
+            da_name, point.lowest_priority, "mean"
+        ),
+        "low_tail_diff_pct": comparison.relative_difference(
+            da_name, point.lowest_priority, "tail"
+        ),
+        "high_diff_pct": comparison.relative_difference(
+            da_name, point.highest_priority, "mean"
+        ),
+        "resource_waste_pct": 100.0 * comparison.result("P").resource_waste,
+    }
 
 
 def priority_mix_sweep(
@@ -113,50 +179,14 @@ def priority_mix_sweep(
     drop_ratio: float = 0.2,
     num_jobs: Optional[int] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[Dict[str, float]]:
     """Sweep the fraction of high-priority arrivals (the Fig. 8b axis)."""
-    from repro.workloads.scenarios import Scenario as _Scenario
-
-    rows: List[Dict[str, float]] = []
     for fraction in high_fractions:
         if not 0.0 < fraction < 1.0:
             raise ValueError("high_fractions must be strictly between 0 and 1")
-        mix = {
-            scenario.highest_priority: fraction,
-            scenario.lowest_priority: 1.0 - fraction,
-        }
-        point = _Scenario(
-            name=f"{scenario.name}-high{fraction:.0%}",
-            description=scenario.description,
-            profiles={p: scenario.profiles[p] for p in mix},
-            class_ratio=mix,
-            target_utilisation=scenario.target_utilisation,
-            num_jobs=scenario.num_jobs,
-            cluster=scenario.cluster,
-        )
-        policies = [
-            SchedulingPolicy.preemptive_priority(),
-            SchedulingPolicy.differential_approximation(
-                {p: (drop_ratio if p == point.lowest_priority else 0.0)
-                 for p in point.priorities}
-            ),
-        ]
-        comparison = run_policies(point, policies, baseline="P", seed=seed,
-                                  num_jobs=num_jobs)
-        da_name = policies[1].name
-        rows.append(
-            {
-                "high_fraction": float(fraction),
-                "low_diff_pct": comparison.relative_difference(
-                    da_name, point.lowest_priority, "mean"
-                ),
-                "low_tail_diff_pct": comparison.relative_difference(
-                    da_name, point.lowest_priority, "tail"
-                ),
-                "high_diff_pct": comparison.relative_difference(
-                    da_name, point.highest_priority, "mean"
-                ),
-                "resource_waste_pct": 100.0 * comparison.result("P").resource_waste,
-            }
-        )
-    return rows
+    payloads = [
+        (scenario, fraction, drop_ratio, num_jobs, seed)
+        for fraction in high_fractions
+    ]
+    return parallel_map(_priority_mix_point, payloads, jobs=jobs)

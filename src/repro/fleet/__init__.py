@@ -26,7 +26,7 @@ from repro.fleet.dispatcher import (
     make_dispatcher,
 )
 from repro.fleet.result import FleetResult
-from repro.fleet.simulation import FleetSimulation, run_fleet
+from repro.fleet.simulation import FleetSimulation, replicate_fleet, run_fleet
 
 __all__ = [
     "BUDGET_MODES",
@@ -42,5 +42,6 @@ __all__ = [
     "make_dispatcher",
     "FleetResult",
     "FleetSimulation",
+    "replicate_fleet",
     "run_fleet",
 ]

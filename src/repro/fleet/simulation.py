@@ -173,6 +173,38 @@ class FleetSimulation:
         self.controllers[index].submit(job)
 
 
+def replicate_fleet(
+    scenario,
+    policy: SchedulingPolicy,
+    replications: int,
+    dispatcher: Union[Dispatcher, str] = "round_robin",
+    power_of_d: Optional[int] = None,
+    sprint_budget: str = "per-cluster",
+    base_seed: int = 0,
+    jobs: int = 1,
+):
+    """Replicate one fleet configuration over independent seeds.
+
+    Each replication regenerates the scenario trace from its
+    :func:`~repro.simulation.replication.replication_seed` and runs a fresh
+    :class:`FleetSimulation`, collecting the headline fleet metrics
+    (:meth:`~repro.fleet.result.FleetResult.summary`).  ``jobs`` fans the
+    replications across worker processes with metrics bitwise-identical to a
+    serial run.  Returns ``{metric_name: ReplicatedMetric}``.
+    """
+    from repro.experiments.parallel import FleetExperiment
+    from repro.simulation.replication import ReplicationRunner
+
+    experiment = FleetExperiment(
+        scenario=scenario,
+        policy=policy,
+        dispatcher=dispatcher,
+        power_of_d=power_of_d,
+        sprint_budget=sprint_budget,
+    )
+    return ReplicationRunner(experiment).run(replications, base_seed=base_seed, jobs=jobs)
+
+
 def run_fleet(
     policy: SchedulingPolicy,
     jobs: Sequence[Job],

@@ -26,6 +26,7 @@ from repro.simulation.replication import (
     ConfidenceInterval,
     ReplicationRunner,
     confidence_interval,
+    replication_seed,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "ConfidenceInterval",
     "ReplicationRunner",
     "confidence_interval",
+    "replication_seed",
 ]

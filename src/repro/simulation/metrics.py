@@ -9,27 +9,36 @@ summary statistics the paper reports:
   percentage of total processing time (§5.1),
 * total energy consumed (Fig. 11c),
 * accuracy loss per class (from the applied drop ratios).
+
+Performance notes
+-----------------
+Summary queries are served from caches: job records are partitioned per
+priority class once, and each metric's value list is sorted once, with both
+caches invalidated whenever a new job is recorded.  Repeated
+``mean``/``tail``/``class_metrics`` queries therefore cost one sort per
+(class, metric) per collector *generation* instead of one sort per call.
+
+For million-job runs the collector also supports an opt-in **streaming mode**
+(``MetricsCollector(streaming=True)``) that retains no per-job records:
+means/variances are tracked online (Welford) and percentiles are estimated
+with the P² algorithm (Jain & Chlamtac, 1985) in O(1) memory per quantile.
+Streaming summaries are approximations of the tails (exact for the mean,
+count, max and totals); record-level accessors raise in streaming mode.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
-
-    Implemented locally (rather than via numpy) so metric summaries stay
-    dependency-light and behave identically on lists and tuples.  Raises
-    ``ValueError`` on empty input.
-    """
-    if not values:
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence."""
+    if not ordered:
         raise ValueError("cannot compute a percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be within [0, 100], got {q!r}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -39,6 +48,161 @@ def percentile(values: Sequence[float], q: float) -> float:
         return float(ordered[low])
     frac = rank - low
     return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+
+    Implemented locally (rather than via numpy) so metric summaries stay
+    dependency-light and behave identically on lists and tuples.  Raises
+    ``ValueError`` on empty input.  Sorts its input; callers holding an
+    already-sorted sequence should go through the collector's cached
+    summaries instead of re-sorting per call.
+    """
+    if not values:
+        raise ValueError("cannot compute a percentile of an empty sequence")
+    return _percentile_of_sorted(sorted(values), q)
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac).
+
+    Tracks five markers whose heights approximate the ``p``-quantile without
+    retaining observations.  Exact for the first five samples; afterwards the
+    middle marker is a piecewise-parabolic estimate of the quantile.
+    """
+
+    __slots__ = ("p", "_count", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p!r}")
+        self.p = p
+        self._count = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        heights = self._heights
+        if self._count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # Locate the marker cell containing the observation.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        increments = self._increments
+        for i in range(5):
+            desired[i] += increments[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                direction = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._heights, self._positions
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate (``nan`` before any observation)."""
+        if self._count == 0:
+            return float("nan")
+        if self._count <= 5:
+            return _percentile_of_sorted(self._heights, 100.0 * self.p)
+        return float(self._heights[2])
+
+
+class OnlineStats:
+    """Online mean/variance (Welford) plus P² tail estimates for one metric."""
+
+    __slots__ = ("count", "mean", "_m2", "maximum", "_quantiles")
+
+    TRACKED_QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.maximum = float("-inf")
+        self._quantiles = {p: P2Quantile(p) for p in self.TRACKED_QUANTILES}
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value > self.maximum:
+            self.maximum = value
+        for estimator in self._quantiles.values():
+            estimator.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``nan`` for fewer than two observations)."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    def quantile(self, q: float) -> float:
+        """Estimated percentile (``q`` in [0, 100]) for a tracked quantile."""
+        p = q / 100.0
+        for tracked, estimator in self._quantiles.items():
+            if math.isclose(tracked, p):
+                return estimator.value()
+        raise ValueError(
+            f"streaming statistics track only the "
+            f"{[100 * t for t in self.TRACKED_QUANTILES]} percentiles, got {q!r}"
+        )
+
+    def summary(self) -> "SummaryStatistics":
+        if self.count == 0:
+            return SummaryStatistics.empty()
+        return SummaryStatistics(
+            count=self.count,
+            mean=self.mean,
+            p50=self.quantile(50.0),
+            p95=self.quantile(95.0),
+            p99=self.quantile(99.0),
+            maximum=self.maximum,
+        )
 
 
 @dataclass
@@ -90,18 +254,29 @@ class SummaryStatistics:
     maximum: float
 
     @classmethod
+    def empty(cls) -> "SummaryStatistics":
+        return cls(count=0, mean=float("nan"), p50=float("nan"),
+                   p95=float("nan"), p99=float("nan"), maximum=float("nan"))
+
+    @classmethod
+    def from_sorted(cls, ordered: Sequence[float]) -> "SummaryStatistics":
+        """Summary of an already-sorted sample (single pass, no re-sorting)."""
+        if not ordered:
+            return cls.empty()
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile_of_sorted(ordered, 50),
+            p95=_percentile_of_sorted(ordered, 95),
+            p99=_percentile_of_sorted(ordered, 99),
+            maximum=float(ordered[-1]),
+        )
+
+    @classmethod
     def from_values(cls, values: Sequence[float]) -> "SummaryStatistics":
         if not values:
-            return cls(count=0, mean=float("nan"), p50=float("nan"),
-                       p95=float("nan"), p99=float("nan"), maximum=float("nan"))
-        return cls(
-            count=len(values),
-            mean=sum(values) / len(values),
-            p50=percentile(values, 50),
-            p95=percentile(values, 95),
-            p99=percentile(values, 99),
-            maximum=max(values),
-        )
+            return cls.empty()
+        return cls.from_sorted(sorted(values))
 
 
 @dataclass
@@ -147,23 +322,93 @@ class EnergyAccount:
             raise ValueError(f"unknown energy mode {mode!r}")
 
 
-class MetricsCollector:
-    """Collects per-job records and produces per-class and global summaries."""
+class _StreamingClassState:
+    """Online per-class aggregates for the streaming collector."""
+
+    __slots__ = ("response", "queueing", "execution", "loss_sum", "evictions", "wasted_time")
 
     def __init__(self) -> None:
+        self.response = OnlineStats()
+        self.queueing = OnlineStats()
+        self.execution = OnlineStats()
+        self.loss_sum = 0.0
+        self.evictions = 0
+        self.wasted_time = 0.0
+
+    def add(self, record: JobRecord) -> None:
+        self.response.add(record.response_time)
+        self.queueing.add(record.queueing_time)
+        self.execution.add(record.execution_time)
+        self.loss_sum += record.accuracy_loss
+        self.evictions += record.evictions
+        self.wasted_time += record.wasted_time
+
+    def to_class_metrics(self, priority: int) -> ClassMetrics:
+        count = self.response.count
+        return ClassMetrics(
+            priority=priority,
+            response_time=self.response.summary(),
+            queueing_time=self.queueing.summary(),
+            execution_time=self.execution.summary(),
+            accuracy_loss_mean=(self.loss_sum / count) if count else float("nan"),
+            evictions=self.evictions,
+            wasted_time=self.wasted_time,
+            job_count=count,
+        )
+
+
+class MetricsCollector:
+    """Collects per-job records and produces per-class and global summaries.
+
+    Parameters
+    ----------
+    streaming:
+        When ``True`` the collector keeps only O(1) online aggregates per
+        priority class instead of every :class:`JobRecord` — means, counts,
+        maxima and totals stay exact while percentiles become P² estimates.
+        Record-level accessors (:attr:`records`, :meth:`records_for_priority`,
+        :meth:`to_rows`, :meth:`merge`) raise ``RuntimeError`` in this mode.
+    """
+
+    def __init__(self, streaming: bool = False) -> None:
+        self._streaming = bool(streaming)
         self._records: List[JobRecord] = []
+        self._class_state: Dict[int, _StreamingClassState] = {}
+        self._global_response: Optional[OnlineStats] = OnlineStats() if streaming else None
+        self._job_count = 0
         self.energy = EnergyAccount()
         self._busy_time = 0.0
         self._wasted_time = 0.0
+        self._useful_time = 0.0
         self._observation_time = 0.0
+        # Batch-mode summary caches, invalidated on every record_job().
+        self._partitions: Optional[Dict[int, List[JobRecord]]] = None
+        self._sorted_cache: Dict[Tuple[Optional[int], str], List[float]] = {}
 
     # ----------------------------------------------------------- recording
+    @property
+    def streaming(self) -> bool:
+        return self._streaming
+
     def record_job(self, record: JobRecord) -> None:
         """Add one completed job."""
         if record.completion_time < record.arrival_time:
             raise ValueError("job completed before it arrived")
-        self._records.append(record)
+        self._job_count += 1
         self._wasted_time += record.wasted_time
+        self._useful_time += record.execution_time
+        if self._streaming:
+            state = self._class_state.get(record.priority)
+            if state is None:
+                state = self._class_state[record.priority] = _StreamingClassState()
+            state.add(record)
+            self._global_response.add(record.response_time)
+            return
+        self._records.append(record)
+        if self._partitions is not None:
+            self._partitions = None
+        if self._sorted_cache:
+            self._sorted_cache.clear()
 
     def record_busy_time(self, duration: float) -> None:
         """Account productive (non-wasted) engine busy time."""
@@ -176,32 +421,78 @@ class MetricsCollector:
         self._observation_time = float(duration)
 
     # ------------------------------------------------------------ accessors
+    def _require_records(self, operation: str) -> None:
+        if self._streaming:
+            raise RuntimeError(
+                f"a streaming MetricsCollector does not retain per-job records; "
+                f"{operation} is unavailable (construct with streaming=False)"
+            )
+
     @property
     def records(self) -> List[JobRecord]:
+        self._require_records("records")
         return list(self._records)
 
     @property
     def job_count(self) -> int:
-        return len(self._records)
+        return self._job_count
 
     def records_for_priority(self, priority: int) -> List[JobRecord]:
-        return [r for r in self._records if r.priority == priority]
+        self._require_records("records_for_priority")
+        return list(self._partition_map().get(priority, ()))
 
     def priorities(self) -> List[int]:
-        return sorted({r.priority for r in self._records})
+        if self._streaming:
+            return sorted(self._class_state)
+        return sorted(self._partition_map())
+
+    # ----------------------------------------------------- summary caches
+    def _partition_map(self) -> Dict[int, List[JobRecord]]:
+        """Per-class record partition, computed once per collector generation."""
+        partitions = self._partitions
+        if partitions is None:
+            partitions = {}
+            for record in self._records:
+                bucket = partitions.get(record.priority)
+                if bucket is None:
+                    bucket = partitions[record.priority] = []
+                bucket.append(record)
+            self._partitions = partitions
+        return partitions
+
+    def _sorted_values(self, priority: Optional[int], metric: str) -> List[float]:
+        """Sorted values of ``metric`` for one class (or all), sorted once."""
+        key = (priority, metric)
+        cached = self._sorted_cache.get(key)
+        if cached is None:
+            if priority is None:
+                records: Sequence[JobRecord] = self._records
+            else:
+                records = self._partition_map().get(priority, ())
+            cached = sorted(getattr(record, metric) for record in records)
+            self._sorted_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------ summaries
     def class_metrics(self, priority: int) -> ClassMetrics:
-        records = self.records_for_priority(priority)
-        responses = [r.response_time for r in records]
-        queueing = [r.queueing_time for r in records]
-        execution = [r.execution_time for r in records]
+        if self._streaming:
+            state = self._class_state.get(priority)
+            if state is None:
+                state = _StreamingClassState()
+            return state.to_class_metrics(priority)
+        records = self._partition_map().get(priority, [])
         losses = [r.accuracy_loss for r in records]
         return ClassMetrics(
             priority=priority,
-            response_time=SummaryStatistics.from_values(responses),
-            queueing_time=SummaryStatistics.from_values(queueing),
-            execution_time=SummaryStatistics.from_values(execution),
+            response_time=SummaryStatistics.from_sorted(
+                self._sorted_values(priority, "response_time")
+            ),
+            queueing_time=SummaryStatistics.from_sorted(
+                self._sorted_values(priority, "queueing_time")
+            ),
+            execution_time=SummaryStatistics.from_sorted(
+                self._sorted_values(priority, "execution_time")
+            ),
             accuracy_loss_mean=(sum(losses) / len(losses)) if losses else float("nan"),
             evictions=sum(r.evictions for r in records),
             wasted_time=sum(r.wasted_time for r in records),
@@ -213,12 +504,10 @@ class MetricsCollector:
 
     def resource_waste_fraction(self) -> float:
         """Wasted machine time over total (useful + wasted) processing time."""
-        useful = sum(r.execution_time for r in self._records)
-        wasted = self._wasted_time
-        total = useful + wasted
+        total = self._useful_time + self._wasted_time
         if total <= 0:
             return 0.0
-        return wasted / total
+        return self._wasted_time / total
 
     def utilisation(self) -> float:
         """Fraction of the observation window the engine was busy."""
@@ -227,20 +516,39 @@ class MetricsCollector:
         return (self._busy_time + self._wasted_time) / self._observation_time
 
     def mean_response_time(self, priority: Optional[int] = None) -> float:
-        records = self._records if priority is None else self.records_for_priority(priority)
-        if not records:
+        if self._streaming:
+            if priority is None:
+                stats = self._global_response
+            else:
+                state = self._class_state.get(priority)
+                stats = state.response if state is not None else None
+            if stats is None or stats.count == 0:
+                return float("nan")
+            return stats.mean
+        values = self._sorted_values(priority, "response_time")
+        if not values:
             return float("nan")
-        return sum(r.response_time for r in records) / len(records)
+        return sum(values) / len(values)
 
     def tail_response_time(self, priority: Optional[int] = None, q: float = 95.0) -> float:
-        records = self._records if priority is None else self.records_for_priority(priority)
-        if not records:
+        if self._streaming:
+            if priority is None:
+                stats = self._global_response
+            else:
+                state = self._class_state.get(priority)
+                stats = state.response if state is not None else None
+            if stats is None or stats.count == 0:
+                return float("nan")
+            return stats.quantile(q)
+        values = self._sorted_values(priority, "response_time")
+        if not values:
             return float("nan")
-        return percentile([r.response_time for r in records], q)
+        return _percentile_of_sorted(values, q)
 
     # --------------------------------------------------------------- export
     def to_rows(self) -> List[Dict[str, float]]:
         """Export per-job rows for reporting / CSV-style dumps."""
+        self._require_records("to_rows")
         rows = []
         for r in self._records:
             rows.append(
@@ -264,6 +572,7 @@ class MetricsCollector:
 
     def merge(self, other: "MetricsCollector") -> None:
         """Merge another collector's records (e.g. across replications)."""
+        self._require_records("merge")
         for record in other.records:
             self.record_job(record)
         self.energy.idle_joules += other.energy.idle_joules

@@ -17,6 +17,18 @@ from typing import Callable, Dict, List, Optional, Sequence
 from scipy import stats
 
 
+def replication_seed(base_seed: int, index: int) -> int:
+    """Seed of the ``index``-th replication rooted at ``base_seed``.
+
+    Seeds are spaced 1000 apart (plus the index itself, so distinct bases
+    never collide across shifted windows).  Centralising the formula keeps
+    serial and parallel execution — and every caller — on the *same* seed
+    sequence, which is what makes common-random-number comparisons and
+    bitwise serial/parallel equivalence possible.
+    """
+    return base_seed + 1000 * index + index
+
+
 @dataclass(frozen=True)
 class ConfidenceInterval:
     """A mean with a symmetric confidence half-width."""
@@ -84,21 +96,52 @@ class ReplicationRunner:
 
     The ``experiment`` callable receives a seed and returns a mapping of
     metric name to value (e.g. ``{"low_mean": 130.2, "high_mean": 58.1}``).
+
+    A runner is single-use: calling :meth:`run` or :meth:`run_until_precise`
+    a second time raises instead of silently mixing the metric samples of two
+    different runs.  Call :meth:`reset` (or build a fresh runner) to reuse.
+
+    Both entry points accept ``jobs``: with ``jobs > 1`` the independent
+    replications fan out across a process pool (each replication is a pure
+    function of its :func:`replication_seed`), and the collected metrics are
+    bitwise-identical to a serial run because outcomes are folded back in
+    replication-index order.
     """
 
     def __init__(self, experiment: Callable[[int], Dict[str, float]]) -> None:
         self.experiment = experiment
         self.metrics: Dict[str, ReplicatedMetric] = {}
+        self._consumed = False
 
-    def run(self, replications: int, base_seed: int = 0) -> Dict[str, ReplicatedMetric]:
-        """Run ``replications`` independent experiments."""
+    def reset(self) -> None:
+        """Discard collected metrics so the runner can be used again."""
+        self.metrics = {}
+        self._consumed = False
+
+    def _claim(self) -> None:
+        if self._consumed:
+            raise RuntimeError(
+                "this ReplicationRunner has already run; its metrics would mix "
+                "samples from multiple runs — call reset() or create a new runner"
+            )
+        self._consumed = True
+
+    def _record(self, outcome: Dict[str, float]) -> None:
+        for name, value in outcome.items():
+            self.metrics.setdefault(name, ReplicatedMetric(name)).add(value)
+
+    def run(
+        self, replications: int, base_seed: int = 0, jobs: int = 1
+    ) -> Dict[str, ReplicatedMetric]:
+        """Run ``replications`` independent experiments (``jobs`` in parallel)."""
         if replications <= 0:
             raise ValueError("replications must be positive")
-        for index in range(replications):
-            seed = base_seed + 1000 * index + index
-            outcome = self.experiment(seed)
-            for name, value in outcome.items():
-                self.metrics.setdefault(name, ReplicatedMetric(name)).add(value)
+        self._claim()
+        from repro.experiments.parallel import parallel_map
+
+        seeds = [replication_seed(base_seed, index) for index in range(replications)]
+        for outcome in parallel_map(self.experiment, seeds, jobs=jobs):
+            self._record(outcome)
         return self.metrics
 
     def intervals(self, confidence: float = 0.95) -> Dict[str, ConfidenceInterval]:
@@ -113,22 +156,33 @@ class ReplicationRunner:
         max_replications: int = 30,
         base_seed: int = 0,
         confidence: float = 0.95,
+        jobs: int = 1,
     ) -> ConfidenceInterval:
-        """Add replications until ``metric``'s relative half-width meets the target."""
+        """Add replications until ``metric``'s relative half-width meets the target.
+
+        With ``jobs > 1`` replications are evaluated in batches of ``jobs``,
+        but the stopping rule is still applied sample-by-sample in replication
+        order and surplus batch outcomes past the stopping point are
+        discarded, so the returned interval (and every collected sample) is
+        identical to a serial run.
+        """
         if not 0.0 < target_relative_half_width < 1.0:
             raise ValueError("target_relative_half_width must be in (0, 1)")
+        self._claim()
+        from repro.experiments.parallel import parallel_map
+
         count = 0
         while True:
-            seed = base_seed + 1000 * count + count
-            outcome = self.experiment(seed)
-            for name, value in outcome.items():
-                self.metrics.setdefault(name, ReplicatedMetric(name)).add(value)
-            count += 1
-            if metric not in self.metrics:
-                raise KeyError(f"the experiment does not produce metric {metric!r}")
-            if count >= min_replications:
-                interval = self.metrics[metric].interval(confidence)
-                if interval.relative_half_width <= target_relative_half_width:
-                    return interval
-            if count >= max_replications:
-                return self.metrics[metric].interval(confidence)
+            batch_size = max(1, min(jobs, max_replications - count))
+            seeds = [replication_seed(base_seed, count + k) for k in range(batch_size)]
+            for outcome in parallel_map(self.experiment, seeds, jobs=jobs):
+                self._record(outcome)
+                count += 1
+                if metric not in self.metrics:
+                    raise KeyError(f"the experiment does not produce metric {metric!r}")
+                if count >= min_replications:
+                    interval = self.metrics[metric].interval(confidence)
+                    if interval.relative_half_width <= target_relative_half_width:
+                        return interval
+                if count >= max_replications:
+                    return self.metrics[metric].interval(confidence)

@@ -1,0 +1,144 @@
+"""Tests for the parallel experiment execution engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.harness import run_policies
+from repro.experiments.parallel import (
+    ParallelRunner,
+    PolicyComparisonExperiment,
+    interval_rows,
+    parallel_map,
+    replicate_rows,
+    validate_jobs,
+)
+from repro.experiments.sweeps import drop_ratio_sweep
+from repro.simulation.replication import ReplicationRunner
+from repro.workloads import scenarios as scenario_module
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _tiny_experiment(seed: int):
+    """Module-level (picklable) experiment: deterministic function of the seed."""
+    return {"value": float(seed % 17), "constant": 3.0}
+
+
+def _row_experiment(seed: int):
+    return [{"label": "a", "value": float(seed)}, {"label": "b", "value": 2.0 * seed}]
+
+
+# -------------------------------------------------------------- parallel_map
+def test_parallel_map_serial_matches_plain_map():
+    items = list(range(10))
+    assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+
+
+def test_parallel_map_preserves_input_order_across_processes():
+    items = list(range(12))
+    assert parallel_map(_square, items, jobs=3) == [x * x for x in items]
+
+
+def test_parallel_map_rejects_invalid_jobs():
+    with pytest.raises(ValueError, match="jobs must be an integer >= 1"):
+        parallel_map(_square, [1], jobs=0)
+    with pytest.raises(ValueError):
+        validate_jobs(-2)
+
+
+def test_parallel_map_closure_raises_descriptive_error():
+    captured = []
+
+    def closure(x):  # pragma: no cover - never actually called
+        captured.append(x)
+        return x
+
+    with pytest.raises(ValueError, match="picklable"):
+        parallel_map(closure, [1, 2, 3], jobs=2)
+
+
+def test_parallel_runner_validates_and_maps():
+    runner = ParallelRunner(jobs=2)
+    assert runner.map(_square, [3, 4]) == [9, 16]
+    with pytest.raises(ValueError):
+        ParallelRunner(jobs=0)
+
+
+# -------------------------------------------------- replication fan-out
+def test_replication_runner_parallel_samples_bitwise_equal_to_serial():
+    serial = ReplicationRunner(_tiny_experiment).run(6, base_seed=5, jobs=1)
+    parallel = ReplicationRunner(_tiny_experiment).run(6, base_seed=5, jobs=2)
+    assert {k: m.samples for k, m in serial.items()} == {
+        k: m.samples for k, m in parallel.items()
+    }
+
+
+def test_parallel_runner_run_replications():
+    metrics = ParallelRunner(jobs=2).run_replications(_tiny_experiment, 4, base_seed=1)
+    assert len(metrics["value"].samples) == 4
+
+
+# ------------------------------------------------------- policy-level fan-out
+def test_run_policies_parallel_is_bitwise_identical():
+    scenario = scenario_module.reference_two_priority_scenario()
+    policies = [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation({0: 0.2, 2: 0.0}),
+    ]
+    serial = run_policies(scenario, policies, seed=3, num_jobs=40)
+    parallel = run_policies(scenario, policies, seed=3, num_jobs=40, jobs=2)
+    assert serial.policy_names() == parallel.policy_names()
+    for name in serial.policy_names():
+        assert (
+            serial.result(name).metrics.to_rows()
+            == parallel.result(name).metrics.to_rows()
+        )
+        assert (
+            serial.result(name).total_energy_joules
+            == parallel.result(name).total_energy_joules
+        )
+
+
+def test_drop_ratio_sweep_parallel_is_bitwise_identical():
+    scenario = scenario_module.reference_two_priority_scenario()
+    serial = drop_ratio_sweep(scenario, [0.0, 0.2], num_jobs=30, seed=1, jobs=1)
+    parallel = drop_ratio_sweep(scenario, [0.0, 0.2], num_jobs=30, seed=1, jobs=2)
+    assert serial == parallel
+
+
+# --------------------------------------------------------------- aggregation
+def test_replicate_rows_averages_numeric_columns():
+    rows = replicate_rows(_row_experiment, replications=3, base_seed=0, jobs=1)
+    seeds = [0, 1001, 2002]
+    assert rows[0]["label"] == "a"
+    assert rows[0]["value"] == pytest.approx(sum(seeds) / 3)
+    assert rows[1]["value"] == pytest.approx(2 * sum(seeds) / 3)
+    assert rows[0]["replications"] == 3.0
+
+
+def test_replicate_rows_validates_replications():
+    with pytest.raises(ValueError):
+        replicate_rows(_row_experiment, replications=0)
+
+
+def test_interval_rows_renders_bounds():
+    metrics = ReplicationRunner(_tiny_experiment).run(5, base_seed=0)
+    rows = interval_rows(metrics)
+    by_name = {row["metric"]: row for row in rows}
+    constant = by_name["constant"]
+    assert constant["mean"] == pytest.approx(3.0)
+    assert constant["half_width"] == pytest.approx(0.0)
+    assert constant["replications"] == 5.0
+
+
+def test_policy_comparison_experiment_produces_flat_metrics():
+    scenario = scenario_module.reference_two_priority_scenario()
+    policies = [SchedulingPolicy.preemptive_priority()]
+    experiment = PolicyComparisonExperiment(scenario, policies, num_jobs=25)
+    outcome = experiment(0)
+    assert any(key.endswith("mean_response_s") for key in outcome)
+    assert all(isinstance(value, float) for value in outcome.values())

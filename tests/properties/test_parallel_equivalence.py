@@ -1,0 +1,124 @@
+"""Serial/parallel equivalence and kernel-compaction order properties.
+
+The parallel engine promises *bitwise identical* metrics to serial execution
+for every experiment family (reference policy comparisons, fleet, DAG), and
+the kernel promises that heap compaction never changes the order in which
+surviving events fire.  These are the load-bearing invariants behind
+``--jobs N``; each test exercises one of them end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.dag.simulation import replicate_dag
+from repro.experiments.parallel import PolicyComparisonExperiment
+from repro.fleet.simulation import replicate_fleet
+from repro.simulation.des import Simulator
+from repro.simulation.replication import ReplicationRunner
+from repro.workloads import scenarios as scenario_module
+
+
+def _samples(metrics):
+    return {name: metric.samples for name, metric in metrics.items()}
+
+
+def _policy() -> SchedulingPolicy:
+    return SchedulingPolicy.differential_approximation({0: 0.2, 2: 0.0})
+
+
+def test_reference_comparison_parallel_equals_serial():
+    scenario = scenario_module.reference_two_priority_scenario()
+    policies = [SchedulingPolicy.preemptive_priority(), _policy()]
+    experiment = PolicyComparisonExperiment(scenario, policies, num_jobs=30)
+    serial = ReplicationRunner(experiment).run(4, base_seed=7, jobs=1)
+    parallel = ReplicationRunner(experiment).run(4, base_seed=7, jobs=2)
+    assert _samples(serial) == _samples(parallel)
+
+
+def test_fleet_replications_parallel_equals_serial():
+    scenario = scenario_module.fleet_two_priority_scenario(
+        num_clusters=2, num_jobs_per_cluster=12
+    )
+    policy = _policy()
+    serial = replicate_fleet(scenario, policy, 3, dispatcher="jsq", jobs=1)
+    parallel = replicate_fleet(scenario, policy, 3, dispatcher="jsq", jobs=2)
+    assert _samples(serial) == _samples(parallel)
+
+
+def test_dag_replications_parallel_equals_serial():
+    scenario = scenario_module.dag_layered_scenario(num_jobs=8)
+    policy = SchedulingPolicy.differential_approximation({1: 0.0, 0: 0.2})
+    serial = replicate_dag(
+        scenario, policy, 3, scheduler="critical_path_first", jobs=1
+    )
+    parallel = replicate_dag(
+        scenario, policy, 3, scheduler="critical_path_first", jobs=2
+    )
+    assert _samples(serial) == _samples(parallel)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_heap_compaction_never_reorders_surviving_events(seed):
+    """Fire order with aggressive compaction == fire order with none."""
+    rng = random.Random(seed)
+    waves = []
+    for wave in range(12):
+        waves.append(
+            [(rng.uniform(0.0, 100.0), rng.randrange(3), wave * 100 + i)
+             for i in range(100)]
+        )
+
+    def build(compaction_threshold):
+        sim = Simulator(compaction_threshold=compaction_threshold)
+        fired = []
+        previous_wave = []
+        for wave in waves:
+            # Cancel ~2/3 of the previous wave, then schedule the next one, so
+            # dead entries accumulate while scheduling continues (the pattern
+            # that triggers the watermark scan).
+            for event, index in previous_wave:
+                if index % 3 != 0:
+                    event.cancel()
+            previous_wave = []
+            for when, priority, index in wave:
+                event = sim.schedule(
+                    when,
+                    lambda s, index=index: fired.append((s.now, index)),
+                    priority=priority,
+                )
+                previous_wave.append((event, index))
+        sim.run()
+        return sim, fired
+
+    compacting, fired_compacting = build(compaction_threshold=8)
+    lazy, fired_lazy = build(compaction_threshold=None)
+    assert compacting.heap_compactions > 0, "compaction should have triggered"
+    assert lazy.heap_compactions == 0
+    assert fired_compacting == fired_lazy
+    assert compacting.processed_events == lazy.processed_events
+
+
+def test_compaction_bounds_heap_under_timeout_storm():
+    """Far-future cancelled timeouts must not bloat the heap unboundedly."""
+    sim = Simulator()
+    state = {"timeout": None, "count": 0}
+
+    def tick(s):
+        state["count"] += 1
+        if state["timeout"] is not None:
+            state["timeout"].cancel()
+        state["timeout"] = s.schedule(1e12, lambda s: None)
+        if state["count"] < 5000:
+            s.schedule(1.0, tick)
+        else:
+            s.stop()
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    assert sim.heap_compactions > 0
+    # One live timeout plus at most ~2x the compaction threshold of dead ones.
+    assert sim.pending_events < 3000

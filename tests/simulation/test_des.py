@@ -188,3 +188,58 @@ def test_heap_entries_are_flat_tuples():
     entry = sim._heap[0]
     assert entry == (3.0, 7, event.seq, event)
     assert entry[:3] == event.sort_key()
+
+
+def test_scheduled_events_counts_all_schedules():
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(float(i), lambda s: None)
+    assert sim.scheduled_events == 3
+    sim.run()
+    assert sim.processed_events == 3
+
+
+def test_compaction_disabled_keeps_lazy_behaviour():
+    sim = Simulator(compaction_threshold=None)
+    events = [sim.schedule(1.0, lambda s: None) for _ in range(200)]
+    for event in events:
+        event.cancel()
+    for i in range(200):
+        sim.schedule(2.0 + i, lambda s: None)
+    assert sim.heap_compactions == 0
+
+
+def test_compaction_drops_dead_entries_while_scheduling_continues():
+    sim = Simulator(compaction_threshold=16)
+    doomed = []
+    for i in range(300):
+        doomed.append(sim.schedule(1000.0 + i, lambda s: None))
+        if len(doomed) >= 10:
+            for event in doomed:
+                event.cancel()
+            doomed = []
+    assert sim.heap_compactions > 0
+    assert sim.pending_events < 300
+
+
+def test_cancel_after_firing_is_harmless():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda s: fired.append(s.now))
+    sim.run()
+    event.cancel()  # already fired; must not corrupt kernel state
+    sim.schedule(2.0, lambda s: fired.append(s.now))
+    sim.run()
+    assert fired == [1.0, 3.0]
+
+
+def test_run_with_max_events_skips_cancelled_without_counting_them():
+    sim = Simulator()
+    fired = []
+    cancelled = [sim.schedule(0.5, lambda s: None) for _ in range(50)]
+    for event in cancelled:
+        event.cancel()
+    for i in range(4):
+        sim.schedule(float(i + 1), lambda s, i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]

@@ -189,3 +189,119 @@ def test_tail_response_time_matches_percentile():
     assert collector.tail_response_time(q=95.0) == pytest.approx(
         percentile([float(i) for i in range(1, 101)], 95.0)
     )
+
+
+# ------------------------------------------------------------- cached summaries
+def test_summaries_update_after_new_records():
+    """The per-class caches must be invalidated by record_job."""
+    collector = MetricsCollector()
+    collector.record_job(make_record(job_id=0, completion=11.0))
+    assert collector.mean_response_time(0) == pytest.approx(11.0)
+    assert collector.class_metrics(0).response_time.count == 1
+    collector.record_job(make_record(job_id=1, completion=21.0))
+    assert collector.mean_response_time(0) == pytest.approx(16.0)
+    assert collector.class_metrics(0).response_time.count == 2
+    assert collector.tail_response_time(0, 50) == pytest.approx(16.0)
+
+
+def test_repeated_summary_queries_are_consistent():
+    collector = MetricsCollector()
+    for i in range(20):
+        collector.record_job(make_record(job_id=i, completion=float(10 + i)))
+    first = collector.class_metrics(0)
+    second = collector.class_metrics(0)
+    assert first == second
+    assert collector.mean_response_time(0) == first.response_time.mean
+
+
+# ------------------------------------------------------------------- streaming
+def _fill(collector, values, priority=0):
+    for i, value in enumerate(values):
+        collector.record_job(
+            make_record(job_id=i, priority=priority, completion=value, execution=1.0)
+        )
+
+
+def test_streaming_mean_count_max_are_exact():
+    import random
+
+    rng = random.Random(42)
+    values = [rng.uniform(1.0, 100.0) for _ in range(500)]
+    batch = MetricsCollector()
+    stream = MetricsCollector(streaming=True)
+    _fill(batch, values)
+    _fill(stream, values)
+    assert stream.job_count == batch.job_count == 500
+    assert stream.mean_response_time(0) == pytest.approx(batch.mean_response_time(0))
+    sm = stream.class_metrics(0)
+    bm = batch.class_metrics(0)
+    assert sm.response_time.maximum == bm.response_time.maximum
+    assert sm.job_count == bm.job_count
+    assert stream.resource_waste_fraction() == batch.resource_waste_fraction()
+
+
+def test_streaming_percentiles_approximate_batch():
+    import random
+
+    rng = random.Random(7)
+    values = [rng.expovariate(0.05) for _ in range(5000)]
+    batch = MetricsCollector()
+    stream = MetricsCollector(streaming=True)
+    _fill(batch, values)
+    _fill(stream, values)
+    for q in (50.0, 95.0, 99.0):
+        exact = batch.tail_response_time(0, q)
+        estimate = stream.tail_response_time(0, q)
+        assert estimate == pytest.approx(exact, rel=0.15), f"p{q}"
+
+
+def test_streaming_rejects_record_level_accessors():
+    stream = MetricsCollector(streaming=True)
+    stream.record_job(make_record())
+    with pytest.raises(RuntimeError, match="streaming"):
+        stream.records
+    with pytest.raises(RuntimeError):
+        stream.records_for_priority(0)
+    with pytest.raises(RuntimeError):
+        stream.to_rows()
+    with pytest.raises(RuntimeError):
+        stream.merge(MetricsCollector())
+
+
+def test_streaming_tracks_multiple_classes():
+    stream = MetricsCollector(streaming=True)
+    _fill(stream, [10.0, 20.0], priority=0)
+    _fill(stream, [5.0], priority=1)
+    assert stream.priorities() == [0, 1]
+    assert stream.class_metrics(1).response_time.mean == pytest.approx(5.0)
+    assert stream.mean_response_time() == pytest.approx((10 + 20 + 5) / 3)
+
+
+def test_streaming_unsupported_quantile_raises():
+    stream = MetricsCollector(streaming=True)
+    _fill(stream, [1.0, 2.0])
+    with pytest.raises(ValueError, match="track only"):
+        stream.tail_response_time(0, 42.0)
+
+
+def test_p2_quantile_small_samples_are_exact():
+    from repro.simulation.metrics import P2Quantile
+
+    est = P2Quantile(0.5)
+    for v in [3.0, 1.0, 2.0]:
+        est.add(v)
+    assert est.value() == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.5)
+
+
+def test_online_stats_variance_matches_two_pass():
+    from repro.simulation.metrics import OnlineStats
+
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    stats = OnlineStats()
+    for v in values:
+        stats.add(v)
+    mean = sum(values) / len(values)
+    expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert stats.variance == pytest.approx(expected)

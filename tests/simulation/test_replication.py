@@ -119,3 +119,62 @@ def test_run_until_precise_validates_target():
     runner = ReplicationRunner(lambda seed: {"x": 1.0})
     with pytest.raises(ValueError):
         runner.run_until_precise(1.5, metric="x")
+
+
+def test_replication_seed_formula_and_uniqueness():
+    from repro.simulation.replication import replication_seed
+
+    assert replication_seed(0, 0) == 0
+    assert replication_seed(0, 3) == 3003
+    assert replication_seed(42, 1) == 1043
+    seeds = {replication_seed(0, i) for i in range(50)}
+    assert len(seeds) == 50
+
+
+def test_replication_runner_rejects_reuse():
+    runner = ReplicationRunner(lambda seed: {"x": float(seed)})
+    runner.run(replications=2)
+    with pytest.raises(RuntimeError, match="already run"):
+        runner.run(replications=2)
+    with pytest.raises(RuntimeError):
+        runner.run_until_precise(0.5, metric="x")
+
+
+def test_replication_runner_reset_allows_reuse():
+    runner = ReplicationRunner(lambda seed: {"x": float(seed % 5)})
+    first = dict(runner.run(replications=3))
+    first_samples = list(first["x"].samples)
+    runner.reset()
+    second = runner.run(replications=3)
+    assert second["x"].samples == first_samples  # same seeds, no mixing
+
+
+def test_run_until_precise_parallel_matches_serial():
+    def experiment(seed: int):
+        return {"stable": 100.0 + (seed % 3) * 0.01}
+
+    serial_runner = ReplicationRunner(experiment)
+    serial = serial_runner.run_until_precise(
+        0.01, metric="stable", min_replications=3, max_replications=10, jobs=1
+    )
+    parallel_runner = ReplicationRunner(_stable_experiment)
+    parallel = parallel_runner.run_until_precise(
+        0.01, metric="stable", min_replications=3, max_replications=10, jobs=2
+    )
+    assert parallel.replications == serial.replications
+    assert parallel.mean == serial.mean
+    assert parallel.half_width == serial.half_width
+    assert (
+        parallel_runner.metrics["stable"].samples
+        == serial_runner.metrics["stable"].samples
+    )
+
+
+def _stable_experiment(seed: int):
+    return {"stable": 100.0 + (seed % 3) * 0.01}
+
+
+def test_replication_runner_validates_jobs():
+    runner = ReplicationRunner(lambda seed: {"x": 1.0})
+    with pytest.raises(ValueError, match="jobs"):
+        runner.run(replications=2, jobs=0)

@@ -48,7 +48,7 @@ def test_all_scenarios_buildable():
 def test_compare_command_runs_small_comparison(capsys):
     code = main([
         "compare", "--scenario", "reference", "--policies", "P", "DA(0/20)",
-        "--jobs", "40", "--seed", "1",
+        "--num-jobs", "40", "--seed", "1",
     ])
     assert code == 0
     output = capsys.readouterr().out
@@ -57,7 +57,7 @@ def test_compare_command_runs_small_comparison(capsys):
 
 
 def test_table_command(capsys):
-    code = main(["table", "2", "--jobs", "60", "--seed", "1"])
+    code = main(["table", "2", "--num-jobs", "60", "--seed", "1"])
     assert code == 0
     output = capsys.readouterr().out
     assert "Table 2" in output
@@ -65,7 +65,7 @@ def test_table_command(capsys):
 
 
 def test_figure7_command(capsys):
-    code = main(["figure", "7", "--jobs", "60", "--seed", "1"])
+    code = main(["figure", "7", "--num-jobs", "60", "--seed", "1"])
     assert code == 0
     assert "Figure 7" in capsys.readouterr().out
 
@@ -73,7 +73,7 @@ def test_figure7_command(capsys):
 def test_sweep_command(capsys):
     code = main([
         "sweep", "--scenario", "reference", "--ratios", "0", "0.2",
-        "--jobs", "50", "--seed", "1",
+        "--num-jobs", "50", "--seed", "1",
     ])
     assert code == 0
     output = capsys.readouterr().out
@@ -84,7 +84,7 @@ def test_sweep_command(capsys):
 def test_load_sweep_command(capsys):
     code = main([
         "load-sweep", "--scenario", "reference", "--utilisations", "0.5",
-        "--jobs", "40", "--seed", "1",
+        "--num-jobs", "40", "--seed", "1",
     ])
     assert code == 0
     assert "utilisation" in capsys.readouterr().out
@@ -99,7 +99,7 @@ def test_invalid_figure_rejected_by_argparse():
 def test_fleet_command_runs_small_fleet(capsys):
     code = main([
         "fleet", "--clusters", "2", "--router", "jsq",
-        "--scenario", "two-priority", "--jobs", "25", "--seed", "1",
+        "--scenario", "two-priority", "--num-jobs", "25", "--seed", "1",
     ])
     assert code == 0
     output = capsys.readouterr().out
@@ -111,7 +111,7 @@ def test_fleet_command_runs_small_fleet(capsys):
 def test_fleet_command_three_priority_default_policy(capsys):
     code = main([
         "fleet", "--clusters", "3", "--router", "least_work_left",
-        "--scenario", "three-priority", "--jobs", "20",
+        "--scenario", "three-priority", "--num-jobs", "20",
     ])
     assert code == 0
     output = capsys.readouterr().out
@@ -121,7 +121,7 @@ def test_fleet_command_three_priority_default_policy(capsys):
 def test_fleet_command_shared_budget_and_explicit_policy(capsys):
     code = main([
         "fleet", "--clusters", "2", "--router", "round_robin",
-        "--jobs", "15", "--policy", "DA(0/20)", "--budget", "shared",
+        "--num-jobs", "15", "--policy", "DA(0/20)", "--budget", "shared",
     ])
     assert code == 0
     output = capsys.readouterr().out
@@ -131,7 +131,7 @@ def test_fleet_command_shared_budget_and_explicit_policy(capsys):
 
 def test_fleet_command_rejects_unknown_router(capsys):
     """A typo'd router exits non-zero with the valid choices, no traceback."""
-    code = main(["fleet", "--router", "mystery", "--jobs", "5"])
+    code = main(["fleet", "--router", "mystery", "--num-jobs", "5"])
     assert code == 1
     err = capsys.readouterr().err
     assert "unknown router 'mystery'" in err
@@ -157,7 +157,7 @@ def test_list_mentions_dag_layer(capsys):
 def test_dag_command_runs_small_scenario(capsys):
     code = main([
         "dag", "--scenario", "layered", "--scheduler", "critical_path_first",
-        "--jobs", "15", "--seed", "1",
+        "--num-jobs", "15", "--seed", "1",
     ])
     assert code == 0
     output = capsys.readouterr().out
@@ -169,7 +169,7 @@ def test_dag_command_runs_small_scenario(capsys):
 def test_dag_command_slack_biased_and_policy(capsys):
     code = main([
         "dag", "--scenario", "fork-join", "--scheduler", "fifo",
-        "--jobs", "10", "--policy", "DA(0/30)", "--slack-biased",
+        "--num-jobs", "10", "--policy", "DA(0/30)", "--slack-biased",
     ])
     assert code == 0
     output = capsys.readouterr().out
@@ -179,7 +179,7 @@ def test_dag_command_slack_biased_and_policy(capsys):
 
 def test_dag_command_rejects_unknown_scheduler(capsys):
     """A typo'd stage scheduler exits non-zero listing the valid names."""
-    code = main(["dag", "--scheduler", "lifo", "--jobs", "5"])
+    code = main(["dag", "--scheduler", "lifo", "--num-jobs", "5"])
     assert code == 1
     err = capsys.readouterr().err
     assert "unknown stage scheduler 'lifo'" in err
@@ -192,3 +192,75 @@ def test_dag_command_rejects_unknown_scenario():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["dag", "--scenario", "mystery"])
+
+
+def test_compare_command_parallel_jobs_matches_serial(capsys):
+    argv = ["compare", "--scenario", "reference", "--policies", "P", "DA(0/20)",
+            "--num-jobs", "30", "--seed", "1"]
+    assert main(argv) == 0
+    serial_output = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel_output = capsys.readouterr().out
+    assert parallel_output == serial_output
+
+
+def test_compare_command_replications_reports_intervals(capsys):
+    code = main([
+        "compare", "--scenario", "reference", "--policies", "P",
+        "--num-jobs", "25", "--replications", "3",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "half_width" in output
+    assert "replications" in output
+
+
+def test_jobs_flag_rejects_zero():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["compare", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fleet", "--jobs", "-1"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["dag", "--replications", "0"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--jobs", "two"])
+
+
+def test_jobs_flag_error_message_is_clear(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compare", "--jobs", "0"])
+    err = capsys.readouterr().err
+    assert "must be >= 1" in err
+
+
+def test_fleet_command_replications(capsys):
+    code = main([
+        "fleet", "--clusters", "2", "--router", "round_robin",
+        "--num-jobs", "10", "--replications", "2",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "replications=2" in output
+    assert "half_width" in output
+
+
+def test_dag_command_replications(capsys):
+    code = main([
+        "dag", "--scenario", "layered", "--num-jobs", "6", "--replications", "2",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "replications=2" in output
+    assert "mean_makespan_s" in output
+
+
+def test_sweep_command_with_replications(capsys):
+    code = main([
+        "sweep", "--scenario", "reference", "--ratios", "0", "0.2",
+        "--num-jobs", "20", "--replications", "2",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "drop_ratio" in output
+    assert "replications" in output
