@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --scenario reference --ratios 0 0.1 0.2 0.4 --jobs 4
     python -m repro fleet --clusters 4 --router jsq --scenario three-priority
     python -m repro dag --scenario layered --scheduler critical_path_first
+    python -m repro fleet --telemetry run.jsonl --telemetry-interval 1.0
+    python -m repro inspect run.jsonl           # summaries + ASCII plots
 
 ``--num-jobs`` controls the number of *simulated* jobs per trace; ``--jobs N``
 fans independent work units (replications, sweep points, policy runs) across
@@ -39,6 +41,7 @@ from repro.experiments.parallel import (
     PolicyComparisonExperiment,
     RowSweepExperiment,
     interval_rows,
+    merge_replication_parts,
     replicate_rows,
 )
 from repro.experiments.reporting import format_comparison, format_figure, format_rows
@@ -48,6 +51,7 @@ from repro.simulation.replication import ReplicationRunner
 from repro.fleet.budget import BUDGET_MODES
 from repro.fleet.dispatcher import ROUTERS
 from repro.fleet.simulation import FleetSimulation
+from repro.telemetry import JsonLinesSink, NULL_HUB, TelemetryHub
 from repro.workloads import scenarios as scenario_module
 from repro.workloads.scenarios import (
     DagScenario,
@@ -120,6 +124,78 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
                              "Student-t confidence intervals")
 
 
+def _positive_float(text: str) -> float:
+    """argparse type for flags that must be a float > 0 (e.g. ``--telemetry-interval``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number > 0, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """``--telemetry PATH`` (JSONL stream) and ``--telemetry-interval T``."""
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="stream run telemetry to a JSON-lines file "
+                             "(inspect it with: repro inspect PATH)")
+    parser.add_argument("--telemetry-interval", type=_positive_float, default=5.0,
+                        metavar="T",
+                        help="periodic-sample spacing in simulated seconds "
+                             "(default: 5.0)")
+
+
+def _check_telemetry_path(path: Optional[str]) -> Optional[str]:
+    """Fail fast — and with a clear message — on an unwritable telemetry path.
+
+    The probe writers run deep inside (possibly worker-process) simulations;
+    surfacing a bad path only after minutes of simulation would be hostile.
+    The empty probe file created here is overwritten by the real stream.
+    """
+    if path is None:
+        return None
+    try:
+        with open(path, "w", encoding="utf-8"):
+            pass
+    except OSError as error:
+        raise ValueError(f"cannot write telemetry file {path!r}: {error}")
+    return path
+
+
+def _telemetry_kwargs(args: argparse.Namespace) -> dict:
+    """Keyword arguments threading ``--telemetry`` into the experiment layers."""
+    return {
+        "telemetry_base": _check_telemetry_path(args.telemetry),
+        "telemetry_interval": args.telemetry_interval,
+    }
+
+
+def _single_run_hub(args: argparse.Namespace) -> TelemetryHub:
+    """Hub for a single in-process run: one JSONL sink, or the disabled null hub."""
+    path = _check_telemetry_path(args.telemetry)
+    if path is None:
+        return NULL_HUB
+    hub = TelemetryHub(sample_interval=args.telemetry_interval)
+    hub.add_sink(JsonLinesSink(path))
+    return hub
+
+
+def _parse_quantiles(text: str) -> tuple:
+    """Parse ``--quantiles`` (comma-separated fractions strictly in (0, 1))."""
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated fractions like 0.5,0.9,0.999, got {text!r}"
+        )
+    if not values or any(not 0.0 < q < 1.0 for q in values):
+        raise argparse.ArgumentTypeError(
+            f"quantiles must be fractions strictly between 0 and 1, got {text!r}"
+        )
+    return values
+
+
 def _parse_policy(name: str) -> SchedulingPolicy:
     """Parse a policy name like ``P``, ``NP``, ``DA(0/20)`` or ``DA(0/10/20)``."""
     cleaned = name.strip()
@@ -170,7 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--num-jobs", type=int, default=400,
                                 help="simulated jobs per trace")
     compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument("--quantiles", type=_parse_quantiles, default=None,
+                                metavar="Q,Q,...",
+                                help="extra response-time quantiles tracked by "
+                                     "streaming (P²) estimators, e.g. "
+                                     "0.9,0.999 (single-run mode only)")
     _add_parallel_flags(compare_parser)
+    _add_telemetry_flags(compare_parser)
 
     sweep_parser = subparsers.add_parser("sweep", help="sweep the low-priority drop ratio")
     sweep_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
@@ -180,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="simulated jobs per trace")
     sweep_parser.add_argument("--seed", type=int, default=0)
     _add_parallel_flags(sweep_parser)
+    _add_telemetry_flags(sweep_parser)
 
     load_parser = subparsers.add_parser("load-sweep", help="sweep the system load")
     load_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
@@ -211,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="sprint-budget arbitration across the fleet")
     fleet_parser.add_argument("--seed", type=int, default=0)
     _add_parallel_flags(fleet_parser)
+    _add_telemetry_flags(fleet_parser)
 
     dag_parser = subparsers.add_parser(
         "dag", help="run stage-DAG jobs under a pluggable stage scheduler"
@@ -230,6 +314,20 @@ def build_parser() -> argparse.ArgumentParser:
                             help="simulated DAG jobs per trace")
     dag_parser.add_argument("--seed", type=int, default=0)
     _add_parallel_flags(dag_parser)
+    _add_telemetry_flags(dag_parser)
+
+    inspect_parser = subparsers.add_parser(
+        "inspect", help="summarise and plot a telemetry JSON-lines file"
+    )
+    inspect_parser.add_argument("path", help="telemetry JSONL file written by "
+                                             "--telemetry")
+    inspect_parser.add_argument("--validate", action="store_true",
+                                help="only validate every line against the "
+                                     "event schema, print no report")
+    inspect_parser.add_argument("--width", type=_positive_int, default=60,
+                                help="plot width in character columns")
+    inspect_parser.add_argument("--height", type=_positive_int, default=10,
+                                help="plot height in character rows")
     return parser
 
 
@@ -291,6 +389,20 @@ def _run_list() -> str:
     return "\n".join(lines)
 
 
+def _quantile_rows(comparison, quantiles: Sequence[float]) -> List[dict]:
+    """Per-(policy, priority) rows of the extra streaming quantiles."""
+    rows: List[dict] = []
+    for name, result in comparison.results.items():
+        for priority in comparison.priorities:
+            row = {"policy": name, "priority": priority}
+            for q in quantiles:
+                row[f"p{100 * q:g}_response_s"] = result.tail_response_time(
+                    priority, q=100.0 * q
+                )
+            rows.append(row)
+    return rows
+
+
 def _default_fleet_policy(scenario: FleetScenario) -> SchedulingPolicy:
     """DA with graduated dropping: 0% for the highest class up to 20% lowest."""
     priorities = scenario.priorities  # highest first
@@ -318,6 +430,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
             sprint_budget=args.budget,
             base_seed=args.seed,
             jobs=args.jobs,
+            **_telemetry_kwargs(args),
         )
         title = (
             f"Fleet: {scenario.name}  router={args.router}  policy={policy.name}  "
@@ -328,6 +441,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
              format_rows(interval_rows(metrics))]
         )
     trace = scenario.generate_trace(seed=args.seed)
+    hub = _single_run_hub(args)
     simulation = FleetSimulation(
         policy=policy,
         jobs=trace,
@@ -336,8 +450,10 @@ def _run_fleet(args: argparse.Namespace) -> str:
         power_of_d=args.power_of_d,
         seed=args.seed,
         sprint_budget=args.budget,
+        telemetry=hub,
     )
     result = simulation.run()
+    hub.close()
     title = (
         f"Fleet: {scenario.name}  router={result.dispatcher_name}  "
         f"policy={policy.name}  budget={args.budget}"
@@ -376,6 +492,7 @@ def _run_dag(args: argparse.Namespace) -> str:
             slack_biased=args.slack_biased,
             base_seed=args.seed,
             jobs=args.jobs,
+            **_telemetry_kwargs(args),
         )
         title = (
             f"DAG: {scenario.name}  scheduler={args.scheduler}  policy={policy.name}  "
@@ -386,6 +503,7 @@ def _run_dag(args: argparse.Namespace) -> str:
              format_rows(interval_rows(metrics))]
         )
     trace = scenario.generate_trace(seed=args.seed)
+    hub = _single_run_hub(args)
     simulation = DagSimulation(
         policy=policy,
         jobs=trace,
@@ -393,8 +511,10 @@ def _run_dag(args: argparse.Namespace) -> str:
         cluster=scenario.cluster,
         seed=args.seed,
         slack_biased=args.slack_biased,
+        telemetry=hub,
     )
     result = simulation.run()
+    hub.close()
     title = (
         f"DAG: {scenario.name}  scheduler={result.scheduler_name}  "
         f"policy={policy.name}  slack_biased={args.slack_biased}"
@@ -434,6 +554,21 @@ def _run_dag(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_inspect(args: argparse.Namespace) -> str:
+    """Validate and render a telemetry JSONL file written by ``--telemetry``."""
+    from repro.telemetry.inspect import inspect_file
+
+    try:
+        return inspect_file(
+            args.path,
+            width=args.width,
+            height=args.height,
+            validate_only=args.validate,
+        )
+    except OSError as error:
+        raise ValueError(f"cannot read telemetry file {args.path!r}: {error}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -453,13 +588,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scenario = SCENARIOS[args.scenario]()
             policies = [_parse_policy(name) for name in args.policies]
             if args.replications > 1:
+                if args.quantiles is not None:
+                    raise ValueError(
+                        "--quantiles needs a single streaming run; it cannot "
+                        "be combined with --replications"
+                    )
                 experiment = PolicyComparisonExperiment(
                     scenario, policies, baseline=policies[0].name,
-                    num_jobs=args.num_jobs,
+                    num_jobs=args.num_jobs, **_telemetry_kwargs(args),
                 )
                 metrics = ReplicationRunner(experiment).run(
                     args.replications, base_seed=args.seed, jobs=args.jobs
                 )
+                merge_replication_parts(args.telemetry, args.seed, args.replications)
                 output = (
                     f"Scenario {args.scenario} — {args.replications} replications (95% CI)\n"
                     + format_rows(interval_rows(metrics))
@@ -467,8 +608,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             else:
                 comparison = run_policies(scenario, policies, baseline=policies[0].name,
                                           seed=args.seed, num_jobs=args.num_jobs,
-                                          jobs=args.jobs)
+                                          jobs=args.jobs, quantiles=args.quantiles,
+                                          **_telemetry_kwargs(args))
                 output = format_comparison(comparison, f"Scenario {args.scenario}")
+                if args.quantiles is not None:
+                    output += "\n\nStreaming response-time quantiles (P² estimates)\n"
+                    output += format_rows(_quantile_rows(comparison, args.quantiles))
         elif args.command == "sweep":
             scenario = SCENARIOS[args.scenario]()
             if args.replications > 1:
@@ -476,12 +621,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     drop_ratio_sweep,
                     {"scenario": scenario, "drop_ratios": args.ratios,
                      "num_jobs": args.num_jobs},
+                    **_telemetry_kwargs(args),
                 )
                 rows = replicate_rows(experiment, args.replications,
                                       base_seed=args.seed, jobs=args.jobs)
+                merge_replication_parts(args.telemetry, args.seed, args.replications)
             else:
                 rows = drop_ratio_sweep(scenario, args.ratios, num_jobs=args.num_jobs,
-                                        seed=args.seed, jobs=args.jobs)
+                                        seed=args.seed, jobs=args.jobs,
+                                        **_telemetry_kwargs(args))
             output = format_rows(rows)
         elif args.command == "load-sweep":
             scenario = SCENARIOS[args.scenario]()
@@ -501,6 +649,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _run_fleet(args)
         elif args.command == "dag":
             output = _run_dag(args)
+        elif args.command == "inspect":
+            output = _run_inspect(args)
         else:  # pragma: no cover - argparse prevents this
             parser.error(f"unknown command {args.command!r}")
             return 2

@@ -38,6 +38,7 @@ from repro.models.accuracy import AccuracyModel
 from repro.simulation.des import Simulator
 from repro.simulation.metrics import ClassMetrics, JobRecord, MetricsCollector
 from repro.simulation.random_streams import RandomStreams
+from repro.telemetry import NULL_HUB, PeriodicSampler, TelemetryHub, kernel_sample_source
 
 
 @dataclass(frozen=True)
@@ -157,6 +158,9 @@ class DiASSimulation:
         ] = None,
         simulator: Optional[Simulator] = None,
         stream_namespace: str = "",
+        telemetry: TelemetryHub = NULL_HUB,
+        metrics: Optional[MetricsCollector] = None,
+        telemetry_src: Optional[str] = None,
     ) -> None:
         if not jobs and simulator is None:
             raise ValueError("the job trace must not be empty")
@@ -167,11 +171,19 @@ class DiASSimulation:
         self.accuracy_model = accuracy_model or AccuracyModel.paper_default()
         self.streams = streams or RandomStreams(seed)
         self.stream_namespace = stream_namespace
+        self.telemetry = telemetry
+        if telemetry_src is not None:
+            self.telemetry_src = telemetry_src
+        elif stream_namespace:
+            # "fleet/cluster3/" -> "cluster3": label events by the embedding.
+            self.telemetry_src = stream_namespace.strip("/").split("/")[-1]
+        else:
+            self.telemetry_src = "dias"
 
-        self.sim = simulator if simulator is not None else Simulator()
+        self.sim = simulator if simulator is not None else Simulator(telemetry=telemetry)
         self.buffers = PriorityBuffers()
         self.dropper = TaskDropper(self.streams.stream(stream_namespace + "dropper"))
-        self.metrics = MetricsCollector()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
         self.energy_meter = EnergyMeter(self.cluster.power_model, start_time=self.sim.now)
         self.sprinter: Optional[Sprinter] = None
         if policy.sprints:
@@ -180,6 +192,8 @@ class DiASSimulation:
                 policy.sprint,
                 on_sprint_start=self._on_sprint_start,
                 on_sprint_end=self._on_sprint_end,
+                telemetry=telemetry,
+                telemetry_src=self.telemetry_src,
             )
 
         self._running: Optional[JobExecution] = None
@@ -187,6 +201,9 @@ class DiASSimulation:
         # Per-job bookkeeping across (possibly multiple, if evicted) attempts.
         self._job_state: Dict[int, Dict[str, float]] = {}
         self._completed = 0
+        # Invoked after every completion; embedders (fleet) and the telemetry
+        # sampler use it to react to end-of-workload without polling.
+        self.on_job_complete: Optional[Callable[[], None]] = None
         self._total_evictions = 0
         # Backlog estimate maintained for dispatcher load queries.
         self._service_estimates: Dict[int, float] = {}
@@ -199,6 +216,35 @@ class DiASSimulation:
     def queue_length(self) -> int:
         """Jobs currently held by this controller (buffered + in execution)."""
         return len(self.buffers) + (1 if self._running is not None else 0)
+
+    @property
+    def completed_jobs(self) -> int:
+        """Jobs completed so far (drives sampler-termination predicates)."""
+        return self._completed
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        """Read-only state snapshot published by periodic telemetry samplers.
+
+        Must not mutate anything (notably: it reads the energy meter via
+        :meth:`~repro.engine.energy.EnergyMeter.snapshot`, never ``advance``)
+        so that sampled runs produce bit-identical results to unsampled ones.
+        """
+        now = self.sim.now
+        busy = self.metrics.busy_time + self.metrics.wasted_time
+        if self._running is not None:
+            busy += max(0.0, now - self._running_started_at)
+        sample: Dict[str, float] = {
+            "utilisation": (busy / now) if now > 0 else 0.0,
+            "queue_depth": float(len(self.buffers)),
+            "running": 1.0 if self._running is not None else 0.0,
+            "work_left": self.work_left(),
+            "completed_jobs": float(self._completed),
+            "evictions": float(self._total_evictions),
+        }
+        for priority, depth in sorted(self.buffers.depths().items()):
+            sample[f"depth_p{priority}"] = float(depth)
+        sample.update(self.energy_meter.snapshot(now))
+        return sample
 
     def work_left(self) -> float:
         """Estimated slot-seconds of service remaining (buffered + running).
@@ -244,8 +290,44 @@ class DiASSimulation:
     def run(self, until: Optional[float] = None) -> SimulationResult:
         """Run the whole trace to completion (or until the optional horizon)."""
         self.schedule_trace()
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                "run_start",
+                self.sim.now,
+                src=self.telemetry_src,
+                run="dias",
+                policy=self.policy.name,
+            )
+            if telemetry.sample_interval is not None:
+                total = len(self.jobs)
+                sampler = PeriodicSampler(
+                    self.sim,
+                    telemetry,
+                    telemetry.sample_interval,
+                    sources=[
+                        (self.telemetry_src, self.telemetry_sample),
+                        ("kernel", kernel_sample_source(self.sim)),
+                    ],
+                    should_continue=lambda: self._completed < total,
+                )
+                sampler.start()
+                # Cancel the trailing tick at end-of-workload so sampling
+                # never advances the clock past the unsampled run's end.
+                self.on_job_complete = (
+                    lambda: sampler.stop() if self._completed >= total else None
+                )
         self.sim.run(until=until)
-        return self.finalize()
+        result = self.finalize()
+        if telemetry.enabled:
+            telemetry.emit(
+                "run_end",
+                self.sim.now,
+                src=self.telemetry_src,
+                completed=self._completed,
+                duration=self.sim.now,
+            )
+        return result
 
     def finalize(self) -> SimulationResult:
         """Close the books at the current simulated time and build the result."""
@@ -275,6 +357,14 @@ class DiASSimulation:
         return _callback
 
     def _on_arrival(self, job: Job) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "job_admitted",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+            )
         self.buffers.push(job)
         self._queued_work += self._estimated_service_time(job)
         if self._running is None:
@@ -300,6 +390,20 @@ class DiASSimulation:
             map_drop = self.policy.map_drop_ratio(job.priority)
             reduce_drop = self.policy.reduce_drop_ratio(job.priority)
         plan = self.dropper.plan(job, map_drop, reduce_drop)
+        if self.telemetry.enabled:
+            # kept_map_indices maps stage index -> kept task indices.
+            kept = sum(len(idx) for idx in plan.kept_map_indices.values())
+            self.telemetry.emit(
+                "drop_decision",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+                map_drop_ratio=map_drop,
+                reduce_drop_ratio=reduce_drop,
+                kept_map_tasks=kept,
+                dropped_map_tasks=job.num_map_tasks - kept,
+            )
         phases = build_phases(
             job,
             map_drop_ratio=map_drop,
@@ -331,6 +435,15 @@ class DiASSimulation:
         wasted = execution.evict()
         self.cluster.set_sprinting(False)
         job = execution.job
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "job_evicted",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+                wasted=wasted,
+            )
         state = self._job_state[job.job_id]
         state["wasted"] += wasted
         state["evictions"] += 1
@@ -366,7 +479,20 @@ class DiASSimulation:
         )
         self.metrics.record_job(record)
         self.metrics.record_busy_time(execution.elapsed)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "job_completed",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+                response_time=record.response_time,
+                execution_time=record.execution_time,
+                drop_ratio=record.drop_ratio,
+            )
         self._completed += 1
+        if self.on_job_complete is not None:
+            self.on_job_complete()
         self._running = None
         self._running_plan = None
         self._dispatch_next()
@@ -377,6 +503,14 @@ class DiASSimulation:
         if execution.running:
             execution.set_speed(self.cluster.speed)
         self.energy_meter.set_mode("sprint", self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "dvfs_transition",
+                self.sim.now,
+                src=self.telemetry_src,
+                speed=self.cluster.speed,
+                mode="sprint",
+            )
 
     def _on_sprint_end(self, execution: JobExecution) -> None:
         self.cluster.set_sprinting(False)
@@ -386,6 +520,14 @@ class DiASSimulation:
         else:
             mode = "busy" if self._running is not None else "idle"
             self.energy_meter.set_mode(mode, self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "dvfs_transition",
+                self.sim.now,
+                src=self.telemetry_src,
+                speed=self.cluster.speed,
+                mode="nominal",
+            )
 
 
 def run_policy(

@@ -16,6 +16,7 @@ from typing import Callable, Optional, Protocol
 from repro.core.config import SprintConfig
 from repro.engine.execution import JobExecution
 from repro.simulation.des import Event, Simulator
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 class SprintBudgetPool(Protocol):
     """Duck-typed shared budget arbiter a sprinter can delegate to."""
@@ -49,6 +50,9 @@ class Sprinter:
         availability, notifies it on sprint start/end, and may be stopped by
         the pool via :meth:`force_stop` when the shared budget runs dry.  The
         local ``config.budget_seconds`` is then ignored.
+    telemetry, telemetry_src:
+        Probe bus (default: the disabled ``NULL_HUB``) and the source label
+        sprint start/end/denied events are published under.
     """
 
     def __init__(
@@ -58,12 +62,16 @@ class Sprinter:
         on_sprint_start: Callable[[JobExecution], None],
         on_sprint_end: Callable[[JobExecution], None],
         budget_pool: Optional["SprintBudgetPool"] = None,
+        telemetry: TelemetryHub = NULL_HUB,
+        telemetry_src: str = "sprinter",
     ) -> None:
         self.sim = sim
         self.config = config
         self.on_sprint_start = on_sprint_start
         self.on_sprint_end = on_sprint_end
         self.budget_pool = budget_pool
+        self.telemetry = telemetry
+        self.telemetry_src = telemetry_src
 
         self._budget = config.budget_seconds  # None = unlimited
         self._budget_updated_at = sim.now
@@ -145,10 +153,24 @@ class Sprinter:
         available = self.available_budget()
         if available is not None and available <= 0:
             self.sprints_denied += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "sprint_denied",
+                    self.sim.now,
+                    src=self.telemetry_src,
+                    job_id=execution.job.job_id,
+                )
             return
         self._sprinting = True
         self._sprint_started_at = self.sim.now
         self.sprints_started += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "sprint_start",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=execution.job.job_id,
+            )
         self.on_sprint_start(execution)
         if self.budget_pool is not None:
             # The pool schedules (and reschedules) the shared exhaust event.
@@ -177,9 +199,19 @@ class Sprinter:
     def _stop_sprint(self, execution: JobExecution) -> None:
         self._update_budget()
         self._sprinting = False
+        sprinted = 0.0
         if self._sprint_started_at is not None:
-            self.total_sprinted_seconds += self.sim.now - self._sprint_started_at
+            sprinted = self.sim.now - self._sprint_started_at
+            self.total_sprinted_seconds += sprinted
             self._sprint_started_at = None
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "sprint_end",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=execution.job.job_id,
+                sprinted=sprinted,
+            )
         if self._exhaust_event is not None:
             self._exhaust_event.cancel()
             self._exhaust_event = None

@@ -33,6 +33,7 @@ from repro.dag.schedulers import StageScheduler, make_stage_scheduler
 from repro.engine.cluster import Cluster
 from repro.engine.job import effective_task_count
 from repro.simulation.des import Event, Simulator
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 #: Sentinel slot key for the job-level setup task.
 _SETUP_SLOT = -1
@@ -167,10 +168,14 @@ class DagExecution:
         kept_map_indices: Optional[Mapping[int, Sequence[int]]] = None,
         kept_reduce_indices: Optional[Mapping[int, Sequence[int]]] = None,
         setup_drop_ratio: Optional[float] = None,
+        telemetry: TelemetryHub = NULL_HUB,
+        telemetry_src: str = "dag",
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.job = job
+        self.telemetry = telemetry
+        self.telemetry_src = telemetry_src
         self.scheduler = make_stage_scheduler(scheduler)
         self.on_complete = on_complete or (lambda execution: None)
         self._setup_time = job.setup_time(
@@ -359,6 +364,15 @@ class DagExecution:
             current = stack.pop()
             current.activate(self._ready_counter)
             self._ready_counter += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "stage_scheduled",
+                    self.sim.now,
+                    src=self.telemetry_src,
+                    job_id=self.job.job_id,
+                    stage=current.index,
+                    pending_tasks=current.pending_tasks,
+                )
             if current.done:
                 self._remaining_stages -= 1
                 for child_index in self.job.dag.children(current.index):

@@ -35,6 +35,7 @@ from repro.models.accuracy import AccuracyModel
 from repro.simulation.des import Simulator
 from repro.simulation.metrics import JobRecord, MetricsCollector
 from repro.simulation.random_streams import RandomStreams
+from repro.telemetry import NULL_HUB, PeriodicSampler, TelemetryHub, kernel_sample_source
 
 
 @dataclass
@@ -93,6 +94,7 @@ class DagSimulation:
         streams: Optional[RandomStreams] = None,
         seed: int = 0,
         slack_biased: bool = False,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> None:
         if not jobs:
             raise ValueError("the DAG job trace must not be empty")
@@ -103,8 +105,10 @@ class DagSimulation:
         self.streams = streams or RandomStreams(seed)
         self.slack_biased = slack_biased
         self._scheduler_spec = scheduler
+        self.telemetry = telemetry
+        self.telemetry_src = "dag"
 
-        self.sim = Simulator()
+        self.sim = Simulator(telemetry=telemetry)
         self.buffers = PriorityBuffers()
         self.dropper = TaskDropper(self.streams.stream("dag/dropper"))
         self.metrics = MetricsCollector()
@@ -116,6 +120,8 @@ class DagSimulation:
                 policy.sprint,
                 on_sprint_start=self._on_sprint_start,
                 on_sprint_end=self._on_sprint_end,
+                telemetry=telemetry,
+                telemetry_src=self.telemetry_src,
             )
 
         self._running: Optional[DagExecution] = None
@@ -123,6 +129,7 @@ class DagSimulation:
         self._job_state: Dict[int, Dict[str, float]] = {}
         self._completed = 0
         self._total_evictions = 0
+        self._sampler: Optional[PeriodicSampler] = None
         self.dag_rows: List[Dict[str, float]] = []
 
     # --------------------------------------------------------------- queries
@@ -134,6 +141,28 @@ class DagSimulation:
     def queue_length(self) -> int:
         return len(self.buffers) + (1 if self._running is not None else 0)
 
+    @property
+    def completed_jobs(self) -> int:
+        return self._completed
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        """Read-only snapshot for periodic samplers (no state mutation)."""
+        now = self.sim.now
+        busy = self.metrics.busy_time + self.metrics.wasted_time
+        if self._running is not None and self._running.start_time is not None:
+            busy += max(0.0, now - self._running.start_time)
+        sample: Dict[str, float] = {
+            "utilisation": (busy / now) if now > 0 else 0.0,
+            "queue_depth": float(len(self.buffers)),
+            "running": 1.0 if self._running is not None else 0.0,
+            "completed_jobs": float(self._completed),
+            "evictions": float(self._total_evictions),
+        }
+        for priority, depth in sorted(self.buffers.depths().items()):
+            sample[f"depth_p{priority}"] = float(depth)
+        sample.update(self.energy_meter.snapshot(now))
+        return sample
+
     # --------------------------------------------------------------- running
     def run(self, until: Optional[float] = None) -> DagSimulationResult:
         """Run the whole trace to completion (or until the optional horizon)."""
@@ -142,8 +171,43 @@ class DagSimulation:
             self.sim.schedule_at(
                 job.arrival_time, self._make_arrival_callback(job), priority=0
             )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                "run_start",
+                self.sim.now,
+                src=self.telemetry_src,
+                run="dag",
+                policy=self.policy.name,
+                scheduler=self.scheduler_name,
+            )
+            if telemetry.sample_interval is not None:
+                total = len(self.jobs)
+                sampler = PeriodicSampler(
+                    self.sim,
+                    telemetry,
+                    telemetry.sample_interval,
+                    sources=[
+                        (self.telemetry_src, self.telemetry_sample),
+                        ("kernel", kernel_sample_source(self.sim)),
+                    ],
+                    should_continue=lambda: self._completed < total,
+                )
+                sampler.start()
+                # Cancel the trailing tick at end-of-workload so sampling
+                # never advances the clock past the unsampled run's end.
+                self._sampler = sampler
         self.sim.run(until=until)
-        return self.finalize()
+        result = self.finalize()
+        if telemetry.enabled:
+            telemetry.emit(
+                "run_end",
+                self.sim.now,
+                src=self.telemetry_src,
+                completed=self._completed,
+                duration=self.sim.now,
+            )
+        return result
 
     def finalize(self) -> DagSimulationResult:
         """Close the books at the current simulated time and build the result."""
@@ -175,6 +239,14 @@ class DagSimulation:
         return _callback
 
     def _on_arrival(self, job: DagJob) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "job_admitted",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+            )
         self.buffers.push(job)
         if self._running is None:
             self._dispatch_next()
@@ -202,6 +274,20 @@ class DagSimulation:
             stage.index: reduce_base for stage in job.dag if stage.droppable
         }
         plan = self.dropper.plan_stages(job, map_ratios, reduce_ratios)
+        if self.telemetry.enabled:
+            # kept_map_indices maps stage index -> kept task indices.
+            kept = sum(len(idx) for idx in plan.kept_map_indices.values())
+            self.telemetry.emit(
+                "drop_decision",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+                map_drop_ratio=plan.map_drop_ratio,
+                reduce_drop_ratio=plan.reduce_drop_ratio,
+                kept_map_tasks=kept,
+                dropped_map_tasks=job.num_map_tasks - kept,
+            )
         self.cluster.set_sprinting(False)
         self.energy_meter.set_mode("busy", self.sim.now)
         execution = DagExecution(
@@ -213,6 +299,8 @@ class DagSimulation:
             kept_map_indices=plan.kept_map_indices,
             kept_reduce_indices=plan.kept_reduce_indices,
             setup_drop_ratio=min(plan.map_drop_ratio, 0.9),
+            telemetry=self.telemetry,
+            telemetry_src=self.telemetry_src,
         )
         self._running = execution
         self._running_plan = plan
@@ -229,6 +317,15 @@ class DagSimulation:
         wasted = execution.evict()
         self.cluster.set_sprinting(False)
         job = execution.job
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "job_evicted",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+                wasted=wasted,
+            )
         state = self._job_state[job.job_id]
         state["wasted"] += wasted
         state["evictions"] += 1
@@ -263,6 +360,17 @@ class DagSimulation:
         )
         self.metrics.record_job(record)
         self.metrics.record_busy_time(execution.elapsed)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "job_completed",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                priority=job.priority,
+                response_time=record.response_time,
+                execution_time=record.execution_time,
+                drop_ratio=record.drop_ratio,
+            )
         lower_bound = execution.lower_bound_makespan
         self.dag_rows.append(
             {
@@ -278,6 +386,8 @@ class DagSimulation:
             }
         )
         self._completed += 1
+        if self._sampler is not None and self._completed >= len(self.jobs):
+            self._sampler.stop()
         self._running = None
         self._running_plan = None
         self._dispatch_next()
@@ -288,6 +398,14 @@ class DagSimulation:
         if execution.running:
             execution.set_speed(self.cluster.speed)
         self.energy_meter.set_mode("sprint", self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "dvfs_transition",
+                self.sim.now,
+                src=self.telemetry_src,
+                speed=self.cluster.speed,
+                mode="sprint",
+            )
 
     def _on_sprint_end(self, execution: DagExecution) -> None:
         self.cluster.set_sprinting(False)
@@ -297,6 +415,14 @@ class DagSimulation:
         else:
             mode = "busy" if self._running is not None else "idle"
             self.energy_meter.set_mode(mode, self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "dvfs_transition",
+                self.sim.now,
+                src=self.telemetry_src,
+                speed=self.cluster.speed,
+                mode="nominal",
+            )
 
 
 def replicate_dag(
@@ -307,6 +433,8 @@ def replicate_dag(
     slack_biased: bool = False,
     base_seed: int = 0,
     jobs: int = 1,
+    telemetry_base: Optional[str] = None,
+    telemetry_interval: Optional[float] = None,
 ):
     """Replicate one DAG configuration over independent seeds.
 
@@ -314,10 +442,12 @@ def replicate_dag(
     :func:`~repro.simulation.replication.replication_seed` and runs a fresh
     :class:`DagSimulation`, collecting makespan/latency/energy headline
     metrics.  ``jobs`` fans the replications across worker processes with
-    metrics bitwise-identical to a serial run.  Returns
+    metrics bitwise-identical to a serial run.  ``telemetry_base`` writes each
+    replication's telemetry to a per-seed part file and merges the parts, in
+    replication order, into one JSONL file at that path.  Returns
     ``{metric_name: ReplicatedMetric}``.
     """
-    from repro.experiments.parallel import DagExperiment
+    from repro.experiments.parallel import DagExperiment, merge_replication_parts
     from repro.simulation.replication import ReplicationRunner
 
     experiment = DagExperiment(
@@ -325,8 +455,14 @@ def replicate_dag(
         policy=policy,
         scheduler=scheduler if isinstance(scheduler, str) else scheduler.name,
         slack_biased=slack_biased,
+        telemetry_base=telemetry_base,
+        telemetry_interval=telemetry_interval,
     )
-    return ReplicationRunner(experiment).run(replications, base_seed=base_seed, jobs=jobs)
+    metrics = ReplicationRunner(experiment).run(
+        replications, base_seed=base_seed, jobs=jobs
+    )
+    merge_replication_parts(telemetry_base, base_seed, replications)
+    return metrics
 
 
 def run_dag_policy(

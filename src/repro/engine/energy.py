@@ -87,6 +87,21 @@ class EnergyMeter:
             self.account.add(self._mode, joules)
         self._last_time = now
 
+    def snapshot(self, now: float) -> dict:
+        """Read the meter as of ``now`` *without* advancing it.
+
+        Telemetry samplers must not call :meth:`advance`: splitting an
+        interval at a sample instant changes the floating-point summation
+        order and therefore the final energy totals, breaking the guarantee
+        that sampled runs equal unsampled ones bit for bit.  This projects the
+        in-flight interval onto the current mode without mutating any state.
+        """
+        pending = max(0.0, now - self._last_time) * self.power_model.power(self._mode)
+        return {
+            "energy_joules": self.account.total_joules + pending,
+            "power_mode": self._mode,
+        }
+
     @property
     def total_joules(self) -> float:
         return self.account.total_joules

@@ -20,7 +20,9 @@ from repro.engine.job import JobFactory
 from repro.engine.profiles import JobClassProfile
 from repro.models.accuracy import AccuracyModel
 from repro.simulation.des import Simulator
+from repro.simulation.metrics import MetricsCollector
 from repro.simulation.random_streams import RandomStreams
+from repro.telemetry import JsonLinesSink, TelemetryHub, merge_parts, part_path
 from repro.workloads.scenarios import Scenario
 
 
@@ -81,18 +83,34 @@ def _run_single_policy(payload) -> SimulationResult:
     Each policy run builds its own fresh :class:`Cluster` from the scenario's
     immutable config/DVFS/power specs and is seeded identically to the serial
     path, so running policies in parallel preserves common random numbers and
-    produces bitwise-identical metrics.
+    produces bitwise-identical metrics.  When ``telemetry_part`` is set the
+    run's telemetry stream is written to that JSONL part file — each policy
+    gets its own part, so the files never collide across worker processes.
     """
-    policy, trace, config, dvfs, power_model, accuracy_model, seed = payload
+    (policy, trace, config, dvfs, power_model, accuracy_model, seed,
+     quantiles, telemetry_part, telemetry_interval) = payload
     cluster = Cluster(config=config, dvfs=dvfs, power_model=power_model)
+    metrics = (
+        MetricsCollector(streaming=True, quantiles=quantiles)
+        if quantiles is not None
+        else None
+    )
+    hub = TelemetryHub(sample_interval=telemetry_interval)
+    if telemetry_part is not None:
+        hub.add_sink(JsonLinesSink(telemetry_part))
     simulation = DiASSimulation(
         policy=policy,
         jobs=trace,
         cluster=cluster,
         accuracy_model=accuracy_model,
         seed=seed,
+        metrics=metrics,
+        telemetry=hub,
     )
-    return simulation.run()
+    try:
+        return simulation.run()
+    finally:
+        hub.close()
 
 
 def run_policies(
@@ -103,18 +121,30 @@ def run_policies(
     num_jobs: Optional[int] = None,
     accuracy_model: Optional[AccuracyModel] = None,
     jobs: int = 1,
+    quantiles: Optional[Sequence[float]] = None,
+    telemetry_base: Optional[str] = None,
+    telemetry_interval: Optional[float] = None,
 ) -> PolicyComparison:
     """Run every policy on one common trace generated from ``scenario``.
 
     ``jobs`` fans the (independent) per-policy runs across worker processes;
     results are keyed back by policy in input order, so the comparison is
-    bitwise-identical to a serial run.
+    bitwise-identical to a serial run.  ``quantiles`` switches every run to a
+    streaming :class:`~repro.simulation.metrics.MetricsCollector` tracking the
+    extra response-time quantiles.  ``telemetry_base`` streams each run's
+    telemetry to a per-policy part file and merges the parts (in policy input
+    order) into one JSONL file at that path.
     """
     from repro.experiments.parallel import parallel_map
 
     if not policies:
         raise ValueError("at least one policy is required")
+    quantiles = tuple(quantiles) if quantiles is not None else None
     trace = scenario.generate_trace(seed=seed, num_jobs=num_jobs)
+    parts = [
+        part_path(telemetry_base, f"pol{index}") if telemetry_base else None
+        for index in range(len(policies))
+    ]
     payloads = [
         (
             policy,
@@ -124,10 +154,15 @@ def run_policies(
             scenario.cluster.power_model,
             accuracy_model,
             seed,
+            quantiles,
+            parts[index],
+            telemetry_interval,
         )
-        for policy in policies
+        for index, policy in enumerate(policies)
     ]
     outcomes = parallel_map(_run_single_policy, payloads, jobs=jobs)
+    if telemetry_base:
+        merge_parts(telemetry_base, [p for p in parts if p is not None])
     results: Dict[str, SimulationResult] = {
         policy.name: outcome for policy, outcome in zip(policies, outcomes)
     }

@@ -27,6 +27,12 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.simulation.replication import ReplicatedMetric, ReplicationRunner
+from repro.telemetry import (
+    JsonLinesSink,
+    TelemetryHub,
+    merge_parts,
+    seed_part_path,
+)
 
 
 def validate_jobs(jobs: int) -> int:
@@ -98,6 +104,44 @@ class ParallelRunner:
 # the process boundary; lazy imports avoid import cycles with the layers that
 # call back into this module).
 # --------------------------------------------------------------------------
+def _seed_hub(
+    telemetry_base: Optional[str],
+    telemetry_interval: Optional[float],
+    seed: int,
+) -> TelemetryHub:
+    """Hub writing one replication's stream to its per-seed part file.
+
+    Replication seeds are unique (:func:`replication_seed`), so concurrent
+    worker processes never write the same part; the driver later merges the
+    parts in submission order, keeping the merged JSONL bitwise-identical
+    between serial and parallel runs.  Without a base path the hub stays
+    disabled — the zero-cost probe path.
+    """
+    hub = TelemetryHub(sample_interval=telemetry_interval)
+    if telemetry_base:
+        hub.add_sink(JsonLinesSink(seed_part_path(telemetry_base, seed)))
+    return hub
+
+
+def merge_replication_parts(
+    telemetry_base: Optional[str], base_seed: int, replications: int
+) -> None:
+    """Merge per-replication telemetry parts into ``telemetry_base``.
+
+    Parts are concatenated in replication order (the submission order of the
+    work units), so the merged file is independent of worker scheduling.
+    """
+    from repro.simulation.replication import replication_seed
+
+    if not telemetry_base:
+        return
+    parts = [
+        seed_part_path(telemetry_base, replication_seed(base_seed, index))
+        for index in range(replications)
+    ]
+    merge_parts(telemetry_base, parts)
+
+
 class PolicyComparisonExperiment:
     """Seed -> flat metrics of a multi-policy comparison on one scenario.
 
@@ -113,12 +157,16 @@ class PolicyComparisonExperiment:
         baseline: Optional[str] = None,
         num_jobs: Optional[int] = None,
         accuracy_model=None,
+        telemetry_base: Optional[str] = None,
+        telemetry_interval: Optional[float] = None,
     ) -> None:
         self.scenario = scenario
         self.policies = list(policies)
         self.baseline = baseline
         self.num_jobs = num_jobs
         self.accuracy_model = accuracy_model
+        self.telemetry_base = telemetry_base
+        self.telemetry_interval = telemetry_interval
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.experiments.harness import run_policies
@@ -130,6 +178,12 @@ class PolicyComparisonExperiment:
             seed=seed,
             num_jobs=self.num_jobs,
             accuracy_model=self.accuracy_model,
+            telemetry_base=(
+                seed_part_path(self.telemetry_base, seed)
+                if self.telemetry_base
+                else None
+            ),
+            telemetry_interval=self.telemetry_interval,
         )
         metrics: Dict[str, float] = {}
         for name, result in comparison.results.items():
@@ -152,17 +206,22 @@ class FleetExperiment:
         dispatcher: str = "round_robin",
         power_of_d: Optional[int] = None,
         sprint_budget: str = "per-cluster",
+        telemetry_base: Optional[str] = None,
+        telemetry_interval: Optional[float] = None,
     ) -> None:
         self.scenario = scenario
         self.policy = policy
         self.dispatcher = dispatcher
         self.power_of_d = power_of_d
         self.sprint_budget = sprint_budget
+        self.telemetry_base = telemetry_base
+        self.telemetry_interval = telemetry_interval
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.fleet.simulation import FleetSimulation
 
         trace = self.scenario.generate_trace(seed=seed)
+        hub = _seed_hub(self.telemetry_base, self.telemetry_interval, seed)
         simulation = FleetSimulation(
             policy=self.policy,
             jobs=trace,
@@ -171,8 +230,12 @@ class FleetExperiment:
             power_of_d=self.power_of_d,
             seed=seed,
             sprint_budget=self.sprint_budget,
+            telemetry=hub,
         )
-        return dict(simulation.run().summary())
+        try:
+            return dict(simulation.run().summary())
+        finally:
+            hub.close()
 
 
 class DagExperiment:
@@ -184,11 +247,15 @@ class DagExperiment:
         policy,
         scheduler: str = "fifo",
         slack_biased: bool = False,
+        telemetry_base: Optional[str] = None,
+        telemetry_interval: Optional[float] = None,
     ) -> None:
         self.scenario = scenario
         self.policy = policy
         self.scheduler = scheduler
         self.slack_biased = slack_biased
+        self.telemetry_base = telemetry_base
+        self.telemetry_interval = telemetry_interval
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.dag.simulation import DagSimulation
@@ -203,6 +270,7 @@ class DagExperiment:
             config=source.config, dvfs=source.dvfs, power_model=source.power_model
         )
         trace = self.scenario.generate_trace(seed=seed)
+        hub = _seed_hub(self.telemetry_base, self.telemetry_interval, seed)
         simulation = DagSimulation(
             policy=self.policy,
             jobs=trace,
@@ -210,8 +278,10 @@ class DagExperiment:
             cluster=cluster,
             seed=seed,
             slack_biased=self.slack_biased,
+            telemetry=hub,
         )
         result = simulation.run()
+        hub.close()
         return {
             "completed_jobs": float(result.completed_jobs),
             "mean_makespan_s": result.mean_makespan(),
@@ -224,14 +294,31 @@ class DagExperiment:
 
 
 class RowSweepExperiment:
-    """Seed -> row list of one sweep function (picklable wrapper for sweeps)."""
+    """Seed -> row list of one sweep function (picklable wrapper for sweeps).
 
-    def __init__(self, sweep: Callable[..., List[Dict[str, float]]], kwargs: Mapping[str, Any]) -> None:
+    ``telemetry_base`` (for sweeps that accept it) redirects every
+    replication's telemetry to its per-seed part file; merge the parts
+    afterwards with :func:`merge_replication_parts`.
+    """
+
+    def __init__(
+        self,
+        sweep: Callable[..., List[Dict[str, float]]],
+        kwargs: Mapping[str, Any],
+        telemetry_base: Optional[str] = None,
+        telemetry_interval: Optional[float] = None,
+    ) -> None:
         self.sweep = sweep
         self.kwargs = dict(kwargs)
+        self.telemetry_base = telemetry_base
+        self.telemetry_interval = telemetry_interval
 
     def __call__(self, seed: int) -> List[Dict[str, float]]:
-        return self.sweep(seed=seed, **self.kwargs)
+        kwargs = dict(self.kwargs)
+        if self.telemetry_base:
+            kwargs["telemetry_base"] = seed_part_path(self.telemetry_base, seed)
+            kwargs["telemetry_interval"] = self.telemetry_interval
+        return self.sweep(seed=seed, **kwargs)
 
 
 def replicate_rows(

@@ -21,12 +21,14 @@ from repro.core.policies import SchedulingPolicy
 from repro.experiments.harness import run_policies
 from repro.experiments.parallel import parallel_map
 from repro.models.accuracy import AccuracyModel
+from repro.telemetry import merge_parts, part_path
 from repro.workloads.scenarios import Scenario
 
 
 def _drop_ratio_point(payload) -> Dict[str, float]:
     """One θ point of :func:`drop_ratio_sweep` (module-level: picklable)."""
-    scenario, theta, target, accuracy, num_jobs, seed = payload
+    (scenario, theta, target, accuracy, num_jobs, seed,
+     telemetry_part, telemetry_interval) = payload
     policies = [SchedulingPolicy.preemptive_priority()]
     if theta > 0:
         policy = SchedulingPolicy.differential_approximation(
@@ -36,7 +38,9 @@ def _drop_ratio_point(payload) -> Dict[str, float]:
         policy = SchedulingPolicy.non_preemptive_priority()
     policies.append(policy)
     comparison = run_policies(scenario, policies, baseline="P", seed=seed,
-                              num_jobs=num_jobs, accuracy_model=accuracy)
+                              num_jobs=num_jobs, accuracy_model=accuracy,
+                              telemetry_base=telemetry_part,
+                              telemetry_interval=telemetry_interval)
     result = comparison.result(policy.name)
     return {
         "drop_ratio": float(theta),
@@ -63,19 +67,33 @@ def drop_ratio_sweep(
     seed: int = 0,
     accuracy_model: Optional[AccuracyModel] = None,
     jobs: int = 1,
+    telemetry_base: Optional[str] = None,
+    telemetry_interval: Optional[float] = None,
 ) -> List[Dict[str, float]]:
     """Sweep the low-priority drop ratio and report the latency/accuracy trade-off.
 
     For every θ the sweep runs P (baseline) and DA with θ applied to
     ``priority`` (default: the scenario's lowest class), on a common trace per
     sweep point.  ``jobs`` runs sweep points on that many worker processes.
+    ``telemetry_base`` streams every point's telemetry to a per-point part
+    file; parts are merged in sweep order so the JSONL output is identical
+    whether points ran serially or fanned across workers.
     """
     target = priority if priority is not None else scenario.lowest_priority
     accuracy = accuracy_model or AccuracyModel.paper_default()
-    payloads = [
-        (scenario, theta, target, accuracy, num_jobs, seed) for theta in drop_ratios
+    parts = [
+        part_path(telemetry_base, f"theta{index}") if telemetry_base else None
+        for index in range(len(drop_ratios))
     ]
-    return parallel_map(_drop_ratio_point, payloads, jobs=jobs)
+    payloads = [
+        (scenario, theta, target, accuracy, num_jobs, seed,
+         parts[index], telemetry_interval)
+        for index, theta in enumerate(drop_ratios)
+    ]
+    rows = parallel_map(_drop_ratio_point, payloads, jobs=jobs)
+    if telemetry_base:
+        merge_parts(telemetry_base, [p for p in parts if p is not None])
+    return rows
 
 
 def _load_point(payload) -> List[Dict[str, float]]:

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.sprinter import Sprinter
 from repro.simulation.des import Event, Simulator
+from repro.telemetry.hub import NULL_HUB
 
 #: Budget modes understood by :func:`build_budget_arbiter`.
 BUDGET_MODES = ("per-cluster", "shared", "none")
@@ -53,6 +54,8 @@ class SharedSprintBudget:
         self._active: List[Sprinter] = []
         self._exhaust_event: Optional[Event] = None
         self.exhaustions = 0
+        # Assigned by the embedding fleet after build_budget_arbiter().
+        self.telemetry = NULL_HUB
 
     # -------------------------------------------------------------- queries
     @property
@@ -111,6 +114,14 @@ class SharedSprintBudget:
         self._exhaust_event = None
         self._update()
         self.exhaustions += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "budget_exhausted",
+                self.sim.now,
+                src="budget",
+                active_sprinters=len(self._active),
+                exhaustions=self.exhaustions,
+            )
         # force_stop() re-enters on_sprint_end, which shrinks the active set
         # and (with nobody left) leaves no exhaust event scheduled.
         for sprinter in list(self._active):

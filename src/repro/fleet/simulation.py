@@ -29,6 +29,7 @@ from repro.models.accuracy import AccuracyModel
 from repro.simulation.des import Simulator
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.random_streams import RandomStreams
+from repro.telemetry import NULL_HUB, PeriodicSampler, TelemetryHub, kernel_sample_source
 
 
 class FleetSimulation:
@@ -74,6 +75,7 @@ class FleetSimulation:
         drop_ratio_provider: Optional[
             Callable[[Job, float, MetricsCollector], DropRatioDecision]
         ] = None,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> None:
         if not jobs:
             raise ValueError("the fleet job trace must not be empty")
@@ -86,7 +88,8 @@ class FleetSimulation:
         self.policy = policy
         self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
         self.streams = streams or RandomStreams(seed)
-        self.sim = Simulator()
+        self.telemetry = telemetry
+        self.sim = Simulator(telemetry=telemetry)
         self.budget_mode = sprint_budget
 
         if isinstance(dispatcher, str):
@@ -118,6 +121,7 @@ class FleetSimulation:
                     simulator=self.sim,
                     stream_namespace=f"fleet/cluster{index}/",
                     drop_ratio_provider=drop_ratio_provider,
+                    telemetry=telemetry,
                 )
             )
 
@@ -125,6 +129,8 @@ class FleetSimulation:
         self.budget_pool: Optional[SharedSprintBudget] = build_budget_arbiter(
             sprint_budget, self.sim, sprinters, shared_budget_seconds
         )
+        if self.budget_pool is not None:
+            self.budget_pool.telemetry = telemetry
 
         self.dispatch_counts = [0] * num_clusters
         self._ran = False
@@ -144,7 +150,51 @@ class FleetSimulation:
             self.sim.schedule_at(
                 job.arrival_time, self._make_routing_callback(job), priority=0
             )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                "run_start",
+                self.sim.now,
+                src="fleet",
+                run="fleet",
+                policy=self.policy.name,
+                dispatcher=self.dispatcher.name,
+                clusters=self.num_clusters,
+                budget=self.budget_mode,
+            )
+            if telemetry.sample_interval is not None:
+                total = len(self.jobs)
+                sources = [
+                    (c.telemetry_src, c.telemetry_sample) for c in self.controllers
+                ]
+                sources.append(("fleet", self._telemetry_sample))
+                sources.append(("kernel", kernel_sample_source(self.sim)))
+                sampler = PeriodicSampler(
+                    self.sim,
+                    telemetry,
+                    telemetry.sample_interval,
+                    sources=sources,
+                    should_continue=lambda: self._completed_jobs() < total,
+                )
+                sampler.start()
+
+                # Cancel the trailing tick at end-of-workload so sampling
+                # never advances the clock past the unsampled run's end.
+                def _stop_when_drained() -> None:
+                    if self._completed_jobs() >= total:
+                        sampler.stop()
+
+                for controller in self.controllers:
+                    controller.on_job_complete = _stop_when_drained
         self.sim.run(until=until)
+        if telemetry.enabled:
+            telemetry.emit(
+                "run_end",
+                self.sim.now,
+                src="fleet",
+                completed=self._completed_jobs(),
+                duration=self.sim.now,
+            )
         results = [controller.finalize() for controller in self.controllers]
         return FleetResult(
             policy_name=self.policy.name,
@@ -154,6 +204,22 @@ class FleetSimulation:
             dispatch_counts=list(self.dispatch_counts),
             budget_mode=self.budget_mode,
         )
+
+    # ------------------------------------------------------------- telemetry
+    def _completed_jobs(self) -> int:
+        return sum(c.completed_jobs for c in self.controllers)
+
+    def _telemetry_sample(self) -> dict:
+        """Fleet-level aggregates complementing the per-cluster samples."""
+        return {
+            "queue_depth": float(sum(c.queue_length for c in self.controllers)),
+            "work_left": sum(c.work_left() for c in self.controllers),
+            "completed_jobs": float(self._completed_jobs()),
+            "utilisation": (
+                sum(1.0 for c in self.controllers if c._running is not None)
+                / self.num_clusters
+            ),
+        }
 
     # ---------------------------------------------------------------- events
     def _make_routing_callback(self, job: Job):
@@ -170,6 +236,15 @@ class FleetSimulation:
                 f"index {index} for a fleet of {self.num_clusters}"
             )
         self.dispatch_counts[index] += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "job_routed",
+                self.sim.now,
+                src="fleet",
+                job_id=job.job_id,
+                priority=job.priority,
+                cluster=index,
+            )
         self.controllers[index].submit(job)
 
 
@@ -182,6 +257,8 @@ def replicate_fleet(
     sprint_budget: str = "per-cluster",
     base_seed: int = 0,
     jobs: int = 1,
+    telemetry_base: Optional[str] = None,
+    telemetry_interval: Optional[float] = None,
 ):
     """Replicate one fleet configuration over independent seeds.
 
@@ -190,9 +267,11 @@ def replicate_fleet(
     :class:`FleetSimulation`, collecting the headline fleet metrics
     (:meth:`~repro.fleet.result.FleetResult.summary`).  ``jobs`` fans the
     replications across worker processes with metrics bitwise-identical to a
-    serial run.  Returns ``{metric_name: ReplicatedMetric}``.
+    serial run.  ``telemetry_base`` writes each replication's telemetry to a
+    per-seed part file and merges the parts, in replication order, into one
+    JSONL file at that path.  Returns ``{metric_name: ReplicatedMetric}``.
     """
-    from repro.experiments.parallel import FleetExperiment
+    from repro.experiments.parallel import FleetExperiment, merge_replication_parts
     from repro.simulation.replication import ReplicationRunner
 
     experiment = FleetExperiment(
@@ -201,8 +280,14 @@ def replicate_fleet(
         dispatcher=dispatcher,
         power_of_d=power_of_d,
         sprint_budget=sprint_budget,
+        telemetry_base=telemetry_base,
+        telemetry_interval=telemetry_interval,
     )
-    return ReplicationRunner(experiment).run(replications, base_seed=base_seed, jobs=jobs)
+    metrics = ReplicationRunner(experiment).run(
+        replications, base_seed=base_seed, jobs=jobs
+    )
+    merge_replication_parts(telemetry_base, base_seed, replications)
+    return metrics
 
 
 def run_fleet(

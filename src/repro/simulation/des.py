@@ -49,6 +49,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
+
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 _heapify = heapq.heapify
@@ -127,6 +129,12 @@ class Simulator:
         Minimum number of cancelled-but-unfired events before a heap rebuild
         drops them (and only once they are at least half the heap).  ``0`` or
         ``None`` disables compaction (pure lazy skipping).
+    telemetry:
+        Probe bus for kernel events (heap compactions).  Defaults to the
+        shared always-disabled :data:`~repro.telemetry.hub.NULL_HUB`, so the
+        hot scheduling/dispatch loops pay nothing when telemetry is off: the
+        only probe site is inside :meth:`_compact`, which already runs rarely
+        (amortised O(1) per schedule).
     """
 
     __slots__ = (
@@ -139,14 +147,17 @@ class Simulator:
         "_compactions",
         "_compaction_threshold",
         "_compaction_watermark",
+        "telemetry",
     )
 
     def __init__(
         self,
         start_time: float = 0.0,
         compaction_threshold: Optional[int] = DEFAULT_COMPACTION_THRESHOLD,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> None:
         self._now = float(start_time)
+        self.telemetry = telemetry
         self._heap: List[tuple] = []
         self._seq = 0
         self._processed = 0
@@ -256,6 +267,13 @@ class Simulator:
 
         Returns the simulation time at which the run stopped.
         """
+        if self.telemetry.enabled:
+            # Telemetry samplers read ``processed_events`` from inside event
+            # callbacks, so the counter must be maintained per event rather
+            # than batched into the ``finally`` below.  The instrumented loop
+            # pops events in exactly the same order; only the counter
+            # bookkeeping differs.
+            return self._run_instrumented(until, max_events)
         self._running = True
         self._stopped = False
         executed = 0
@@ -314,6 +332,43 @@ class Simulator:
             self._now = until
         return self._now
 
+    def _run_instrumented(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """The :meth:`run` loop with live counters, used when telemetry is on.
+
+        Identical pop order and stop semantics to the specialised loops in
+        :meth:`run`; the only difference is that ``_processed`` advances per
+        event so sample callbacks observe an up-to-date count.
+        """
+        self._running = True
+        self._stopped = False
+        executed = 0
+        heap = self._heap
+        pop = _heappop
+        try:
+            while heap:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                entry = heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and entry[0] > until:
+                    self._now = until
+                    break
+                pop(heap)
+                self._now = entry[0]
+                executed += 1
+                self._processed += 1
+                event.callback(self)
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not heap:
+            self._now = until
+        return self._now
+
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
@@ -343,9 +398,19 @@ class Simulator:
         running :meth:`run` loop keep observing the compacted heap.
         """
         heap = self._heap
+        before = len(heap)
         heap[:] = [entry for entry in heap if not entry[3].cancelled]
         _heapify(heap)
         self._compactions += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "heap_compaction",
+                self._now,
+                src="kernel",
+                before=before,
+                after=len(heap),
+                compactions=self._compactions,
+            )
 
     def _discard_cancelled(self) -> None:
         heap = self._heap

@@ -150,18 +150,32 @@ class P2Quantile:
 
 
 class OnlineStats:
-    """Online mean/variance (Welford) plus P² tail estimates for one metric."""
+    """Online mean/variance (Welford) plus P² tail estimates for one metric.
 
-    __slots__ = ("count", "mean", "_m2", "maximum", "_quantiles")
+    Parameters
+    ----------
+    quantiles:
+        Extra quantiles (fractions in (0, 1)) to track alongside the default
+        :data:`TRACKED_QUANTILES`.  The defaults are always kept so
+        :meth:`summary` (p50/p95/p99) works regardless of the extras.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "maximum", "_quantiles", "tracked_quantiles")
 
     TRACKED_QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
 
-    def __init__(self) -> None:
+    def __init__(self, quantiles: Optional[Sequence[float]] = None) -> None:
+        tracked = set(self.TRACKED_QUANTILES)
+        for p in quantiles or ():
+            if not 0.0 < p < 1.0:
+                raise ValueError(f"tracked quantiles must be in (0, 1), got {p!r}")
+            tracked.add(float(p))
+        self.tracked_quantiles = tuple(sorted(tracked))
         self.count = 0
         self.mean = 0.0
         self._m2 = 0.0
         self.maximum = float("-inf")
-        self._quantiles = {p: P2Quantile(p) for p in self.TRACKED_QUANTILES}
+        self._quantiles = {p: P2Quantile(p) for p in self.tracked_quantiles}
 
     def add(self, value: float) -> None:
         value = float(value)
@@ -189,7 +203,7 @@ class OnlineStats:
                 return estimator.value()
         raise ValueError(
             f"streaming statistics track only the "
-            f"{[100 * t for t in self.TRACKED_QUANTILES]} percentiles, got {q!r}"
+            f"{[100 * t for t in self.tracked_quantiles]} percentiles, got {q!r}"
         )
 
     def summary(self) -> "SummaryStatistics":
@@ -327,10 +341,10 @@ class _StreamingClassState:
 
     __slots__ = ("response", "queueing", "execution", "loss_sum", "evictions", "wasted_time")
 
-    def __init__(self) -> None:
-        self.response = OnlineStats()
-        self.queueing = OnlineStats()
-        self.execution = OnlineStats()
+    def __init__(self, quantiles: Optional[Sequence[float]] = None) -> None:
+        self.response = OnlineStats(quantiles)
+        self.queueing = OnlineStats(quantiles)
+        self.execution = OnlineStats(quantiles)
         self.loss_sum = 0.0
         self.evictions = 0
         self.wasted_time = 0.0
@@ -368,13 +382,25 @@ class MetricsCollector:
         maxima and totals stay exact while percentiles become P² estimates.
         Record-level accessors (:attr:`records`, :meth:`records_for_priority`,
         :meth:`to_rows`, :meth:`merge`) raise ``RuntimeError`` in this mode.
+    quantiles:
+        Extra quantiles (fractions in (0, 1)) tracked by the streaming
+        estimators, on top of the default p50/p95/p99.  Query them through
+        :meth:`tail_response_time` (e.g. ``q=99.9`` after passing ``0.999``).
+        Ignored in batch mode, where any percentile is exact already.
     """
 
-    def __init__(self, streaming: bool = False) -> None:
+    def __init__(
+        self, streaming: bool = False, quantiles: Optional[Sequence[float]] = None
+    ) -> None:
         self._streaming = bool(streaming)
+        self._quantiles: Optional[Tuple[float, ...]] = (
+            tuple(quantiles) if quantiles else None
+        )
         self._records: List[JobRecord] = []
         self._class_state: Dict[int, _StreamingClassState] = {}
-        self._global_response: Optional[OnlineStats] = OnlineStats() if streaming else None
+        self._global_response: Optional[OnlineStats] = (
+            OnlineStats(self._quantiles) if streaming else None
+        )
         self._job_count = 0
         self.energy = EnergyAccount()
         self._busy_time = 0.0
@@ -400,7 +426,9 @@ class MetricsCollector:
         if self._streaming:
             state = self._class_state.get(record.priority)
             if state is None:
-                state = self._class_state[record.priority] = _StreamingClassState()
+                state = self._class_state[record.priority] = _StreamingClassState(
+                    self._quantiles
+                )
             state.add(record)
             self._global_response.add(record.response_time)
             return
@@ -436,6 +464,24 @@ class MetricsCollector:
     @property
     def job_count(self) -> int:
         return self._job_count
+
+    @property
+    def busy_time(self) -> float:
+        """Productive engine busy time accounted so far (telemetry samplers)."""
+        return self._busy_time
+
+    @property
+    def wasted_time(self) -> float:
+        """Machine time lost to evictions so far (telemetry samplers)."""
+        return self._wasted_time
+
+    @property
+    def tracked_quantiles(self) -> Tuple[float, ...]:
+        """Quantiles the streaming estimators track (defaults in batch mode)."""
+        if self._global_response is not None:
+            return self._global_response.tracked_quantiles
+        stats = OnlineStats(self._quantiles)
+        return stats.tracked_quantiles
 
     def records_for_priority(self, priority: int) -> List[JobRecord]:
         self._require_records("records_for_priority")

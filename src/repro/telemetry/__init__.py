@@ -1,0 +1,49 @@
+"""Live telemetry: probe bus, periodic samplers, sinks and the run inspector.
+
+The telemetry layer gives long fleet/DAG runs continuous, streaming
+visibility — utilization, per-class queue depths, drop/sprint decisions,
+DVFS transitions, kernel counters — while they are in flight, in the style
+of monotasks' ``plot_continuous_monitor``:
+
+* :class:`~repro.telemetry.hub.TelemetryHub` is the probe bus the kernel,
+  :class:`~repro.core.dias.DiASSimulation`,
+  :class:`~repro.fleet.simulation.FleetSimulation`,
+  :class:`~repro.dag.simulation.DagSimulation`, the sprinter and the shared
+  sprint-budget arbiter publish typed events to.  It is **zero-cost when
+  disabled**: every probe site guards on the hub's ``enabled`` flag before
+  building the event payload, and a hub with no sinks is disabled.
+* :mod:`~repro.telemetry.sinks` holds the pluggable outputs: a JSON-lines
+  file writer, a bounded in-memory ring buffer, and a callback sink, plus
+  the deterministic part-file merge used by parallel runs.
+* :class:`~repro.telemetry.sampler.PeriodicSampler` snapshots simulation
+  state at a configurable *simulated-time* interval.  Samples contain no
+  wall-clock quantities, so telemetry streams are byte-identical across
+  reruns of the same seed.
+* :mod:`~repro.telemetry.schema` defines the event schema and validates
+  recorded streams; :mod:`~repro.telemetry.inspect` renders summary tables
+  and ASCII time-series plots (``repro inspect telemetry.jsonl``).
+"""
+
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
+from repro.telemetry.sampler import PeriodicSampler, kernel_sample_source
+from repro.telemetry.sinks import (
+    CallbackSink,
+    JsonLinesSink,
+    RingBufferSink,
+    merge_parts,
+    part_path,
+    seed_part_path,
+)
+
+__all__ = [
+    "NULL_HUB",
+    "TelemetryHub",
+    "PeriodicSampler",
+    "kernel_sample_source",
+    "CallbackSink",
+    "JsonLinesSink",
+    "RingBufferSink",
+    "merge_parts",
+    "part_path",
+    "seed_part_path",
+]

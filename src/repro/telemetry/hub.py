@@ -1,0 +1,115 @@
+"""The telemetry probe bus.
+
+A :class:`TelemetryHub` fans typed events out to attached sinks.  Design
+constraints, in order of importance:
+
+1. **Zero cost when disabled.**  Probe sites in hot paths guard on the plain
+   ``enabled`` attribute (a single attribute load and truth test) before
+   building any payload; a hub without sinks — and the shared :data:`NULL_HUB`
+   default — keeps ``enabled`` False, so a simulation built without telemetry
+   executes the exact same instruction stream as one built before the
+   telemetry layer existed.
+2. **Determinism.**  Events carry only simulated time and simulation state —
+   never wall-clock time — so the emitted stream is a pure function of the
+   run's seed and configuration, which is what makes byte-identical JSONL
+   reruns and deterministic parallel merges possible.
+3. **Typed events.**  Every event is a flat dict with the base fields ``t``
+   (simulated time), ``kind`` and ``src`` plus kind-specific fields; the
+   vocabulary is defined (and validated) by :mod:`repro.telemetry.schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class TelemetryHub:
+    """Publishes typed telemetry events to attached sinks.
+
+    Parameters
+    ----------
+    sample_interval:
+        Default simulated-time interval for periodic samplers attached to a
+        run using this hub (``None`` = the component's own default / no
+        sampling decision made here).  The hub carries the interval so one
+        value configures every layer of a nested run (fleet -> controllers).
+    """
+
+    __slots__ = ("enabled", "sample_interval", "events_emitted", "_sinks")
+
+    def __init__(self, sample_interval: Optional[float] = None) -> None:
+        if sample_interval is not None and sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive simulated seconds, got {sample_interval!r}"
+            )
+        self.enabled = False
+        self.sample_interval = sample_interval
+        self.events_emitted = 0
+        self._sinks: List[Any] = []
+
+    # ------------------------------------------------------------------ sinks
+    @property
+    def sinks(self) -> List[Any]:
+        return list(self._sinks)
+
+    def add_sink(self, sink: Any) -> Any:
+        """Attach ``sink`` (anything with ``write(event)``); returns it."""
+        if not callable(getattr(sink, "write", None)):
+            raise TypeError(f"telemetry sinks must expose write(event); got {sink!r}")
+        self._sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach ``sink``; the hub disables itself when no sinks remain."""
+        self._sinks.remove(sink)
+        self.enabled = bool(self._sinks)
+
+    def close(self) -> None:
+        """Close every sink that supports it and disable the hub."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+        self._sinks = []
+        self.enabled = False
+
+    # ------------------------------------------------------------------ emit
+    def emit(self, kind: str, time: float, src: str = "", **fields: Any) -> None:
+        """Publish one event to every sink.
+
+        No-op while disabled, but hot probe sites should still guard on
+        ``hub.enabled`` themselves so the payload (``fields``) is never even
+        built in the disabled case.
+        """
+        if not self.enabled:
+            return
+        event: Dict[str, Any] = {"t": float(time), "kind": kind, "src": src}
+        event.update(fields)
+        self.events_emitted += 1
+        for sink in self._sinks:
+            sink.write(event)
+
+
+class _NullTelemetryHub(TelemetryHub):
+    """The shared disabled hub; refuses sinks so it can never be enabled.
+
+    Components default their ``telemetry`` attribute to :data:`NULL_HUB`
+    instead of ``None`` so probe sites read one attribute (``enabled``)
+    without a ``None`` check.  Attaching a sink to the shared instance would
+    silently enable telemetry for *every* component built without an explicit
+    hub, so it raises instead.
+    """
+
+    __slots__ = ()
+
+    def add_sink(self, sink: Any) -> Any:
+        raise RuntimeError(
+            "cannot attach a sink to the shared NULL_HUB; "
+            "construct a TelemetryHub and pass it to the component instead"
+        )
+
+
+#: Shared always-disabled hub used as the default for every instrumented
+#: component.  Its ``emit`` is unreachable from guarded probe sites.
+NULL_HUB = _NullTelemetryHub()

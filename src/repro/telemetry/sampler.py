@@ -1,0 +1,147 @@
+"""Simulator-clock-driven periodic telemetry samplers.
+
+A :class:`PeriodicSampler` snapshots one or more *sources* every ``interval``
+simulated seconds and publishes each snapshot as a ``sample`` event.  Sources
+are ``(src_label, callable)`` pairs whose callable returns a flat dict of
+numeric fields; the built-in :func:`kernel_sample_source` exposes the DES
+kernel's counters (processed/pending/scheduled events, heap compactions and
+the event rate per simulated second).
+
+Two properties matter for correctness:
+
+* **Read-only sampling.**  Source callables must only *read* simulation
+  state.  The sampler's own events interleave with the run's events (they
+  consume kernel sequence numbers), but because the callbacks never mutate
+  engine or controller state and draw no randomness, simulation results with
+  sampling enabled are identical to results without it.
+* **Termination.**  A self-rescheduling event would keep a run-to-exhaustion
+  kernel alive forever, so the sampler consults ``should_continue()`` after
+  every tick and stops rescheduling once it returns False (typically "all
+  trace jobs completed").  Without an explicit predicate it falls back to
+  "the heap still holds other events", which is correct for bounded runs but
+  can overrun on heaps dominated by cancelled far-future events — pass a
+  predicate for open-ended workloads.
+* **No trailing clock advance.**  One tick is always in flight, and if it
+  fired after the workload's last completion it would advance the simulation
+  clock past the natural end of the run — changing the reported duration,
+  utilisation denominator and idle energy relative to an unsampled run.  The
+  run driver therefore calls :meth:`PeriodicSampler.stop` the moment the
+  workload completes (e.g. from the controller's ``on_job_complete`` hook):
+  the pending tick is lazily cancelled, and a cancelled event is skipped by
+  the kernel *without* advancing the clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.telemetry.hub import TelemetryHub
+
+if TYPE_CHECKING:  # imported lazily: the kernel itself imports this package
+    from repro.simulation.des import Simulator
+
+#: Event priority of sampler ticks: higher than every engine/controller
+#: priority in use (0-2), so a sample taken at time T observes the state
+#: *after* all state changes scheduled at T.
+SAMPLE_PRIORITY = 9
+
+SampleSource = Tuple[str, Callable[[], Dict[str, float]]]
+
+
+def kernel_sample_source(sim: Simulator) -> Callable[[], Dict[str, float]]:
+    """Build a sample source reading the kernel's own counters.
+
+    The event rate is computed per *simulated* second (events processed since
+    the previous sample over simulated time elapsed) so that samples stay
+    free of wall-clock quantities and therefore deterministic.
+    """
+    state = {"time": sim.now, "processed": sim.processed_events}
+
+    def sample() -> Dict[str, float]:
+        now = sim.now
+        processed = sim.processed_events
+        elapsed = now - state["time"]
+        delta = processed - state["processed"]
+        state["time"] = now
+        state["processed"] = processed
+        return {
+            "processed_events": float(processed),
+            "pending_events": float(sim.pending_events),
+            "scheduled_events": float(sim.scheduled_events),
+            "heap_compactions": float(sim.heap_compactions),
+            "events_per_simsec": (delta / elapsed) if elapsed > 0 else 0.0,
+        }
+
+    return sample
+
+
+class PeriodicSampler:
+    """Emits ``sample`` events for every source each ``interval`` sim-seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hub: TelemetryHub,
+        interval: float,
+        sources: Sequence[SampleSource],
+        should_continue: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval!r}")
+        if not sources:
+            raise ValueError("at least one sample source is required")
+        self.sim = sim
+        self.hub = hub
+        self.interval = float(interval)
+        self.sources = list(sources)
+        self.should_continue = should_continue
+        self.samples_taken = 0
+        self._started = False
+        self._stopped = False
+        self._pending = None
+
+    def start(self) -> None:
+        """Take a baseline sample now and schedule the periodic ticks."""
+        if self._started:
+            raise RuntimeError("the sampler is already started")
+        self._started = True
+        self._sample()
+        self._pending = self.sim.schedule(
+            self.interval, self._tick, priority=SAMPLE_PRIORITY
+        )
+
+    def stop(self) -> None:
+        """Cancel the in-flight tick so the clock never advances past the run.
+
+        Call this the moment the workload completes: the pending tick is
+        lazily cancelled, which the kernel skips *without* advancing the
+        clock, so sampled runs end at exactly the same simulated time (and
+        idle-energy charge) as unsampled ones.
+        """
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    # ------------------------------------------------------------- internals
+    def _sample(self) -> None:
+        now = self.sim.now
+        for src, fn in self.sources:
+            self.hub.emit("sample", now, src=src, **fn())
+        self.samples_taken += 1
+
+    def _tick(self, sim: Simulator) -> None:
+        self._pending = None
+        if self._stopped:
+            return
+        self._sample()
+        if self.should_continue is not None:
+            alive = self.should_continue()
+        else:
+            # The tick itself was already popped, so any remaining entry is
+            # other work (possibly cancelled; see module docstring).
+            alive = sim.pending_events > 0
+        if alive:
+            self._pending = sim.schedule(
+                self.interval, self._tick, priority=SAMPLE_PRIORITY
+            )

@@ -1,0 +1,116 @@
+"""Telemetry event schema and JSON-lines validation.
+
+Every event is a flat JSON object with three base fields — ``t`` (simulated
+time, number), ``kind`` (event type) and ``src`` (emitting component, e.g.
+``"fleet"``, ``"cluster3"``, ``"kernel"``, ``"dag"``) — plus kind-specific
+required fields listed in :data:`KIND_FIELDS`.  Extra fields are allowed
+(``sample`` events in particular carry per-class queue-depth columns whose
+names depend on the workload), so the schema stays forward compatible while
+still catching malformed producers.
+
+:func:`validate_event` checks one decoded object; :func:`validate_file`
+validates a whole JSONL stream and reports the offending line on failure.
+The CI bench-smoke job runs ``repro inspect --validate`` over a short fleet
+run's telemetry to keep producers and schema from drifting apart.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+#: Accepted JSON types per declared field type.
+_NUMBER = (int, float)
+_STRING = (str,)
+
+#: Required kind-specific fields: ``{kind: {field: accepted_types}}``.
+KIND_FIELDS: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    "run_start": {"run": _STRING, "policy": _STRING},
+    "run_end": {"completed": _NUMBER, "duration": _NUMBER},
+    "job_admitted": {"job_id": _NUMBER, "priority": _NUMBER},
+    "job_routed": {"job_id": _NUMBER, "priority": _NUMBER, "cluster": _NUMBER},
+    "drop_decision": {
+        "job_id": _NUMBER,
+        "priority": _NUMBER,
+        "map_drop_ratio": _NUMBER,
+        "reduce_drop_ratio": _NUMBER,
+        "kept_map_tasks": _NUMBER,
+        "dropped_map_tasks": _NUMBER,
+    },
+    "job_completed": {
+        "job_id": _NUMBER,
+        "priority": _NUMBER,
+        "response_time": _NUMBER,
+        "execution_time": _NUMBER,
+        "drop_ratio": _NUMBER,
+    },
+    "job_evicted": {"job_id": _NUMBER, "priority": _NUMBER, "wasted": _NUMBER},
+    "stage_scheduled": {"job_id": _NUMBER, "stage": _NUMBER, "pending_tasks": _NUMBER},
+    "sprint_start": {"job_id": _NUMBER},
+    "sprint_end": {"job_id": _NUMBER, "sprinted": _NUMBER},
+    "sprint_denied": {"job_id": _NUMBER},
+    "dvfs_transition": {"speed": _NUMBER, "mode": _STRING},
+    "budget_exhausted": {"active_sprinters": _NUMBER, "exhaustions": _NUMBER},
+    "heap_compaction": {"before": _NUMBER, "after": _NUMBER, "compactions": _NUMBER},
+    "sample": {},
+}
+
+#: All event kinds a producer may emit.
+EVENT_KINDS: Tuple[str, ...] = tuple(sorted(KIND_FIELDS))
+
+
+def validate_event(event: Mapping[str, Any]) -> None:
+    """Validate one decoded event against the schema; raises ``ValueError``."""
+    if not isinstance(event, Mapping):
+        raise ValueError(f"telemetry events must be JSON objects, got {type(event).__name__}")
+    for field, types in (("t", _NUMBER), ("kind", _STRING), ("src", _STRING)):
+        if field not in event:
+            raise ValueError(f"missing base field {field!r}")
+        if not isinstance(event[field], types) or isinstance(event[field], bool):
+            raise ValueError(
+                f"base field {field!r} has wrong type {type(event[field]).__name__}"
+            )
+    kind = event["kind"]
+    required = KIND_FIELDS.get(kind)
+    if required is None:
+        raise ValueError(f"unknown event kind {kind!r}; known kinds: {', '.join(EVENT_KINDS)}")
+    for field, types in required.items():
+        if field not in event:
+            raise ValueError(f"{kind!r} event is missing required field {field!r}")
+        if not isinstance(event[field], types) or isinstance(event[field], bool):
+            raise ValueError(
+                f"{kind!r} field {field!r} has wrong type {type(event[field]).__name__}"
+            )
+
+
+def parse_line(line: str, line_number: int = 0) -> Dict[str, Any]:
+    """Decode and validate one JSONL line; errors carry the line number."""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"line {line_number}: invalid JSON ({error})") from error
+    try:
+        validate_event(event)
+    except ValueError as error:
+        raise ValueError(f"line {line_number}: {error}") from error
+    return event
+
+
+def iter_events(lines: Iterable[str]) -> Iterable[Dict[str, Any]]:
+    """Yield validated events from an iterable of JSONL lines."""
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        yield parse_line(stripped, number)
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Read and validate a whole telemetry JSONL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_events(handle))
+
+
+def validate_file(path: str) -> int:
+    """Validate ``path`` line by line; returns the number of events."""
+    return len(read_events(path))

@@ -1,0 +1,124 @@
+"""Pluggable telemetry sinks and the deterministic part-file merge.
+
+Three sinks cover the common consumption patterns:
+
+* :class:`JsonLinesSink` — one compact, key-sorted JSON object per line.
+  Because events contain only simulated time and simulation state, the file
+  is a pure function of (seed, configuration): re-running the same run
+  produces byte-identical output, which the determinism tests assert.
+* :class:`RingBufferSink` — a bounded in-memory buffer of the most recent
+  events; used by live dashboards, tests and the telemetry benchmark.
+* :class:`CallbackSink` — invokes a callable per event (ad-hoc hooks).
+
+Parallel runs write one JSONL *part file* per work unit (policy run, sweep
+point, replication) and merge them in **submission order** — the same order
+the serial path produces — so a merged parallel stream is byte-identical to
+the serial one regardless of worker scheduling (:func:`merge_parts`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+
+def _encode(event: Dict[str, Any]) -> str:
+    """Canonical JSON-lines encoding: sorted keys, no whitespace."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class JsonLinesSink:
+    """Appends each event to ``path`` as one canonical JSON line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._file = open(self.path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self._file.write(_encode(event))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity!r}")
+        self.capacity = int(capacity)
+        self._buffer: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self.events_written = 0
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self._buffer.append(event)
+        self.events_written += 1
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class CallbackSink:
+    """Calls ``fn(event)`` for every published event."""
+
+    def __init__(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        if not callable(fn):
+            raise TypeError("CallbackSink requires a callable")
+        self.fn = fn
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self.fn(event)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic part-file merging for parallel runs
+# ---------------------------------------------------------------------------
+def part_path(base: str, tag: Any) -> str:
+    """Path of one work unit's telemetry part file under ``base``."""
+    return f"{base}.part-{tag}"
+
+
+def seed_part_path(base: str, seed: int) -> str:
+    """Part path of the replication seeded with ``seed`` (index-free name).
+
+    Replication part files are named by *seed*, not worker or completion
+    index, because the seed sequence is the one thing serial and parallel
+    execution share (:func:`~repro.simulation.replication.replication_seed`);
+    the caller merges the parts in replication-index order.
+    """
+    return part_path(base, f"s{seed}")
+
+
+def merge_parts(output: str, parts: Sequence[str], cleanup: bool = True) -> int:
+    """Concatenate ``parts`` (in the given order) into ``output``.
+
+    The caller supplies parts in submission order, which makes the merged
+    stream identical to what a serial run writes.  Returns the number of
+    merged lines; missing part files raise ``FileNotFoundError``.
+    """
+    lines = 0
+    with open(output, "w", encoding="utf-8") as merged:
+        for part in parts:
+            with open(part, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    merged.write(line)
+                    lines += 1
+    if cleanup:
+        for part in parts:
+            os.remove(part)
+    return lines

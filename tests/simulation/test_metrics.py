@@ -305,3 +305,35 @@ def test_online_stats_variance_matches_two_pass():
     mean = sum(values) / len(values)
     expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
     assert stats.variance == pytest.approx(expected)
+
+
+def test_streaming_arbitrary_quantile_sets():
+    import random
+
+    rng = random.Random(13)
+    values = [rng.expovariate(0.05) for _ in range(5000)]
+    batch = MetricsCollector()
+    stream = MetricsCollector(streaming=True, quantiles=(0.9, 0.999))
+    _fill(batch, values)
+    _fill(stream, values)
+    # Extra quantiles are tracked alongside the default p50/p95/p99.
+    assert stream.tracked_quantiles == (0.5, 0.9, 0.95, 0.99, 0.999)
+    for q in (50.0, 90.0, 95.0, 99.0):
+        exact = batch.tail_response_time(0, q)
+        estimate = stream.tail_response_time(0, q)
+        assert estimate == pytest.approx(exact, rel=0.15), f"p{q}"
+    # p99.9 is noisier with 5000 samples; just require a sane upper tail.
+    assert stream.tail_response_time(0, 99.9) >= stream.tail_response_time(0, 99.0)
+
+
+def test_streaming_untracked_quantile_still_raises():
+    stream = MetricsCollector(streaming=True, quantiles=(0.9,))
+    _fill(stream, [1.0, 2.0, 3.0])
+    assert stream.tail_response_time(0, 90.0) > 0.0
+    with pytest.raises(ValueError, match="track only"):
+        stream.tail_response_time(0, 75.0)
+
+
+def test_quantiles_must_be_fractions():
+    with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+        MetricsCollector(streaming=True, quantiles=(90.0,)).record_job(make_record())

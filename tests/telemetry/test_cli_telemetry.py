@@ -1,0 +1,77 @@
+"""CLI-level tests for --telemetry/--telemetry-interval/--quantiles/inspect."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.schema import validate_file
+
+
+def test_fleet_telemetry_writes_schema_valid_jsonl(tmp_path, capsys):
+    path = str(tmp_path / "fleet.jsonl")
+    code = main(["fleet", "--clusters", "2", "--num-jobs", "40", "--seed", "1",
+                 "--telemetry", path, "--telemetry-interval", "1.0"])
+    assert code == 0
+    count = validate_file(path)
+    assert count > 0
+    kinds = {json.loads(line)["kind"] for line in open(path)}
+    assert {"run_start", "sample", "job_completed", "run_end"} <= kinds
+
+
+def test_inspect_renders_fleet_stream(tmp_path, capsys):
+    path = str(tmp_path / "fleet.jsonl")
+    assert main(["fleet", "--clusters", "2", "--num-jobs", "40", "--seed", "1",
+                 "--telemetry", path, "--telemetry-interval", "1.0"]) == 0
+    capsys.readouterr()
+    assert main(["inspect", path]) == 0
+    output = capsys.readouterr().out
+    assert "Event counts" in output
+    assert "Completed jobs by priority" in output
+    assert main(["inspect", path, "--validate"]) == 0
+    assert "all lines valid" in capsys.readouterr().out
+
+
+def test_inspect_missing_file_fails_cleanly(capsys):
+    assert main(["inspect", "/nonexistent/telemetry.jsonl"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unwritable_telemetry_path_fails_before_running(capsys):
+    code = main(["fleet", "--clusters", "2", "--num-jobs", "40",
+                 "--telemetry", "/nonexistent-dir/t.jsonl"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "error:" in err and "cannot write telemetry file" in err
+
+
+def test_telemetry_interval_must_be_positive(capsys):
+    with pytest.raises(SystemExit):
+        main(["fleet", "--num-jobs", "10", "--telemetry", "t.jsonl",
+              "--telemetry-interval", "0"])
+
+
+def test_compare_quantiles_renders_streaming_table(capsys):
+    code = main(["compare", "--num-jobs", "40", "--seed", "2",
+                 "--quantiles", "0.9,0.999"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Streaming response-time quantiles" in output
+    assert "p90_response_s" in output
+    assert "p99.9_response_s" in output
+
+
+def test_compare_quantiles_rejects_replications(capsys):
+    code = main(["compare", "--num-jobs", "20", "--quantiles", "0.9",
+                 "--replications", "2"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_quantiles_flag_validates_fractions(capsys):
+    with pytest.raises(SystemExit):
+        main(["compare", "--num-jobs", "10", "--quantiles", "1.5"])
+    with pytest.raises(SystemExit):
+        main(["compare", "--num-jobs", "10", "--quantiles", "0.9,nope"])

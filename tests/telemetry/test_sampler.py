@@ -1,0 +1,112 @@
+"""Tests for the simulator-clock periodic sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.des import Simulator
+from repro.telemetry import (
+    PeriodicSampler,
+    RingBufferSink,
+    TelemetryHub,
+    kernel_sample_source,
+)
+
+
+def _hub_with_ring():
+    hub = TelemetryHub(sample_interval=1.0)
+    ring = hub.add_sink(RingBufferSink(capacity=1024))
+    return hub, ring
+
+
+def test_samples_every_interval():
+    sim = Simulator()
+    hub, ring = _hub_with_ring()
+    for i in range(5):
+        sim.schedule(float(i), lambda s: None)
+    sampler = PeriodicSampler(sim, hub, 1.0,
+                              sources=[("kernel", kernel_sample_source(sim))])
+    sampler.start()
+    sim.run()
+    times = [e["t"] for e in ring.events if e["kind"] == "sample"]
+    # Baseline at t=0 plus one tick per interval while work remained.
+    assert times[0] == 0.0
+    assert times == sorted(times)
+    assert sampler.samples_taken == len(times)
+
+
+def test_sampler_stop_prevents_clock_advance():
+    """A cancelled trailing tick must not advance the kernel clock."""
+    sim = Simulator()
+    hub, _ring = _hub_with_ring()
+    sim.schedule(2.5, lambda s: None)
+    sampler = PeriodicSampler(sim, hub, 1.0,
+                              sources=[("kernel", kernel_sample_source(sim))],
+                              should_continue=lambda: True)
+    sampler.start()
+    # Stop as soon as the workload's only event fires (t=2.5); the pending
+    # tick at t=3.0 is cancelled and must be skipped without advancing time.
+    sim.schedule(2.5, lambda s: sampler.stop(), priority=10)
+    end = sim.run()
+    assert end == 2.5
+    assert sim.now == 2.5
+
+
+def test_sampler_without_stop_overruns_the_workload():
+    """Control for the stop() test: the trailing tick advances the clock."""
+    sim = Simulator()
+    hub, _ring = _hub_with_ring()
+    sim.schedule(2.5, lambda s: None)
+    sampler = PeriodicSampler(sim, hub, 1.0,
+                              sources=[("kernel", kernel_sample_source(sim))])
+    sampler.start()
+    end = sim.run()
+    assert end > 2.5
+
+
+def test_sample_priority_observes_post_state():
+    """Samples at time T run after engine events scheduled at T."""
+    sim = Simulator()
+    hub, ring = _hub_with_ring()
+    state = {"value": 0.0}
+
+    def bump(s):
+        state["value"] = 1.0
+
+    sim.schedule(1.0, bump)  # priority 0 < SAMPLE_PRIORITY
+    sampler = PeriodicSampler(sim, hub, 1.0,
+                              sources=[("probe", lambda: dict(state))])
+    sampler.start()
+    sim.run()
+    at_one = [e for e in ring.events if e["t"] == 1.0 and e["kind"] == "sample"]
+    assert at_one and at_one[0]["value"] == 1.0
+
+
+def test_kernel_source_rate_is_per_simulated_second():
+    # The simulator only maintains live per-event counters when it is
+    # constructed with an enabled hub, exactly as the engines do.
+    hub, ring = _hub_with_ring()
+    sim = Simulator(telemetry=hub)
+    for i in range(10):
+        sim.schedule(0.1 * i, lambda s: None)
+    sampler = PeriodicSampler(sim, hub, 1.0,
+                              sources=[("kernel", kernel_sample_source(sim))])
+    sampler.start()
+    sim.run()
+    samples = [e for e in ring.events if e["src"] == "kernel"]
+    assert samples[0]["events_per_simsec"] == 0.0  # baseline: no time elapsed
+    assert all(s["events_per_simsec"] >= 0.0 for s in samples)
+    assert samples[-1]["processed_events"] >= 10.0
+
+
+def test_sampler_validates_arguments():
+    sim = Simulator()
+    hub, _ = _hub_with_ring()
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, hub, 0.0, sources=[("x", dict)])
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, hub, 1.0, sources=[])
+    sampler = PeriodicSampler(sim, hub, 1.0, sources=[("x", dict)])
+    sampler.start()
+    with pytest.raises(RuntimeError):
+        sampler.start()

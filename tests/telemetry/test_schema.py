@@ -1,0 +1,79 @@
+"""Tests for the telemetry event schema and JSONL validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.schema import (
+    KIND_FIELDS,
+    iter_events,
+    parse_line,
+    read_events,
+    validate_event,
+    validate_file,
+)
+
+
+def _event(kind="job_admitted", **extra):
+    base = {"t": 1.0, "kind": kind, "src": "dias"}
+    base.update(extra)
+    return base
+
+
+def test_all_documented_kinds_validate_with_required_fields():
+    fillers = {int: 1, float: 1.0, str: "x", bool: True}
+    for kind, fields in KIND_FIELDS.items():
+        event = _event(kind=kind)
+        for name, types in fields.items():
+            first = types[0] if isinstance(types, tuple) else types
+            event[name] = fillers[first]
+        validate_event(event)  # must not raise
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown event kind"):
+        validate_event(_event(kind="mystery"))
+
+
+def test_missing_required_field_rejected():
+    event = _event(kind="job_admitted", priority=0)  # job_id missing
+    with pytest.raises(ValueError, match="job_id"):
+        validate_event(event)
+
+
+def test_missing_base_field_rejected():
+    with pytest.raises(ValueError):
+        validate_event({"kind": "sample", "src": "kernel"})  # no t
+
+
+def test_extra_fields_allowed():
+    event = _event(kind="sample", depth_p0=3.0, utilisation=0.5)
+    validate_event(event)
+
+
+def test_parse_line_reports_line_number():
+    with pytest.raises(ValueError, match="line 7"):
+        parse_line("not json", 7)
+
+
+def test_validate_file_and_read_events(tmp_path):
+    path = tmp_path / "t.jsonl"
+    events = [
+        _event(kind="run_start", run="dias", policy="P"),
+        _event(kind="sample", src="kernel"),
+        _event(kind="run_end", completed=1, duration=2.0),
+    ]
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    assert validate_file(str(path)) == 3
+    assert read_events(str(path)) == events
+    with open(path) as handle:
+        assert list(iter_events(handle)) == events
+
+
+def test_validate_file_rejects_bad_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t": 1.0, "kind": "nope", "src": ""}\n')
+    with pytest.raises(ValueError):
+        validate_file(str(path))

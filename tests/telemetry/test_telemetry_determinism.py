@@ -1,0 +1,113 @@
+"""Determinism guarantees of the telemetry layer.
+
+Three properties back the "continuous monitoring without breaking
+reproducibility" claim:
+
+* the telemetry stream is a pure function of (seed, config) — running the
+  same command twice yields byte-identical JSONL;
+* serial and ``--jobs N`` runs produce byte-identical *merged* output (the
+  per-work-unit part files are merged in submission order);
+* attaching a telemetry hub does not perturb the simulation itself — the
+  reported results match a run without telemetry, and a hub with no sinks
+  (disabled) leaves even the kernel's instrumented fast path untouched.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+from repro.cli import main
+from repro.telemetry.schema import validate_file
+
+
+def _run(args, capsys):
+    assert main(args) == 0
+    return capsys.readouterr().out
+
+
+def _no_parts_left(base):
+    assert glob.glob(base + ".part-*") == []
+
+
+def test_fleet_telemetry_same_seed_is_byte_identical(tmp_path, capsys):
+    paths = [str(tmp_path / f"run{i}.jsonl") for i in range(2)]
+    for path in paths:
+        _run(["fleet", "--clusters", "2", "--num-jobs", "30", "--seed", "11",
+              "--telemetry", path, "--telemetry-interval", "1.0"], capsys)
+    first, second = (open(p, "rb").read() for p in paths)
+    assert first and first == second
+    assert validate_file(paths[0]) > 0
+
+
+def test_replicated_fleet_serial_vs_parallel_merged_output_identical(
+        tmp_path, capsys):
+    serial = str(tmp_path / "serial.jsonl")
+    parallel = str(tmp_path / "parallel.jsonl")
+    base = ["fleet", "--clusters", "2", "--num-jobs", "25", "--seed", "3",
+            "--replications", "3", "--telemetry-interval", "2.0"]
+    out_serial = _run(base + ["--telemetry", serial, "--jobs", "1"], capsys)
+    out_parallel = _run(base + ["--telemetry", parallel, "--jobs", "2"], capsys)
+    assert out_serial == out_parallel
+    assert open(serial, "rb").read() == open(parallel, "rb").read()
+    _no_parts_left(serial)
+    _no_parts_left(parallel)
+
+
+def test_sweep_serial_vs_parallel_merged_output_identical(tmp_path, capsys):
+    serial = str(tmp_path / "serial.jsonl")
+    parallel = str(tmp_path / "parallel.jsonl")
+    base = ["sweep", "--num-jobs", "20", "--seed", "5",
+            "--ratios", "0.0", "0.5", "--telemetry-interval", "2.0"]
+    out_serial = _run(base + ["--telemetry", serial, "--jobs", "1"], capsys)
+    out_parallel = _run(base + ["--telemetry", parallel, "--jobs", "2"], capsys)
+    assert out_serial == out_parallel
+    assert open(serial, "rb").read() == open(parallel, "rb").read()
+    _no_parts_left(serial)
+
+
+def test_telemetry_does_not_perturb_results(tmp_path, capsys):
+    """Reported tables match exactly with and without --telemetry."""
+    path = str(tmp_path / "t.jsonl")
+    base = ["fleet", "--clusters", "2", "--num-jobs", "30", "--seed", "7"]
+    plain = _run(base, capsys)
+    with_telemetry = _run(
+        base + ["--telemetry", path, "--telemetry-interval", "1.0"], capsys)
+    assert plain == with_telemetry
+    assert os.path.getsize(path) > 0
+
+
+def test_dag_telemetry_does_not_perturb_results(tmp_path, capsys):
+    path = str(tmp_path / "t.jsonl")
+    base = ["dag", "--scenario", "fork-join", "--num-jobs", "15", "--seed", "2"]
+    plain = _run(base, capsys)
+    with_telemetry = _run(
+        base + ["--telemetry", path, "--telemetry-interval", "1.0"], capsys)
+    assert plain == with_telemetry
+    assert validate_file(path) > 0
+
+
+def test_compare_telemetry_same_seed_is_byte_identical(tmp_path, capsys):
+    paths = [str(tmp_path / f"c{i}.jsonl") for i in range(2)]
+    for path in paths:
+        _run(["compare", "--num-jobs", "25", "--seed", "9",
+              "--telemetry", path, "--telemetry-interval", "2.0"], capsys)
+    assert open(paths[0], "rb").read() == open(paths[1], "rb").read()
+    _no_parts_left(paths[0])
+
+
+def test_disabled_hub_matches_null_hub_kernel_results():
+    """A hub with no sinks must leave the kernel on the uninstrumented path."""
+    from repro.simulation.des import Simulator
+    from repro.telemetry import NULL_HUB, TelemetryHub
+
+    def drive(sim):
+        order = []
+        for i in range(20):
+            sim.schedule(0.5 * i, lambda s, i=i: order.append((s.now, i)))
+        end = sim.run()
+        return end, order, sim.processed_events
+
+    null_result = drive(Simulator(telemetry=NULL_HUB))
+    disabled_result = drive(Simulator(telemetry=TelemetryHub()))
+    assert null_result == disabled_result
