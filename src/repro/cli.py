@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     python -m repro dag --scenario layered --scheduler critical_path_first
     python -m repro fleet --telemetry run.jsonl --telemetry-interval 1.0
     python -m repro inspect run.jsonl           # summaries + ASCII plots
+    python -m repro fleet --trace out.json      # record per-job lifecycle spans
+    python -m repro trace out.json --focus-job 7   # waterfall + attribution
 
 ``--num-jobs`` controls the number of *simulated* jobs per trace; ``--jobs N``
 fans independent work units (replications, sweep points, policy runs) across
@@ -144,6 +146,10 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="T",
                         help="periodic-sample spacing in simulated seconds "
                              "(default: 5.0)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record per-job lifecycle spans and export them "
+                             "as Chrome-trace/Perfetto JSON to PATH (render "
+                             "with: repro trace PATH)")
 
 
 def _check_telemetry_path(path: Optional[str]) -> Optional[str]:
@@ -171,14 +177,59 @@ def _telemetry_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
-def _single_run_hub(args: argparse.Namespace) -> TelemetryHub:
-    """Hub for a single in-process run: one JSONL sink, or the disabled null hub."""
+def _check_trace_flag(args: argparse.Namespace) -> Optional[str]:
+    """Validate ``--trace``: writable path, single run only (no replications)."""
+    trace = getattr(args, "trace", None)
+    if trace is None:
+        return None
+    if getattr(args, "replications", 1) > 1:
+        raise ValueError(
+            "--trace needs a single run; it cannot be combined with "
+            "--replications"
+        )
+    return _check_telemetry_path(trace)
+
+
+def _single_run_hub(args: argparse.Namespace):
+    """Hub for a single in-process run, plus the span-export bookkeeping.
+
+    Returns ``(hub, events_path, events_are_temporary)``: the hub streams
+    events to ``events_path`` (the ``--telemetry`` file, or a scratch file
+    next to the ``--trace`` output when only tracing was requested — removed
+    again after the Chrome-trace export).  With neither flag the disabled
+    null hub is returned.
+    """
     path = _check_telemetry_path(args.telemetry)
-    if path is None:
-        return NULL_HUB
-    hub = TelemetryHub(sample_interval=args.telemetry_interval)
-    hub.add_sink(JsonLinesSink(path))
-    return hub
+    trace = _check_trace_flag(args)
+    if path is None and trace is None:
+        return NULL_HUB, None, False
+    events_path = path if path is not None else trace + ".events.jsonl"
+    # Periodic sampling stays opt-in via --telemetry; a pure --trace run
+    # records spans (and the other probe events) but no samples.
+    interval = args.telemetry_interval if path is not None else None
+    hub = TelemetryHub(sample_interval=interval, tracing=trace is not None)
+    hub.add_sink(JsonLinesSink(events_path))
+    return hub, events_path, path is None
+
+
+def _export_trace(args: argparse.Namespace, events_path: Optional[str],
+                  events_are_temporary: bool) -> Optional[str]:
+    """Export the recorded spans to ``--trace`` as Chrome-trace JSON."""
+    import os
+
+    from repro.telemetry.tracing import read_spans, write_chrome_trace
+
+    trace = getattr(args, "trace", None)
+    if trace is None or events_path is None:
+        return None
+    spans = read_spans(events_path)
+    count = write_chrome_trace(trace, spans)
+    if events_are_temporary:
+        os.remove(events_path)
+    return (
+        f"Trace: {count} spans -> {trace} "
+        "(render: repro trace; load: ui.perfetto.dev or chrome://tracing)"
+    )
 
 
 def _parse_quantiles(text: str) -> tuple:
@@ -316,6 +367,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(dag_parser)
     _add_telemetry_flags(dag_parser)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="render a span trace: waterfall, latency attribution, "
+                      "observed-vs-predicted critical paths"
+    )
+    trace_parser.add_argument("path", help="Chrome-trace JSON written by --trace, "
+                                           "or a span-carrying telemetry JSONL file")
+    trace_parser.add_argument("--focus-job", type=int, default=None, metavar="ID",
+                              help="render the waterfall for this job "
+                                   "(default: the slowest traced job)")
+    trace_parser.add_argument("--validate", action="store_true",
+                              help="only validate the file as a Chrome-trace "
+                                   "document, print no report")
+    trace_parser.add_argument("--width", type=_positive_int, default=100,
+                              help="waterfall width in character columns")
+
     inspect_parser = subparsers.add_parser(
         "inspect", help="summarise and plot a telemetry JSON-lines file"
     )
@@ -416,6 +482,7 @@ def _default_fleet_policy(scenario: FleetScenario) -> SchedulingPolicy:
 
 def _run_fleet(args: argparse.Namespace) -> str:
     _check_choice("router", args.router, list(ROUTERS))
+    _check_trace_flag(args)
     scenario = FLEET_SCENARIOS[args.scenario](
         num_clusters=args.clusters, num_jobs_per_cluster=args.num_jobs
     )
@@ -441,7 +508,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
              format_rows(interval_rows(metrics))]
         )
     trace = scenario.generate_trace(seed=args.seed)
-    hub = _single_run_hub(args)
+    hub, events_path, events_are_temporary = _single_run_hub(args)
     simulation = FleetSimulation(
         policy=policy,
         jobs=trace,
@@ -454,6 +521,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
     )
     result = simulation.run()
     hub.close()
+    trace_note = _export_trace(args, events_path, events_are_temporary)
     title = (
         f"Fleet: {scenario.name}  router={result.dispatcher_name}  "
         f"policy={policy.name}  budget={args.budget}"
@@ -472,11 +540,14 @@ def _run_fleet(args: argparse.Namespace) -> str:
         "Summary",
         format_rows(summary_rows),
     ]
+    if trace_note is not None:
+        lines += ["", trace_note]
     return "\n".join(lines)
 
 
 def _run_dag(args: argparse.Namespace) -> str:
     _check_choice("stage scheduler", args.scheduler, list(STAGE_SCHEDULERS))
+    _check_trace_flag(args)
     scenario = DAG_SCENARIOS[args.scenario](num_jobs=args.num_jobs)
     policy = (
         args.policy
@@ -503,7 +574,7 @@ def _run_dag(args: argparse.Namespace) -> str:
              format_rows(interval_rows(metrics))]
         )
     trace = scenario.generate_trace(seed=args.seed)
-    hub = _single_run_hub(args)
+    hub, events_path, events_are_temporary = _single_run_hub(args)
     simulation = DagSimulation(
         policy=policy,
         jobs=trace,
@@ -515,6 +586,7 @@ def _run_dag(args: argparse.Namespace) -> str:
     )
     result = simulation.run()
     hub.close()
+    trace_note = _export_trace(args, events_path, events_are_temporary)
     title = (
         f"DAG: {scenario.name}  scheduler={result.scheduler_name}  "
         f"policy={policy.name}  slack_biased={args.slack_biased}"
@@ -551,7 +623,30 @@ def _run_dag(args: argparse.Namespace) -> str:
         "Summary (cp_stretch = makespan over per-job lower bound)",
         format_rows(summary_rows),
     ]
+    if trace_note is not None:
+        lines += ["", trace_note]
     return "\n".join(lines)
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    """Validate or render a span trace written by ``--trace`` (or JSONL spans)."""
+    from repro.telemetry.tracing import (
+        load_spans,
+        render_trace_report,
+        validate_chrome_trace,
+    )
+
+    try:
+        if args.validate:
+            count = validate_chrome_trace(args.path)
+            return (
+                f"OK: {args.path} is a valid Chrome-trace document "
+                f"({count} spans)"
+            )
+        spans = load_spans(args.path)
+    except OSError as error:
+        raise ValueError(f"cannot read trace file {args.path!r}: {error}")
+    return render_trace_report(spans, width=args.width, focus_job=args.focus_job)
 
 
 def _run_inspect(args: argparse.Namespace) -> str:
@@ -606,14 +701,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     + format_rows(interval_rows(metrics))
                 )
             else:
+                trace_path = _check_trace_flag(args)
+                telemetry_kwargs = _telemetry_kwargs(args)
+                events_path = None
+                events_are_temporary = False
+                if trace_path is not None:
+                    telemetry_kwargs["telemetry_trace"] = True
+                    if telemetry_kwargs["telemetry_base"] is None:
+                        events_path = trace_path + ".events.jsonl"
+                        events_are_temporary = True
+                        telemetry_kwargs["telemetry_base"] = events_path
+                        telemetry_kwargs["telemetry_interval"] = None
+                    else:
+                        events_path = telemetry_kwargs["telemetry_base"]
                 comparison = run_policies(scenario, policies, baseline=policies[0].name,
                                           seed=args.seed, num_jobs=args.num_jobs,
                                           jobs=args.jobs, quantiles=args.quantiles,
-                                          **_telemetry_kwargs(args))
+                                          **telemetry_kwargs)
                 output = format_comparison(comparison, f"Scenario {args.scenario}")
                 if args.quantiles is not None:
                     output += "\n\nStreaming response-time quantiles (P² estimates)\n"
                     output += format_rows(_quantile_rows(comparison, args.quantiles))
+                trace_note = _export_trace(args, events_path, events_are_temporary)
+                if trace_note is not None:
+                    output += "\n\n" + trace_note
         elif args.command == "sweep":
             scenario = SCENARIOS[args.scenario]()
             if args.replications > 1:
@@ -649,6 +760,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _run_fleet(args)
         elif args.command == "dag":
             output = _run_dag(args)
+        elif args.command == "trace":
+            output = _run_trace(args)
         elif args.command == "inspect":
             output = _run_inspect(args)
         else:  # pragma: no cover - argparse prevents this

@@ -4,12 +4,17 @@ Arriving jobs are immediately placed in the buffer matching their priority;
 each buffer is FCFS; the deflator always serves the head of the highest
 non-empty buffer.  Evicted jobs return to the *head* of their buffer so they
 are the first of their class to be retried (§2.2).
+
+The structure keeps a running total and a descending-sorted priority list so
+the hot queries (``__len__`` from every telemetry sample, ``peek_highest`` /
+``pop_highest`` from every dispatch) are O(1)/O(priorities) without a sort;
+the list is only re-sorted when a previously unseen priority appears.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.job import Job
 
@@ -22,18 +27,28 @@ class PriorityBuffers:
         if priorities is not None:
             for priority in priorities:
                 self._buffers[int(priority)] = deque()
+        self._order: List[int] = sorted(self._buffers, reverse=True)
+        self._size = 0
+
+    def _buffer_for(self, priority: int) -> Deque[Job]:
+        buf = self._buffers.get(priority)
+        if buf is None:
+            buf = self._buffers[priority] = deque()
+            self._order.append(priority)
+            self._order.sort(reverse=True)
+        return buf
 
     # --------------------------------------------------------------- state
     def __len__(self) -> int:
-        return sum(len(buf) for buf in self._buffers.values())
+        return self._size
 
     @property
     def is_empty(self) -> bool:
-        return len(self) == 0
+        return self._size == 0
 
     def priorities(self) -> List[int]:
         """Priorities with a registered buffer, highest first."""
-        return sorted(self._buffers, reverse=True)
+        return list(self._order)
 
     def depth(self, priority: int) -> int:
         """Number of jobs queued at ``priority``."""
@@ -42,20 +57,29 @@ class PriorityBuffers:
     def depths(self) -> Dict[int, int]:
         return {priority: len(buf) for priority, buf in self._buffers.items()}
 
+    def depth_rows(self) -> List[Tuple[int, int]]:
+        """(priority, depth) pairs in ascending priority order (telemetry)."""
+        buffers = self._buffers
+        return [(priority, len(buffers[priority])) for priority in reversed(self._order)]
+
     # ------------------------------------------------------------ mutation
     def push(self, job: Job) -> None:
         """Enqueue an arriving job at the tail of its priority buffer."""
-        self._buffers.setdefault(job.priority, deque()).append(job)
+        self._buffer_for(job.priority).append(job)
+        self._size += 1
 
     def push_front(self, job: Job) -> None:
         """Return an evicted job to the head of its priority buffer."""
-        self._buffers.setdefault(job.priority, deque()).appendleft(job)
+        self._buffer_for(job.priority).appendleft(job)
+        self._size += 1
 
     def peek_highest(self) -> Optional[Job]:
         """The job that would be dispatched next, without removing it."""
-        for priority in sorted(self._buffers, reverse=True):
-            if self._buffers[priority]:
-                return self._buffers[priority][0]
+        buffers = self._buffers
+        for priority in self._order:
+            buf = buffers[priority]
+            if buf:
+                return buf[0]
         return None
 
     def highest_waiting_priority(self) -> Optional[int]:
@@ -65,11 +89,15 @@ class PriorityBuffers:
 
     def pop_highest(self) -> Optional[Job]:
         """Remove and return the head of the highest non-empty buffer."""
-        for priority in sorted(self._buffers, reverse=True):
-            if self._buffers[priority]:
-                return self._buffers[priority].popleft()
+        buffers = self._buffers
+        for priority in self._order:
+            buf = buffers[priority]
+            if buf:
+                self._size -= 1
+                return buf.popleft()
         return None
 
     def clear(self) -> None:
         for buf in self._buffers.values():
             buf.clear()
+        self._size = 0

@@ -24,7 +24,7 @@ resource waste, energy, accuracy loss).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.buffers import PriorityBuffers
 from repro.core.dropper import DropPlan, TaskDropper
@@ -39,6 +39,27 @@ from repro.simulation.des import Simulator
 from repro.simulation.metrics import ClassMetrics, JobRecord, MetricsCollector
 from repro.simulation.random_streams import RandomStreams
 from repro.telemetry import NULL_HUB, PeriodicSampler, TelemetryHub, kernel_sample_source
+
+
+def _dropped_task_seconds(job: Job, plan: DropPlan) -> float:
+    """Slot-seconds of task work the drop plan sheds (for span attribution).
+
+    Stages absent from the plan's kept-index maps keep all their tasks and
+    contribute nothing.
+    """
+    dropped = 0.0
+    for stage in job.stages:
+        kept_map = plan.kept_map_indices.get(stage.index)
+        if kept_map is not None:
+            dropped += sum(stage.map_task_times) - sum(
+                stage.map_task_times[i] for i in kept_map
+            )
+        kept_reduce = plan.kept_reduce_indices.get(stage.index)
+        if kept_reduce is not None:
+            dropped += sum(stage.reduce_task_times) - sum(
+                stage.reduce_task_times[i] for i in kept_reduce
+            )
+    return dropped
 
 
 @dataclass(frozen=True)
@@ -194,12 +215,16 @@ class DiASSimulation:
                 on_sprint_end=self._on_sprint_end,
                 telemetry=telemetry,
                 telemetry_src=self.telemetry_src,
+                on_sprint_denied=self._on_sprint_denied,
             )
 
         self._running: Optional[JobExecution] = None
         self._running_plan: Optional[DropPlan] = None
         # Per-job bookkeeping across (possibly multiple, if evicted) attempts.
         self._job_state: Dict[int, Dict[str, float]] = {}
+        # Open-span bookkeeping (job/queue/attempt/sprint ids and start
+        # times) per job while span tracing is on; empty otherwise.
+        self._trace: Dict[int, Dict[str, Any]] = {}
         self._completed = 0
         # Invoked after every completion; embedders (fleet) and the telemetry
         # sampler use it to react to end-of-workload without polling.
@@ -210,6 +235,8 @@ class DiASSimulation:
         self._queued_work = 0.0
         self._running_estimate = 0.0
         self._running_started_at = 0.0
+        # priority -> interned "depth_p{priority}" sample field name.
+        self._depth_keys: Dict[int, str] = {}
 
     # ---------------------------------------------------------- load queries
     @property
@@ -229,21 +256,40 @@ class DiASSimulation:
         :meth:`~repro.engine.energy.EnergyMeter.snapshot`, never ``advance``)
         so that sampled runs produce bit-identical results to unsampled ones.
         """
+        # This runs once per sampler tick on every sampled run, so it avoids
+        # avoidable Python frames: one depth pass doubles as the total queue
+        # depth, :meth:`work_left` is inlined, field names are interned once
+        # per priority, and integer counters stay integers (the schema admits
+        # any number).
         now = self.sim.now
+        running = self._running
         busy = self.metrics.busy_time + self.metrics.wasted_time
-        if self._running is not None:
+        work_left = self._queued_work
+        if running is not None:
             busy += max(0.0, now - self._running_started_at)
+            work_left += max(
+                0.0, self._running_estimate - (now - self._running_started_at)
+            )
         sample: Dict[str, float] = {
             "utilisation": (busy / now) if now > 0 else 0.0,
-            "queue_depth": float(len(self.buffers)),
-            "running": 1.0 if self._running is not None else 0.0,
-            "work_left": self.work_left(),
-            "completed_jobs": float(self._completed),
-            "evictions": float(self._total_evictions),
+            "queue_depth": 0,
+            "running": 1.0 if running is not None else 0.0,
+            "work_left": work_left,
+            "completed_jobs": self._completed,
+            "evictions": self._total_evictions,
         }
-        for priority, depth in sorted(self.buffers.depths().items()):
-            sample[f"depth_p{priority}"] = float(depth)
-        sample.update(self.energy_meter.snapshot(now))
+        depth_keys = self._depth_keys
+        total_depth = 0
+        for priority, depth in self.buffers.depth_rows():
+            total_depth += depth
+            key = depth_keys.get(priority)
+            if key is None:
+                key = depth_keys[priority] = f"depth_p{priority}"
+            sample[key] = depth
+        sample["queue_depth"] = total_depth
+        meter = self.energy_meter
+        sample["energy_joules"] = meter.projected_joules(now)
+        sample["power_mode"] = meter._mode
         return sample
 
     def work_left(self) -> float:
@@ -365,6 +411,16 @@ class DiASSimulation:
                 job_id=job.job_id,
                 priority=job.priority,
             )
+        if self.telemetry.tracing:
+            # Open the job's root span and its first queue wait; both close
+            # later (spans are emitted at close time, ids are stable now).
+            self._trace[job.job_id] = {
+                "job": self.telemetry.new_span_id(),
+                "job_start": self.sim.now,
+                "attempt": 0,
+                "queue_id": self.telemetry.new_span_id(),
+                "queue_start": self.sim.now,
+            }
         self.buffers.push(job)
         self._queued_work += self._estimated_service_time(job)
         if self._running is None:
@@ -411,12 +467,22 @@ class DiASSimulation:
             kept_map_indices=plan.kept_map_indices,
             kept_reduce_indices=plan.kept_reduce_indices,
         )
+        trace_parent = 0
+        if self.telemetry.tracing:
+            trace_parent = self._trace_dispatch(job, plan)
         # Every dispatch starts at the base frequency; sprinting (if any) is
         # triggered later by the sprinter's timer.
         self.cluster.set_sprinting(False)
         self.energy_meter.set_mode("busy", self.sim.now)
         execution = JobExecution(
-            self.sim, self.cluster, job, phases, on_complete=self._on_complete
+            self.sim,
+            self.cluster,
+            job,
+            phases,
+            on_complete=self._on_complete,
+            telemetry=self.telemetry,
+            telemetry_src=self.telemetry_src,
+            trace_parent=trace_parent,
         )
         self._running = execution
         self._running_plan = plan
@@ -425,6 +491,71 @@ class DiASSimulation:
         execution.start(speed=self.cluster.speed)
         if self.sprinter is not None:
             self.sprinter.on_dispatch(execution)
+
+    # ------------------------------------------------------------ span probes
+    def _trace_dispatch(self, job: Job, plan: DropPlan) -> int:
+        """Close the queue span, open the attempt span, annotate the drop.
+
+        Returns the attempt span id, which the :class:`JobExecution` uses as
+        the parent of its wave/task spans.  Only called while tracing.
+        """
+        telemetry = self.telemetry
+        now = self.sim.now
+        state = self._trace[job.job_id]
+        telemetry.emit(
+            "span",
+            now,
+            src=self.telemetry_src,
+            span_id=state.pop("queue_id"),
+            parent_id=state["job"],
+            name="queue_wait",
+            cat="queue",
+            start=state.pop("queue_start"),
+            job_id=job.job_id,
+            priority=job.priority,
+        )
+        state["attempt"] += 1
+        attempt_id = telemetry.new_span_id()
+        state["attempt_id"] = attempt_id
+        state["attempt_start"] = now
+        dropped_seconds = _dropped_task_seconds(job, plan)
+        if dropped_seconds > 0.0:
+            kept = sum(len(idx) for idx in plan.kept_map_indices.values()) + sum(
+                len(idx) for idx in plan.kept_reduce_indices.values()
+            )
+            telemetry.emit(
+                "span",
+                now,
+                src=self.telemetry_src,
+                span_id=telemetry.new_span_id(),
+                parent_id=attempt_id,
+                name="drop",
+                cat="drop",
+                start=now,
+                job_id=job.job_id,
+                dropped_tasks=job.num_map_tasks + job.num_reduce_tasks - kept,
+                salvaged=dropped_seconds / self.cluster.slots,
+            )
+        return attempt_id
+
+    def _trace_attempt_end(self, execution: JobExecution, outcome: str) -> None:
+        """Close the current attempt span; only called while tracing."""
+        job = execution.job
+        state = self._trace[job.job_id]
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=state.pop("attempt_id"),
+            parent_id=state["job"],
+            name="attempt",
+            cat="attempt",
+            start=state.pop("attempt_start"),
+            job_id=job.job_id,
+            attempt=state["attempt"],
+            outcome=outcome,
+            sprinted=execution.sprinted_time,
+        )
 
     def _evict_running(self) -> None:
         execution = self._running
@@ -444,6 +575,25 @@ class DiASSimulation:
                 priority=job.priority,
                 wasted=wasted,
             )
+        if self.telemetry.tracing:
+            now = self.sim.now
+            trace_state = self._trace[job.job_id]
+            self.telemetry.emit(
+                "span",
+                now,
+                src=self.telemetry_src,
+                span_id=self.telemetry.new_span_id(),
+                parent_id=trace_state["attempt_id"],
+                name="evict",
+                cat="evict",
+                start=now,
+                job_id=job.job_id,
+                wasted=wasted,
+            )
+            self._trace_attempt_end(execution, "evicted")
+            # The job re-queues at this same instant: open the next wait.
+            trace_state["queue_id"] = self.telemetry.new_span_id()
+            trace_state["queue_start"] = now
         state = self._job_state[job.job_id]
         state["wasted"] += wasted
         state["evictions"] += 1
@@ -490,6 +640,21 @@ class DiASSimulation:
                 execution_time=record.execution_time,
                 drop_ratio=record.drop_ratio,
             )
+        if self.telemetry.tracing:
+            self._trace_attempt_end(execution, "completed")
+            trace_state = self._trace.pop(job.job_id)
+            self.telemetry.emit(
+                "span",
+                self.sim.now,
+                src=self.telemetry_src,
+                span_id=trace_state["job"],
+                parent_id=0,
+                name="job",
+                cat="job",
+                start=trace_state["job_start"],
+                job_id=job.job_id,
+                priority=job.priority,
+            )
         self._completed += 1
         if self.on_job_complete is not None:
             self.on_job_complete()
@@ -511,6 +676,11 @@ class DiASSimulation:
                 speed=self.cluster.speed,
                 mode="sprint",
             )
+        if self.telemetry.tracing:
+            state = self._trace.get(execution.job.job_id)
+            if state is not None:
+                state["sprint_id"] = self.telemetry.new_span_id()
+                state["sprint_start"] = self.sim.now
 
     def _on_sprint_end(self, execution: JobExecution) -> None:
         self.cluster.set_sprinting(False)
@@ -528,6 +698,41 @@ class DiASSimulation:
                 speed=self.cluster.speed,
                 mode="nominal",
             )
+        if self.telemetry.tracing:
+            state = self._trace.get(execution.job.job_id)
+            if state is not None and "sprint_start" in state:
+                # The DVFS throttle interval, a child of the attempt it
+                # accelerated (the sprinter always stops before the attempt
+                # closes, so the interval nests inside it).
+                self.telemetry.emit(
+                    "span",
+                    self.sim.now,
+                    src=self.telemetry_src,
+                    span_id=state.pop("sprint_id"),
+                    parent_id=state.get("attempt_id", state["job"]),
+                    name="sprint",
+                    cat="sprint",
+                    start=state.pop("sprint_start"),
+                    job_id=execution.job.job_id,
+                    speed=self.cluster.dvfs.speedup(self.cluster.dvfs.sprint),
+                )
+
+    def _on_sprint_denied(self, execution: JobExecution) -> None:
+        if self.telemetry.tracing:
+            state = self._trace.get(execution.job.job_id)
+            if state is not None and "attempt_id" in state:
+                now = self.sim.now
+                self.telemetry.emit(
+                    "span",
+                    now,
+                    src=self.telemetry_src,
+                    span_id=self.telemetry.new_span_id(),
+                    parent_id=state["attempt_id"],
+                    name="sprint_denied",
+                    cat="denied",
+                    start=now,
+                    job_id=execution.job.job_id,
+                )
 
 
 def run_policy(

@@ -64,11 +64,13 @@ class Sprinter:
         budget_pool: Optional["SprintBudgetPool"] = None,
         telemetry: TelemetryHub = NULL_HUB,
         telemetry_src: str = "sprinter",
+        on_sprint_denied: Optional[Callable[[JobExecution], None]] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.on_sprint_start = on_sprint_start
         self.on_sprint_end = on_sprint_end
+        self.on_sprint_denied = on_sprint_denied
         self.budget_pool = budget_pool
         self.telemetry = telemetry
         self.telemetry_src = telemetry_src
@@ -160,6 +162,8 @@ class Sprinter:
                     src=self.telemetry_src,
                     job_id=execution.job.job_id,
                 )
+            if self.on_sprint_denied is not None:
+                self.on_sprint_denied(execution)
             return
         self._sprinting = True
         self._sprint_started_at = self.sim.now

@@ -156,6 +156,34 @@ def analyze_critical_path(
     )
 
 
+def observed_critical_path(
+    finish_times: Mapping[int, float],
+    parents: Mapping[int, Sequence[int]],
+) -> Tuple[int, ...]:
+    """Reconstruct the *observed* critical path from measured stage finishes.
+
+    The PERT pass above predicts the critical path from estimated durations;
+    this is its a-posteriori counterpart over what actually happened — e.g.
+    per-stage finish times recovered from trace spans.  Starting at the
+    last-finishing stage, each step follows the parent that finished last
+    (the dependency that actually gated the stage's start).  Ties break on
+    the higher stage index, matching :func:`analyze_critical_path`.
+    """
+    if not finish_times:
+        return ()
+    tail = max(finish_times, key=lambda i: (finish_times[i], i))
+    path: List[int] = [tail]
+    while True:
+        observed_parents = [
+            p for p in parents.get(path[-1], ()) if p in finish_times
+        ]
+        if not observed_parents:
+            break
+        path.append(max(observed_parents, key=lambda p: (finish_times[p], p)))
+    path.reverse()
+    return tuple(path)
+
+
 def upward_ranks(
     dag: StageDAG, slots: int, stage_durations: Optional[Mapping[int, float]] = None
 ) -> Dict[int, float]:

@@ -67,6 +67,10 @@ class StageRun:
         self.done = False
         self.rank = 0.0
         self._undispatched = sum(d for durations, _ in self._phases for d in durations)
+        # Trace span of this stage (0 / unset while tracing is off); opened
+        # at activation, emitted when the stage finishes or is evicted.
+        self.span_id = 0
+        self.activated_at = 0.0
 
     # ----------------------------------------------------- scheduler queries
     @property
@@ -128,12 +132,18 @@ class StageRun:
 
 @dataclass
 class _ActiveTask:
-    """Book-keeping for one in-flight task on one slot."""
+    """Book-keeping for one in-flight task on one slot.
+
+    ``started_at``/``span_id`` survive DVFS reschedules so task trace spans
+    keep their true dispatch time (``span_id`` is 0 while tracing is off).
+    """
 
     slot: int
     event: Event
     speed: float
     stage_run: Optional[StageRun]
+    started_at: float = 0.0
+    span_id: int = 0
 
 
 class DagExecution:
@@ -170,12 +180,17 @@ class DagExecution:
         setup_drop_ratio: Optional[float] = None,
         telemetry: TelemetryHub = NULL_HUB,
         telemetry_src: str = "dag",
+        trace_parent: int = 0,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.job = job
         self.telemetry = telemetry
         self.telemetry_src = telemetry_src
+        #: Enclosing attempt span id when tracing (0 otherwise): stage spans
+        #: attach to it, task spans to their stage span.
+        self.trace_parent = trace_parent
+        self._setup_span: Optional[tuple] = None
         self.scheduler = make_stage_scheduler(scheduler)
         self.on_complete = on_complete or (lambda execution: None)
         self._setup_time = job.setup_time(
@@ -285,11 +300,17 @@ class DagExecution:
         self._speed_since = self.sim.now
         self._free_slots = list(range(self.cluster.slots))
         if self._setup_time > 0:
+            if self.telemetry.tracing:
+                self._setup_span = (self.telemetry.new_span_id(), self.sim.now)
             event = self.sim.schedule(
                 self._setup_time / self._speed, self._on_setup_done, priority=1
             )
             self._active[_SETUP_SLOT] = _ActiveTask(
-                slot=_SETUP_SLOT, event=event, speed=self._speed, stage_run=None
+                slot=_SETUP_SLOT,
+                event=event,
+                speed=self._speed,
+                stage_run=None,
+                started_at=self.sim.now,
             )
         else:
             self._activate_sources()
@@ -322,7 +343,12 @@ class DagExecution:
                     remaining_work / speed, self._make_task_callback(slot), priority=1
                 )
             self._active[slot] = _ActiveTask(
-                slot=slot, event=new_event, speed=speed, stage_run=active.stage_run
+                slot=slot,
+                event=new_event,
+                speed=speed,
+                stage_run=active.stage_run,
+                started_at=active.started_at,
+                span_id=active.span_id,
             )
 
     def evict(self) -> float:
@@ -331,6 +357,15 @@ class DagExecution:
             raise RuntimeError("cannot evict a DAG execution that is not running")
         now = self.sim.now
         self._accumulate_sprint(now)
+        if self.telemetry.tracing:
+            for active in self._active.values():
+                if active.span_id and active.stage_run is not None:
+                    self._emit_task_span(active, outcome="evicted")
+            for run in self._runs.values():
+                if run.span_id and run.ready_seq >= 0 and not run.done:
+                    self._emit_stage_span(run, outcome="evicted")
+            if self._setup_span is not None:
+                self._emit_setup_span(outcome="evicted")
         for active in self._active.values():
             active.event.cancel()
         self._active.clear()
@@ -343,10 +378,64 @@ class DagExecution:
             self.sprinted_time += now - self._speed_since
         self._speed_since = now
 
+    def _emit_setup_span(self, outcome: str = "completed") -> None:
+        span_id, started = self._setup_span  # type: ignore[misc]
+        self._setup_span = None
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=span_id,
+            parent_id=self.trace_parent,
+            name="setup",
+            cat="stage",
+            start=started,
+            job_id=self.job.job_id,
+            stage=-1,
+            parents="",
+            outcome=outcome,
+        )
+
+    def _emit_stage_span(self, run: StageRun, outcome: str = "completed") -> None:
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=run.span_id,
+            parent_id=self.trace_parent,
+            name="stage",
+            cat="stage",
+            start=run.activated_at,
+            job_id=self.job.job_id,
+            stage=run.index,
+            parents=",".join(str(p) for p in run.stage.parents),
+            pred=self.analysis.durations[run.index],
+            outcome=outcome,
+        )
+
+    def _emit_task_span(self, active: _ActiveTask, outcome: str = "completed") -> None:
+        run = active.stage_run
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=active.span_id,
+            parent_id=run.span_id if run is not None else self.trace_parent,
+            name="task",
+            cat="task",
+            start=active.started_at,
+            job_id=self.job.job_id,
+            slot=active.slot,
+            stage=run.index if run is not None else -1,
+            outcome=outcome,
+        )
+
     def _on_setup_done(self, _sim: Simulator) -> None:
         if not self.running:
             return
         self._active.pop(_SETUP_SLOT, None)
+        if self._setup_span is not None:
+            self._emit_setup_span()
         self._activate_sources()
 
     def _activate_sources(self) -> None:
@@ -359,11 +448,15 @@ class DagExecution:
 
     def _activate_stage(self, run: StageRun) -> None:
         """Mark ``run`` ready; stages emptied by dropping complete in cascade."""
+        tracing = self.telemetry.tracing
         stack = [run]
         while stack:
             current = stack.pop()
             current.activate(self._ready_counter)
             self._ready_counter += 1
+            if tracing:
+                current.span_id = self.telemetry.new_span_id()
+                current.activated_at = self.sim.now
             if self.telemetry.enabled:
                 self.telemetry.emit(
                     "stage_scheduled",
@@ -374,6 +467,10 @@ class DagExecution:
                     pending_tasks=current.pending_tasks,
                 )
             if current.done:
+                # Emptied by dropping: record a zero-length stage span so the
+                # observed DAG stays structurally complete.
+                if tracing:
+                    self._emit_stage_span(current)
                 self._remaining_stages -= 1
                 for child_index in self.job.dag.children(current.index):
                     child = self._runs[child_index]
@@ -393,7 +490,12 @@ class DagExecution:
                 duration / self._speed, self._make_task_callback(slot), priority=1
             )
             self._active[slot] = _ActiveTask(
-                slot=slot, event=event, speed=self._speed, stage_run=run
+                slot=slot,
+                event=event,
+                speed=self._speed,
+                stage_run=run,
+                started_at=self.sim.now,
+                span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
             )
 
     def _make_task_callback(self, slot: int) -> Callable[[Simulator], None]:
@@ -408,9 +510,13 @@ class DagExecution:
         active = self._active.pop(slot, None)
         if active is None:
             return
+        if active.span_id:
+            self._emit_task_span(active)
         self._free_slots.append(slot)
         run = active.stage_run
         if run is not None and run.task_finished():
+            if run.span_id:
+                self._emit_stage_span(run)
             self._remaining_stages -= 1
             for child_index in self.job.dag.children(run.index):
                 child = self._runs[child_index]

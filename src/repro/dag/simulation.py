@@ -18,10 +18,10 @@ concentrates on off-critical-path stages at the same overall accuracy cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.buffers import PriorityBuffers
-from repro.core.dias import SimulationResult
+from repro.core.dias import SimulationResult, _dropped_task_seconds
 from repro.core.dropper import DropPlan, TaskDropper
 from repro.core.policies import SchedulingPolicy
 from repro.core.sprinter import Sprinter
@@ -110,6 +110,8 @@ class DagSimulation:
 
         self.sim = Simulator(telemetry=telemetry)
         self.buffers = PriorityBuffers()
+        # priority -> interned "depth_p{priority}" sample field name.
+        self._depth_keys: Dict[int, str] = {}
         self.dropper = TaskDropper(self.streams.stream("dag/dropper"))
         self.metrics = MetricsCollector()
         self.energy_meter = EnergyMeter(self.cluster.power_model, start_time=self.sim.now)
@@ -122,11 +124,15 @@ class DagSimulation:
                 on_sprint_end=self._on_sprint_end,
                 telemetry=telemetry,
                 telemetry_src=self.telemetry_src,
+                on_sprint_denied=self._on_sprint_denied,
             )
 
         self._running: Optional[DagExecution] = None
         self._running_plan: Optional[DropPlan] = None
         self._job_state: Dict[int, Dict[str, float]] = {}
+        # Open-span bookkeeping (job/queue/attempt/sprint ids and start
+        # times) per job while span tracing is on; empty otherwise.
+        self._trace: Dict[int, Dict[str, Any]] = {}
         self._completed = 0
         self._total_evictions = 0
         self._sampler: Optional[PeriodicSampler] = None
@@ -147,20 +153,32 @@ class DagSimulation:
 
     def telemetry_sample(self) -> Dict[str, float]:
         """Read-only snapshot for periodic samplers (no state mutation)."""
+        # Mirrors DiASSimulation.telemetry_sample's frame-lean shape: one
+        # depth pass, interned field names, integer counters left as ints.
         now = self.sim.now
+        running = self._running
         busy = self.metrics.busy_time + self.metrics.wasted_time
-        if self._running is not None and self._running.start_time is not None:
-            busy += max(0.0, now - self._running.start_time)
+        if running is not None and running.start_time is not None:
+            busy += max(0.0, now - running.start_time)
         sample: Dict[str, float] = {
             "utilisation": (busy / now) if now > 0 else 0.0,
-            "queue_depth": float(len(self.buffers)),
-            "running": 1.0 if self._running is not None else 0.0,
-            "completed_jobs": float(self._completed),
-            "evictions": float(self._total_evictions),
+            "queue_depth": 0,
+            "running": 1.0 if running is not None else 0.0,
+            "completed_jobs": self._completed,
+            "evictions": self._total_evictions,
         }
-        for priority, depth in sorted(self.buffers.depths().items()):
-            sample[f"depth_p{priority}"] = float(depth)
-        sample.update(self.energy_meter.snapshot(now))
+        depth_keys = self._depth_keys
+        total_depth = 0
+        for priority, depth in self.buffers.depth_rows():
+            total_depth += depth
+            key = depth_keys.get(priority)
+            if key is None:
+                key = depth_keys[priority] = f"depth_p{priority}"
+            sample[key] = depth
+        sample["queue_depth"] = total_depth
+        meter = self.energy_meter
+        sample["energy_joules"] = meter.projected_joules(now)
+        sample["power_mode"] = meter._mode
         return sample
 
     # --------------------------------------------------------------- running
@@ -247,6 +265,16 @@ class DagSimulation:
                 job_id=job.job_id,
                 priority=job.priority,
             )
+        if self.telemetry.tracing:
+            # Open the job's root span and its first queue wait; both close
+            # later (spans are emitted at close time, ids are stable now).
+            self._trace[job.job_id] = {
+                "job": self.telemetry.new_span_id(),
+                "job_start": self.sim.now,
+                "attempt": 0,
+                "queue_id": self.telemetry.new_span_id(),
+                "queue_start": self.sim.now,
+            }
         self.buffers.push(job)
         if self._running is None:
             self._dispatch_next()
@@ -288,6 +316,9 @@ class DagSimulation:
                 kept_map_tasks=kept,
                 dropped_map_tasks=job.num_map_tasks - kept,
             )
+        trace_parent = 0
+        if self.telemetry.tracing:
+            trace_parent = self._trace_dispatch(job, plan)
         self.cluster.set_sprinting(False)
         self.energy_meter.set_mode("busy", self.sim.now)
         execution = DagExecution(
@@ -301,12 +332,86 @@ class DagSimulation:
             setup_drop_ratio=min(plan.map_drop_ratio, 0.9),
             telemetry=self.telemetry,
             telemetry_src=self.telemetry_src,
+            trace_parent=trace_parent,
         )
         self._running = execution
         self._running_plan = plan
         execution.start(speed=self.cluster.speed)
         if self.sprinter is not None:
             self.sprinter.on_dispatch(execution)
+
+    # ------------------------------------------------------------ span probes
+    def _trace_dispatch(self, job: DagJob, plan: DropPlan) -> int:
+        """Close the queue span, open the attempt span, annotate the drop.
+
+        Returns the attempt span id, which the :class:`DagExecution` uses as
+        the parent of its stage/task spans.  Only called while tracing.
+        """
+        telemetry = self.telemetry
+        now = self.sim.now
+        state = self._trace[job.job_id]
+        telemetry.emit(
+            "span",
+            now,
+            src=self.telemetry_src,
+            span_id=state.pop("queue_id"),
+            parent_id=state["job"],
+            name="queue_wait",
+            cat="queue",
+            start=state.pop("queue_start"),
+            job_id=job.job_id,
+            priority=job.priority,
+        )
+        state["attempt"] += 1
+        attempt_id = telemetry.new_span_id()
+        state["attempt_id"] = attempt_id
+        state["attempt_start"] = now
+        dropped_seconds = _dropped_task_seconds(job, plan)
+        if dropped_seconds > 0.0:
+            kept = sum(len(idx) for idx in plan.kept_map_indices.values()) + sum(
+                len(idx) for idx in plan.kept_reduce_indices.values()
+            )
+            telemetry.emit(
+                "span",
+                now,
+                src=self.telemetry_src,
+                span_id=telemetry.new_span_id(),
+                parent_id=attempt_id,
+                name="drop",
+                cat="drop",
+                start=now,
+                job_id=job.job_id,
+                dropped_tasks=job.num_map_tasks + job.num_reduce_tasks - kept,
+                salvaged=dropped_seconds / self.cluster.slots,
+            )
+        return attempt_id
+
+    def _trace_attempt_end(self, execution: DagExecution, outcome: str) -> None:
+        """Close the current attempt span; only called while tracing.
+
+        DAG attempts carry PERT predictions alongside (``cp`` — the predicted
+        critical path, ``cp_len`` — its length, ``lb`` — the lower-bound
+        makespan) so reports can compare observed against predicted paths.
+        """
+        job = execution.job
+        state = self._trace[job.job_id]
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=state.pop("attempt_id"),
+            parent_id=state["job"],
+            name="attempt",
+            cat="attempt",
+            start=state.pop("attempt_start"),
+            job_id=job.job_id,
+            attempt=state["attempt"],
+            outcome=outcome,
+            sprinted=execution.sprinted_time,
+            cp=",".join(str(i) for i in execution.analysis.critical_path),
+            cp_len=execution.analysis.critical_path_length,
+            lb=execution.lower_bound_makespan,
+        )
 
     def _evict_running(self) -> None:
         execution = self._running
@@ -326,6 +431,25 @@ class DagSimulation:
                 priority=job.priority,
                 wasted=wasted,
             )
+        if self.telemetry.tracing:
+            now = self.sim.now
+            trace_state = self._trace[job.job_id]
+            self.telemetry.emit(
+                "span",
+                now,
+                src=self.telemetry_src,
+                span_id=self.telemetry.new_span_id(),
+                parent_id=trace_state["attempt_id"],
+                name="evict",
+                cat="evict",
+                start=now,
+                job_id=job.job_id,
+                wasted=wasted,
+            )
+            self._trace_attempt_end(execution, "evicted")
+            # The job re-queues at this same instant: open the next wait.
+            trace_state["queue_id"] = self.telemetry.new_span_id()
+            trace_state["queue_start"] = now
         state = self._job_state[job.job_id]
         state["wasted"] += wasted
         state["evictions"] += 1
@@ -371,6 +495,21 @@ class DagSimulation:
                 execution_time=record.execution_time,
                 drop_ratio=record.drop_ratio,
             )
+        if self.telemetry.tracing:
+            self._trace_attempt_end(execution, "completed")
+            trace_state = self._trace.pop(job.job_id)
+            self.telemetry.emit(
+                "span",
+                self.sim.now,
+                src=self.telemetry_src,
+                span_id=trace_state["job"],
+                parent_id=0,
+                name="job",
+                cat="job",
+                start=trace_state["job_start"],
+                job_id=job.job_id,
+                priority=job.priority,
+            )
         lower_bound = execution.lower_bound_makespan
         self.dag_rows.append(
             {
@@ -406,6 +545,11 @@ class DagSimulation:
                 speed=self.cluster.speed,
                 mode="sprint",
             )
+        if self.telemetry.tracing:
+            state = self._trace.get(execution.job.job_id)
+            if state is not None:
+                state["sprint_id"] = self.telemetry.new_span_id()
+                state["sprint_start"] = self.sim.now
 
     def _on_sprint_end(self, execution: DagExecution) -> None:
         self.cluster.set_sprinting(False)
@@ -423,6 +567,41 @@ class DagSimulation:
                 speed=self.cluster.speed,
                 mode="nominal",
             )
+        if self.telemetry.tracing:
+            state = self._trace.get(execution.job.job_id)
+            if state is not None and "sprint_start" in state:
+                # The DVFS throttle interval, a child of the attempt it
+                # accelerated (the sprinter always stops before the attempt
+                # closes, so the interval nests inside it).
+                self.telemetry.emit(
+                    "span",
+                    self.sim.now,
+                    src=self.telemetry_src,
+                    span_id=state.pop("sprint_id"),
+                    parent_id=state.get("attempt_id", state["job"]),
+                    name="sprint",
+                    cat="sprint",
+                    start=state.pop("sprint_start"),
+                    job_id=execution.job.job_id,
+                    speed=self.cluster.dvfs.speedup(self.cluster.dvfs.sprint),
+                )
+
+    def _on_sprint_denied(self, execution: DagExecution) -> None:
+        if self.telemetry.tracing:
+            state = self._trace.get(execution.job.job_id)
+            if state is not None and "attempt_id" in state:
+                now = self.sim.now
+                self.telemetry.emit(
+                    "span",
+                    now,
+                    src=self.telemetry_src,
+                    span_id=self.telemetry.new_span_id(),
+                    parent_id=state["attempt_id"],
+                    name="sprint_denied",
+                    cat="denied",
+                    start=now,
+                    job_id=execution.job.job_id,
+                )
 
 
 def replicate_dag(

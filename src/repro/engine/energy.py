@@ -96,11 +96,20 @@ class EnergyMeter:
         that sampled runs equal unsampled ones bit for bit.  This projects the
         in-flight interval onto the current mode without mutating any state.
         """
-        pending = max(0.0, now - self._last_time) * self.power_model.power(self._mode)
         return {
-            "energy_joules": self.account.total_joules + pending,
+            "energy_joules": self.projected_joules(now),
             "power_mode": self._mode,
         }
+
+    def projected_joules(self, now: float) -> float:
+        """Total joules as of ``now`` without advancing the meter.
+
+        The scalar core of :meth:`snapshot`, exposed separately so per-tick
+        telemetry samplers can fill their event dict directly instead of
+        paying an intermediate dict + update per sample.
+        """
+        pending = max(0.0, now - self._last_time) * self.power_model.power(self._mode)
+        return self.account.total_joules + pending
 
     @property
     def total_joules(self) -> float:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.engine.cluster import Cluster
 from repro.engine.job import Job, effective_task_count
 from repro.simulation.des import Event, Simulator
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
 
 @dataclass
@@ -99,12 +100,20 @@ def build_phases(
 
 @dataclass
 class _ActiveTask:
-    """Book-keeping for one in-flight task on one slot."""
+    """Book-keeping for one in-flight task on one slot.
+
+    ``scheduled_at`` is reset on every DVFS reschedule (it anchors the
+    remaining-work computation); ``started_at`` keeps the task's original
+    dispatch time across speed changes for span tracing, and ``span_id`` is
+    the task's pre-allocated trace span (0 when tracing is off).
+    """
 
     slot: int
     event: Event
     speed: float
     scheduled_at: float
+    started_at: float = 0.0
+    span_id: int = 0
 
 
 class JobExecution:
@@ -117,6 +126,9 @@ class JobExecution:
         job: Job,
         phases: Sequence[ExecutionPhase],
         on_complete: Callable[["JobExecution"], None],
+        telemetry: TelemetryHub = NULL_HUB,
+        telemetry_src: str = "",
+        trace_parent: int = 0,
     ) -> None:
         if not phases:
             raise ValueError("a job execution needs at least one phase")
@@ -125,6 +137,12 @@ class JobExecution:
         self.job = job
         self.phases = list(phases)
         self.on_complete = on_complete
+        self.telemetry = telemetry
+        self.telemetry_src = telemetry_src
+        #: Span id of the enclosing attempt span when tracing (0 otherwise);
+        #: wave spans attach to it, task spans to their wave span.
+        self.trace_parent = trace_parent
+        self._phase_span: Optional[tuple] = None
 
         self._phase_index = -1
         self._pending: List[float] = []
@@ -199,7 +217,12 @@ class JobExecution:
                 remaining_work / speed, self._make_task_callback(slot), priority=1
             )
             self._active[slot] = _ActiveTask(
-                slot=slot, event=new_event, speed=speed, scheduled_at=now
+                slot=slot,
+                event=new_event,
+                speed=speed,
+                scheduled_at=now,
+                started_at=active.started_at,
+                span_id=active.span_id,
             )
 
     def evict(self) -> float:
@@ -208,6 +231,12 @@ class JobExecution:
             raise RuntimeError("cannot evict a job execution that is not running")
         now = self.sim.now
         self._accumulate_sprint(now)
+        if self.telemetry.tracing:
+            for active in self._active.values():
+                if active.span_id:
+                    self._emit_task_span(active, outcome="evicted")
+            if self._phase_span is not None:
+                self._close_phase_span(outcome="evicted")
         for active in self._active.values():
             active.event.cancel()
         self._active.clear()
@@ -221,7 +250,45 @@ class JobExecution:
             self.sprinted_time += now - self._speed_since
         self._speed_since = now
 
+    def _close_phase_span(self, outcome: str = "completed") -> None:
+        span_id, started = self._phase_span  # type: ignore[misc]
+        self._phase_span = None
+        phase = self.phases[self._phase_index]
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=span_id,
+            parent_id=self.trace_parent,
+            name=phase.name,
+            cat="wave",
+            start=started,
+            job_id=self.job.job_id,
+            stage=phase.stage_index,
+            tasks=len(phase.durations),
+            outcome=outcome,
+        )
+
+    def _emit_task_span(self, active: _ActiveTask, outcome: str = "completed") -> None:
+        phase = self.current_phase
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=active.span_id,
+            parent_id=self._phase_span[0] if self._phase_span else self.trace_parent,
+            name="task",
+            cat="task",
+            start=active.started_at,
+            job_id=self.job.job_id,
+            slot=active.slot,
+            stage=phase.stage_index if phase is not None else -1,
+            outcome=outcome,
+        )
+
     def _advance_phase(self) -> None:
+        if self._phase_span is not None:
+            self._close_phase_span()
         self._phase_index += 1
         if self._phase_index >= len(self.phases):
             self._finish()
@@ -230,6 +297,8 @@ class JobExecution:
         if not phase.durations:
             self._advance_phase()
             return
+        if self.telemetry.tracing:
+            self._phase_span = (self.telemetry.new_span_id(), self.sim.now)
         self._pending = list(phase.durations)
         self._free_slots = list(range(self.cluster.slots))
         slots_to_fill = len(self._free_slots) if phase.parallel else 1
@@ -241,11 +310,17 @@ class JobExecution:
             return
         slot = self._free_slots.pop()
         duration = self._pending.pop(0)
+        now = self.sim.now
         event = self.sim.schedule(
             duration / self._speed, self._make_task_callback(slot), priority=1
         )
         self._active[slot] = _ActiveTask(
-            slot=slot, event=event, speed=self._speed, scheduled_at=self.sim.now
+            slot=slot,
+            event=event,
+            speed=self._speed,
+            scheduled_at=now,
+            started_at=now,
+            span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
         )
 
     def _make_task_callback(self, slot: int) -> Callable[[Simulator], None]:
@@ -257,7 +332,9 @@ class JobExecution:
     def _on_task_done(self, slot: int) -> None:
         if not self.running:
             return
-        self._active.pop(slot, None)
+        active = self._active.pop(slot, None)
+        if active is not None and active.span_id:
+            self._emit_task_span(active)
         self._free_slots.append(slot)
         phase = self.current_phase
         if self._pending and (phase is None or phase.parallel or not self._active):

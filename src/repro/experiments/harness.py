@@ -88,14 +88,14 @@ def _run_single_policy(payload) -> SimulationResult:
     gets its own part, so the files never collide across worker processes.
     """
     (policy, trace, config, dvfs, power_model, accuracy_model, seed,
-     quantiles, telemetry_part, telemetry_interval) = payload
+     quantiles, telemetry_part, telemetry_interval, telemetry_trace) = payload
     cluster = Cluster(config=config, dvfs=dvfs, power_model=power_model)
     metrics = (
         MetricsCollector(streaming=True, quantiles=quantiles)
         if quantiles is not None
         else None
     )
-    hub = TelemetryHub(sample_interval=telemetry_interval)
+    hub = TelemetryHub(sample_interval=telemetry_interval, tracing=telemetry_trace)
     if telemetry_part is not None:
         hub.add_sink(JsonLinesSink(telemetry_part))
     simulation = DiASSimulation(
@@ -124,6 +124,7 @@ def run_policies(
     quantiles: Optional[Sequence[float]] = None,
     telemetry_base: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
+    telemetry_trace: bool = False,
 ) -> PolicyComparison:
     """Run every policy on one common trace generated from ``scenario``.
 
@@ -133,7 +134,9 @@ def run_policies(
     streaming :class:`~repro.simulation.metrics.MetricsCollector` tracking the
     extra response-time quantiles.  ``telemetry_base`` streams each run's
     telemetry to a per-policy part file and merges the parts (in policy input
-    order) into one JSONL file at that path.
+    order) into one JSONL file at that path.  ``telemetry_trace`` additionally
+    turns span tracing on in every worker hub, so the merged stream carries
+    each policy's full span tree (byte-identical for any ``jobs`` fan-out).
     """
     from repro.experiments.parallel import parallel_map
 
@@ -157,6 +160,7 @@ def run_policies(
             quantiles,
             parts[index],
             telemetry_interval,
+            telemetry_trace,
         )
         for index, policy in enumerate(policies)
     ]

@@ -245,6 +245,23 @@ class FleetSimulation:
                 priority=job.priority,
                 cluster=index,
             )
+        if self.telemetry.tracing:
+            # Routing annotation: an instant with no parent span (the job's
+            # root span opens inside the receiving controller right after),
+            # linked to the job tree by job_id at trace-assembly time.
+            now = self.sim.now
+            self.telemetry.emit(
+                "span",
+                now,
+                src="fleet",
+                span_id=self.telemetry.new_span_id(),
+                parent_id=0,
+                name="route",
+                cat="route",
+                start=now,
+                job_id=job.job_id,
+                cluster=index,
+            )
         self.controllers[index].submit(job)
 
 

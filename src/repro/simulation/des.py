@@ -141,7 +141,8 @@ class Simulator:
         "_now",
         "_heap",
         "_seq",
-        "_processed",
+        "_cancel_pops",
+        "_compaction_losses",
         "_running",
         "_stopped",
         "_compactions",
@@ -160,7 +161,14 @@ class Simulator:
         self.telemetry = telemetry
         self._heap: List[tuple] = []
         self._seq = 0
-        self._processed = 0
+        # Executed-event accounting is *derived*, never counted per event:
+        # every scheduled event is either still in the heap, was popped while
+        # cancelled, was dropped by a compaction rebuild, or was executed.
+        # Tracking only the two rare buckets keeps the hot run loop free of
+        # per-event counter writes while telemetry samplers still read an
+        # exact live count (see :attr:`processed_events`).
+        self._cancel_pops = 0
+        self._compaction_losses = 0
         self._running = False
         self._stopped = False
         self._compactions = 0
@@ -175,8 +183,16 @@ class Simulator:
 
     @property
     def processed_events(self) -> int:
-        """Number of events executed so far (excluding cancelled events)."""
-        return self._processed
+        """Number of events executed so far (excluding cancelled events).
+
+        Derived as scheduled − pending − cancelled-pops − compaction-losses,
+        which is exact at any instant (including from inside an event
+        callback, where the running event counts as processed) without the
+        run loop maintaining a per-event counter.
+        """
+        return (
+            self._seq - len(self._heap) - self._cancel_pops - self._compaction_losses
+        )
 
     @property
     def scheduled_events(self) -> int:
@@ -257,23 +273,26 @@ class Simulator:
             event = _heappop(heap)[3]
             if not event.cancelled:
                 self._now = event.time
-                self._processed += 1
                 event.callback(self)
                 return event
+            self._cancel_pops += 1
         return None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the event list drains, ``until`` is reached, or ``max_events``.
 
-        Returns the simulation time at which the run stopped.
+        Returns the simulation time at which the run stopped.  The same loops
+        serve telemetry-off and telemetry-on runs: executed-event counts are
+        derived (see :attr:`processed_events`), so sampling needs no
+        per-event bookkeeping in here.
         """
-        if self.telemetry.enabled:
-            # Telemetry samplers read ``processed_events`` from inside event
-            # callbacks, so the counter must be maintained per event rather
-            # than batched into the ``finally`` below.  The instrumented loop
-            # pops events in exactly the same order; only the counter
-            # bookkeeping differs.
-            return self._run_instrumented(until, max_events)
+        telemetry = self.telemetry
+        span_id = (
+            telemetry.new_span_id()
+            if telemetry.enabled and telemetry.tracing
+            else 0
+        )
+        started_at = self._now
         self._running = True
         self._stopped = False
         executed = 0
@@ -290,6 +309,7 @@ class Simulator:
                         break
                     event = pop(heap)[3]
                     if event.cancelled:
+                        self._cancel_pops += 1
                         continue
                     self._now = event.time
                     executed += 1
@@ -302,6 +322,7 @@ class Simulator:
                         break
                     event = pop(heap)[3]
                     if event.cancelled:
+                        self._cancel_pops += 1
                         continue
                     self._now = event.time
                     executed += 1
@@ -316,6 +337,7 @@ class Simulator:
                     event = entry[3]
                     if event.cancelled:
                         pop(heap)
+                        self._cancel_pops += 1
                         continue
                     event_time = entry[0]
                     if until is not None and event_time > until:
@@ -327,46 +349,23 @@ class Simulator:
                     event.callback(self)
         finally:
             self._running = False
-            self._processed += executed
         if until is not None and self._now < until and not heap:
             self._now = until
-        return self._now
-
-    def _run_instrumented(self, until: Optional[float], max_events: Optional[int]) -> float:
-        """The :meth:`run` loop with live counters, used when telemetry is on.
-
-        Identical pop order and stop semantics to the specialised loops in
-        :meth:`run`; the only difference is that ``_processed`` advances per
-        event so sample callbacks observe an up-to-date count.
-        """
-        self._running = True
-        self._stopped = False
-        executed = 0
-        heap = self._heap
-        pop = _heappop
-        try:
-            while heap:
-                if self._stopped:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                entry = heap[0]
-                event = entry[3]
-                if event.cancelled:
-                    pop(heap)
-                    continue
-                if until is not None and entry[0] > until:
-                    self._now = until
-                    break
-                pop(heap)
-                self._now = entry[0]
-                executed += 1
-                self._processed += 1
-                event.callback(self)
-        finally:
-            self._running = False
-        if until is not None and self._now < until and not heap:
-            self._now = until
+        if span_id:
+            # One root-level span covering the whole kernel run; ``job_id=-1``
+            # keeps it out of per-job trace assembly.
+            telemetry.emit(
+                "span",
+                self._now,
+                src="kernel",
+                span_id=span_id,
+                parent_id=0,
+                name="run",
+                cat="kernel",
+                start=started_at,
+                job_id=-1,
+                events=executed,
+            )
         return self._now
 
     def stop(self) -> None:
@@ -401,6 +400,7 @@ class Simulator:
         before = len(heap)
         heap[:] = [entry for entry in heap if not entry[3].cancelled]
         _heapify(heap)
+        self._compaction_losses += before - len(heap)
         self._compactions += 1
         if self.telemetry.enabled:
             self.telemetry.emit(
@@ -416,3 +416,4 @@ class Simulator:
         heap = self._heap
         while heap and heap[0][3].cancelled:
             _heappop(heap)
+            self._cancel_pops += 1

@@ -34,6 +34,20 @@ from repro.telemetry.sinks import (
     part_path,
     seed_part_path,
 )
+from repro.telemetry.spans import (
+    JobTrace,
+    SpanRecord,
+    build_job_traces,
+    spans_from_events,
+)
+from repro.telemetry.tracing import (
+    Tracer,
+    load_spans,
+    read_spans,
+    render_trace_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "NULL_HUB",
@@ -46,4 +60,14 @@ __all__ = [
     "merge_parts",
     "part_path",
     "seed_part_path",
+    "JobTrace",
+    "SpanRecord",
+    "build_job_traces",
+    "spans_from_events",
+    "Tracer",
+    "load_spans",
+    "read_spans",
+    "render_trace_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

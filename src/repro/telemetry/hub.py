@@ -16,11 +16,18 @@ constraints, in order of importance:
 3. **Typed events.**  Every event is a flat dict with the base fields ``t``
    (simulated time), ``kind`` and ``src`` plus kind-specific fields; the
    vocabulary is defined (and validated) by :mod:`repro.telemetry.schema`.
+
+Span tracing rides on the same bus behind a second flag: probe sites that
+build causal ``span`` events guard on ``tracing`` (off by default, and off
+for plain ``--telemetry`` runs), and the hub hands out deterministic span ids
+via :meth:`new_span_id`.  Because ids come from a per-hub counter and events
+carry only simulated time, a span stream is as reproducible as any other
+telemetry stream.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class TelemetryHub:
@@ -33,19 +40,39 @@ class TelemetryHub:
         run using this hub (``None`` = the component's own default / no
         sampling decision made here).  The hub carries the interval so one
         value configures every layer of a nested run (fleet -> controllers).
+    tracing:
+        Enables the causal span probes (``span`` events).  Separate from
+        ``enabled`` so a plain telemetry stream never pays for span
+        bookkeeping; span probe sites guard on this flag exactly the way
+        ordinary probe sites guard on ``enabled``.
     """
 
-    __slots__ = ("enabled", "sample_interval", "events_emitted", "_sinks")
+    __slots__ = (
+        "enabled",
+        "tracing",
+        "sample_interval",
+        "events_emitted",
+        "_sinks",
+        "_writes",
+        "_span_seq",
+    )
 
-    def __init__(self, sample_interval: Optional[float] = None) -> None:
+    def __init__(
+        self, sample_interval: Optional[float] = None, tracing: bool = False
+    ) -> None:
         if sample_interval is not None and sample_interval <= 0:
             raise ValueError(
                 f"sample_interval must be positive simulated seconds, got {sample_interval!r}"
             )
         self.enabled = False
+        self.tracing = bool(tracing)
         self.sample_interval = sample_interval
         self.events_emitted = 0
         self._sinks: List[Any] = []
+        # Pre-bound ``sink.write`` methods: the emit loop touches one list
+        # instead of re-resolving the attribute per sink per event.
+        self._writes: List[Callable[[Dict[str, Any]], None]] = []
+        self._span_seq = 0
 
     # ------------------------------------------------------------------ sinks
     @property
@@ -57,12 +84,15 @@ class TelemetryHub:
         if not callable(getattr(sink, "write", None)):
             raise TypeError(f"telemetry sinks must expose write(event); got {sink!r}")
         self._sinks.append(sink)
+        self._writes.append(sink.write)
         self.enabled = True
         return sink
 
     def remove_sink(self, sink: Any) -> None:
         """Detach ``sink``; the hub disables itself when no sinks remain."""
-        self._sinks.remove(sink)
+        index = self._sinks.index(sink)
+        del self._sinks[index]
+        del self._writes[index]
         self.enabled = bool(self._sinks)
 
     def close(self) -> None:
@@ -72,7 +102,18 @@ class TelemetryHub:
             if callable(close):
                 close()
         self._sinks = []
+        self._writes = []
         self.enabled = False
+
+    # ------------------------------------------------------------------ spans
+    def new_span_id(self) -> int:
+        """Allocate the next span id (deterministic per-hub counter, from 1).
+
+        Parent/child causality in ``span`` events is expressed through these
+        ids; ``0`` is reserved for "no parent" (a root span).
+        """
+        self._span_seq += 1
+        return self._span_seq
 
     # ------------------------------------------------------------------ emit
     def emit(self, kind: str, time: float, src: str = "", **fields: Any) -> None:
@@ -80,15 +121,30 @@ class TelemetryHub:
 
         No-op while disabled, but hot probe sites should still guard on
         ``hub.enabled`` themselves so the payload (``fields``) is never even
-        built in the disabled case.
+        built in the disabled case.  The kwargs dict itself becomes the event
+        (one allocation, not a copy); sinks must treat events as read-only.
         """
         if not self.enabled:
             return
-        event: Dict[str, Any] = {"t": float(time), "kind": kind, "src": src}
-        event.update(fields)
+        fields["t"] = time if time.__class__ is float else float(time)
+        fields["kind"] = kind
+        fields["src"] = src
         self.events_emitted += 1
-        for sink in self._sinks:
-            sink.write(event)
+        for write in self._writes:
+            write(fields)
+
+    def emit_event(self, event: Dict[str, Any]) -> None:
+        """Publish a pre-built event dict (``t``/``kind``/``src`` included).
+
+        Fast path for producers that already hold a fresh flat dict — the
+        periodic samplers in particular — skipping the kwargs copy
+        :meth:`emit` would make.  The caller must not reuse the dict.
+        """
+        if not self.enabled:
+            return
+        self.events_emitted += 1
+        for write in self._writes:
+            write(event)
 
 
 class _NullTelemetryHub(TelemetryHub):

@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.reporting import format_rows
 from repro.simulation.metrics import percentile
-from repro.telemetry.schema import read_events
+from repro.telemetry.schema import read_events, read_events_lenient
 
 #: Left margin reserved for y-axis labels in ASCII plots.
 _Y_LABEL_WIDTH = 10
@@ -270,14 +270,35 @@ def render_report(
             ascii_plot(rate_t, rate_v, width, height,
                        label="Kernel event rate (events per sim-second)")
         )
+    if any(e["kind"] == "span" for e in events):
+        from repro.telemetry.spans import spans_from_events
+        from repro.telemetry.tracing import span_summary_rows
+
+        spans = spans_from_events(events)
+        sections.append(
+            "Trace spans by category (render with: repro trace)\n"
+            + format_rows(span_summary_rows(spans))
+        )
     return "\n\n".join(sections)
 
 
 def inspect_file(
     path: str, width: int = 60, height: int = 10, validate_only: bool = False
 ) -> str:
-    """Load, validate and render ``path``; the CLI entry point's workhorse."""
-    events = read_events(path)
+    """Load, validate and render ``path``; the CLI entry point's workhorse.
+
+    ``--validate`` keeps the strict reader (any unknown kind is an error);
+    the report path reads leniently so files from newer probe vocabularies
+    still render, with a note counting what was skipped.
+    """
     if validate_only:
+        events = read_events(path)
         return f"{path}: {len(events)} events, all lines valid"
-    return render_report(events, width=width, height=height, title=f"Telemetry {path}")
+    events, skipped = read_events_lenient(path)
+    report = render_report(events, width=width, height=height, title=f"Telemetry {path}")
+    if skipped:
+        detail = ", ".join(f"{kind} x{count}" for kind, count in sorted(skipped.items()))
+        report += (
+            f"\n\nskipped {sum(skipped.values())} events of unknown kinds ({detail})"
+        )
+    return report

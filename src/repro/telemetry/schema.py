@@ -53,6 +53,17 @@ KIND_FIELDS: Dict[str, Dict[str, Tuple[type, ...]]] = {
     "budget_exhausted": {"active_sprinters": _NUMBER, "exhaustions": _NUMBER},
     "heap_compaction": {"before": _NUMBER, "after": _NUMBER, "compactions": _NUMBER},
     "sample": {},
+    # Causal span: ``t`` is the span end, ``start`` the begin; ``parent_id``
+    # 0 marks a root.  Extra fields carry per-kind attribution (outcome,
+    # sprinted seconds, stage index, predicted critical path, ...).
+    "span": {
+        "span_id": _NUMBER,
+        "parent_id": _NUMBER,
+        "name": _STRING,
+        "cat": _STRING,
+        "start": _NUMBER,
+        "job_id": _NUMBER,
+    },
 }
 
 #: All event kinds a producer may emit.
@@ -114,3 +125,36 @@ def read_events(path: str) -> List[Dict[str, Any]]:
 def validate_file(path: str) -> int:
     """Validate ``path`` line by line; returns the number of events."""
     return len(read_events(path))
+
+
+def read_events_lenient(path: str) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+    """Read a JSONL file, skipping events of *unknown kind* with a count.
+
+    Returns ``(events, skipped)`` where ``skipped`` maps each unrecognised
+    kind to the number of lines it occurred on.  Unknown kinds are expected
+    when an older reader meets a newer producer (forward compatibility);
+    anything else — invalid JSON, missing base fields, wrong field types on a
+    known kind — still raises, because that indicates a broken producer, not
+    a vocabulary gap.
+    """
+    events: List[Dict[str, Any]] = []
+    skipped: Dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                event = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"line {number}: invalid JSON ({error})") from error
+            kind = event.get("kind") if isinstance(event, Mapping) else None
+            if isinstance(kind, str) and kind not in KIND_FIELDS:
+                skipped[kind] = skipped.get(kind, 0) + 1
+                continue
+            try:
+                validate_event(event)
+            except ValueError as error:
+                raise ValueError(f"line {number}: {error}") from error
+            events.append(event)
+    return events, skipped

@@ -30,40 +30,60 @@ def _encode(event: Dict[str, Any]) -> str:
 
 
 class JsonLinesSink:
-    """Appends each event to ``path`` as one canonical JSON line."""
+    """Appends each event to ``path`` as one canonical JSON line.
 
-    def __init__(self, path: str) -> None:
+    Encoded lines are buffered and written in batches of ``buffer_lines``
+    (one ``file.write`` per batch instead of two per event), which matters on
+    telemetry-heavy runs; :meth:`flush` and :meth:`close` drain the buffer,
+    so the on-disk bytes after ``close`` are identical to unbuffered output.
+    """
+
+    def __init__(self, path: str, buffer_lines: int = 512) -> None:
+        if buffer_lines < 1:
+            raise ValueError(f"buffer_lines must be >= 1, got {buffer_lines!r}")
         self.path = str(path)
         self._file = open(self.path, "w", encoding="utf-8")
         self.events_written = 0
+        self._buffer_lines = int(buffer_lines)
+        self._buffer: List[str] = []
 
     def write(self, event: Dict[str, Any]) -> None:
-        self._file.write(_encode(event))
-        self._file.write("\n")
+        buffer = self._buffer
+        buffer.append(_encode(event))
         self.events_written += 1
+        if len(buffer) >= self._buffer_lines:
+            self._file.write("\n".join(buffer) + "\n")
+            buffer.clear()
+
+    def _drain(self) -> None:
+        if self._buffer and not self._file.closed:
+            self._file.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
 
     def flush(self) -> None:
         if not self._file.closed:
+            self._drain()
             self._file.flush()
 
     def close(self) -> None:
         if not self._file.closed:
+            self._drain()
             self._file.close()
 
 
 class RingBufferSink:
-    """Keeps the most recent ``capacity`` events in memory."""
+    """Keeps the most recent ``capacity`` events in memory.
+
+    ``write`` is the deque's bound ``append`` — the hub pre-binds sink writes,
+    so every published event costs one C call with no Python frame.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError(f"ring capacity must be >= 1, got {capacity!r}")
         self.capacity = int(capacity)
         self._buffer: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
-        self.events_written = 0
-
-    def write(self, event: Dict[str, Any]) -> None:
-        self._buffer.append(event)
-        self.events_written += 1
+        self.write: Callable[[Dict[str, Any]], None] = self._buffer.append
 
     @property
     def events(self) -> List[Dict[str, Any]]:
@@ -74,15 +94,13 @@ class RingBufferSink:
 
 
 class CallbackSink:
-    """Calls ``fn(event)`` for every published event."""
+    """Calls ``fn(event)`` for every published event (``write`` *is* ``fn``)."""
 
     def __init__(self, fn: Callable[[Dict[str, Any]], None]) -> None:
         if not callable(fn):
             raise TypeError("CallbackSink requires a callable")
         self.fn = fn
-
-    def write(self, event: Dict[str, Any]) -> None:
-        self.fn(event)
+        self.write = fn
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,203 @@
+"""Property tests: span-tree invariants hold across policies, seeds, engines.
+
+Every traced run — whatever the policy mix of dropping, sprinting and
+preemption — must produce, for every job, a span tree that satisfies the
+structural invariants of :func:`repro.telemetry.spans.check_trace`, an
+attempt count consistent with its evictions, and a latency decomposition
+that closes exactly onto the response time reported by the untraced
+``job_completed`` probe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SprintConfig
+from repro.core.dias import DiASSimulation
+from repro.core.policies import SchedulingPolicy
+from repro.dag.simulation import DagSimulation
+from repro.engine.cluster import Cluster
+from repro.telemetry import CallbackSink, TelemetryHub, Tracer
+from repro.telemetry.spans import (
+    TERMINAL_CATS,
+    build_job_traces,
+    check_trace,
+    decompose,
+    observed_stage_path,
+    predicted_stage_path,
+    stage_observations,
+)
+from repro.workloads.scenarios import (
+    HIGH,
+    LOW,
+    dag_fork_join_scenario,
+    reference_two_priority_scenario,
+)
+
+#: Decomposition closure tolerance: components must sum to the job's
+#: response time up to float summation error.
+CLOSURE_EPSILON = 1e-6
+
+
+def _sprint() -> SprintConfig:
+    return SprintConfig(budget_seconds=600.0, default_timeout=5.0)
+
+
+def _policies():
+    return [
+        SchedulingPolicy.preemptive_priority(),
+        SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2}),
+        SchedulingPolicy.dias({HIGH: 0.0, LOW: 0.2}, _sprint()),
+    ]
+
+
+def _traced_hub():
+    """(hub, tracer, completed) — completed maps job_id -> response_time."""
+    hub = TelemetryHub(tracing=True)
+    tracer = hub.add_sink(Tracer())
+    completed = {}
+    hub.add_sink(
+        CallbackSink(
+            lambda event: completed.__setitem__(
+                event["job_id"], event["response_time"]
+            )
+            if event["kind"] == "job_completed"
+            else None
+        )
+    )
+    return hub, tracer, completed
+
+
+def _run_dias(policy: SchedulingPolicy, seed: int, num_jobs: int = 40):
+    scenario = reference_two_priority_scenario()
+    trace = scenario.generate_trace(seed=seed, num_jobs=num_jobs)
+    hub, tracer, completed = _traced_hub()
+    source = scenario.cluster
+    cluster = Cluster(
+        config=source.config, dvfs=source.dvfs, power_model=source.power_model
+    )
+    DiASSimulation(
+        policy=policy, jobs=trace, cluster=cluster, seed=seed, telemetry=hub
+    ).run()
+    return tracer, completed
+
+
+def _run_dag(seed: int, num_jobs: int = 25):
+    scenario = dag_fork_join_scenario(num_jobs=num_jobs)
+    trace = scenario.generate_trace(seed=seed)
+    hub, tracer, completed = _traced_hub()
+    DagSimulation(
+        policy=SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2}),
+        jobs=trace,
+        scheduler="critical_path_first",
+        cluster=scenario.cluster,
+        seed=seed,
+        telemetry=hub,
+    ).run()
+    return tracer, completed
+
+
+def _assert_invariants(tracer: Tracer, completed) -> None:
+    traces = tracer.traces()
+    assert traces, "a traced run must produce at least one job trace"
+    assert len(traces) == len(completed)
+    for trace in traces:
+        problems = check_trace(trace)
+        assert problems == [], f"job {trace.job_id}: {problems}"
+        # Exactly one root job span per job.
+        assert len(trace.by_cat("job")) == 1
+        # One dispatch per queue wait: an eviction re-queues the job, so the
+        # attempt count is evictions + 1 and matches the queue-span count.
+        attempts = trace.by_cat("attempt")
+        evicted = [
+            span for span in attempts if span.extras.get("outcome") == "evicted"
+        ]
+        assert len(attempts) == len(evicted) + 1
+        assert len(trace.by_cat("queue")) == len(attempts)
+        # Annotation spans stay terminal.
+        annotation_ids = {
+            span.span_id for span in trace.spans if span.cat in TERMINAL_CATS
+        }
+        for span in trace.spans:
+            assert span.parent_id not in annotation_ids
+        # The decomposition closes onto the probe-reported response time.
+        parts = decompose(trace)
+        assert abs(parts["residual"]) < CLOSURE_EPSILON
+        assert parts["response"] == pytest.approx(
+            completed[trace.job_id], abs=CLOSURE_EPSILON
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("policy", _policies(), ids=lambda p: p.name)
+def test_dias_span_trees_hold_invariants(policy, seed):
+    tracer, completed = _run_dias(policy, seed)
+    _assert_invariants(tracer, completed)
+
+
+def test_preemptive_run_traces_evictions():
+    """At least one eviction appears across seeds, and its spans line up."""
+    for seed in range(3):
+        tracer, _ = _run_dias(SchedulingPolicy.preemptive_priority(), seed)
+        evicted = [
+            span
+            for span in tracer.spans
+            if span.cat == "attempt" and span.extras.get("outcome") == "evicted"
+        ]
+        if evicted:
+            evict_marks = [span for span in tracer.spans if span.cat == "evict"]
+            assert len(evict_marks) == len(evicted)
+            return
+    pytest.fail("no eviction observed in any seeded preemptive run")
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_dag_span_trees_hold_invariants(seed):
+    tracer, completed = _run_dag(seed)
+    _assert_invariants(tracer, completed)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_dag_observed_path_is_a_real_dag_path(seed):
+    """The observed critical path walks parent edges of the executed DAG."""
+    tracer, _ = _run_dag(seed)
+    checked = 0
+    for trace in tracer.traces():
+        predicted = predicted_stage_path(trace)
+        observed = observed_stage_path(trace)
+        assert predicted, "DAG attempts must record the PERT prediction"
+        assert observed, "completed DAG jobs must yield an observed path"
+        starts, ends, parents = stage_observations(trace)
+        # Every consecutive hop follows a recorded parent edge, and stage
+        # intervals along the path never move backwards in time.
+        for earlier, later in zip(observed, observed[1:]):
+            assert earlier in parents[later]
+            assert ends[earlier] <= starts[later] + 1e-9
+        # The path ends at the stage finishing last.
+        assert ends[observed[-1]] == max(ends.values())
+        checked += 1
+    assert checked > 0
+
+
+def test_sprinted_run_nests_sprint_spans_inside_attempts():
+    scenario = reference_two_priority_scenario()
+    trace = scenario.generate_trace(seed=3, num_jobs=40)
+    hub, tracer, completed = _traced_hub()
+    source = scenario.cluster
+    cluster = Cluster(
+        config=source.config, dvfs=source.dvfs, power_model=source.power_model
+    )
+    DiASSimulation(
+        policy=SchedulingPolicy.sprinted_non_preemptive(_sprint()),
+        jobs=trace,
+        cluster=cluster,
+        seed=3,
+        telemetry=hub,
+    ).run()
+    _assert_invariants(tracer, completed)
+    sprints = [span for span in tracer.spans if span.cat == "sprint"]
+    assert sprints, "the sprinting scenario must record sprint spans"
+    by_id = {span.span_id: span for span in tracer.spans}
+    for sprint in sprints:
+        parent = by_id[sprint.parent_id]
+        assert parent.cat in ("attempt", "job")
