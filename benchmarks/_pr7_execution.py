@@ -1,0 +1,355 @@
+# Retained PR 7 execution module, verbatim (pre-fault-injection JobExecution).
+# Kept here (not in src/) so the faults-off regression gate in
+# bench_kernel_throughput.py measures against the same baseline in every
+# future run instead of a number recorded once and never re-validated.
+"""Wave-based execution of a job on the cluster inside the simulator.
+
+A job executes as a sequence of *phases*: the setup (overhead) stage, then for
+each map/reduce stage pair the map tasks, the shuffle, and the reduce tasks.
+Task phases run their tasks on the cluster's ``C`` computing slots, which
+naturally produces the wave behaviour the paper's Section 4.2 models
+(``⌈tasks/slots⌉`` waves when task times are similar).
+
+The execution object supports the two dynamic operations DiAS needs:
+
+* :meth:`JobExecution.set_speed` — a cluster-wide DVFS change (sprint start or
+  stop) rescales the completion times of all in-flight tasks.
+* :meth:`JobExecution.evict` — preemptive eviction cancels all in-flight work;
+  the wall-clock time burned by the attempt is returned so the simulator can
+  account resource waste (the job restarts from scratch later, as in the
+  paper's SIGKILL-based prototype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.cluster import Cluster
+from repro.engine.job import Job, effective_task_count
+from repro.simulation.des import Event, Simulator
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
+
+
+@dataclass
+class ExecutionPhase:
+    """One phase of a job's execution timeline."""
+
+    name: str
+    stage_index: int
+    durations: List[float]
+    parallel: bool = True
+
+    def __post_init__(self) -> None:
+        if any(d < 0 for d in self.durations):
+            raise ValueError("phase durations must be non-negative")
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(self.durations))
+
+
+def build_phases(
+    job: Job,
+    map_drop_ratio: float = 0.0,
+    reduce_drop_ratio: float = 0.0,
+    kept_map_indices: Optional[Dict[int, Sequence[int]]] = None,
+    kept_reduce_indices: Optional[Dict[int, Sequence[int]]] = None,
+) -> List[ExecutionPhase]:
+    """Build the execution phases of ``job`` under the given drop ratios.
+
+    If explicit kept-task indices are provided (from the dropper), they take
+    precedence; otherwise the first ``⌈n(1 − θ)⌉`` tasks of each droppable
+    stage are kept.  Non-droppable stages always keep all their tasks.
+    """
+    phases: List[ExecutionPhase] = [
+        ExecutionPhase(
+            name="setup",
+            stage_index=-1,
+            durations=[job.setup_time(map_drop_ratio)],
+            parallel=False,
+        )
+    ]
+    for stage in job.stages:
+        stage_map_drop = map_drop_ratio if stage.droppable else 0.0
+        stage_reduce_drop = reduce_drop_ratio if stage.droppable else 0.0
+        if kept_map_indices is not None and stage.index in kept_map_indices:
+            map_durations = [stage.map_task_times[i] for i in kept_map_indices[stage.index]]
+        else:
+            keep = effective_task_count(stage.num_map_tasks, stage_map_drop)
+            map_durations = list(stage.map_task_times[:keep])
+        if kept_reduce_indices is not None and stage.index in kept_reduce_indices:
+            reduce_durations = [
+                stage.reduce_task_times[i] for i in kept_reduce_indices[stage.index]
+            ]
+        else:
+            keep = effective_task_count(stage.num_reduce_tasks, stage_reduce_drop)
+            reduce_durations = list(stage.reduce_task_times[:keep])
+        if map_durations:
+            phases.append(
+                ExecutionPhase("map", stage.index, map_durations, parallel=True)
+            )
+        if stage.shuffle_time > 0 and reduce_durations:
+            phases.append(
+                ExecutionPhase(
+                    "shuffle", stage.index, [stage.shuffle_time], parallel=False
+                )
+            )
+        if reduce_durations:
+            phases.append(
+                ExecutionPhase("reduce", stage.index, reduce_durations, parallel=True)
+            )
+    return phases
+
+
+@dataclass
+class _ActiveTask:
+    """Book-keeping for one in-flight task on one slot.
+
+    ``scheduled_at`` is reset on every DVFS reschedule (it anchors the
+    remaining-work computation); ``started_at`` keeps the task's original
+    dispatch time across speed changes for span tracing, and ``span_id`` is
+    the task's pre-allocated trace span (0 when tracing is off).
+    """
+
+    slot: int
+    event: Event
+    speed: float
+    scheduled_at: float
+    started_at: float = 0.0
+    span_id: int = 0
+
+
+class JobExecution:
+    """Executes one job's phases on the cluster within the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        job: Job,
+        phases: Sequence[ExecutionPhase],
+        on_complete: Callable[["JobExecution"], None],
+        telemetry: TelemetryHub = NULL_HUB,
+        telemetry_src: str = "",
+        trace_parent: int = 0,
+    ) -> None:
+        if not phases:
+            raise ValueError("a job execution needs at least one phase")
+        self.sim = sim
+        self.cluster = cluster
+        self.job = job
+        self.phases = list(phases)
+        self.on_complete = on_complete
+        self.telemetry = telemetry
+        self.telemetry_src = telemetry_src
+        #: Span id of the enclosing attempt span when tracing (0 otherwise);
+        #: wave spans attach to it, task spans to their wave span.
+        self.trace_parent = trace_parent
+        self._phase_span: Optional[tuple] = None
+
+        self._phase_index = -1
+        self._pending: List[float] = []
+        self._active: Dict[int, _ActiveTask] = {}
+        self._free_slots: List[int] = []
+
+        self.started = False
+        self.completed = False
+        self.evicted = False
+        self.start_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+
+        self._speed = 1.0
+        self._speed_since: Optional[float] = None
+        self.sprinted_time = 0.0
+
+    # --------------------------------------------------------------- queries
+    @property
+    def running(self) -> bool:
+        return self.started and not self.completed and not self.evicted
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time of this attempt so far (or total, once completed)."""
+        if self.start_time is None:
+            return 0.0
+        end = self.completion_time if self.completion_time is not None else self.sim.now
+        return end - self.start_time
+
+    @property
+    def current_phase(self) -> Optional[ExecutionPhase]:
+        if 0 <= self._phase_index < len(self.phases):
+            return self.phases[self._phase_index]
+        return None
+
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    # ---------------------------------------------------------------- control
+    def start(self, speed: Optional[float] = None) -> None:
+        """Begin executing the job at the current simulation time."""
+        if self.started:
+            raise RuntimeError("job execution already started")
+        self.started = True
+        self.start_time = self.sim.now
+        self._speed = float(speed) if speed is not None else self.cluster.speed
+        self._speed_since = self.sim.now
+        self._free_slots = list(range(self.cluster.slots))
+        self._advance_phase()
+
+    def set_speed(self, speed: float) -> None:
+        """Apply a cluster-wide speed change (DVFS) to all in-flight tasks."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if not self.running:
+            self._speed = float(speed)
+            self._speed_since = self.sim.now
+            return
+        now = self.sim.now
+        self._accumulate_sprint(now)
+        old_speed = self._speed
+        self._speed = float(speed)
+        self._speed_since = now
+        if old_speed == speed:
+            return
+        for slot, active in list(self._active.items()):
+            remaining_wall = max(0.0, active.event.time - now)
+            remaining_work = remaining_wall * active.speed
+            active.event.cancel()
+            new_event = self.sim.schedule(
+                remaining_work / speed, self._make_task_callback(slot), priority=1
+            )
+            self._active[slot] = _ActiveTask(
+                slot=slot,
+                event=new_event,
+                speed=speed,
+                scheduled_at=now,
+                started_at=active.started_at,
+                span_id=active.span_id,
+            )
+
+    def evict(self) -> float:
+        """Cancel all in-flight work; returns the wasted wall time of the attempt."""
+        if not self.running:
+            raise RuntimeError("cannot evict a job execution that is not running")
+        now = self.sim.now
+        self._accumulate_sprint(now)
+        if self.telemetry.tracing:
+            for active in self._active.values():
+                if active.span_id:
+                    self._emit_task_span(active, outcome="evicted")
+            if self._phase_span is not None:
+                self._close_phase_span(outcome="evicted")
+        for active in self._active.values():
+            active.event.cancel()
+        self._active.clear()
+        self._pending.clear()
+        self.evicted = True
+        return now - (self.start_time if self.start_time is not None else now)
+
+    # -------------------------------------------------------------- internals
+    def _accumulate_sprint(self, now: float) -> None:
+        if self._speed_since is not None and self._speed > 1.0:
+            self.sprinted_time += now - self._speed_since
+        self._speed_since = now
+
+    def _close_phase_span(self, outcome: str = "completed") -> None:
+        span_id, started = self._phase_span  # type: ignore[misc]
+        self._phase_span = None
+        phase = self.phases[self._phase_index]
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=span_id,
+            parent_id=self.trace_parent,
+            name=phase.name,
+            cat="wave",
+            start=started,
+            job_id=self.job.job_id,
+            stage=phase.stage_index,
+            tasks=len(phase.durations),
+            outcome=outcome,
+        )
+
+    def _emit_task_span(self, active: _ActiveTask, outcome: str = "completed") -> None:
+        phase = self.current_phase
+        self.telemetry.emit(
+            "span",
+            self.sim.now,
+            src=self.telemetry_src,
+            span_id=active.span_id,
+            parent_id=self._phase_span[0] if self._phase_span else self.trace_parent,
+            name="task",
+            cat="task",
+            start=active.started_at,
+            job_id=self.job.job_id,
+            slot=active.slot,
+            stage=phase.stage_index if phase is not None else -1,
+            outcome=outcome,
+        )
+
+    def _advance_phase(self) -> None:
+        if self._phase_span is not None:
+            self._close_phase_span()
+        self._phase_index += 1
+        if self._phase_index >= len(self.phases):
+            self._finish()
+            return
+        phase = self.phases[self._phase_index]
+        if not phase.durations:
+            self._advance_phase()
+            return
+        if self.telemetry.tracing:
+            self._phase_span = (self.telemetry.new_span_id(), self.sim.now)
+        self._pending = list(phase.durations)
+        self._free_slots = list(range(self.cluster.slots))
+        slots_to_fill = len(self._free_slots) if phase.parallel else 1
+        for _ in range(min(slots_to_fill, len(self._pending))):
+            self._dispatch_next_task()
+
+    def _dispatch_next_task(self) -> None:
+        if not self._pending or not self._free_slots:
+            return
+        slot = self._free_slots.pop()
+        duration = self._pending.pop(0)
+        now = self.sim.now
+        event = self.sim.schedule(
+            duration / self._speed, self._make_task_callback(slot), priority=1
+        )
+        self._active[slot] = _ActiveTask(
+            slot=slot,
+            event=event,
+            speed=self._speed,
+            scheduled_at=now,
+            started_at=now,
+            span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
+        )
+
+    def _make_task_callback(self, slot: int) -> Callable[[Simulator], None]:
+        def _callback(_sim: Simulator) -> None:
+            self._on_task_done(slot)
+
+        return _callback
+
+    def _on_task_done(self, slot: int) -> None:
+        if not self.running:
+            return
+        active = self._active.pop(slot, None)
+        if active is not None and active.span_id:
+            self._emit_task_span(active)
+        self._free_slots.append(slot)
+        phase = self.current_phase
+        if self._pending and (phase is None or phase.parallel or not self._active):
+            self._dispatch_next_task()
+            return
+        if not self._pending and not self._active:
+            self._advance_phase()
+
+    def _finish(self) -> None:
+        now = self.sim.now
+        self._accumulate_sprint(now)
+        self.completed = True
+        self.completion_time = now
+        self.on_complete(self)

@@ -27,7 +27,14 @@ Measures, in one run:
    same run once with the disabled null hub and once streaming probes plus
    periodic samples into an in-memory ring sink.
 
-3. **Parallel replication speedup**: eight replications of a policy
+3. **Fault-injection overhead**: the same DiAS run against the retained
+   **PR 7 execution module** (``benchmarks/_pr7_execution.py``, verbatim:
+   no fault branches), with faults disabled and with a mixed
+   crash/straggler/taskfail plan enabled.  The benchmark **fails (exit 1)
+   when the faults-off run falls below 95% of the PR 7 baseline** —
+   injection must stay zero-cost when disabled, like telemetry.
+
+4. **Parallel replication speedup**: eight replications of a policy
    comparison executed serially and with ``--jobs N`` worker processes, plus
    a bitwise-equality check between the serial and parallel metric samples.
    The benchmark **fails (exit 1) if serial/parallel equivalence is
@@ -462,6 +469,81 @@ def _measure_telemetry(
     }
 
 
+def _measure_faults(num_jobs: int, repeats: int, seed: int) -> Dict[str, float]:
+    """Fault-injection overhead: PR 7 baseline vs faults-off vs faults-on.
+
+    ``pr7`` swaps in the retained pre-fault-injection ``JobExecution``
+    (``benchmarks/_pr7_execution.py``, verbatim) for the same DiAS run —
+    the faults-off regression gate measures today's hot path (fault branches
+    present but ``faults=None``) against it.  ``faults_on`` runs a mixed
+    crash/straggler/taskfail plan to record what injection actually costs.
+    """
+    import repro.core.dias as dias_module
+    from repro.engine.cluster import Cluster
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import _pr7_execution
+
+    class _PR7JobExecution(_pr7_execution.JobExecution):
+        # Today's DiASSimulation always passes the fault kwargs; with no
+        # injector they carry no information, so strip them for the
+        # retained constructor.  Per-job, not per-event: negligible.
+        def __init__(self, *args, faults=None, on_give_up=None, **kwargs):
+            assert faults is None and on_give_up is None
+            super().__init__(*args, **kwargs)
+
+    scenario = scenario_module.reference_two_priority_scenario()
+    policy = SchedulingPolicy.preemptive_priority()
+    trace = scenario.generate_trace(seed=seed, num_jobs=num_jobs)
+    source = scenario.cluster
+    fault_spec = (
+        "crash:mttf=2000,repair=40;stragglers:p=0.1,slowdown=3,speculate=1.5;"
+        "taskfail:p=0.05,retries=2"
+    )
+
+    def run_once(execution_cls, faults) -> float:
+        cluster = Cluster(
+            config=source.config, dvfs=source.dvfs, power_model=source.power_model
+        )
+        original = dias_module.JobExecution
+        dias_module.JobExecution = execution_cls
+        try:
+            simulation = dias_module.DiASSimulation(
+                policy=policy, jobs=trace, cluster=cluster, seed=seed, faults=faults
+            )
+            start = time.perf_counter()
+            simulation.run()
+            return time.perf_counter() - start
+        finally:
+            dias_module.JobExecution = original
+
+    variants = (
+        ("pr7", _PR7JobExecution, None),
+        ("faults_off", dias_module.JobExecution, None),
+        ("faults_on", dias_module.JobExecution, fault_spec),
+    )
+    # Interleaved rounds for the same reason as _measure_kernel: the 5%
+    # off_vs_pr7 gate must not inherit monotonic host drift.
+    best: Dict[str, float] = {}
+    for _ in range(max(repeats, 5)):
+        for label, execution_cls, faults in variants:
+            elapsed = run_once(execution_cls, faults)
+            if label not in best or elapsed < best[label]:
+                best[label] = elapsed
+    results = {
+        "num_jobs": float(num_jobs),
+        "fault_spec": fault_spec,
+        "pr7_jobs_per_sec": num_jobs / best["pr7"],
+        "off_jobs_per_sec": num_jobs / best["faults_off"],
+        "on_jobs_per_sec": num_jobs / best["faults_on"],
+    }
+    results["off_vs_pr7"] = results["off_jobs_per_sec"] / results["pr7_jobs_per_sec"]
+    results["on_overhead_pct"] = 100.0 * (
+        best["faults_on"] - best["faults_off"]
+    ) / best["faults_off"]
+    return results
+
+
 def _measure_parallel(
     num_jobs: int, replications: int, jobs: int, seed: int
 ) -> Dict[str, Any]:
@@ -539,6 +621,14 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"overhead {telemetry['on_overhead_pct']:.1f}%   "
           f"events {telemetry['events_emitted']:,.0f}")
 
+    print("== Fault-injection overhead (pr7 = retained baseline, off = faults=None) ==")
+    faults = _measure_faults(sim_jobs, repeats, args.seed)
+    print(f"pr7 {faults['pr7_jobs_per_sec']:,.1f} jobs/s   "
+          f"faults off {faults['off_jobs_per_sec']:,.1f} jobs/s   "
+          f"on {faults['on_jobs_per_sec']:,.1f} jobs/s   "
+          f"off_vs_pr7 {faults['off_vs_pr7']:.3f}   "
+          f"on overhead {faults['on_overhead_pct']:.1f}%")
+
     print(f"== Parallel replication ({args.replications} replications, --jobs {args.jobs}) ==")
     parallel = _measure_parallel(par_jobs, args.replications, args.jobs, args.seed)
     if os.cpu_count() == 1:
@@ -562,12 +652,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "kernel": {"chain": chain, "timeout_storm": storm},
         "simulation": simulation,
         "telemetry": telemetry,
+        "faults": faults,
         "parallel": parallel,
         "targets": {
             "kernel_speedup": 2.0,
             "parallel_speedup_at_4_jobs": 2.5,
             "telemetry_off_vs_pr3_min": 0.95,
             "telemetry_on_overhead_max_pct": 60.0,
+            "faults_off_vs_pr7_min": 0.95,
             "note": "parallel wall-clock speedup requires >= jobs physical cores; "
                     "bitwise serial/parallel equivalence is asserted on every host",
         },
@@ -592,6 +684,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"FAIL: telemetry-on overhead at {telemetry['on_overhead_pct']:.1f}% "
             f"(threshold 60%) — the enabled emit/sink path has regressed",
+            file=sys.stderr,
+        )
+        failed = True
+    if faults["off_vs_pr7"] < 0.95:
+        print(
+            f"FAIL: faults-off simulation at {faults['off_vs_pr7']:.3f}x of the "
+            f"retained PR 7 baseline (threshold 0.95) — fault injection must "
+            f"stay zero-cost when disabled",
             file=sys.stderr,
         )
         failed = True

@@ -16,6 +16,10 @@ Usage (after ``pip install -e .``)::
     python -m repro inspect run.jsonl           # summaries + ASCII plots
     python -m repro fleet --trace out.json      # record per-job lifecycle spans
     python -m repro trace out.json --focus-job 7   # waterfall + attribution
+    python -m repro fleet --faults "crash:mttf=2000;stragglers:p=0.05"
+    python -m repro fleet --checkpoint run.ckpt --checkpoint-every 500
+    python -m repro fleet --resume run.ckpt     # bitwise-identical continuation
+    python -m repro chaos --faults "crash:mttf=1000" --levels 0 1 2
 
 ``--num-jobs`` controls the number of *simulated* jobs per trace; ``--jobs N``
 fans independent work units (replications, sweep points, policy runs) across
@@ -48,6 +52,10 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.reporting import format_comparison, format_figure, format_rows
 from repro.experiments.sweeps import drop_ratio_sweep, load_sweep
+from repro.engine.cluster import ClusterCapacityError
+from repro.faults import load_checkpoint, parse_fault_spec
+from repro.faults.chaos import fleet_from_config, run_chaos
+from repro.faults.spec import FAULT_KINDS
 from repro.fleet.simulation import replicate_fleet
 from repro.simulation.replication import ReplicationRunner
 from repro.fleet.budget import BUDGET_MODES
@@ -150,6 +158,15 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                         help="record per-job lifecycle spans and export them "
                              "as Chrome-trace/Perfetto JSON to PATH (render "
                              "with: repro trace PATH)")
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    """``--faults SPEC`` — deterministic fault injection for this run."""
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject faults, e.g. "
+                             "'crash:mttf=2000,repair=60;stragglers:p=0.05,"
+                             "slowdown=4;taskfail:p=0.01,retries=3' "
+                             f"(kinds: {', '.join(FAULT_KINDS)})")
 
 
 def _check_telemetry_path(path: Optional[str]) -> Optional[str]:
@@ -304,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      "0.9,0.999 (single-run mode only)")
     _add_parallel_flags(compare_parser)
     _add_telemetry_flags(compare_parser)
+    _add_fault_flags(compare_parser)
 
     sweep_parser = subparsers.add_parser("sweep", help="sweep the low-priority drop ratio")
     sweep_parser.add_argument("--scenario", choices=sorted(SCENARIOS), default="reference")
@@ -343,9 +361,73 @@ def build_parser() -> argparse.ArgumentParser:
                               help="jobs per cluster (fleet trace is clusters x num-jobs)")
     fleet_parser.add_argument("--budget", choices=BUDGET_MODES, default="per-cluster",
                               help="sprint-budget arbitration across the fleet")
+    fleet_parser.add_argument("--utilisation", type=_positive_float, default=None,
+                              metavar="U",
+                              help="rescale per-cluster offered load to U "
+                                   "(default: the scenario's own, ~0.8; "
+                                   "checkpoints need the quiescent points a "
+                                   "lower load creates)")
     fleet_parser.add_argument("--seed", type=int, default=0)
+    fleet_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                              help="snapshot the run to PATH at quiescent "
+                                   "points (resume with --resume PATH)")
+    fleet_parser.add_argument("--checkpoint-every", type=_positive_float,
+                              default=None, metavar="T",
+                              help="simulated seconds between checkpoint marks "
+                                   "(default: 500 when --checkpoint is given)")
+    fleet_parser.add_argument("--resume", default=None, metavar="PATH",
+                              help="resume a run from a checkpoint file; the "
+                                   "continuation is bitwise-identical to the "
+                                   "uninterrupted run")
+    fleet_parser.add_argument("--until", type=_positive_float, default=None,
+                              metavar="T",
+                              help="stop the simulation at simulated time T "
+                                   "(with --checkpoint: a deterministic "
+                                   "interruption to --resume from)")
     _add_parallel_flags(fleet_parser)
     _add_telemetry_flags(fleet_parser)
+    _add_fault_flags(fleet_parser)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="fault-intensity ablation: the same fleet run at "
+                      "scaled fault levels, with deltas vs the fault-free "
+                      "baseline"
+    )
+    chaos_parser.add_argument("--scenario", choices=sorted(FLEET_SCENARIOS),
+                              default="two-priority")
+    chaos_parser.add_argument("--clusters", type=int, default=4,
+                              help="number of DiAS clusters in the fleet")
+    chaos_parser.add_argument("--router", default="round_robin",
+                              help="routing policy of the fleet dispatcher "
+                                   f"({', '.join(ROUTERS)})")
+    chaos_parser.add_argument("--power-of-d", type=int, default=None,
+                              help="probe only d random clusters per decision (jsq)")
+    chaos_parser.add_argument("--policy", type=_parse_policy, default=None,
+                              help="per-cluster scheduling policy "
+                                   "(default: DA with 20%% low-priority dropping)")
+    chaos_parser.add_argument("--num-jobs", type=int, default=100,
+                              help="jobs per cluster (fleet trace is clusters x num-jobs)")
+    chaos_parser.add_argument("--budget", choices=BUDGET_MODES, default="per-cluster",
+                              help="sprint-budget arbitration across the fleet")
+    chaos_parser.add_argument("--utilisation", type=_positive_float, default=None,
+                              metavar="U",
+                              help="rescale per-cluster offered load to U")
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--levels", nargs="+", type=float,
+                              default=[0.0, 0.5, 1.0, 2.0],
+                              help="fault-intensity multipliers applied to the "
+                                   "base --faults spec (0 = fault-free baseline)")
+    chaos_parser.add_argument("--faults", required=True, metavar="SPEC",
+                              help="base fault spec scaled by each level, e.g. "
+                                   "'crash:mttf=2000;stragglers:p=0.05' "
+                                   f"(kinds: {', '.join(FAULT_KINDS)})")
+    chaos_parser.add_argument("--trace", default=None, metavar="PATH",
+                              help="record spans of the highest-level run and "
+                                   "export Chrome-trace JSON to PATH")
+    chaos_parser.add_argument("--telemetry", default=None, metavar="PATH",
+                              help=argparse.SUPPRESS)
+    chaos_parser.add_argument("--telemetry-interval", type=_positive_float,
+                              default=5.0, help=argparse.SUPPRESS)
 
     dag_parser = subparsers.add_parser(
         "dag", help="run stage-DAG jobs under a pluggable stage scheduler"
@@ -366,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     dag_parser.add_argument("--seed", type=int, default=0)
     _add_parallel_flags(dag_parser)
     _add_telemetry_flags(dag_parser)
+    _add_fault_flags(dag_parser)
 
     trace_parser = subparsers.add_parser(
         "trace", help="render a span trace: waterfall, latency attribution, "
@@ -452,6 +535,8 @@ def _run_list() -> str:
     lines.append("dag scenarios: " + ", ".join(sorted(DAG_SCENARIOS)))
     lines.append("dag stage schedulers: " + ", ".join(STAGE_SCHEDULERS))
     lines.append("policies: P, NP, DA(<pct>/<pct>[/<pct>]) e.g. DA(0/20)")
+    lines.append("fault kinds (--faults): " + ", ".join(FAULT_KINDS)
+                 + "  e.g. 'crash:mttf=2000,repair=60;stragglers:p=0.05'")
     return "\n".join(lines)
 
 
@@ -480,14 +565,118 @@ def _default_fleet_policy(scenario: FleetScenario) -> SchedulingPolicy:
     return SchedulingPolicy.differential_approximation(ratios)
 
 
-def _run_fleet(args: argparse.Namespace) -> str:
-    _check_choice("router", args.router, list(ROUTERS))
-    _check_trace_flag(args)
+def _fleet_scenario(args: argparse.Namespace) -> FleetScenario:
+    """Build the fleet scenario, applying the optional ``--utilisation``."""
     scenario = FLEET_SCENARIOS[args.scenario](
         num_clusters=args.clusters, num_jobs_per_cluster=args.num_jobs
     )
+    utilisation = getattr(args, "utilisation", None)
+    if utilisation is None:
+        return scenario
+    if utilisation >= 1.0:
+        raise ValueError(
+            f"--utilisation must be strictly below 1, got {utilisation!r}"
+        )
+    return FleetScenario(
+        base=scenario.base.with_utilisation(utilisation),
+        num_clusters=args.clusters,
+        name=f"{scenario.name}-u{utilisation:g}",
+        description=scenario.description,
+    )
+
+
+def _fleet_report(title: str, result, simulation: FleetSimulation) -> List[str]:
+    """The standard single-run fleet report: latency, load, summary, faults."""
+    summary_rows = [{"metric": key, "value": value} for key, value in result.summary().items()]
+    lines = [
+        title,
+        "=" * len(title),
+        "",
+        "Per-class latency (fleet-wide)",
+        format_rows(result.class_rows()),
+        "",
+        "Per-cluster load",
+        format_rows(result.cluster_rows()),
+        "",
+        "Summary",
+        format_rows(summary_rows),
+    ]
+    counters = simulation.fault_counters()
+    if counters:
+        lines += [
+            "",
+            "Faults & recovery",
+            format_rows(
+                [{"counter": name, "count": float(value)}
+                 for name, value in counters.items()]
+            ),
+        ]
+    return lines
+
+
+def _resume_fleet(args: argparse.Namespace) -> str:
+    """Continue an interrupted ``repro fleet`` run from its checkpoint file."""
+    if args.replications > 1:
+        raise ValueError(
+            "--resume continues one interrupted run; it cannot be combined "
+            "with --replications"
+        )
+    if args.trace is not None or args.telemetry is not None:
+        raise ValueError(
+            "--resume cannot record --trace/--telemetry: events from before "
+            "the snapshot are not replayed, so the stream would be partial"
+        )
+    import pickle
+
+    try:
+        payload = load_checkpoint(args.resume)
+    except (OSError, pickle.PickleError) as error:
+        raise ValueError(f"cannot read checkpoint {args.resume!r}: {error}")
+    config = payload.get("config")
+    if config is None:
+        raise ValueError(
+            f"checkpoint {args.resume!r} carries no embedded run "
+            "configuration; it was written through the API, not the CLI — "
+            "rebuild the simulation in code and call restore()"
+        )
+    simulation = fleet_from_config(config)
+    simulation.restore(payload)
+    result = simulation.run()
+    scenario_name = config.get("scenario_name", "fleet")
+    title = (
+        f"Fleet: {scenario_name}  router={result.dispatcher_name}  "
+        f"policy={simulation.policy.name}  budget={config['sprint_budget']}  "
+        f"(resumed from t={payload['time']:.1f}s)"
+    )
+    return "\n".join(_fleet_report(title, result, simulation))
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    if args.resume is not None:
+        return _resume_fleet(args)
+    _check_choice("router", args.router, list(ROUTERS))
+    _check_trace_flag(args)
+    # Validate the fault spec up front: a typo exits non-zero with the valid
+    # kind/key choices before any simulation work starts.
+    fault_spec = parse_fault_spec(args.faults)
+    checkpoint_every = args.checkpoint_every
+    if args.checkpoint is not None and checkpoint_every is None:
+        checkpoint_every = 500.0
+    if args.checkpoint is None and args.checkpoint_every is not None:
+        raise ValueError("--checkpoint-every needs --checkpoint PATH")
+    scenario = _fleet_scenario(args)
     policy = args.policy if args.policy is not None else _default_fleet_policy(scenario)
     if args.replications > 1:
+        if args.checkpoint is not None:
+            raise ValueError(
+                "--checkpoint needs a single run; it cannot be combined "
+                "with --replications"
+            )
+        if args.until is not None:
+            raise ValueError(
+                "--until needs a single run; it cannot be combined "
+                "with --replications"
+            )
         metrics = replicate_fleet(
             scenario,
             policy,
@@ -497,6 +686,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
             sprint_budget=args.budget,
             base_seed=args.seed,
             jobs=args.jobs,
+            faults=fault_spec,
             **_telemetry_kwargs(args),
         )
         title = (
@@ -518,27 +708,69 @@ def _run_fleet(args: argparse.Namespace) -> str:
         seed=args.seed,
         sprint_budget=args.budget,
         telemetry=hub,
+        faults=fault_spec,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=args.checkpoint,
     )
-    result = simulation.run()
+    if args.checkpoint is not None:
+        # Embedded in every snapshot so `repro fleet --resume PATH` can
+        # rebuild the identical simulation from the file alone.
+        simulation.checkpoint_config = {
+            "scenario": scenario,
+            "scenario_name": scenario.name,
+            "policy": policy,
+            "dispatcher": args.router,
+            "power_of_d": args.power_of_d,
+            "seed": args.seed,
+            "sprint_budget": args.budget,
+            "faults": fault_spec,
+            "checkpoint_every": checkpoint_every,
+            "checkpoint_path": args.checkpoint,
+        }
+    result = simulation.run(until=args.until)
     hub.close()
     trace_note = _export_trace(args, events_path, events_are_temporary)
     title = (
         f"Fleet: {scenario.name}  router={result.dispatcher_name}  "
         f"policy={policy.name}  budget={args.budget}"
     )
-    summary_rows = [{"metric": key, "value": value} for key, value in result.summary().items()]
+    lines = _fleet_report(title, result, simulation)
+    if trace_note is not None:
+        lines += ["", trace_note]
+    return "\n".join(lines)
+
+
+def _run_chaos(args: argparse.Namespace) -> str:
+    """Fault-intensity ablation over one fleet configuration."""
+    _check_choice("router", args.router, list(ROUTERS))
+    spec = parse_fault_spec(args.faults)
+    scenario = _fleet_scenario(args)
+    policy = args.policy if args.policy is not None else _default_fleet_policy(scenario)
+    hub, events_path, events_are_temporary = _single_run_hub(args)
+    rows = run_chaos(
+        scenario,
+        policy,
+        spec,
+        levels=args.levels,
+        dispatcher=args.router,
+        power_of_d=args.power_of_d,
+        sprint_budget=args.budget,
+        seed=args.seed,
+        telemetry=hub,
+        telemetry_level=max(args.levels) if hub is not NULL_HUB else None,
+    )
+    hub.close()
+    trace_note = _export_trace(args, events_path, events_are_temporary)
+    title = (
+        f"Chaos: {scenario.name}  router={args.router}  policy={policy.name}  "
+        f"faults='{args.faults}'"
+    )
     lines = [
         title,
         "=" * len(title),
         "",
-        "Per-class latency (fleet-wide)",
-        format_rows(result.class_rows()),
-        "",
-        "Per-cluster load",
-        format_rows(result.cluster_rows()),
-        "",
-        "Summary",
-        format_rows(summary_rows),
+        "Sensitivity to fault intensity (deltas vs level-0 baseline)",
+        format_rows(rows),
     ]
     if trace_note is not None:
         lines += ["", trace_note]
@@ -548,6 +780,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
 def _run_dag(args: argparse.Namespace) -> str:
     _check_choice("stage scheduler", args.scheduler, list(STAGE_SCHEDULERS))
     _check_trace_flag(args)
+    fault_spec = parse_fault_spec(args.faults)
     scenario = DAG_SCENARIOS[args.scenario](num_jobs=args.num_jobs)
     policy = (
         args.policy
@@ -563,6 +796,7 @@ def _run_dag(args: argparse.Namespace) -> str:
             slack_biased=args.slack_biased,
             base_seed=args.seed,
             jobs=args.jobs,
+            faults=fault_spec,
             **_telemetry_kwargs(args),
         )
         title = (
@@ -583,6 +817,7 @@ def _run_dag(args: argparse.Namespace) -> str:
         seed=args.seed,
         slack_biased=args.slack_biased,
         telemetry=hub,
+        faults=fault_spec,
     )
     result = simulation.run()
     hub.close()
@@ -623,6 +858,15 @@ def _run_dag(args: argparse.Namespace) -> str:
         "Summary (cp_stretch = makespan over per-job lower bound)",
         format_rows(summary_rows),
     ]
+    if simulation.faults is not None:
+        lines += [
+            "",
+            "Faults & recovery",
+            format_rows(
+                [{"counter": name, "count": float(value)}
+                 for name, value in simulation.faults.counters.items()]
+            ),
+        ]
     if trace_note is not None:
         lines += ["", trace_note]
     return "\n".join(lines)
@@ -682,6 +926,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "compare":
             scenario = SCENARIOS[args.scenario]()
             policies = [_parse_policy(name) for name in args.policies]
+            compare_faults = parse_fault_spec(args.faults)
             if args.replications > 1:
                 if args.quantiles is not None:
                     raise ValueError(
@@ -690,7 +935,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     )
                 experiment = PolicyComparisonExperiment(
                     scenario, policies, baseline=policies[0].name,
-                    num_jobs=args.num_jobs, **_telemetry_kwargs(args),
+                    num_jobs=args.num_jobs, faults=compare_faults,
+                    **_telemetry_kwargs(args),
                 )
                 metrics = ReplicationRunner(experiment).run(
                     args.replications, base_seed=args.seed, jobs=args.jobs
@@ -717,6 +963,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 comparison = run_policies(scenario, policies, baseline=policies[0].name,
                                           seed=args.seed, num_jobs=args.num_jobs,
                                           jobs=args.jobs, quantiles=args.quantiles,
+                                          faults=compare_faults,
                                           **telemetry_kwargs)
                 output = format_comparison(comparison, f"Scenario {args.scenario}")
                 if args.quantiles is not None:
@@ -758,6 +1005,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = format_rows(rows)
         elif args.command == "fleet":
             output = _run_fleet(args)
+        elif args.command == "chaos":
+            output = _run_chaos(args)
         elif args.command == "dag":
             output = _run_dag(args)
         elif args.command == "trace":
@@ -767,7 +1016,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:  # pragma: no cover - argparse prevents this
             parser.error(f"unknown command {args.command!r}")
             return 2
-    except (ValueError, KeyError) as error:
+    except (ValueError, KeyError, ClusterCapacityError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(output)

@@ -24,13 +24,15 @@ resource waste, energy, accuracy loss).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.buffers import PriorityBuffers
 from repro.core.dropper import DropPlan, TaskDropper
 from repro.core.policies import SchedulingPolicy
 from repro.core.sprinter import Sprinter
 from repro.engine.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec, parse_fault_spec
 from repro.engine.energy import EnergyMeter
 from repro.engine.execution import JobExecution, build_phases
 from repro.engine.job import Job
@@ -89,6 +91,8 @@ class SimulationResult:
     idle_energy_joules: float = 0.0
     busy_energy_joules: float = 0.0
     sprint_energy_joules: float = 0.0
+    #: Fault-injection counters (empty when the run injected no faults).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------ accessors
     @property
@@ -182,6 +186,7 @@ class DiASSimulation:
         telemetry: TelemetryHub = NULL_HUB,
         metrics: Optional[MetricsCollector] = None,
         telemetry_src: Optional[str] = None,
+        faults: Union[str, FaultSpec, None] = None,
     ) -> None:
         if not jobs and simulator is None:
             raise ValueError("the job trace must not be empty")
@@ -217,6 +222,26 @@ class DiASSimulation:
                 telemetry_src=self.telemetry_src,
                 on_sprint_denied=self._on_sprint_denied,
             )
+
+        #: Optional fault injector; ``None`` keeps every hot path on the
+        #: historical branch (fault injection is zero-cost when disabled).
+        self.fault_spec = parse_fault_spec(faults)
+        self.faults: Optional[FaultInjector] = None
+        if self.fault_spec is not None:
+            self.faults = FaultInjector(
+                self.fault_spec,
+                sim=self.sim,
+                cluster=self.cluster,
+                streams=self.streams,
+                namespace=self.stream_namespace,
+                telemetry=telemetry,
+                telemetry_src=self.telemetry_src,
+                on_crash=self._on_worker_crash,
+                on_repair=self._on_worker_repair,
+            )
+        #: Set by checkpoint restore: arrivals at or before this simulated
+        #: time are already accounted for and must not be re-scheduled.
+        self._resume_time: Optional[float] = None
 
         self._running: Optional[JobExecution] = None
         self._running_plan: Optional[DropPlan] = None
@@ -326,8 +351,16 @@ class DiASSimulation:
         self._on_arrival(job)
 
     def schedule_trace(self) -> None:
-        """Schedule every job of the trace as an arrival event."""
+        """Schedule every job of the trace as an arrival event.
+
+        After a checkpoint restore only arrivals strictly later than the
+        snapshot time are scheduled — earlier jobs already completed and live
+        in the restored metrics.
+        """
+        cutoff = self._resume_time
         for job in self.jobs:
+            if cutoff is not None and job.arrival_time <= cutoff:
+                continue
             self._job_state[job.job_id] = {"wasted": 0.0, "evictions": 0}
             self.sim.schedule_at(
                 job.arrival_time, self._make_arrival_callback(job), priority=0
@@ -336,6 +369,17 @@ class DiASSimulation:
     def run(self, until: Optional[float] = None) -> SimulationResult:
         """Run the whole trace to completion (or until the optional horizon)."""
         self.schedule_trace()
+        if self.faults is not None and not self.faults.started:
+            self.faults.start()
+        if (
+            self.faults is not None
+            and self.jobs
+            and self._completed >= len(self.jobs)
+        ):
+            # Resumed from a snapshot taken after the workload drained: no
+            # completion event will fire the stop, so cancel the crash/repair
+            # renewal process here or the heap never empties.
+            self.faults.stop()
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(
@@ -393,6 +437,7 @@ class DiASSimulation:
             idle_energy_joules=account.idle_joules,
             busy_energy_joules=account.busy_joules,
             sprint_energy_joules=account.sprint_joules,
+            fault_counts=dict(self.faults.counters) if self.faults is not None else {},
         )
 
     # --------------------------------------------------------------- events
@@ -483,6 +528,8 @@ class DiASSimulation:
             telemetry=self.telemetry,
             telemetry_src=self.telemetry_src,
             trace_parent=trace_parent,
+            faults=self.faults,
+            on_give_up=self._on_task_exhausted if self.faults is not None else None,
         )
         self._running = execution
         self._running_plan = plan
@@ -656,11 +703,79 @@ class DiASSimulation:
                 priority=job.priority,
             )
         self._completed += 1
+        if (
+            self.faults is not None
+            and self.jobs
+            and self._completed >= len(self.jobs)
+        ):
+            # Standalone run drained: cancel the open-ended crash/repair
+            # renewal process so the event heap can empty.  Fleet-embedded
+            # controllers have an empty job list; the fleet stops their
+            # injectors from its own completion hook.
+            self.faults.stop()
         if self.on_job_complete is not None:
             self.on_job_complete()
         self._running = None
         self._running_plan = None
         self._dispatch_next()
+
+    # ---------------------------------------------------------------- faults
+    def _fault_restart(self, reason: str) -> None:
+        """Abort the running attempt and re-queue the job (fault recovery).
+
+        Reuses the eviction path so resource-waste accounting and the span
+        tree (evict annotation, attempt outcome, fresh queue span) stay
+        consistent with preemptive evictions — the latency decomposition's
+        ``re_execution`` component keeps summing to the response time.
+        """
+        execution = self._running
+        if execution is None:
+            return
+        job = execution.job
+        if self.telemetry.tracing:
+            # Annotate before eviction so the trace records *why* the
+            # attempt was aborted, not just that it was evicted.
+            self.telemetry.emit(
+                "span",
+                self.sim.now,
+                src=self.telemetry_src,
+                span_id=self.telemetry.new_span_id(),
+                parent_id=execution.trace_parent,
+                name=reason,
+                cat="fault",
+                start=self.sim.now,
+                job_id=job.job_id,
+                slot=-1,
+            )
+        self._evict_running()
+        self.faults.note_job_restart()
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.job_restart",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                reason=reason,
+            )
+
+    def _on_task_exhausted(self, execution: JobExecution) -> None:
+        """A task burned through its transient-failure retries: re-run the job."""
+        self._fault_restart("retries_exhausted")
+        self._dispatch_next()
+
+    def _on_worker_crash(self, worker: int) -> None:
+        execution = self._running
+        if execution is None:
+            return
+        if self.faults.crash_recovery == "restart":
+            self._fault_restart("crash")
+            self._dispatch_next()
+            return
+        execution.on_worker_crash(worker)
+
+    def _on_worker_repair(self, worker: int) -> None:
+        if self._running is not None:
+            self._running.on_worker_repair(worker)
 
     # ------------------------------------------------------------- sprinting
     def _on_sprint_start(self, execution: JobExecution) -> None:

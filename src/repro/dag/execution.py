@@ -136,6 +136,9 @@ class _ActiveTask:
 
     ``started_at``/``span_id`` survive DVFS reschedules so task trace spans
     keep their true dispatch time (``span_id`` is 0 while tracing is off).
+    ``base``/``attempt``/``will_fail`` only matter under fault injection:
+    the undilated task duration (for requeue/retry), the 1-based attempt
+    number, and whether this attempt was pre-drawn to fail at completion.
     """
 
     slot: int
@@ -144,6 +147,9 @@ class _ActiveTask:
     stage_run: Optional[StageRun]
     started_at: float = 0.0
     span_id: int = 0
+    base: float = 0.0
+    attempt: int = 1
+    will_fail: bool = False
 
 
 class DagExecution:
@@ -162,6 +168,17 @@ class DagExecution:
     kept_map_indices / kept_reduce_indices:
         Explicit kept-task indices from a dropper plan; take precedence over
         any ratio.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  DAG tasks
+        then draw stragglers and transient failures (retried in place with
+        capped exponential backoff) and survive worker crashes by requeueing
+        the lost tasks into their stages.  Unlike the linear engine the DAG
+        layer launches **no speculative copies**: wave tails are already
+        absorbed by the stage frontier, where freed slots immediately serve
+        other ready stages instead of idling behind a straggler.
+    on_give_up:
+        Called with this execution when a task exhausts its retry budget
+        (the controller typically evicts and restarts the whole job).
     """
 
     def __init__(
@@ -181,10 +198,16 @@ class DagExecution:
         telemetry: TelemetryHub = NULL_HUB,
         telemetry_src: str = "dag",
         trace_parent: int = 0,
+        faults=None,
+        on_give_up: Optional[Callable[["DagExecution"], None]] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.job = job
+        self._faults = faults
+        self._on_give_up = on_give_up
+        #: Tasks sitting out a retry backoff: slot -> (event, base, attempt, run).
+        self._retries: Dict[int, tuple] = {}
         self.telemetry = telemetry
         self.telemetry_src = telemetry_src
         #: Enclosing attempt span id when tracing (0 otherwise): stage spans
@@ -298,7 +321,11 @@ class DagExecution:
         self.start_time = self.sim.now
         self._speed = float(speed) if speed is not None else self.cluster.speed
         self._speed_since = self.sim.now
-        self._free_slots = list(range(self.cluster.slots))
+        self._free_slots = (
+            list(range(self.cluster.slots))
+            if self._faults is None
+            else self.cluster.free_slot_ids()
+        )
         if self._setup_time > 0:
             if self.telemetry.tracing:
                 self._setup_span = (self.telemetry.new_span_id(), self.sim.now)
@@ -342,14 +369,9 @@ class DagExecution:
                 new_event = self.sim.schedule(
                     remaining_work / speed, self._make_task_callback(slot), priority=1
                 )
-            self._active[slot] = _ActiveTask(
-                slot=slot,
-                event=new_event,
-                speed=speed,
-                stage_run=active.stage_run,
-                started_at=active.started_at,
-                span_id=active.span_id,
-            )
+            # Mutate in place so fault fields (base/attempt/will_fail) survive.
+            active.event = new_event
+            active.speed = speed
 
     def evict(self) -> float:
         """Cancel all in-flight work; returns the wasted wall time of the attempt."""
@@ -369,6 +391,9 @@ class DagExecution:
         for active in self._active.values():
             active.event.cancel()
         self._active.clear()
+        for event, _base, _attempt, _run in self._retries.values():
+            event.cancel()
+        self._retries.clear()
         self.evicted = True
         return now - (self.start_time if self.start_time is not None else now)
 
@@ -486,6 +511,9 @@ class DagExecution:
             run = self.scheduler.select(eligible)
             slot = self._free_slots.pop()
             duration = run.pop_task()
+            if self._faults is not None:
+                self._start_task(slot, run, duration, attempt=1)
+                continue
             event = self.sim.schedule(
                 duration / self._speed, self._make_task_callback(slot), priority=1
             )
@@ -496,6 +524,39 @@ class DagExecution:
                 stage_run=run,
                 started_at=self.sim.now,
                 span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
+            )
+
+    def _start_task(self, slot: int, run: StageRun, base: float, attempt: int) -> None:
+        """Dispatch one attempt of a task under fault injection.
+
+        Draw order is fixed (slowdown, then failure) so the fault streams
+        advance identically regardless of scheduling interleavings.
+        """
+        faults = self._faults
+        slowdown = faults.draw_slowdown()
+        will_fail = faults.draw_task_failure()
+        event = self.sim.schedule(
+            (base * slowdown) / self._speed, self._make_task_callback(slot), priority=1
+        )
+        self._active[slot] = _ActiveTask(
+            slot=slot,
+            event=event,
+            speed=self._speed,
+            stage_run=run,
+            started_at=self.sim.now,
+            span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
+            base=base,
+            attempt=attempt,
+            will_fail=will_fail,
+        )
+        if slowdown > 1.0 and self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.straggler",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=self.job.job_id,
+                slot=slot,
+                slowdown=slowdown,
             )
 
     def _make_task_callback(self, slot: int) -> Callable[[Simulator], None]:
@@ -510,6 +571,9 @@ class DagExecution:
         active = self._active.pop(slot, None)
         if active is None:
             return
+        if self._faults is not None and active.will_fail:
+            self._on_task_failed(active)
+            return
         if active.span_id:
             self._emit_task_span(active)
         self._free_slots.append(slot)
@@ -523,10 +587,130 @@ class DagExecution:
                 child.unfinished_parents -= 1
                 if child.unfinished_parents == 0:
                     self._activate_stage(child)
-        if self._remaining_stages == 0 and not self._active:
+        if self._remaining_stages == 0 and not self._active and not self._retries:
             self._finish()
             return
         self._fill_slots()
+
+    # ----------------------------------------------------- failure machinery
+    def _on_task_failed(self, active: _ActiveTask) -> None:
+        """A pre-drawn transient failure surfaced at the task's end time."""
+        faults = self._faults
+        faults.note_task_failure()
+        slot, run = active.slot, active.stage_run
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.task_fail",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=self.job.job_id,
+                slot=slot,
+                attempt=active.attempt,
+            )
+        if active.span_id:
+            self._emit_task_span(active, outcome="failed")
+        if active.attempt <= faults.max_retries:
+            delay = faults.retry_delay(active.attempt)
+            faults.note_retry()
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "fault.retry",
+                    self.sim.now,
+                    src=self.telemetry_src,
+                    job_id=self.job.job_id,
+                    slot=slot,
+                    attempt=active.attempt + 1,
+                    delay=delay,
+                )
+            self._emit_fault_span("retry", slot)
+            event = self.sim.schedule(
+                delay, self._make_retry_callback(slot), priority=1
+            )
+            # The slot sits out the backoff: neither free nor active, and the
+            # stage's in-flight count stays up so it cannot advance phase.
+            self._retries[slot] = (event, active.base, active.attempt + 1, run)
+            return
+        if self._on_give_up is not None:
+            self._on_give_up(self)
+            return
+        # No controller hook: requeue the task and let the frontier retry it.
+        run.active -= 1
+        run.pending.append(active.base)
+        run._undispatched += active.base
+        self._free_slots.append(slot)
+        self._fill_slots()
+
+    def _make_retry_callback(self, slot: int) -> Callable[[Simulator], None]:
+        def _callback(_sim: Simulator) -> None:
+            if not self.running:
+                return
+            entry = self._retries.pop(slot, None)
+            if entry is None:
+                return
+            _event, base, attempt, run = entry
+            # pop_task() already counted this task in-flight on the first
+            # attempt; re-dispatch directly without touching the stage state.
+            self._start_task(slot, run, base, attempt)
+
+        return _callback
+
+    def _requeue_lost_task(self, run: StageRun, base: float) -> None:
+        run.active -= 1
+        run.pending.append(base)
+        run._undispatched += base
+
+    def on_worker_crash(self, worker: int) -> None:
+        """Requeue every task the crashed worker was running or retrying."""
+        if not self.running:
+            return
+        self._emit_fault_span("crash", slot=-1)
+        dead = set(self.cluster.worker_slots(worker))
+        for slot in sorted(dead):
+            active = self._active.pop(slot, None)
+            if active is not None:
+                active.event.cancel()
+                if active.span_id:
+                    self._emit_task_span(active, outcome="crashed")
+                if active.stage_run is not None:
+                    self._requeue_lost_task(active.stage_run, active.base)
+                continue
+            entry = self._retries.pop(slot, None)
+            if entry is not None:
+                event, base, _attempt, run = entry
+                event.cancel()
+                self._requeue_lost_task(run, base)
+        self._free_slots = [s for s in self._free_slots if s not in dead]
+        self._fill_slots()
+
+    def on_worker_repair(self, worker: int) -> None:
+        """Return the repaired worker's slots to the free pool."""
+        if not self.running:
+            return
+        for slot in self.cluster.worker_slots(worker):
+            if (
+                slot not in self._active
+                and slot not in self._retries
+                and slot not in self._free_slots
+            ):
+                self._free_slots.append(slot)
+        self._fill_slots()
+
+    def _emit_fault_span(self, name: str, slot: int) -> None:
+        if not self.telemetry.tracing:
+            return
+        now = self.sim.now
+        self.telemetry.emit(
+            "span",
+            now,
+            src=self.telemetry_src,
+            span_id=self.telemetry.new_span_id(),
+            parent_id=self.trace_parent,
+            name=name,
+            cat="fault",
+            start=now,
+            job_id=self.job.job_id,
+            slot=slot,
+        )
 
     def _finish(self) -> None:
         now = self.sim.now

@@ -31,6 +31,8 @@ from repro.dag.graph import DagJob
 from repro.dag.schedulers import StageScheduler, make_stage_scheduler
 from repro.engine.cluster import Cluster
 from repro.engine.energy import EnergyMeter
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec, parse_fault_spec
 from repro.models.accuracy import AccuracyModel
 from repro.simulation.des import Simulator
 from repro.simulation.metrics import JobRecord, MetricsCollector
@@ -95,6 +97,7 @@ class DagSimulation:
         seed: int = 0,
         slack_biased: bool = False,
         telemetry: TelemetryHub = NULL_HUB,
+        faults: Union[str, FaultSpec, None] = None,
     ) -> None:
         if not jobs:
             raise ValueError("the DAG job trace must not be empty")
@@ -125,6 +128,21 @@ class DagSimulation:
                 telemetry=telemetry,
                 telemetry_src=self.telemetry_src,
                 on_sprint_denied=self._on_sprint_denied,
+            )
+
+        self.fault_spec = parse_fault_spec(faults)
+        self.faults: Optional[FaultInjector] = None
+        if self.fault_spec is not None:
+            self.faults = FaultInjector(
+                self.fault_spec,
+                self.sim,
+                self.cluster,
+                self.streams,
+                namespace="dag/",
+                telemetry=telemetry,
+                telemetry_src=self.telemetry_src,
+                on_crash=self._on_worker_crash,
+                on_repair=self._on_worker_repair,
             )
 
         self._running: Optional[DagExecution] = None
@@ -189,6 +207,8 @@ class DagSimulation:
             self.sim.schedule_at(
                 job.arrival_time, self._make_arrival_callback(job), priority=0
             )
+        if self.faults is not None and not self.faults.started:
+            self.faults.start()
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(
@@ -247,6 +267,9 @@ class DagSimulation:
             sprint_energy_joules=account.sprint_joules,
             scheduler_name=self.scheduler_name,
             dag_rows=list(self.dag_rows),
+            fault_counts=(
+                dict(self.faults.counters) if self.faults is not None else {}
+            ),
         )
 
     # ---------------------------------------------------------------- events
@@ -333,6 +356,10 @@ class DagSimulation:
             telemetry=self.telemetry,
             telemetry_src=self.telemetry_src,
             trace_parent=trace_parent,
+            faults=self.faults,
+            on_give_up=(
+                self._on_task_exhausted if self.faults is not None else None
+            ),
         )
         self._running = execution
         self._running_plan = plan
@@ -458,6 +485,64 @@ class DagSimulation:
         self._running = None
         self._running_plan = None
 
+    # ---------------------------------------------------------- fault recovery
+    def _fault_restart(self, reason: str) -> None:
+        """Re-execute the running job from scratch via the eviction path.
+
+        Reusing :meth:`_evict_running` keeps the span tree and the
+        re-execution latency decomposition valid: the lost attempt is closed
+        as evicted and its wall time accounted as wasted/re-execution.
+        """
+        execution = self._running
+        if execution is None:
+            return
+        job = execution.job
+        if self.telemetry.tracing:
+            # Annotate before eviction so the trace records *why* the
+            # attempt was aborted, not just that it was evicted.
+            self.telemetry.emit(
+                "span",
+                self.sim.now,
+                src=self.telemetry_src,
+                span_id=self.telemetry.new_span_id(),
+                parent_id=execution.trace_parent,
+                name=reason,
+                cat="fault",
+                start=self.sim.now,
+                job_id=job.job_id,
+                slot=-1,
+            )
+        self._evict_running()
+        self.faults.note_job_restart()
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.job_restart",
+                self.sim.now,
+                src=self.telemetry_src,
+                job_id=job.job_id,
+                reason=reason,
+            )
+
+    def _on_task_exhausted(self, execution: DagExecution) -> None:
+        """A task burnt through its retry budget: restart the whole job."""
+        self._fault_restart("retries_exhausted")
+        self._dispatch_next()
+
+    def _on_worker_crash(self, worker: int) -> None:
+        execution = self._running
+        if execution is None:
+            return
+        if self.faults.crash_recovery == "restart":
+            self._fault_restart("crash")
+            self._dispatch_next()
+            return
+        execution.on_worker_crash(worker)
+
+    def _on_worker_repair(self, worker: int) -> None:
+        execution = self._running
+        if execution is not None:
+            execution.on_worker_repair(worker)
+
     def _on_complete(self, execution: DagExecution) -> None:
         if self.sprinter is not None:
             self.sprinter.on_job_end(execution)
@@ -525,8 +610,13 @@ class DagSimulation:
             }
         )
         self._completed += 1
-        if self._sampler is not None and self._completed >= len(self.jobs):
-            self._sampler.stop()
+        if self._completed >= len(self.jobs):
+            if self._sampler is not None:
+                self._sampler.stop()
+            if self.faults is not None:
+                # Cancel the open-ended crash/repair renewal process so the
+                # event heap can empty once the workload has drained.
+                self.faults.stop()
         self._running = None
         self._running_plan = None
         self._dispatch_next()
@@ -614,6 +704,7 @@ def replicate_dag(
     jobs: int = 1,
     telemetry_base: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
+    faults: Union[str, FaultSpec, None] = None,
 ):
     """Replicate one DAG configuration over independent seeds.
 
@@ -636,6 +727,7 @@ def replicate_dag(
         slack_biased=slack_biased,
         telemetry_base=telemetry_base,
         telemetry_interval=telemetry_interval,
+        faults=parse_fault_spec(faults),
     )
     metrics = ReplicationRunner(experiment).run(
         replications, base_seed=base_seed, jobs=jobs

@@ -10,10 +10,19 @@ cluster-wide speed factor derived from the :class:`~repro.engine.dvfs.DVFSModel`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import FrozenSet, List, Optional
 
 from repro.engine.dvfs import DVFSModel, FrequencyLevel
 from repro.engine.energy import PowerModel
+
+
+class ClusterCapacityError(RuntimeError):
+    """The cluster has no available workers and no repair on the horizon.
+
+    Raised instead of letting a fully-crashed cluster hang the simulation
+    (nothing would ever be dispatched again) or divide by zero in
+    capacity-derived quantities.
+    """
 
 
 @dataclass(frozen=True)
@@ -53,10 +62,73 @@ class Cluster:
         self.dvfs = dvfs or DVFSModel()
         self.power_model = power_model or PowerModel()
         self._sprinting = False
+        # Workers currently down due to an injected crash (empty without
+        # fault injection, keeping the no-faults paths branch-predictable).
+        self._failed_workers: set = set()
 
     @property
     def slots(self) -> int:
         return self.config.slots
+
+    # ------------------------------------------------------------- failures
+    @property
+    def failed_workers(self) -> FrozenSet[int]:
+        return frozenset(self._failed_workers)
+
+    @property
+    def available_workers(self) -> int:
+        """Workers currently up."""
+        return self.config.workers - len(self._failed_workers)
+
+    @property
+    def available_slots(self) -> int:
+        """Computing slots on workers currently up."""
+        return self.available_workers * self.config.cores_per_worker
+
+    def worker_of_slot(self, slot: int) -> int:
+        """Worker hosting computing slot ``slot``."""
+        return slot // self.config.cores_per_worker
+
+    def worker_slots(self, worker: int) -> range:
+        """Computing slots hosted by ``worker``."""
+        cores = self.config.cores_per_worker
+        return range(worker * cores, (worker + 1) * cores)
+
+    def free_slot_ids(self) -> List[int]:
+        """Slot ids on available workers (all slots when nothing failed)."""
+        if not self._failed_workers:
+            return list(range(self.config.slots))
+        cores = self.config.cores_per_worker
+        failed = self._failed_workers
+        return [s for s in range(self.config.slots) if s // cores not in failed]
+
+    def fail_worker(self, worker: int, repair_scheduled: bool = False) -> None:
+        """Take ``worker`` down (an injected crash).
+
+        Raises :class:`ClusterCapacityError` when the crash leaves zero
+        available workers and ``repair_scheduled`` is false — with no repair
+        pending the simulation could never dispatch again.
+        """
+        if not 0 <= worker < self.config.workers:
+            raise ValueError(
+                f"worker index {worker} out of range for {self.config.workers} workers"
+            )
+        if worker in self._failed_workers:
+            raise ValueError(f"worker {worker} is already failed")
+        if not repair_scheduled and self.available_workers == 1:
+            # Refuse before mutating: the crash would leave the cluster dead.
+            raise ClusterCapacityError(
+                f"crash of worker {worker} leaves zero available workers "
+                f"(of {self.config.workers}) with no repair scheduled; "
+                "the workload can never finish"
+            )
+        self._failed_workers.add(worker)
+
+    def repair_worker(self, worker: int) -> None:
+        """Bring a failed ``worker`` back up."""
+        if worker not in self._failed_workers:
+            raise ValueError(f"worker {worker} is not failed")
+        self._failed_workers.discard(worker)
 
     @property
     def sprinting(self) -> bool:

@@ -106,6 +106,14 @@ class _ActiveTask:
     remaining-work computation); ``started_at`` keeps the task's original
     dispatch time across speed changes for span tracing, and ``span_id`` is
     the task's pre-allocated trace span (0 when tracing is off).
+
+    The remaining fields only carry information under fault injection:
+    ``base`` is the task's nominal duration (before straggler slowdown, the
+    amount re-queued if the hosting worker crashes), ``attempt`` counts
+    executions of this task on this slot, ``will_fail`` marks a transient
+    failure drawn at dispatch time, ``spec_event`` is the pending
+    speculation-check event of a straggling task, and ``copy_of`` /
+    ``copy_slot`` link a speculative copy to its straggling primary.
     """
 
     slot: int
@@ -114,6 +122,12 @@ class _ActiveTask:
     scheduled_at: float
     started_at: float = 0.0
     span_id: int = 0
+    base: float = 0.0
+    attempt: int = 1
+    will_fail: bool = False
+    spec_event: Optional[Event] = None
+    copy_of: int = -1
+    copy_slot: int = -1
 
 
 class JobExecution:
@@ -129,6 +143,8 @@ class JobExecution:
         telemetry: TelemetryHub = NULL_HUB,
         telemetry_src: str = "",
         trace_parent: int = 0,
+        faults=None,
+        on_give_up: Optional[Callable[["JobExecution"], None]] = None,
     ) -> None:
         if not phases:
             raise ValueError("a job execution needs at least one phase")
@@ -139,6 +155,15 @@ class JobExecution:
         self.on_complete = on_complete
         self.telemetry = telemetry
         self.telemetry_src = telemetry_src
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; ``None``
+        #: keeps every per-task code path on the historical fast branch.
+        self._faults = faults
+        #: Called when a task exhausts its transient-failure retries; the
+        #: controller escalates to a job-level re-execution.
+        self._on_give_up = on_give_up
+        #: slot -> (backoff Event, nominal duration, next attempt) for tasks
+        #: waiting out a retry backoff (fault injection only).
+        self._retries: Dict[int, tuple] = {}
         #: Span id of the enclosing attempt span when tracing (0 otherwise);
         #: wave spans attach to it, task spans to their wave span.
         self.trace_parent = trace_parent
@@ -191,7 +216,11 @@ class JobExecution:
         self.start_time = self.sim.now
         self._speed = float(speed) if speed is not None else self.cluster.speed
         self._speed_since = self.sim.now
-        self._free_slots = list(range(self.cluster.slots))
+        self._free_slots = (
+            list(range(self.cluster.slots))
+            if self._faults is None
+            else self.cluster.free_slot_ids()
+        )
         self._advance_phase()
 
     def set_speed(self, speed: float) -> None:
@@ -213,17 +242,13 @@ class JobExecution:
             remaining_wall = max(0.0, active.event.time - now)
             remaining_work = remaining_wall * active.speed
             active.event.cancel()
-            new_event = self.sim.schedule(
+            # Mutate in place so fault bookkeeping (attempt, pending
+            # speculation check, copy links) survives DVFS transitions.
+            active.event = self.sim.schedule(
                 remaining_work / speed, self._make_task_callback(slot), priority=1
             )
-            self._active[slot] = _ActiveTask(
-                slot=slot,
-                event=new_event,
-                speed=speed,
-                scheduled_at=now,
-                started_at=active.started_at,
-                span_id=active.span_id,
-            )
+            active.speed = speed
+            active.scheduled_at = now
 
     def evict(self) -> float:
         """Cancel all in-flight work; returns the wasted wall time of the attempt."""
@@ -239,8 +264,14 @@ class JobExecution:
                 self._close_phase_span(outcome="evicted")
         for active in self._active.values():
             active.event.cancel()
+            if active.spec_event is not None:
+                active.spec_event.cancel()
         self._active.clear()
         self._pending.clear()
+        if self._retries:
+            for event, _base, _attempt in self._retries.values():
+                event.cancel()
+            self._retries.clear()
         self.evicted = True
         return now - (self.start_time if self.start_time is not None else now)
 
@@ -267,6 +298,22 @@ class JobExecution:
             stage=phase.stage_index,
             tasks=len(phase.durations),
             outcome=outcome,
+        )
+
+    def _emit_fault_span(self, name: str, slot: int) -> None:
+        """Instant fault annotation attached to the current attempt span."""
+        now = self.sim.now
+        self.telemetry.emit(
+            "span",
+            now,
+            src=self.telemetry_src,
+            span_id=self.telemetry.new_span_id(),
+            parent_id=self.trace_parent,
+            name=name,
+            cat="fault",
+            start=now,
+            job_id=self.job.job_id,
+            slot=slot,
         )
 
     def _emit_task_span(self, active: _ActiveTask, outcome: str = "completed") -> None:
@@ -300,7 +347,11 @@ class JobExecution:
         if self.telemetry.tracing:
             self._phase_span = (self.telemetry.new_span_id(), self.sim.now)
         self._pending = list(phase.durations)
-        self._free_slots = list(range(self.cluster.slots))
+        self._free_slots = (
+            list(range(self.cluster.slots))
+            if self._faults is None
+            else self.cluster.free_slot_ids()
+        )
         slots_to_fill = len(self._free_slots) if phase.parallel else 1
         for _ in range(min(slots_to_fill, len(self._pending))):
             self._dispatch_next_task()
@@ -310,6 +361,9 @@ class JobExecution:
             return
         slot = self._free_slots.pop()
         duration = self._pending.pop(0)
+        if self._faults is not None:
+            self._start_task(slot, duration, attempt=1)
+            return
         now = self.sim.now
         event = self.sim.schedule(
             duration / self._speed, self._make_task_callback(slot), priority=1
@@ -323,6 +377,95 @@ class JobExecution:
             span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
         )
 
+    # ------------------------------------------------------ fault machinery
+    def _start_task(self, slot: int, base: float, attempt: int) -> None:
+        """Dispatch one task under fault injection (slowdown/failure draws)."""
+        faults = self._faults
+        now = self.sim.now
+        slowdown = faults.draw_slowdown()
+        will_fail = faults.draw_task_failure()
+        event = self.sim.schedule(
+            base * slowdown / self._speed, self._make_task_callback(slot), priority=1
+        )
+        active = _ActiveTask(
+            slot=slot,
+            event=event,
+            speed=self._speed,
+            scheduled_at=now,
+            started_at=now,
+            span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
+            base=base,
+            attempt=attempt,
+            will_fail=will_fail,
+        )
+        self._active[slot] = active
+        if slowdown > 1.0:
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "fault.straggler",
+                    now,
+                    src=self.telemetry_src,
+                    job_id=self.job.job_id,
+                    slot=slot,
+                    slowdown=slowdown,
+                )
+            factor = faults.speculation_factor
+            if factor > 0.0:
+                # The speculation check fires once the task has overrun
+                # ``factor`` times its nominal duration; the check deadline
+                # is fixed at dispatch speed (DVFS changes don't move it).
+                active.spec_event = self.sim.schedule(
+                    base * factor / self._speed,
+                    self._make_speculation_callback(slot),
+                    priority=3,
+                )
+
+    def _make_speculation_callback(self, slot: int) -> Callable[[Simulator], None]:
+        def _callback(_sim: Simulator) -> None:
+            self._maybe_speculate(slot)
+
+        return _callback
+
+    def _maybe_speculate(self, slot: int) -> None:
+        """Launch a backup copy of a still-straggling task if a slot is free."""
+        if not self.running:
+            return
+        active = self._active.get(slot)
+        if active is None:
+            return
+        active.spec_event = None
+        if active.copy_slot >= 0 or active.copy_of >= 0 or not self._free_slots:
+            return
+        copy_slot = self._free_slots.pop()
+        now = self.sim.now
+        event = self.sim.schedule(
+            active.base / self._speed, self._make_task_callback(copy_slot), priority=1
+        )
+        self._active[copy_slot] = _ActiveTask(
+            slot=copy_slot,
+            event=event,
+            speed=self._speed,
+            scheduled_at=now,
+            started_at=now,
+            span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
+            base=active.base,
+            attempt=active.attempt,
+            copy_of=slot,
+        )
+        active.copy_slot = copy_slot
+        self._faults.note_speculation()
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.speculate",
+                now,
+                src=self.telemetry_src,
+                job_id=self.job.job_id,
+                slot=slot,
+                copy_slot=copy_slot,
+            )
+        if self.telemetry.tracing:
+            self._emit_fault_span("speculate", slot=slot)
+
     def _make_task_callback(self, slot: int) -> Callable[[Simulator], None]:
         def _callback(_sim: Simulator) -> None:
             self._on_task_done(slot)
@@ -333,6 +476,10 @@ class JobExecution:
         if not self.running:
             return
         active = self._active.pop(slot, None)
+        if self._faults is not None:
+            if active is not None:
+                self._on_task_done_faults(active)
+            return
         if active is not None and active.span_id:
             self._emit_task_span(active)
         self._free_slots.append(slot)
@@ -342,6 +489,173 @@ class JobExecution:
             return
         if not self._pending and not self._active:
             self._advance_phase()
+
+    def _on_task_done_faults(self, active: _ActiveTask) -> None:
+        """Completion handling under fault injection: retries and copies."""
+        faults = self._faults
+        slot = active.slot
+        if active.spec_event is not None:
+            active.spec_event.cancel()
+            active.spec_event = None
+        if active.will_fail:
+            faults.note_task_failure()
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "fault.task_fail",
+                    self.sim.now,
+                    src=self.telemetry_src,
+                    job_id=self.job.job_id,
+                    slot=slot,
+                    attempt=active.attempt,
+                )
+            if active.span_id:
+                self._emit_task_span(active, outcome="failed")
+            if active.copy_slot >= 0 and active.copy_slot in self._active:
+                # The failed primary had a live speculative copy: the copy
+                # takes over ownership of the task, the primary just retires.
+                self._active[active.copy_slot].copy_of = -1
+                self._release_slot(slot)
+                return
+            if active.attempt <= faults.max_retries:
+                delay = faults.retry_delay(active.attempt)
+                faults.note_retry()
+                if self.telemetry.enabled:
+                    self.telemetry.emit(
+                        "fault.retry",
+                        self.sim.now,
+                        src=self.telemetry_src,
+                        job_id=self.job.job_id,
+                        slot=slot,
+                        attempt=active.attempt,
+                        delay=delay,
+                    )
+                if self.telemetry.tracing:
+                    self._emit_fault_span("retry", slot=slot)
+                # The slot sits out the backoff: not free, not active.
+                event = self.sim.schedule(
+                    delay, self._make_retry_callback(slot), priority=1
+                )
+                self._retries[slot] = (event, active.base, active.attempt + 1)
+                return
+            # Retries exhausted: escalate to a job-level re-execution if the
+            # controller gave us a hook, else re-queue as a fresh task.
+            if self._on_give_up is not None:
+                self._on_give_up(self)
+                return
+            self._pending.append(active.base)
+            self._release_slot(slot)
+            return
+        # Success.  First finisher of a primary/copy pair wins; the loser is
+        # cancelled through the kernel's existing cancellation path.
+        if active.copy_of >= 0:
+            primary = self._active.pop(active.copy_of, None)
+            if primary is not None:
+                primary.event.cancel()
+                if primary.spec_event is not None:
+                    primary.spec_event.cancel()
+                if primary.span_id:
+                    self._emit_task_span(primary, outcome="cancelled")
+                self._free_slots.append(primary.slot)
+        elif active.copy_slot >= 0:
+            copy = self._active.pop(active.copy_slot, None)
+            if copy is not None:
+                copy.event.cancel()
+                if copy.span_id:
+                    self._emit_task_span(copy, outcome="cancelled")
+                self._free_slots.append(copy.slot)
+        if active.span_id:
+            self._emit_task_span(active)
+        self._release_slot(slot)
+
+    def _make_retry_callback(self, slot: int) -> Callable[[Simulator], None]:
+        def _callback(_sim: Simulator) -> None:
+            if not self.running:
+                return
+            entry = self._retries.pop(slot, None)
+            if entry is None:
+                return
+            _event, base, attempt = entry
+            self._start_task(slot, base, attempt)
+
+        return _callback
+
+    def _release_slot(self, slot: int) -> None:
+        """Free ``slot`` and continue the wave (fault-injection path)."""
+        self._free_slots.append(slot)
+        phase = self.current_phase
+        if self._pending and (
+            phase is None or phase.parallel or not (self._active or self._retries)
+        ):
+            self._dispatch_next_task()
+            return
+        if not self._pending and not self._active and not self._retries:
+            self._advance_phase()
+
+    def _dispatch_pending(self) -> None:
+        """Fill free slots with pending tasks (crash/repair continuation)."""
+        phase = self.current_phase
+        while self._pending and self._free_slots:
+            if (
+                phase is not None
+                and not phase.parallel
+                and (self._active or self._retries)
+            ):
+                return
+            self._dispatch_next_task()
+        if not self._pending and not self._active and not self._retries:
+            self._advance_phase()
+
+    def on_worker_crash(self, worker: int) -> None:
+        """Re-queue in-flight work lost to a worker crash (wave re-execution).
+
+        Tasks running (or backing off) on the crashed worker's slots return
+        to the pending queue at their nominal duration — the work done so far
+        is lost — and the slots leave the free pool until the repair.  A
+        straggler/copy pair degrades gracefully: the surviving side keeps
+        running and takes ownership.
+        """
+        if not self.running:
+            return
+        if self.telemetry.tracing:
+            self._emit_fault_span("crash", slot=-1)
+        for slot in self.cluster.worker_slots(worker):
+            active = self._active.pop(slot, None)
+            if active is not None:
+                active.event.cancel()
+                if active.spec_event is not None:
+                    active.spec_event.cancel()
+                if active.span_id:
+                    self._emit_task_span(active, outcome="crashed")
+                if active.copy_of >= 0:
+                    partner = self._active.get(active.copy_of)
+                    if partner is not None:
+                        partner.copy_slot = -1
+                elif active.copy_slot >= 0 and active.copy_slot in self._active:
+                    self._active[active.copy_slot].copy_of = -1
+                else:
+                    self._pending.append(active.base)
+            entry = self._retries.pop(slot, None)
+            if entry is not None:
+                entry[0].cancel()
+                self._pending.append(entry[1])
+            try:
+                self._free_slots.remove(slot)
+            except ValueError:
+                pass
+        self._dispatch_pending()
+
+    def on_worker_repair(self, worker: int) -> None:
+        """Return a repaired worker's slots to the free pool and continue."""
+        if not self.running:
+            return
+        for slot in self.cluster.worker_slots(worker):
+            if (
+                slot not in self._active
+                and slot not in self._retries
+                and slot not in self._free_slots
+            ):
+                self._free_slots.append(slot)
+        self._dispatch_pending()
 
     def _finish(self) -> None:
         now = self.sim.now

@@ -88,7 +88,8 @@ def _run_single_policy(payload) -> SimulationResult:
     gets its own part, so the files never collide across worker processes.
     """
     (policy, trace, config, dvfs, power_model, accuracy_model, seed,
-     quantiles, telemetry_part, telemetry_interval, telemetry_trace) = payload
+     quantiles, telemetry_part, telemetry_interval, telemetry_trace,
+     faults) = payload
     cluster = Cluster(config=config, dvfs=dvfs, power_model=power_model)
     metrics = (
         MetricsCollector(streaming=True, quantiles=quantiles)
@@ -106,6 +107,7 @@ def _run_single_policy(payload) -> SimulationResult:
         seed=seed,
         metrics=metrics,
         telemetry=hub,
+        faults=faults,
     )
     try:
         return simulation.run()
@@ -125,6 +127,7 @@ def run_policies(
     telemetry_base: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
     telemetry_trace: bool = False,
+    faults=None,
 ) -> PolicyComparison:
     """Run every policy on one common trace generated from ``scenario``.
 
@@ -137,11 +140,16 @@ def run_policies(
     order) into one JSONL file at that path.  ``telemetry_trace`` additionally
     turns span tracing on in every worker hub, so the merged stream carries
     each policy's full span tree (byte-identical for any ``jobs`` fan-out).
+    ``faults`` (a spec string or :class:`~repro.faults.spec.FaultSpec`)
+    injects the same deterministic fault schedule into every policy's run —
+    fault draws live on their own streams, so CRN across policies holds.
     """
     from repro.experiments.parallel import parallel_map
+    from repro.faults.spec import parse_fault_spec
 
     if not policies:
         raise ValueError("at least one policy is required")
+    faults = parse_fault_spec(faults)
     quantiles = tuple(quantiles) if quantiles is not None else None
     trace = scenario.generate_trace(seed=seed, num_jobs=num_jobs)
     parts = [
@@ -161,6 +169,7 @@ def run_policies(
             parts[index],
             telemetry_interval,
             telemetry_trace,
+            faults,
         )
         for index, policy in enumerate(policies)
     ]

@@ -159,6 +159,7 @@ class PolicyComparisonExperiment:
         accuracy_model=None,
         telemetry_base: Optional[str] = None,
         telemetry_interval: Optional[float] = None,
+        faults=None,
     ) -> None:
         self.scenario = scenario
         self.policies = list(policies)
@@ -167,6 +168,7 @@ class PolicyComparisonExperiment:
         self.accuracy_model = accuracy_model
         self.telemetry_base = telemetry_base
         self.telemetry_interval = telemetry_interval
+        self.faults = faults
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.experiments.harness import run_policies
@@ -184,6 +186,7 @@ class PolicyComparisonExperiment:
                 else None
             ),
             telemetry_interval=self.telemetry_interval,
+            faults=self.faults,
         )
         metrics: Dict[str, float] = {}
         for name, result in comparison.results.items():
@@ -208,6 +211,7 @@ class FleetExperiment:
         sprint_budget: str = "per-cluster",
         telemetry_base: Optional[str] = None,
         telemetry_interval: Optional[float] = None,
+        faults=None,
     ) -> None:
         self.scenario = scenario
         self.policy = policy
@@ -216,6 +220,7 @@ class FleetExperiment:
         self.sprint_budget = sprint_budget
         self.telemetry_base = telemetry_base
         self.telemetry_interval = telemetry_interval
+        self.faults = faults
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.fleet.simulation import FleetSimulation
@@ -231,9 +236,18 @@ class FleetExperiment:
             seed=seed,
             sprint_budget=self.sprint_budget,
             telemetry=hub,
+            faults=self.faults,
         )
         try:
-            return dict(simulation.run().summary())
+            result = simulation.run()
+            metrics = dict(result.summary())
+            for name, value in sorted(result.fault_counts.items()):
+                metrics[f"faults/{name}"] = float(value)
+            if simulation._quarantine:
+                metrics["faults/quarantine_redirects"] = float(
+                    simulation.quarantine_redirects
+                )
+            return metrics
         finally:
             hub.close()
 
@@ -249,6 +263,7 @@ class DagExperiment:
         slack_biased: bool = False,
         telemetry_base: Optional[str] = None,
         telemetry_interval: Optional[float] = None,
+        faults=None,
     ) -> None:
         self.scenario = scenario
         self.policy = policy
@@ -256,6 +271,7 @@ class DagExperiment:
         self.slack_biased = slack_biased
         self.telemetry_base = telemetry_base
         self.telemetry_interval = telemetry_interval
+        self.faults = faults
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.dag.simulation import DagSimulation
@@ -279,6 +295,7 @@ class DagExperiment:
             seed=seed,
             slack_biased=self.slack_biased,
             telemetry=hub,
+            faults=self.faults,
         )
         result = simulation.run()
         hub.close()

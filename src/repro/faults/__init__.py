@@ -1,0 +1,53 @@
+"""Deterministic fault injection and recovery for the simulation layers.
+
+This package adds controlled unreliability to the DiAS, fleet and DAG
+simulations — server crashes, transient task failures and stragglers — plus
+the recovery machinery that real schedulers use to survive them: retries
+with exponential backoff, speculative re-execution, wave/job re-execution
+after a crash, and quarantine-based graceful degradation at the fleet
+dispatcher.  All fault draws come from dedicated named random streams, so a
+faulty run is reproducible (CRN) and fault seeds never perturb workload
+draws.  :mod:`repro.faults.checkpoint` adds quiescent-point checkpoint /
+resume so interrupted runs finish bitwise-identically to uninterrupted ones.
+"""
+
+from repro.faults.checkpoint import (
+    attach_dias_checkpointing,
+    dias_state,
+    fleet_state,
+    load_checkpoint,
+    restore_dias,
+    restore_fleet,
+    save_checkpoint,
+)
+from repro.faults.injector import FAULT_COUNTERS, FaultInjector
+from repro.faults.spec import (
+    CRASH_DISTS,
+    CRASH_RECOVERIES,
+    FAULT_KINDS,
+    CrashSpec,
+    FaultSpec,
+    StragglerSpec,
+    TaskFailSpec,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "CRASH_DISTS",
+    "CRASH_RECOVERIES",
+    "FAULT_COUNTERS",
+    "FAULT_KINDS",
+    "CrashSpec",
+    "FaultInjector",
+    "FaultSpec",
+    "StragglerSpec",
+    "TaskFailSpec",
+    "attach_dias_checkpointing",
+    "dias_state",
+    "fleet_state",
+    "load_checkpoint",
+    "parse_fault_spec",
+    "restore_dias",
+    "restore_fleet",
+    "save_checkpoint",
+]

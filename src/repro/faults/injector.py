@@ -1,0 +1,301 @@
+"""Deterministic fault injection driven by namespaced random streams.
+
+A :class:`FaultInjector` owns one controller's failure processes: per-worker
+crash/repair timelines, per-task transient failures, per-task straggler
+slowdowns and the retry backoff jitter.  All randomness comes from dedicated
+``<namespace>faults/*`` streams of the run's
+:class:`~repro.simulation.random_streams.RandomStreams`, so fault draws are
+independent of the workload streams (enabling common-random-numbers
+comparisons of faulty vs fault-free runs) and identical between serial and
+parallel replication runs.
+
+Crash and repair events are scheduled at DES priority 3 — strictly after
+arrivals (0), task completions (1) and sprint timers (2) at the same
+timestamp — so their ordering relative to the workload is resolved by
+priority, never by insertion sequence.  That property is what makes
+checkpoint/resume bitwise-reproducible: a resumed run re-schedules the
+pending transitions from their absolute times and obtains the same event
+order as the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.engine.cluster import Cluster
+from repro.faults.spec import FaultSpec
+from repro.simulation.des import Simulator
+from repro.simulation.random_streams import RandomStreams
+from repro.telemetry.hub import NULL_HUB, TelemetryHub
+
+#: Names of the injector's counters (stable reporting order).
+FAULT_COUNTERS = (
+    "crashes",
+    "repairs",
+    "task_failures",
+    "retries",
+    "stragglers",
+    "speculations",
+    "job_restarts",
+)
+
+
+class FaultInjector:
+    """Injects crashes, stragglers and task failures into one controller.
+
+    The injector is *passive* for task-level faults: the execution engine
+    asks it for draws (:meth:`draw_slowdown`, :meth:`draw_task_failure`,
+    :meth:`retry_delay`) at dispatch time.  Server crashes are *active*:
+    :meth:`start` schedules the first crash of every worker, and the
+    crash/repair callbacks drive the cluster's failed-worker set, notify the
+    controller through ``on_crash``/``on_repair`` and schedule the next
+    transition.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        sim: Simulator,
+        cluster: Cluster,
+        streams: RandomStreams,
+        namespace: str = "",
+        telemetry: TelemetryHub = NULL_HUB,
+        telemetry_src: str = "faults",
+        on_crash: Optional[Callable[[int], None]] = None,
+        on_repair: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.spec = spec
+        self.sim = sim
+        self.cluster = cluster
+        self.namespace = namespace
+        self.telemetry = telemetry
+        self.telemetry_src = telemetry_src
+        self.on_crash = on_crash
+        self.on_repair = on_repair
+
+        self._crash = spec.crash
+        self._straggler = spec.stragglers
+        self._taskfail = spec.taskfail
+        # Streams are materialised eagerly so their creation is independent
+        # of when the first draw happens (name-derived seeding makes order
+        # irrelevant anyway, but eager creation keeps checkpoints complete).
+        self._crash_rng = (
+            streams.stream(namespace + "faults/crash") if self._crash else None
+        )
+        self._straggler_rng = (
+            streams.stream(namespace + "faults/straggler") if self._straggler else None
+        )
+        self._taskfail_rng = (
+            streams.stream(namespace + "faults/taskfail") if self._taskfail else None
+        )
+        self._backoff_rng = (
+            streams.stream(namespace + "faults/backoff") if self._taskfail else None
+        )
+
+        #: worker index -> ("up", next_crash_time) | ("down", repair_time).
+        #: Times are absolute simulated times; ``inf`` marks a permanent
+        #: failure.  This map *is* the crash process's checkpoint state.
+        self.worker_state: Dict[int, Tuple[str, float]] = {}
+        #: Simulated time of the most recent repair (drives probation).
+        self.last_repair_time: Optional[float] = None
+        self.counters: Dict[str, int] = {name: 0 for name in FAULT_COUNTERS}
+        self.started = False
+        self.stopped = False
+        #: worker -> its pending crash/repair event (cancelled by stop()).
+        self._pending_events: Dict[int, object] = {}
+
+    # -------------------------------------------------------------- queries
+    @property
+    def impaired(self) -> bool:
+        """True while at least one worker is down."""
+        return bool(self.cluster.failed_workers)
+
+    def eligible(self, now: float) -> bool:
+        """Dispatcher-facing health check: up, and past post-repair probation."""
+        if self.impaired:
+            return False
+        if self._crash is None or self._crash.probation <= 0.0:
+            return True
+        last = self.last_repair_time
+        return last is None or now >= last + self._crash.probation
+
+    @property
+    def crash_recovery(self) -> str:
+        """Crash recovery policy name (``requeue`` or ``restart``)."""
+        return self._crash.recovery if self._crash is not None else "requeue"
+
+    @property
+    def speculation_factor(self) -> float:
+        """Backup copies launch at this multiple of nominal duration (0 = off)."""
+        return self._straggler.speculate if self._straggler is not None else 0.0
+
+    @property
+    def max_retries(self) -> int:
+        return self._taskfail.retries if self._taskfail is not None else 0
+
+    def count(self, name: str) -> int:
+        return self.counters[name]
+
+    # ---------------------------------------------------------- task-level
+    def draw_slowdown(self) -> float:
+        """Per-task straggler draw: the slowdown factor (1.0 = nominal)."""
+        spec = self._straggler
+        if spec is None:
+            return 1.0
+        if float(self._straggler_rng.random()) < spec.probability:
+            self.counters["stragglers"] += 1
+            return spec.slowdown
+        return 1.0
+
+    def draw_task_failure(self) -> bool:
+        """Per-task transient-failure draw (decided at dispatch time)."""
+        spec = self._taskfail
+        if spec is None:
+            return False
+        return float(self._taskfail_rng.random()) < spec.probability
+
+    def retry_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry number ``attempt``."""
+        spec = self._taskfail
+        delay = spec.backoff * (2.0 ** (attempt - 1))
+        if spec.jitter > 0.0:
+            delay *= 1.0 + spec.jitter * float(self._backoff_rng.random())
+        return delay
+
+    def note_task_failure(self) -> None:
+        self.counters["task_failures"] += 1
+
+    def note_retry(self) -> None:
+        self.counters["retries"] += 1
+
+    def note_speculation(self) -> None:
+        self.counters["speculations"] += 1
+
+    def note_job_restart(self) -> None:
+        self.counters["job_restarts"] += 1
+
+    # -------------------------------------------------------------- crashes
+    def start(self) -> None:
+        """Schedule the first crash of every worker (no-op without crashes)."""
+        if self.started:
+            raise RuntimeError("fault injector already started")
+        self.started = True
+        if self._crash is None:
+            return
+        now = self.sim.now
+        for worker in range(self.cluster.config.workers):
+            crash_at = now + self._draw_interval(self._crash.mttf)
+            self.worker_state[worker] = ("up", crash_at)
+            self._schedule_transition(crash_at, worker, crash=True)
+
+    def _draw_interval(self, mean: float) -> float:
+        if self._crash.dist == "exp":
+            return float(self._crash_rng.exponential(mean))
+        return mean
+
+    def stop(self) -> None:
+        """Cancel pending transitions; called when the workload has drained.
+
+        Without this the crash/repair renewal process would keep the event
+        heap non-empty forever (each transition schedules the next), so an
+        open-ended ``run()`` would never terminate.  Stopping is idempotent
+        and deterministic: it happens at the completion event of the last
+        job, which occurs at the same simulated time in serial, parallel and
+        resumed runs alike.
+        """
+        if self.stopped:
+            return
+        self.stopped = True
+        for event in self._pending_events.values():
+            event.cancel()
+        self._pending_events.clear()
+
+    def _schedule_transition(self, at: float, worker: int, crash: bool) -> None:
+        if self.stopped:
+            return
+        callback = self._make_crash_callback(worker) if crash else self._make_repair_callback(worker)
+        self._pending_events[worker] = self.sim.schedule_at(at, callback, priority=3)
+
+    def _make_crash_callback(self, worker: int):
+        def _callback(_sim: Simulator) -> None:
+            self._on_crash_event(worker)
+
+        return _callback
+
+    def _make_repair_callback(self, worker: int):
+        def _callback(_sim: Simulator) -> None:
+            self._on_repair_event(worker)
+
+        return _callback
+
+    def _on_crash_event(self, worker: int) -> None:
+        spec = self._crash
+        now = self.sim.now
+        if spec.permanent:
+            repair_at = math.inf
+        else:
+            repair_at = now + self._draw_interval(spec.repair)
+        # May raise ClusterCapacityError: a crash that leaves zero available
+        # workers with no repair on the horizon is unrecoverable.
+        self.cluster.fail_worker(worker, repair_scheduled=not spec.permanent)
+        self.counters["crashes"] += 1
+        self.worker_state[worker] = ("down", repair_at)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.crash",
+                now,
+                src=self.telemetry_src,
+                worker=worker,
+                repair_at=repair_at if repair_at != math.inf else -1.0,
+            )
+        if repair_at != math.inf:
+            self._schedule_transition(repair_at, worker, crash=False)
+        if self.on_crash is not None:
+            self.on_crash(worker)
+
+    def _on_repair_event(self, worker: int) -> None:
+        now = self.sim.now
+        self.cluster.repair_worker(worker)
+        self.counters["repairs"] += 1
+        self.last_repair_time = now
+        next_crash_at = now + self._draw_interval(self._crash.mttf)
+        self.worker_state[worker] = ("up", next_crash_at)
+        self._schedule_transition(next_crash_at, worker, crash=True)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.repair", now, src=self.telemetry_src, worker=worker
+            )
+        if self.on_repair is not None:
+            self.on_repair(worker)
+
+    # ----------------------------------------------------------- checkpoint
+    def state_dict(self) -> Dict[str, object]:
+        """Checkpointable crash-process state (RNG states live elsewhere)."""
+        return {
+            "worker_state": dict(self.worker_state),
+            "last_repair_time": self.last_repair_time,
+            "counters": dict(self.counters),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a checkpoint and re-schedule the pending transitions.
+
+        Workers are walked in index order so same-timestamp transitions (the
+        ``fixed`` distribution crashes all workers at once) re-enter the heap
+        in the original sequence.
+        """
+        if self.started:
+            raise RuntimeError("cannot restore an already-started fault injector")
+        self.started = True
+        self.worker_state = dict(state["worker_state"])  # type: ignore[arg-type]
+        self.last_repair_time = state["last_repair_time"]  # type: ignore[assignment]
+        self.counters = dict(state["counters"])  # type: ignore[arg-type]
+        for worker in sorted(self.worker_state):
+            status, at = self.worker_state[worker]
+            if status == "down":
+                self.cluster.fail_worker(worker, repair_scheduled=at != math.inf)
+                if at != math.inf:
+                    self._schedule_transition(at, worker, crash=False)
+            elif at != math.inf:
+                self._schedule_transition(at, worker, crash=True)

@@ -55,6 +55,15 @@ class FleetResult:
     def evictions(self) -> int:
         return sum(r.evictions for r in self.cluster_results)
 
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        """Fault/recovery counters summed over clusters (empty = no faults)."""
+        totals: Dict[str, int] = {}
+        for result in self.cluster_results:
+            for name, value in result.fault_counts.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
     # ------------------------------------------------------------- latency
     def priorities(self) -> List[int]:
         return self._combined.priorities()

@@ -22,6 +22,7 @@ from repro.core.dias import DiASSimulation, DropRatioDecision
 from repro.core.policies import SchedulingPolicy
 from repro.engine.cluster import Cluster
 from repro.engine.job import Job
+from repro.faults.spec import FaultSpec, parse_fault_spec
 from repro.fleet.budget import SharedSprintBudget, build_budget_arbiter
 from repro.fleet.dispatcher import Dispatcher, make_dispatcher
 from repro.fleet.result import FleetResult
@@ -76,9 +77,20 @@ class FleetSimulation:
             Callable[[Job, float, MetricsCollector], DropRatioDecision]
         ] = None,
         telemetry: TelemetryHub = NULL_HUB,
+        faults: Union[str, FaultSpec, None] = None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         if not jobs:
             raise ValueError("the fleet job trace must not be empty")
+        if (checkpoint_every is None) != (checkpoint_path is None):
+            raise ValueError(
+                "checkpoint_every and checkpoint_path must be given together"
+            )
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive simulated seconds, got {checkpoint_every!r}"
+            )
         if clusters is not None:
             clusters = list(clusters)
             num_clusters = len(clusters)
@@ -91,6 +103,23 @@ class FleetSimulation:
         self.telemetry = telemetry
         self.sim = Simulator(telemetry=telemetry)
         self.budget_mode = sprint_budget
+        self.fault_spec = parse_fault_spec(faults)
+        # Graceful degradation only matters when servers actually crash.
+        self._quarantine = (
+            self.fault_spec is not None and self.fault_spec.crash is not None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        #: Optional run configuration embedded in every snapshot so a fresh
+        #: process can rebuild an identical simulation from the file alone.
+        self.checkpoint_config: Optional[dict] = None
+        self._next_checkpoint_at: Optional[float] = checkpoint_every
+        self._checkpoint_armed = False
+        #: Jobs handed to a controller so far (drives the quiescence check).
+        self._routed = 0
+        #: Set by checkpoint restore: the snapshot's simulated time.
+        self._resume_time: Optional[float] = None
+        self.quarantine_redirects = 0
 
         if isinstance(dispatcher, str):
             # Traffic shares drive the balanced priority partition: classes
@@ -122,6 +151,7 @@ class FleetSimulation:
                     stream_namespace=f"fleet/cluster{index}/",
                     drop_ratio_provider=drop_ratio_provider,
                     telemetry=telemetry,
+                    faults=self.fault_spec,
                 )
             )
 
@@ -146,10 +176,20 @@ class FleetSimulation:
         if self._ran:
             raise RuntimeError("a FleetSimulation can only be run once")
         self._ran = True
+        cutoff = self._resume_time
         for job in self.jobs:
+            if cutoff is not None and job.arrival_time <= cutoff:
+                continue
             self.sim.schedule_at(
                 job.arrival_time, self._make_routing_callback(job), priority=0
             )
+        if cutoff is None:
+            # A restore already re-scheduled the pending crash/repair
+            # transitions; a fresh run starts every injector here.
+            for controller in self.controllers:
+                if controller.faults is not None:
+                    controller.faults.start()
+        completion_hooks: List[Callable[[], None]] = []
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(
@@ -184,8 +224,38 @@ class FleetSimulation:
                     if self._completed_jobs() >= total:
                         sampler.stop()
 
-                for controller in self.controllers:
-                    controller.on_job_complete = _stop_when_drained
+                completion_hooks.append(_stop_when_drained)
+        if self.fault_spec is not None and self.fault_spec.crash is not None:
+            total_jobs = len(self.jobs)
+
+            # Cancel every injector's open-ended crash/repair renewal process
+            # once the fleet workload has drained, so the heap can empty.
+            def _stop_injectors_when_drained() -> None:
+                if self._completed_jobs() >= total_jobs:
+                    for controller in self.controllers:
+                        controller.faults.stop()
+
+            completion_hooks.append(_stop_injectors_when_drained)
+        if self.checkpoint_every is not None:
+            completion_hooks.append(self._maybe_checkpoint)
+        if completion_hooks:
+            if len(completion_hooks) == 1:
+                hook = completion_hooks[0]
+            else:
+                def hook() -> None:
+                    for one in completion_hooks:
+                        one()
+
+            for controller in self.controllers:
+                controller.on_job_complete = hook
+        if cutoff is not None and self._completed_jobs() >= len(self.jobs):
+            # Resumed from a snapshot taken after the workload drained: no
+            # completion event will ever fire the drain hooks, so stop the
+            # injectors here or the crash/repair renewal process keeps the
+            # event heap non-empty forever.
+            for controller in self.controllers:
+                if controller.faults is not None:
+                    controller.faults.stop()
         self.sim.run(until=until)
         if telemetry.enabled:
             telemetry.emit(
@@ -209,6 +279,90 @@ class FleetSimulation:
     def _completed_jobs(self) -> int:
         return sum(c.completed_jobs for c in self.controllers)
 
+    def fault_counters(self) -> dict:
+        """Fleet-wide fault/recovery counters summed over all injectors."""
+        totals: dict = {}
+        for controller in self.controllers:
+            if controller.faults is None:
+                continue
+            for name, value in controller.faults.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        if self._quarantine:
+            totals["quarantine_redirects"] = self.quarantine_redirects
+        return totals
+
+    # ------------------------------------------------------------ checkpoint
+    def _quiescent(self) -> bool:
+        """True when no job is buffered, running, or routed-but-unfinished.
+
+        The routed-vs-arrived comparison also rejects the edge where an
+        arrival event at exactly the current timestamp is still in the heap:
+        it would count as arrived but not yet as routed.
+        """
+        if self._completed_jobs() != self._routed:
+            return False
+        arrived = 0
+        now = self.sim.now
+        for job in self.jobs:  # arrival-sorted
+            if job.arrival_time > now:
+                break
+            arrived += 1
+        return arrived == self._routed
+
+    def _maybe_checkpoint(self) -> None:
+        """Arm a snapshot at the first quiescent point past each mark.
+
+        The write itself is deferred to a zero-delay priority-4 event: this
+        completion hook runs *inside* the completing controller's event,
+        before the controller has settled (its energy meter only flips to
+        idle after the hook returns), so snapshotting here would capture
+        mid-event state and break bitwise resume.  The deferred event is
+        observation-only — it mutates no simulation state — so checkpointed
+        runs stay bitwise-identical to unchecked ones.
+        """
+        now = self.sim.now
+        if self._next_checkpoint_at is None or now < self._next_checkpoint_at:
+            return
+        if self._checkpoint_armed or not self._quiescent():
+            return
+        self._checkpoint_armed = True
+        self.sim.schedule(0.0, self._write_checkpoint, priority=4)
+
+    def _write_checkpoint(self, _sim: Simulator) -> None:
+        self._checkpoint_armed = False
+        now = self.sim.now
+        if self._next_checkpoint_at is None or now < self._next_checkpoint_at:
+            return
+        if not self._quiescent():
+            # A same-timestamp event broke quiescence between the hook and
+            # this snapshot; the next qualifying completion re-arms it.
+            return
+        from repro.faults.checkpoint import fleet_state, save_checkpoint
+
+        save_checkpoint(
+            self.checkpoint_path, fleet_state(self, config=self.checkpoint_config)
+        )
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.checkpoint",
+                now,
+                src="fleet",
+                path=self.checkpoint_path,
+                completed=self._completed_jobs(),
+            )
+        self._next_checkpoint_at = now + self.checkpoint_every
+
+    def restore(self, payload: dict) -> None:
+        """Restore a checkpoint produced by an identically-configured run.
+
+        Must be called before :meth:`run`; the subsequent run replays only
+        the remainder of the trace and produces metrics bitwise-identical to
+        an uninterrupted run.
+        """
+        from repro.faults.checkpoint import restore_fleet
+
+        restore_fleet(self, payload)
+
     def _telemetry_sample(self) -> dict:
         """Fleet-level aggregates complementing the per-cluster samples."""
         return {
@@ -228,6 +382,23 @@ class FleetSimulation:
 
         return _callback
 
+    def _quarantine_redirect(self, chosen: int) -> int:
+        """Graceful degradation: route around impaired/probationary clusters.
+
+        The dispatcher's choice stands when its cluster is healthy (so fault
+        injection perturbs neither the dispatcher's draw sequence nor its
+        load queries); otherwise the job goes to the next eligible cluster in
+        index order.  If every cluster is quarantined the original choice
+        stands — queueing on a down cluster beats dropping the job.
+        """
+        now = self.sim.now
+        for offset in range(self.num_clusters):
+            candidate = (chosen + offset) % self.num_clusters
+            injector = self.controllers[candidate].faults
+            if injector is None or injector.eligible(now):
+                return candidate
+        return chosen
+
     def _route(self, job: Job) -> None:
         index = self.dispatcher.select(job, self.controllers)
         if not 0 <= index < self.num_clusters:
@@ -235,6 +406,21 @@ class FleetSimulation:
                 f"dispatcher {self.dispatcher.name!r} returned invalid cluster "
                 f"index {index} for a fleet of {self.num_clusters}"
             )
+        if self._quarantine:
+            redirected = self._quarantine_redirect(index)
+            if redirected != index:
+                self.quarantine_redirects += 1
+                if self.telemetry.enabled:
+                    self.telemetry.emit(
+                        "fault.quarantine",
+                        self.sim.now,
+                        src="fleet",
+                        job_id=job.job_id,
+                        cluster=index,
+                        redirected=redirected,
+                    )
+                index = redirected
+        self._routed += 1
         self.dispatch_counts[index] += 1
         if self.telemetry.enabled:
             self.telemetry.emit(
@@ -276,6 +462,7 @@ def replicate_fleet(
     jobs: int = 1,
     telemetry_base: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
+    faults: Union[str, FaultSpec, None] = None,
 ):
     """Replicate one fleet configuration over independent seeds.
 
@@ -299,6 +486,7 @@ def replicate_fleet(
         sprint_budget=sprint_budget,
         telemetry_base=telemetry_base,
         telemetry_interval=telemetry_interval,
+        faults=parse_fault_spec(faults),
     )
     metrics = ReplicationRunner(experiment).run(
         replications, base_seed=base_seed, jobs=jobs

@@ -52,6 +52,23 @@ KIND_FIELDS: Dict[str, Dict[str, Tuple[type, ...]]] = {
     "dvfs_transition": {"speed": _NUMBER, "mode": _STRING},
     "budget_exhausted": {"active_sprinters": _NUMBER, "exhaustions": _NUMBER},
     "heap_compaction": {"before": _NUMBER, "after": _NUMBER, "compactions": _NUMBER},
+    # Fault injection & recovery (``repair_at`` is -1 for permanent
+    # failures; ``fault.quarantine`` records a dispatcher redirect away
+    # from an impaired/probationary cluster).
+    "fault.crash": {"worker": _NUMBER, "repair_at": _NUMBER},
+    "fault.repair": {"worker": _NUMBER},
+    "fault.straggler": {"job_id": _NUMBER, "slot": _NUMBER, "slowdown": _NUMBER},
+    "fault.speculate": {"job_id": _NUMBER, "slot": _NUMBER, "copy_slot": _NUMBER},
+    "fault.task_fail": {"job_id": _NUMBER, "slot": _NUMBER, "attempt": _NUMBER},
+    "fault.retry": {
+        "job_id": _NUMBER,
+        "slot": _NUMBER,
+        "attempt": _NUMBER,
+        "delay": _NUMBER,
+    },
+    "fault.job_restart": {"job_id": _NUMBER, "reason": _STRING},
+    "fault.quarantine": {"job_id": _NUMBER, "cluster": _NUMBER, "redirected": _NUMBER},
+    "fault.checkpoint": {"path": _STRING, "completed": _NUMBER},
     "sample": {},
     # Causal span: ``t`` is the span end, ``start`` the begin; ``parent_id``
     # 0 marks a root.  Extra fields carry per-kind attribution (outcome,

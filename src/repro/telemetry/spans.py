@@ -29,11 +29,12 @@ Span vocabulary (``cat`` / typical ``name``):
     One task occupying one cluster slot (``slot``, ``stage``).
 ``sprint``
     A DVFS sprint-throttle interval, child of the attempt it accelerated.
-``drop`` / ``evict`` / ``route``
+``drop`` / ``evict`` / ``route`` / ``fault``
     Zero-length annotation spans: the drop decision applied at dispatch
     (``salvaged`` = estimated seconds of work shed per slot), a preemptive
-    eviction (``wasted``), and fleet routing (``cluster``).  These are
-    terminal — they never have children.
+    eviction (``wasted``), fleet routing (``cluster``), and fault-recovery
+    actions (``crash``/``retry``/``speculate``, attached to the attempt they
+    hit).  These are terminal — they never have children.
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Annotation categories that must stay leaves of the span tree.
-TERMINAL_CATS = frozenset({"drop", "evict", "route", "denied"})
+TERMINAL_CATS = frozenset({"drop", "evict", "route", "denied", "fault"})
 
 #: Fields of a ``span`` event that are *not* kind-specific extras.
 _BASE_FIELDS = frozenset(

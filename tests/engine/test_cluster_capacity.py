@@ -1,0 +1,55 @@
+"""Zero-capacity guard: a cluster must refuse to lose its last worker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterCapacityError, ClusterConfig
+
+
+def _cluster(workers: int = 2) -> Cluster:
+    return Cluster(ClusterConfig(workers=workers, cores_per_worker=2))
+
+
+def test_fail_worker_tracks_failed_set_and_slots():
+    cluster = _cluster()
+    cluster.fail_worker(0, repair_scheduled=True)
+    assert 0 in cluster.failed_workers
+    assert cluster.available_workers == 1
+    # Slots of the failed worker disappear from the free-slot view.
+    free = cluster.free_slot_ids()
+    assert all(cluster.worker_of_slot(slot) != 0 for slot in free)
+
+
+def test_repair_worker_restores_capacity():
+    cluster = _cluster()
+    cluster.fail_worker(0, repair_scheduled=True)
+    cluster.repair_worker(0)
+    assert not cluster.failed_workers
+    assert cluster.available_workers == 2
+    assert len(cluster.free_slot_ids()) == cluster.config.slots
+
+
+def test_last_worker_with_repair_scheduled_is_allowed():
+    cluster = _cluster()
+    cluster.fail_worker(0, repair_scheduled=True)
+    cluster.fail_worker(1, repair_scheduled=True)
+    assert cluster.available_workers == 0
+
+
+def test_last_worker_without_repair_raises_clear_error():
+    cluster = _cluster()
+    cluster.fail_worker(0, repair_scheduled=False)
+    with pytest.raises(ClusterCapacityError) as excinfo:
+        cluster.fail_worker(1, repair_scheduled=False)
+    message = str(excinfo.value)
+    assert "zero available workers" in message
+    assert "no repair scheduled" in message
+    # The refused crash must not have been applied.
+    assert cluster.available_workers == 1
+
+
+def test_capacity_error_is_a_runtime_error():
+    # The CLI maps it to a non-zero exit alongside ValueError; callers that
+    # catch RuntimeError keep working.
+    assert issubclass(ClusterCapacityError, RuntimeError)

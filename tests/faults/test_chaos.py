@@ -1,0 +1,92 @@
+"""Chaos ablation runner: level scaling, CRN deltas, config rebuild."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.faults.chaos import fleet_from_config, run_chaos
+from repro.faults.spec import parse_fault_spec
+from repro.workloads.scenarios import (
+    FleetScenario,
+    reference_two_priority_scenario,
+)
+
+
+def _scenario(num_jobs: int = 25) -> FleetScenario:
+    return FleetScenario(
+        base=reference_two_priority_scenario(num_jobs=num_jobs), num_clusters=2
+    )
+
+
+def test_chaos_rows_report_levels_and_deltas():
+    rows = run_chaos(
+        _scenario(),
+        SchedulingPolicy.non_preemptive_priority(),
+        parse_fault_spec("crash:mttf=600,repair=40;stragglers:p=0.1"),
+        levels=(0.0, 1.0),
+        seed=5,
+    )
+    assert [row["level"] for row in rows] == [0.0, 1.0]
+    baseline, faulty = rows
+    assert baseline["crashes"] == 0.0
+    assert baseline["delta_mean_pct"] == 0.0
+    assert faulty["crashes"] > 0
+    assert faulty["stragglers"] > 0
+    # Faults can only hurt latency; CRN guarantees the delta is pure fault
+    # effect, not sampling noise.
+    assert faulty["delta_mean_pct"] > 0
+    # Every level completes the identical workload.
+    assert faulty["completed_jobs"] == baseline["completed_jobs"] == 50.0
+
+
+def test_chaos_without_level_zero_reports_nan_deltas():
+    rows = run_chaos(
+        _scenario(num_jobs=10),
+        SchedulingPolicy.non_preemptive_priority(),
+        parse_fault_spec("stragglers:p=0.1"),
+        levels=(1.0,),
+        seed=5,
+    )
+    assert math.isnan(rows[0]["delta_mean_pct"])
+
+
+def test_chaos_rejects_empty_and_negative_levels():
+    spec = parse_fault_spec("stragglers:p=0.1")
+    policy = SchedulingPolicy.non_preemptive_priority()
+    with pytest.raises(ValueError, match="at least one"):
+        run_chaos(_scenario(num_jobs=5), policy, spec, levels=())
+    with pytest.raises(ValueError, match=">= 0"):
+        run_chaos(_scenario(num_jobs=5), policy, spec, levels=(-1.0,))
+
+
+def test_fleet_from_config_rebuilds_an_equivalent_run():
+    scenario = _scenario()
+    policy = SchedulingPolicy.non_preemptive_priority()
+    spec = parse_fault_spec("stragglers:p=0.1,slowdown=3")
+    config = {
+        "scenario": scenario,
+        "policy": policy,
+        "dispatcher": "round_robin",
+        "power_of_d": None,
+        "seed": 9,
+        "sprint_budget": "per-cluster",
+        "faults": spec,
+        "checkpoint_every": None,
+        "checkpoint_path": None,
+    }
+    rebuilt = fleet_from_config(config)
+    assert rebuilt.checkpoint_config == config
+    from repro.fleet.simulation import FleetSimulation
+
+    direct = FleetSimulation(
+        policy=policy,
+        jobs=scenario.generate_trace(seed=9),
+        clusters=scenario.make_clusters(),
+        dispatcher="round_robin",
+        seed=9,
+        faults=spec,
+    )
+    assert rebuilt.run().summary() == direct.run().summary()

@@ -1,0 +1,144 @@
+"""FaultInjector unit behaviour: crash/repair process, draws, stop()."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.cluster import Cluster, ClusterCapacityError, ClusterConfig
+from repro.faults.injector import FAULT_COUNTERS, FaultInjector
+from repro.faults.spec import parse_fault_spec
+from repro.simulation.des import Simulator
+from repro.simulation.random_streams import RandomStreams
+
+
+def _injector(spec_text: str, workers: int = 4):
+    sim = Simulator()
+    cluster = Cluster(ClusterConfig(workers=workers, cores_per_worker=2))
+    injector = FaultInjector(
+        parse_fault_spec(spec_text), sim, cluster, RandomStreams(seed=3)
+    )
+    return sim, cluster, injector
+
+
+def test_counters_start_at_zero_for_every_name():
+    _, _, injector = _injector("crash:mttf=50")
+    assert set(injector.counters) == set(FAULT_COUNTERS)
+    assert all(value == 0 for value in injector.counters.values())
+
+
+def test_crash_repair_cycle_counts_and_worker_state():
+    sim, cluster, injector = _injector("crash:mttf=50,repair=10")
+    injector.start()
+    sim.run(until=500.0)
+    injector.stop()
+    assert injector.count("crashes") > 0
+    assert injector.count("repairs") > 0
+    # Every worker is either up awaiting its next crash or down awaiting
+    # repair, and the cluster's failed set matches the injector's view.
+    down = {w for w, (status, _) in injector.worker_state.items() if status == "down"}
+    assert down == set(cluster.failed_workers)
+
+
+def test_stop_cancels_renewal_so_the_heap_drains():
+    sim, _, injector = _injector("crash:mttf=5,repair=1")
+    injector.start()
+    sim.run(until=20.0)
+    injector.stop()
+    # Without stop() the crash/repair renewal would run forever; after it
+    # the heap drains and the clock freezes.
+    sim.run()
+    assert sim.now <= 20.0 + 5.0 * 100  # finite — run() returned at all
+    count = injector.count("crashes")
+    sim.run()
+    assert injector.count("crashes") == count
+
+
+def test_start_twice_raises():
+    _, _, injector = _injector("crash:mttf=50")
+    injector.start()
+    with pytest.raises(RuntimeError):
+        injector.start()
+
+
+def test_eligible_honours_probation():
+    sim, cluster, injector = _injector("crash:mttf=1000,repair=5,probation=30")
+    injector.start()
+    assert injector.eligible(sim.now)
+    injector._on_crash_event(0)
+    assert not injector.eligible(sim.now)  # impaired
+    injector._on_repair_event(0)
+    repaired_at = injector.last_repair_time
+    assert not injector.eligible(repaired_at + 29.0)  # still on probation
+    assert injector.eligible(repaired_at + 30.0)
+    injector.stop()
+
+
+def test_permanent_crash_of_last_worker_raises_capacity_error():
+    sim, _, injector = _injector(
+        "crash:mttf=10,repair=0,dist=fixed", workers=2
+    )
+    injector.start()
+    # Fixed-distribution crashes land both workers at t=10; the second
+    # fail_worker call must refuse to leave the cluster with zero capacity.
+    with pytest.raises(ClusterCapacityError):
+        sim.run()
+    injector.stop()
+
+
+def test_permanent_crash_never_schedules_repair():
+    sim, _, injector = _injector("crash:mttf=10,repair=0", workers=4)
+    injector.start()
+    injector._on_crash_event(0)
+    status, repair_at = injector.worker_state[0]
+    assert status == "down"
+    assert repair_at == math.inf
+    injector.stop()
+
+
+def test_retry_delay_is_capped_exponential_with_jitter():
+    _, _, injector = _injector("taskfail:p=0.5,retries=3,backoff=2.0,jitter=0.5")
+    for attempt in (1, 2, 3):
+        base = 2.0 * 2.0 ** (attempt - 1)
+        for _ in range(20):
+            delay = injector.retry_delay(attempt)
+            assert base <= delay <= base * 1.5
+
+
+def test_draw_slowdown_counts_stragglers():
+    _, _, injector = _injector("stragglers:p=1.0,slowdown=3")
+    assert injector.draw_slowdown() == 3.0
+    assert injector.count("stragglers") == 1
+    _, _, quiet = _injector("taskfail:p=0.1")
+    assert quiet.draw_slowdown() == 1.0
+
+
+def test_state_dict_restore_round_trip():
+    sim, cluster, injector = _injector("crash:mttf=50,repair=10")
+    injector.start()
+    sim.run(until=200.0)
+    injector.stop()
+    state = injector.state_dict()
+
+    sim2 = Simulator()
+    sim2._now = sim.now
+    cluster2 = Cluster(ClusterConfig(workers=4, cores_per_worker=2))
+    restored = FaultInjector(
+        parse_fault_spec("crash:mttf=50,repair=10"),
+        sim2,
+        cluster2,
+        RandomStreams(seed=3),
+    )
+    restored.restore(state)
+    assert restored.worker_state == injector.worker_state
+    assert restored.counters == injector.counters
+    assert set(cluster2.failed_workers) == set(cluster.failed_workers)
+    restored.stop()
+
+
+def test_restore_after_start_raises():
+    sim, _, injector = _injector("crash:mttf=50")
+    injector.start()
+    with pytest.raises(RuntimeError):
+        injector.restore({"worker_state": {}, "last_repair_time": None, "counters": {}})

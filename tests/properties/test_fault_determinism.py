@@ -1,0 +1,221 @@
+"""Fault-injection determinism and span-tree properties.
+
+Three contracts:
+
+* **CRN** — fault draws live on dedicated ``faults/*`` random streams, so
+  replicated runs with faults are bitwise-identical between serial and
+  multiprocess execution, and a zero-probability fault plan reproduces the
+  fault-free run exactly (fault draws never perturb workload streams).
+* **Checkpoint/resume** — a run resumed from a mid-run snapshot finishes
+  with metrics and fault counters bitwise-identical to the uninterrupted
+  run (see also ``tests/faults/test_checkpoint.py``).
+* **Span trees** — traced runs under crashes, retries and speculation still
+  satisfy every structural invariant, and fault-induced re-execution shows
+  up in (and closes under) the latency decomposition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dias import DiASSimulation
+from repro.core.policies import SchedulingPolicy
+from repro.dag.simulation import replicate_dag
+from repro.engine.cluster import Cluster
+from repro.fleet.simulation import FleetSimulation, replicate_fleet
+from repro.telemetry import CallbackSink, TelemetryHub, Tracer
+from repro.telemetry.spans import TERMINAL_CATS, check_trace, decompose
+from repro.workloads.scenarios import (
+    FleetScenario,
+    dag_fork_join_scenario,
+    reference_two_priority_scenario,
+)
+
+CLOSURE_EPSILON = 1e-6
+
+FULL_SPEC = (
+    "crash:mttf=400,repair=40,probation=20;"
+    "stragglers:p=0.15,slowdown=3,speculate=1.6;"
+    "taskfail:p=0.08,retries=2"
+)
+
+
+def _fleet_scenario(num_jobs: int = 30) -> FleetScenario:
+    return FleetScenario(
+        base=reference_two_priority_scenario(num_jobs=num_jobs).with_utilisation(0.4),
+        num_clusters=2,
+    )
+
+
+# ---------------------------------------------------------------- CRN
+def test_fleet_replications_with_faults_serial_equals_parallel():
+    scenario = _fleet_scenario()
+    policy = SchedulingPolicy.non_preemptive_priority()
+    kwargs = dict(
+        dispatcher="round_robin", base_seed=3, faults=FULL_SPEC
+    )
+    serial = replicate_fleet(scenario, policy, 3, jobs=1, **kwargs)
+    parallel = replicate_fleet(scenario, policy, 3, jobs=3, **kwargs)
+    assert set(serial) == set(parallel)
+    for name in serial:
+        assert serial[name].samples == parallel[name].samples, name
+    # Fault activity actually happened in the replications being compared.
+    assert any(value > 0 for value in serial["faults/crashes"].samples)
+
+
+def test_dag_replications_with_faults_serial_equals_parallel():
+    scenario = dag_fork_join_scenario(num_jobs=12)
+    policy = SchedulingPolicy.non_preemptive_priority()
+    kwargs = dict(scheduler="critical_path_first", base_seed=5,
+                  faults="stragglers:p=0.2,slowdown=3;taskfail:p=0.1,retries=2")
+    serial = replicate_dag(scenario, policy, 3, jobs=1, **kwargs)
+    parallel = replicate_dag(scenario, policy, 3, jobs=3, **kwargs)
+    assert set(serial) == set(parallel)
+    for name in serial:
+        assert serial[name].samples == parallel[name].samples, name
+
+
+def _dias(faults, seed: int = 9):
+    scenario = reference_two_priority_scenario(num_jobs=30)
+    source = scenario.cluster
+    return DiASSimulation(
+        policy=SchedulingPolicy.non_preemptive_priority(),
+        jobs=scenario.generate_trace(seed=seed),
+        cluster=Cluster(
+            config=source.config, dvfs=source.dvfs, power_model=source.power_model
+        ),
+        seed=seed,
+        faults=faults,
+    ).run()
+
+
+def test_zero_probability_faults_reproduce_the_fault_free_run():
+    """Fault draws live on their own streams: a plan that can never fire
+    leaves every workload metric bitwise-identical to running without one."""
+    clean = _dias(None)
+    armed = _dias("stragglers:p=0,slowdown=3,speculate=0;taskfail:p=0,retries=2")
+    assert armed.mean_response_time() == clean.mean_response_time()
+    assert armed.tail_response_time() == clean.tail_response_time()
+    assert armed.total_energy_joules == clean.total_energy_joules
+    assert armed.completed_jobs == clean.completed_jobs
+    assert all(value == 0 for value in armed.fault_counts.values())
+
+
+# ------------------------------------------------- checkpoint/resume
+def test_fleet_resume_matches_uninterrupted_run_bitwise(tmp_path):
+    path = str(tmp_path / "fleet.ckpt")
+    scenario = _fleet_scenario(num_jobs=40)
+    policy = SchedulingPolicy.non_preemptive_priority()
+
+    def build(**kwargs):
+        return FleetSimulation(
+            policy=policy,
+            jobs=scenario.generate_trace(seed=11),
+            clusters=scenario.make_clusters(),
+            dispatcher="round_robin",
+            seed=11,
+            faults=FULL_SPEC,
+            **kwargs,
+        )
+
+    reference = build().run()
+    build(checkpoint_every=50.0, checkpoint_path=path).run(
+        until=reference.duration * 0.6
+    )
+    from repro.faults.checkpoint import load_checkpoint
+
+    payload = load_checkpoint(path)
+    assert 0 < payload["routed"] < 80, "interruption must be mid-run"
+    resumed_sim = build()
+    resumed_sim.restore(payload)
+    resumed = resumed_sim.run()
+    assert resumed.summary() == reference.summary()
+    assert dict(resumed.fault_counts) == dict(reference.fault_counts)
+
+
+# ------------------------------------------------------- span trees
+def _traced_dias(faults, seed: int = 4, num_jobs: int = 30):
+    scenario = reference_two_priority_scenario(num_jobs=num_jobs)
+    hub = TelemetryHub(tracing=True)
+    tracer = hub.add_sink(Tracer())
+    completed = {}
+    hub.add_sink(
+        CallbackSink(
+            lambda event: completed.__setitem__(
+                event["job_id"], event["response_time"]
+            )
+            if event["kind"] == "job_completed"
+            else None
+        )
+    )
+    source = scenario.cluster
+    DiASSimulation(
+        policy=SchedulingPolicy.non_preemptive_priority(),
+        jobs=scenario.generate_trace(seed=seed),
+        cluster=Cluster(
+            config=source.config, dvfs=source.dvfs, power_model=source.power_model
+        ),
+        seed=seed,
+        telemetry=hub,
+        faults=faults,
+    ).run()
+    return tracer, completed
+
+
+def _assert_span_invariants(tracer, completed):
+    traces = tracer.traces()
+    assert traces and len(traces) == len(completed)
+    for trace in traces:
+        problems = check_trace(trace)
+        assert problems == [], f"job {trace.job_id}: {problems}"
+        attempts = trace.by_cat("attempt")
+        evicted = [
+            span for span in attempts if span.extras.get("outcome") == "evicted"
+        ]
+        assert len(attempts) == len(evicted) + 1
+        assert len(trace.by_cat("queue")) == len(attempts)
+        annotation_ids = {
+            span.span_id for span in trace.spans if span.cat in TERMINAL_CATS
+        }
+        for span in trace.spans:
+            assert span.parent_id not in annotation_ids
+        parts = decompose(trace)
+        assert abs(parts["residual"]) < CLOSURE_EPSILON
+        assert parts["response"] == pytest.approx(
+            completed[trace.job_id], abs=CLOSURE_EPSILON
+        )
+    return traces
+
+
+@pytest.mark.parametrize(
+    "faults",
+    [
+        "crash:mttf=300,repair=40",
+        "stragglers:p=0.2,slowdown=3,speculate=1.3",
+        "taskfail:p=0.1,retries=3,backoff=0.5",
+        FULL_SPEC,
+    ],
+    ids=["crash", "speculate", "retry", "mixed"],
+)
+def test_span_invariants_hold_under_faults(faults):
+    tracer, completed = _traced_dias(faults)
+    traces = _assert_span_invariants(tracer, completed)
+    fault_marks = [span for span in tracer.spans if span.cat == "fault"]
+    assert fault_marks, "a faulty traced run must record fault annotation spans"
+    # Fault annotations are instants, never parents.
+    ids = {span.span_id for span in fault_marks}
+    for span in tracer.spans:
+        assert span.parent_id not in ids
+
+
+def test_restart_recovery_shows_up_as_re_execution():
+    tracer, completed = _traced_dias(
+        "crash:mttf=250,repair=40,recovery=restart", seed=6
+    )
+    traces = _assert_span_invariants(tracer, completed)
+    restarted = [t for t in traces if decompose(t)["re_execution"] > 0]
+    assert restarted, "restart recovery must attribute time to re_execution"
+    # Restarted jobs carry the crash/restart annotations explaining why.
+    for trace in restarted:
+        cats = {span.cat for span in trace.spans}
+        assert "fault" in cats

@@ -264,3 +264,131 @@ def test_sweep_command_with_replications(capsys):
     output = capsys.readouterr().out
     assert "drop_ratio" in output
     assert "replications" in output
+
+
+def test_fleet_command_with_faults_reports_counters(capsys):
+    code = main([
+        "fleet", "--clusters", "2", "--num-jobs", "20", "--seed", "3",
+        "--faults", "crash:mttf=300,repair=40;stragglers:p=0.1",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Faults & recovery" in output
+    assert "crashes" in output
+    assert "quarantine_redirects" in output
+
+
+def test_fleet_command_rejects_bad_fault_spec(capsys):
+    code = main(["fleet", "--num-jobs", "5", "--faults", "crash:mtbf=10"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "unknown crash key 'mtbf'" in err
+    assert "valid keys:" in err
+
+
+def test_fleet_command_rejects_unknown_fault_kind(capsys):
+    code = main(["fleet", "--num-jobs", "5", "--faults", "meteor:p=1"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "unknown fault kind 'meteor'" in err
+    for kind in ("crash", "stragglers", "taskfail"):
+        assert kind in err
+
+
+def test_fleet_zero_capacity_crash_exits_cleanly(capsys):
+    """Permanent crashes that drain the fleet exit 1 with a clear message."""
+    code = main([
+        "fleet", "--clusters", "2", "--num-jobs", "30", "--seed", "1",
+        "--faults", "crash:mttf=100,repair=0",
+    ])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "zero available workers" in err
+    assert "no repair scheduled" in err
+
+
+def test_dag_command_with_faults(capsys):
+    code = main([
+        "dag", "--scenario", "fork-join", "--num-jobs", "10", "--seed", "2",
+        "--faults", "taskfail:p=0.1,retries=2",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Faults & recovery" in output
+    assert "retries" in output
+
+
+def test_compare_command_with_faults(capsys):
+    code = main([
+        "compare", "--scenario", "reference", "--policies", "NP", "P",
+        "--num-jobs", "25", "--faults", "stragglers:p=0.1,slowdown=3",
+    ])
+    assert code == 0
+    assert "NP" in capsys.readouterr().out
+
+
+def test_chaos_command_reports_levels(capsys):
+    code = main([
+        "chaos", "--clusters", "2", "--num-jobs", "15", "--seed", "4",
+        "--faults", "stragglers:p=0.2,slowdown=3", "--levels", "0", "1",
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Sensitivity to fault intensity" in output
+    assert "delta_mean_pct" in output
+
+
+def test_chaos_command_requires_faults(capsys):
+    with pytest.raises(SystemExit):
+        main(["chaos", "--num-jobs", "5"])
+
+
+def test_fleet_checkpoint_resume_via_cli(tmp_path, capsys):
+    ckpt = str(tmp_path / "fleet.ckpt")
+    base = [
+        "fleet", "--clusters", "2", "--num-jobs", "30", "--seed", "11",
+        "--utilisation", "0.4", "--router", "round_robin",
+        "--faults", "crash:mttf=400,repair=40;taskfail:p=0.05,retries=2",
+    ]
+    assert main(base) == 0
+    reference = capsys.readouterr().out
+
+    assert main(base + ["--checkpoint", ckpt, "--checkpoint-every", "50",
+                        "--until", "3000"]) == 0
+    capsys.readouterr()
+
+    assert main(["fleet", "--resume", ckpt]) == 0
+    resumed = capsys.readouterr().out
+    # Identical metrics; only the title line mentions the resume.
+    ref_body = reference.split("\n", 2)[2]
+    resumed_body = resumed.split("\n", 2)[2]
+    assert resumed_body == ref_body
+
+
+def test_fleet_resume_rejects_replications_and_tracing(tmp_path, capsys):
+    ckpt = str(tmp_path / "missing.ckpt")
+    code = main(["fleet", "--resume", ckpt, "--replications", "4"])
+    assert code == 1
+    assert "--replications" in capsys.readouterr().err
+    code = main(["fleet", "--resume", ckpt, "--trace", str(tmp_path / "t.json")])
+    assert code == 1
+    assert "--trace" in capsys.readouterr().err
+
+
+def test_fleet_resume_missing_file_exits_cleanly(tmp_path, capsys):
+    code = main(["fleet", "--resume", str(tmp_path / "nope.ckpt")])
+    assert code == 1
+    assert "cannot read checkpoint" in capsys.readouterr().err
+
+
+def test_fleet_checkpoint_every_requires_checkpoint_path(capsys):
+    code = main(["fleet", "--num-jobs", "5", "--checkpoint-every", "50"])
+    assert code == 1
+    assert "--checkpoint-every needs --checkpoint" in capsys.readouterr().err
+
+
+def test_list_mentions_fault_kinds(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "fault kinds" in output
+    assert "crash" in output and "stragglers" in output and "taskfail" in output
