@@ -1,0 +1,110 @@
+"""Trace ingestion & replay throughput — the million-job-scale data path.
+
+Synthesizes a cluster trace, then times every leg of the replay pipeline:
+writing the file, parsing it back (serial and with order-preserving parallel
+ingestion), and streaming it through a fleet replay with streaming metrics.
+The rates (jobs/s) are persisted as machine-readable JSON so regressions in
+the ingest path show up as a diffable number, not a vague "replay feels slow".
+
+The job count here is deliberately modest (the CI-friendly end of the curve);
+the acceptance-scale million-job run is exercised manually via::
+
+    repro synth-trace --out big.jsonl --num-jobs 1000000 --tasks-per-job 4
+    repro fleet --replay big.jsonl
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.core.policies import SchedulingPolicy
+from repro.experiments.reporting import format_rows
+from repro.fleet.simulation import FleetSimulation
+from repro.traces.formats import iter_trace
+from repro.traces.replay import ReplaySource
+from repro.traces.synth import compact_profiles, synthesize_trace
+from repro.workloads.scenarios import reference_two_priority_scenario
+
+NUM_JOBS = 20_000
+TASKS_PER_JOB = 4
+SEED = 0
+
+
+def _timed(fn) -> Dict[str, float]:
+    start = time.perf_counter()
+    count = fn()
+    elapsed = time.perf_counter() - start
+    return {"jobs": count, "seconds": elapsed, "jobs_per_s": count / elapsed}
+
+
+def _run_replay_pipeline(path: str) -> List[Dict]:
+    scenario = compact_profiles(
+        reference_two_priority_scenario(num_jobs=NUM_JOBS), TASKS_PER_JOB
+    )
+    rows: List[Dict] = []
+
+    def synthesize() -> int:
+        meta = synthesize_trace(path, scenario, num_jobs=NUM_JOBS, seed=SEED)
+        return meta.jobs
+
+    rows.append({"stage": "synthesize+write", **_timed(synthesize)})
+    rows.append(
+        {"stage": "parse-serial", **_timed(lambda: sum(1 for _ in iter_trace(path)))}
+    )
+    rows.append(
+        {
+            "stage": "parse-parallel-x4",
+            **_timed(lambda: sum(1 for _ in iter_trace(path, jobs=4))),
+        }
+    )
+
+    def replay() -> int:
+        source = ReplaySource(path, mode="fleet")
+        simulation = FleetSimulation(
+            policy=SchedulingPolicy.differential_approximation({0: 0.2, 2: 0.0}),
+            jobs=(),
+            num_clusters=2,
+            dispatcher="least_work_left",
+            seed=SEED,
+            job_source=source,
+            streaming_metrics=True,
+            traffic_shares=source.class_shares(),
+        )
+        result = simulation.run()
+        assert result.completed_jobs == source.jobs_ingested
+        return source.jobs_ingested
+
+    rows.append({"stage": "fleet-replay", **_timed(replay)})
+    return rows
+
+
+def test_trace_replay_throughput(benchmark, record_series, record_json, tmp_path):
+    path = str(tmp_path / "bench.jsonl")
+    rows = benchmark.pedantic(
+        _run_replay_pipeline, args=(path,), rounds=1, iterations=1
+    )
+    printable = [
+        {**row, "seconds": round(row["seconds"], 3), "jobs_per_s": round(row["jobs_per_s"])}
+        for row in rows
+    ]
+    record_series("trace_replay_throughput", format_rows(printable))
+    record_json(
+        "trace_replay_throughput",
+        rows,
+        seeds=(SEED,),
+        config={
+            "scenario": "reference",
+            "format": "cluster-jsonl",
+            "num_jobs": NUM_JOBS,
+            "tasks_per_job": TASKS_PER_JOB,
+            "clusters": 2,
+            "dispatcher": "least_work_left",
+        },
+    )
+    by_stage = {row["stage"]: row for row in rows}
+    # Every leg ingested the full trace.
+    assert all(row["jobs"] == NUM_JOBS for row in rows)
+    # The ingest path is not the bottleneck: parsing alone must be faster
+    # than the full replay (which parses AND simulates).
+    assert by_stage["parse-serial"]["jobs_per_s"] > by_stage["fleet-replay"]["jobs_per_s"]

@@ -20,6 +20,10 @@ Usage (after ``pip install -e .``)::
     python -m repro fleet --checkpoint run.ckpt --checkpoint-every 500
     python -m repro fleet --resume run.ckpt     # bitwise-identical continuation
     python -m repro chaos --faults "crash:mttf=1000" --levels 0 1 2
+    python -m repro synth-trace --out t.jsonl --num-jobs 100000   # write a trace
+    python -m repro synth-trace --out t.jsonl --mix google --mix-classes 3
+    python -m repro fleet --replay t.jsonl      # stream the trace through a fleet
+    python -m repro dag --replay dags.jsonl --scheduler critical_path_first
 
 ``--num-jobs`` controls the number of *simulated* jobs per trace; ``--jobs N``
 fans independent work units (replications, sweep points, policy runs) across
@@ -62,7 +66,18 @@ from repro.fleet.budget import BUDGET_MODES
 from repro.fleet.dispatcher import ROUTERS
 from repro.fleet.simulation import FleetSimulation
 from repro.telemetry import JsonLinesSink, NULL_HUB, TelemetryHub
+from repro.traces import (
+    CLUSTER_JSONL,
+    DAG_JSONL,
+    DEFAULT_WAVE_WIDTH,
+    TRACE_FORMATS,
+    TraceHistogram,
+    synthesize_trace,
+)
+from repro.traces.replay import ReplaySource
+from repro.traces.synth import compact_profiles
 from repro.workloads import scenarios as scenario_module
+from repro.workloads.traces import google_mix_scenario
 from repro.workloads.scenarios import (
     DagScenario,
     FleetScenario,
@@ -158,6 +173,25 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                         help="record per-job lifecycle spans and export them "
                              "as Chrome-trace/Perfetto JSON to PATH (render "
                              "with: repro trace PATH)")
+
+
+def _add_replay_flags(parser: argparse.ArgumentParser, mode: str) -> None:
+    """``--replay FILE`` plus its time/rate scaling knobs."""
+    parser.add_argument("--replay", default=None, metavar="FILE",
+                        help=f"stream a trace file through the {mode} "
+                             "simulation instead of a synthetic scenario "
+                             "(formats: " + ", ".join(TRACE_FORMATS) + "; "
+                             "write one with: repro synth-trace; --jobs N "
+                             "parallelises the trace parsing with "
+                             "byte-identical output)")
+    parser.add_argument("--replay-time-scale", type=_positive_float, default=1.0,
+                        metavar="S",
+                        help="time compression: divide arrival times AND task "
+                             "durations by S (same offered load, S x faster)")
+    parser.add_argument("--replay-rate-scale", type=_positive_float, default=1.0,
+                        metavar="S",
+                        help="arrival-rate scaling: divide only arrival times "
+                             "by S (S=1.25 offers 25%% more load)")
 
 
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
@@ -353,12 +387,16 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--power-of-d", type=int, default=None,
                               help="probe only d random clusters per decision (jsq)")
     fleet_parser.add_argument("--scenario", choices=sorted(FLEET_SCENARIOS),
-                              default="two-priority")
+                              default=None,
+                              help="named fleet scenario (default: two-priority; "
+                                   "mutually exclusive with --replay)")
     fleet_parser.add_argument("--policy", type=_parse_policy, default=None,
                               help="per-cluster scheduling policy "
                                    "(default: DA with 20%% low-priority dropping)")
-    fleet_parser.add_argument("--num-jobs", type=int, default=200,
-                              help="jobs per cluster (fleet trace is clusters x num-jobs)")
+    fleet_parser.add_argument("--num-jobs", type=int, default=None,
+                              help="jobs per cluster (default: 200; fleet trace "
+                                   "is clusters x num-jobs)")
+    _add_replay_flags(fleet_parser, "fleet")
     fleet_parser.add_argument("--budget", choices=BUDGET_MODES, default="per-cluster",
                               help="sprint-budget arbitration across the fleet")
     fleet_parser.add_argument("--utilisation", type=_positive_float, default=None,
@@ -433,7 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
         "dag", help="run stage-DAG jobs under a pluggable stage scheduler"
     )
     dag_parser.add_argument("--scenario", choices=sorted(DAG_SCENARIOS),
-                            default="layered")
+                            default=None,
+                            help="named DAG scenario (default: layered; "
+                                 "mutually exclusive with --replay)")
     dag_parser.add_argument("--scheduler", default="critical_path_first",
                             help="stage scheduler "
                                  f"({', '.join(STAGE_SCHEDULERS)})")
@@ -443,12 +483,53 @@ def build_parser() -> argparse.ArgumentParser:
     dag_parser.add_argument("--slack-biased", action="store_true",
                             help="bias task dropping toward off-critical-path "
                                  "stages using per-stage slack")
-    dag_parser.add_argument("--num-jobs", type=int, default=150,
-                            help="simulated DAG jobs per trace")
+    dag_parser.add_argument("--num-jobs", type=int, default=None,
+                            help="simulated DAG jobs per trace (default: 150)")
     dag_parser.add_argument("--seed", type=int, default=0)
+    _add_replay_flags(dag_parser, "dag")
     _add_parallel_flags(dag_parser)
     _add_telemetry_flags(dag_parser)
     _add_fault_flags(dag_parser)
+
+    synth_parser = subparsers.add_parser(
+        "synth-trace", help="synthesize a deterministic trace file to replay "
+                            "with 'repro fleet/dag --replay'"
+    )
+    synth_parser.add_argument("--out", required=True, metavar="PATH",
+                              help="trace file to write")
+    synth_parser.add_argument("--format", default=CLUSTER_JSONL,
+                              help="trace format "
+                                   f"({', '.join(TRACE_FORMATS)}; default: "
+                                   f"{CLUSTER_JSONL})")
+    synth_parser.add_argument("--scenario", default=None,
+                              help="workload scenario (cluster formats: "
+                                   + ", ".join(sorted(SCENARIOS))
+                                   + ", default reference; dag-jsonl: "
+                                   + ", ".join(sorted(DAG_SCENARIOS))
+                                   + ", default layered)")
+    synth_parser.add_argument("--mix", default=None, choices=["google"],
+                              help="use the Google 12-level priority mix "
+                                   "collapsed onto --mix-classes dominant "
+                                   "classes instead of --scenario")
+    synth_parser.add_argument("--mix-classes", type=int, default=3,
+                              choices=[2, 3],
+                              help="dominant classes the Google mix collapses "
+                                   "onto (default: 3)")
+    synth_parser.add_argument("--clusters", type=_positive_int, default=None,
+                              metavar="N",
+                              help="scale arrival rates for a fleet of N "
+                                   "clusters (cluster formats only)")
+    synth_parser.add_argument("--tasks-per-job", type=_positive_int, default=None,
+                              metavar="T",
+                              help="shrink jobs to T map tasks (recalibrated "
+                                   "load; keeps million-job traces cheap)")
+    synth_parser.add_argument("--num-jobs", type=_positive_int, default=1000,
+                              help="trace length in jobs (default: 1000)")
+    synth_parser.add_argument("--wave-width", type=_positive_int,
+                              default=DEFAULT_WAVE_WIDTH,
+                              help="dag-jsonl first-wave width (default: "
+                                   f"{DEFAULT_WAVE_WIDTH})")
+    synth_parser.add_argument("--seed", type=int, default=0)
 
     trace_parser = subparsers.add_parser(
         "trace", help="render a span trace: waterfall, latency attribution, "
@@ -537,6 +618,8 @@ def _run_list() -> str:
     lines.append("policies: P, NP, DA(<pct>/<pct>[/<pct>]) e.g. DA(0/20)")
     lines.append("fault kinds (--faults): " + ", ".join(FAULT_KINDS)
                  + "  e.g. 'crash:mttf=2000,repair=60;stragglers:p=0.05'")
+    lines.append("trace formats (synth-trace, --replay): " + ", ".join(TRACE_FORMATS)
+                 + "  e.g. repro synth-trace --out t.jsonl; repro fleet --replay t.jsonl")
     return "\n".join(lines)
 
 
@@ -651,7 +734,98 @@ def _resume_fleet(args: argparse.Namespace) -> str:
     return "\n".join(_fleet_report(title, result, simulation))
 
 
+def _replay_policy(shares: Dict[int, float]) -> SchedulingPolicy:
+    """Default replay policy: graduated DA over the trace's declared classes.
+
+    Headerless traces declare no classes; they fall back to 20 % dropping on
+    priority 0 (unknown priorities drop nothing — ``map_drop_ratio`` defaults
+    absent classes to 0.0).
+    """
+    priorities = sorted(shares, reverse=True)
+    if not priorities:
+        return SchedulingPolicy.differential_approximation({0: 0.2})
+    if len(priorities) == 1:
+        ratios = {priorities[0]: 0.0}
+    else:
+        step = 0.2 / (len(priorities) - 1)
+        ratios = {p: round(i * step, 3) for i, p in enumerate(priorities)}
+    return SchedulingPolicy.differential_approximation(ratios)
+
+
+def _check_replay_conflicts(args: argparse.Namespace, flags: Sequence[tuple]) -> None:
+    """Reject flags that contradict driving the run from a trace file."""
+    for flag, value in flags:
+        if value is not None:
+            raise ValueError(
+                f"--replay drives the run from the trace file; {flag} "
+                "conflicts with it"
+            )
+    if args.replications > 1:
+        raise ValueError(
+            "--replay replays one recorded trace; it cannot be combined "
+            "with --replications"
+        )
+
+
+def _run_fleet_replay(args: argparse.Namespace) -> str:
+    """Stream a cluster trace file through the fleet (constant memory)."""
+    _check_replay_conflicts(args, (
+        ("--scenario", args.scenario),
+        ("--num-jobs", args.num_jobs),
+        ("--utilisation", args.utilisation),
+        ("--checkpoint", args.checkpoint),
+        ("--checkpoint-every", args.checkpoint_every),
+        ("--resume", args.resume),
+    ))
+    _check_choice("router", args.router, list(ROUTERS))
+    fault_spec = parse_fault_spec(args.faults)
+    # The header is validated here — malformed or DAG-format files fail
+    # before any simulation state exists.
+    source = ReplaySource(
+        args.replay,
+        mode="fleet",
+        jobs=args.jobs,
+        time_scale=args.replay_time_scale,
+        rate_scale=args.replay_rate_scale,
+    )
+    shares = source.class_shares()
+    policy = args.policy if args.policy is not None else _replay_policy(shares)
+    hub, events_path, events_are_temporary = _single_run_hub(args)
+    simulation = FleetSimulation(
+        policy=policy,
+        jobs=(),
+        num_clusters=args.clusters,
+        dispatcher=args.router,
+        power_of_d=args.power_of_d,
+        seed=args.seed,
+        sprint_budget=args.budget,
+        telemetry=hub,
+        faults=fault_spec,
+        job_source=source,
+        streaming_metrics=True,
+        traffic_shares=shares,
+    )
+    result = simulation.run(until=args.until)
+    hub.close()
+    trace_note = _export_trace(args, events_path, events_are_temporary)
+    title = (
+        f"Fleet replay: {args.replay} ({source.meta.format}, "
+        f"{source.jobs_ingested} jobs)  router={result.dispatcher_name}  "
+        f"policy={policy.name}  budget={args.budget}"
+    )
+    lines = _fleet_report(title, result, simulation)
+    if trace_note is not None:
+        lines += ["", trace_note]
+    return "\n".join(lines)
+
+
 def _run_fleet(args: argparse.Namespace) -> str:
+    if args.replay is not None:
+        return _run_fleet_replay(args)
+    if args.scenario is None:
+        args.scenario = "two-priority"
+    if args.num_jobs is None:
+        args.num_jobs = 200
     if args.resume is not None:
         return _resume_fleet(args)
     _check_choice("router", args.router, list(ROUTERS))
@@ -777,7 +951,104 @@ def _run_chaos(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _dag_report(title: str, result, simulation: DagSimulation) -> List[str]:
+    """The standard single-run DAG report: per-class latency, summary, faults."""
+    class_rows = []
+    for priority in sorted(result.priorities(), reverse=True):
+        metrics = result.class_metrics(priority)
+        class_rows.append(
+            {
+                "priority": priority,
+                "jobs": float(metrics.job_count),
+                "mean_response_s": metrics.response_time.mean,
+                "p95_response_s": metrics.response_time.p95,
+                "mean_makespan_s": result.mean_makespan(priority),
+                "accuracy_loss_pct": 100.0 * metrics.accuracy_loss_mean,
+            }
+        )
+    summary_rows = [
+        {"metric": "completed_jobs", "value": float(result.completed_jobs)},
+        {"metric": "mean_makespan_s", "value": result.mean_makespan()},
+        {"metric": "mean_cp_stretch", "value": result.mean_critical_path_stretch()},
+        {"metric": "mean_response_s", "value": result.mean_response_time()},
+        {"metric": "p95_response_s", "value": result.tail_response_time()},
+        {"metric": "utilisation", "value": result.utilisation},
+        {"metric": "energy_kj", "value": result.total_energy_kilojoules},
+    ]
+    lines = [
+        title,
+        "=" * len(title),
+        "",
+        "Per-class latency",
+        format_rows(class_rows),
+        "",
+        "Summary (cp_stretch = makespan over per-job lower bound)",
+        format_rows(summary_rows),
+    ]
+    if simulation.faults is not None:
+        lines += [
+            "",
+            "Faults & recovery",
+            format_rows(
+                [{"counter": name, "count": float(value)}
+                 for name, value in simulation.faults.counters.items()]
+            ),
+        ]
+    return lines
+
+
+def _run_dag_replay(args: argparse.Namespace) -> str:
+    """Stream a DAG trace file through the DAG simulation (constant memory)."""
+    _check_replay_conflicts(args, (
+        ("--scenario", args.scenario),
+        ("--num-jobs", args.num_jobs),
+    ))
+    _check_choice("stage scheduler", args.scheduler, list(STAGE_SCHEDULERS))
+    fault_spec = parse_fault_spec(args.faults)
+    source = ReplaySource(
+        args.replay,
+        mode="dag",
+        jobs=args.jobs,
+        time_scale=args.replay_time_scale,
+        rate_scale=args.replay_rate_scale,
+    )
+    policy = (
+        args.policy
+        if args.policy is not None
+        else _replay_policy(source.class_shares())
+    )
+    hub, events_path, events_are_temporary = _single_run_hub(args)
+    simulation = DagSimulation(
+        policy=policy,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        slack_biased=args.slack_biased,
+        telemetry=hub,
+        faults=fault_spec,
+        job_source=source,
+        streaming_metrics=True,
+    )
+    result = simulation.run()
+    hub.close()
+    trace_note = _export_trace(args, events_path, events_are_temporary)
+    title = (
+        f"DAG replay: {args.replay} ({source.meta.format}, "
+        f"{source.jobs_ingested} jobs)  scheduler={result.scheduler_name}  "
+        f"policy={policy.name}  slack_biased={args.slack_biased}"
+    )
+    lines = _dag_report(title, result, simulation)
+    if trace_note is not None:
+        lines += ["", trace_note]
+    return "\n".join(lines)
+
+
 def _run_dag(args: argparse.Namespace) -> str:
+    if args.replay is not None:
+        return _run_dag_replay(args)
+    if args.scenario is None:
+        args.scenario = "layered"
+    if args.num_jobs is None:
+        args.num_jobs = 150
     _check_choice("stage scheduler", args.scheduler, list(STAGE_SCHEDULERS))
     _check_trace_flag(args)
     fault_spec = parse_fault_spec(args.faults)
@@ -826,50 +1097,53 @@ def _run_dag(args: argparse.Namespace) -> str:
         f"DAG: {scenario.name}  scheduler={result.scheduler_name}  "
         f"policy={policy.name}  slack_biased={args.slack_biased}"
     )
-    class_rows = []
-    for priority in sorted(result.priorities(), reverse=True):
-        metrics = result.class_metrics(priority)
-        class_rows.append(
-            {
-                "priority": priority,
-                "jobs": float(metrics.job_count),
-                "mean_response_s": metrics.response_time.mean,
-                "p95_response_s": metrics.response_time.p95,
-                "mean_makespan_s": result.mean_makespan(priority),
-                "accuracy_loss_pct": 100.0 * metrics.accuracy_loss_mean,
-            }
-        )
-    summary_rows = [
-        {"metric": "completed_jobs", "value": float(result.completed_jobs)},
-        {"metric": "mean_makespan_s", "value": result.mean_makespan()},
-        {"metric": "mean_cp_stretch", "value": result.mean_critical_path_stretch()},
-        {"metric": "mean_response_s", "value": result.mean_response_time()},
-        {"metric": "p95_response_s", "value": result.tail_response_time()},
-        {"metric": "utilisation", "value": result.utilisation},
-        {"metric": "energy_kj", "value": result.total_energy_kilojoules},
-    ]
-    lines = [
-        title,
-        "=" * len(title),
-        "",
-        "Per-class latency",
-        format_rows(class_rows),
-        "",
-        "Summary (cp_stretch = makespan over per-job lower bound)",
-        format_rows(summary_rows),
-    ]
-    if simulation.faults is not None:
-        lines += [
-            "",
-            "Faults & recovery",
-            format_rows(
-                [{"counter": name, "count": float(value)}
-                 for name, value in simulation.faults.counters.items()]
-            ),
-        ]
+    lines = _dag_report(title, result, simulation)
     if trace_note is not None:
         lines += ["", trace_note]
     return "\n".join(lines)
+
+
+def _run_synth_trace(args: argparse.Namespace) -> str:
+    """Synthesize a deterministic trace file and print its composition."""
+    fmt = _check_choice("trace format", args.format, list(TRACE_FORMATS))
+    if fmt == DAG_JSONL:
+        if args.mix is not None:
+            raise ValueError(
+                "--mix synthesizes linear cluster traces; use a cluster "
+                "format (or --scenario) for dag-jsonl"
+            )
+        if args.clusters is not None:
+            raise ValueError("--clusters applies to cluster formats only")
+        name = args.scenario or "layered"
+        _check_choice("dag scenario", name, sorted(DAG_SCENARIOS))
+        scenario = DAG_SCENARIOS[name]()
+    elif args.mix is not None:
+        if args.scenario is not None:
+            raise ValueError("pass either --scenario or --mix, not both")
+        scenario = google_mix_scenario(num_classes=args.mix_classes)
+    else:
+        name = args.scenario or "reference"
+        _check_choice("scenario", name, sorted(SCENARIOS))
+        scenario = SCENARIOS[name]()
+    if args.tasks_per_job is not None:
+        scenario = compact_profiles(scenario, args.tasks_per_job)
+    if args.clusters is not None and args.clusters > 1:
+        scenario = FleetScenario(base=scenario, num_clusters=args.clusters)
+    histogram = TraceHistogram()
+    meta = synthesize_trace(
+        args.out,
+        scenario,
+        args.num_jobs,
+        seed=args.seed,
+        fmt=fmt,
+        wave_width=args.wave_width,
+        histogram=histogram,
+    )
+    title = (
+        f"Synthesized {meta.jobs} jobs -> {args.out}  "
+        f"(format={fmt}, scenario={scenario.name}, seed={args.seed})"
+    )
+    return "\n".join([title, "=" * len(title), "", histogram.format_table()])
 
 
 def _run_trace(args: argparse.Namespace) -> str:
@@ -1009,6 +1283,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _run_chaos(args)
         elif args.command == "dag":
             output = _run_dag(args)
+        elif args.command == "synth-trace":
+            output = _run_synth_trace(args)
         elif args.command == "trace":
             output = _run_trace(args)
         elif args.command == "inspect":

@@ -254,6 +254,9 @@ class DiASSimulation:
         # Invoked after every completion; embedders (fleet) and the telemetry
         # sampler use it to react to end-of-workload without polling.
         self.on_job_complete: Optional[Callable[[], None]] = None
+        # Invoked with every finished JobRecord; embedders tee records into a
+        # shared (streaming) collector without touching per-cluster metrics.
+        self.on_job_record: Optional[Callable[[JobRecord], None]] = None
         self._total_evictions = 0
         # Backlog estimate maintained for dispatcher load queries.
         self._service_estimates: Dict[int, float] = {}
@@ -641,7 +644,9 @@ class DiASSimulation:
             # The job re-queues at this same instant: open the next wait.
             trace_state["queue_id"] = self.telemetry.new_span_id()
             trace_state["queue_start"] = now
-        state = self._job_state[job.job_id]
+        # setdefault: hand-built traces may reuse job ids, and a duplicate's
+        # bookkeeping can already have been popped by the first completion.
+        state = self._job_state.setdefault(job.job_id, {"wasted": 0.0, "evictions": 0})
         state["wasted"] += wasted
         state["evictions"] += 1
         self._total_evictions += 1
@@ -656,7 +661,13 @@ class DiASSimulation:
         self.cluster.set_sprinting(False)
         job = execution.job
         plan = self._running_plan
-        state = self._job_state[job.job_id]
+        # Pop per-job bookkeeping so long streaming replays stay bounded; the
+        # default covers duplicated job ids in hand-built traces, where the
+        # first completion already popped the shared entry.
+        state = self._job_state.pop(job.job_id, None)
+        if state is None:
+            state = {"wasted": 0.0, "evictions": 0}
+        self._service_estimates.pop(job.job_id, None)
         effective_drop = plan.effective_drop_ratio if plan is not None else 0.0
         record = JobRecord(
             job_id=job.job_id,
@@ -676,6 +687,8 @@ class DiASSimulation:
         )
         self.metrics.record_job(record)
         self.metrics.record_busy_time(execution.elapsed)
+        if self.on_job_record is not None:
+            self.on_job_record(record)
         if self.telemetry.enabled:
             self.telemetry.emit(
                 "job_completed",

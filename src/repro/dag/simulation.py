@@ -18,7 +18,7 @@ concentrates on off-critical-path stages at the same overall accuracy cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.buffers import PriorityBuffers
 from repro.core.dias import SimulationResult, _dropped_task_seconds
@@ -46,9 +46,24 @@ class DagSimulationResult(SimulationResult):
 
     scheduler_name: str = "fifo"
     dag_rows: List[Dict[str, float]] = field(default_factory=list)
+    #: Online critical-path-stretch accumulators (kept in completion order,
+    #: so the mean is bitwise-identical to the row-based computation; they
+    #: also serve streaming runs, which retain no ``dag_rows``).
+    cp_stretch_sum: float = 0.0
+    cp_stretch_count: int = 0
 
     def mean_makespan(self, priority: Optional[int] = None) -> float:
         """Mean per-job makespan (execution wall time) in seconds."""
+        if self.metrics.streaming:
+            if priority is not None:
+                cm = self.metrics.class_metrics(priority)
+                return cm.execution_time.mean if cm.job_count else float("nan")
+            total = jobs = 0.0
+            for p in self.metrics.priorities():
+                cm = self.metrics.class_metrics(p)
+                total += cm.execution_time.mean * cm.job_count
+                jobs += cm.job_count
+            return total / jobs if jobs else float("nan")
         records = (
             self.metrics.records
             if priority is None
@@ -60,10 +75,9 @@ class DagSimulationResult(SimulationResult):
 
     def mean_critical_path_stretch(self) -> float:
         """Mean makespan over its per-job lower bound (1.0 = optimal)."""
-        stretches = [row["cp_stretch"] for row in self.dag_rows]
-        if not stretches:
+        if not self.cp_stretch_count:
             return float("nan")
-        return sum(stretches) / len(stretches)
+        return self.cp_stretch_sum / self.cp_stretch_count
 
 
 class DagSimulation:
@@ -84,12 +98,21 @@ class DagSimulation:
     slack_biased:
         When ``True``, per-class drop ratios are reweighted by per-stage
         slack before planning which tasks to drop.
+    job_source:
+        Alternative to ``jobs``: a lazy, arrival-ordered iterable of
+        :class:`DagJob` (e.g. a DAG-mode
+        :class:`~repro.traces.replay.ReplaySource`) pulled one job at a time
+        as the simulation advances.  Pair with ``streaming_metrics=True``
+        for constant-memory replays (no per-job records or DAG rows kept).
+    streaming_metrics:
+        Collect metrics online (:class:`MetricsCollector` with
+        ``streaming=True``) instead of retaining per-job records.
     """
 
     def __init__(
         self,
         policy: SchedulingPolicy,
-        jobs: Sequence[DagJob],
+        jobs: Sequence[DagJob] = (),
         scheduler: Union[str, StageScheduler] = "fifo",
         cluster: Optional[Cluster] = None,
         accuracy_model: Optional[AccuracyModel] = None,
@@ -98,11 +121,20 @@ class DagSimulation:
         slack_biased: bool = False,
         telemetry: TelemetryHub = NULL_HUB,
         faults: Union[str, FaultSpec, None] = None,
+        job_source: Optional[Iterable[DagJob]] = None,
+        streaming_metrics: bool = False,
     ) -> None:
-        if not jobs:
+        if job_source is not None:
+            if jobs:
+                raise ValueError("pass either jobs or job_source, not both")
+        elif not jobs:
             raise ValueError("the DAG job trace must not be empty")
         self.policy = policy
         self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+        self.job_source = job_source
+        self._source_iter: Optional[Iterator[DagJob]] = None
+        self._source_done = job_source is None
+        self._arrived = 0
         self.cluster = cluster or Cluster()
         self.accuracy_model = accuracy_model or AccuracyModel.paper_default()
         self.streams = streams or RandomStreams(seed)
@@ -116,7 +148,7 @@ class DagSimulation:
         # priority -> interned "depth_p{priority}" sample field name.
         self._depth_keys: Dict[int, str] = {}
         self.dropper = TaskDropper(self.streams.stream("dag/dropper"))
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(streaming=True) if streaming_metrics else MetricsCollector()
         self.energy_meter = EnergyMeter(self.cluster.power_model, start_time=self.sim.now)
         self.sprinter: Optional[Sprinter] = None
         if policy.sprints:
@@ -155,6 +187,8 @@ class DagSimulation:
         self._total_evictions = 0
         self._sampler: Optional[PeriodicSampler] = None
         self.dag_rows: List[Dict[str, float]] = []
+        self._cp_stretch_sum = 0.0
+        self._cp_stretch_count = 0
 
     # --------------------------------------------------------------- queries
     @property
@@ -202,11 +236,13 @@ class DagSimulation:
     # --------------------------------------------------------------- running
     def run(self, until: Optional[float] = None) -> DagSimulationResult:
         """Run the whole trace to completion (or until the optional horizon)."""
-        for job in self.jobs:
-            self._job_state[job.job_id] = {"wasted": 0.0, "evictions": 0}
-            self.sim.schedule_at(
-                job.arrival_time, self._make_arrival_callback(job), priority=0
-            )
+        if self.job_source is not None:
+            self._start_streaming()
+        else:
+            for job in self.jobs:
+                self.sim.schedule_at(
+                    job.arrival_time, self._make_arrival_callback(job), priority=0
+                )
         if self.faults is not None and not self.faults.started:
             self.faults.start()
         telemetry = self.telemetry
@@ -220,7 +256,6 @@ class DagSimulation:
                 scheduler=self.scheduler_name,
             )
             if telemetry.sample_interval is not None:
-                total = len(self.jobs)
                 sampler = PeriodicSampler(
                     self.sim,
                     telemetry,
@@ -229,7 +264,7 @@ class DagSimulation:
                         (self.telemetry_src, self.telemetry_sample),
                         ("kernel", kernel_sample_source(self.sim)),
                     ],
-                    should_continue=lambda: self._completed < total,
+                    should_continue=lambda: not self._drained(),
                 )
                 sampler.start()
                 # Cancel the trailing tick at end-of-workload so sampling
@@ -267,12 +302,47 @@ class DagSimulation:
             sprint_energy_joules=account.sprint_joules,
             scheduler_name=self.scheduler_name,
             dag_rows=list(self.dag_rows),
+            cp_stretch_sum=self._cp_stretch_sum,
+            cp_stretch_count=self._cp_stretch_count,
             fault_counts=(
                 dict(self.faults.counters) if self.faults is not None else {}
             ),
         )
 
     # ---------------------------------------------------------------- events
+    def _drained(self) -> bool:
+        """End-of-workload: every known job has arrived and completed."""
+        if self.job_source is not None:
+            return self._source_done and self._completed >= self._arrived
+        return self._completed >= len(self.jobs)
+
+    def _start_streaming(self) -> None:
+        """Prime the chained-arrival pump from the streaming job source."""
+        self._source_iter = iter(self.job_source)
+        first = next(self._source_iter, None)
+        if first is None:
+            raise ValueError("the streaming job source yielded no jobs")
+        self._schedule_streamed(first)
+
+    def _schedule_streamed(self, job: DagJob) -> None:
+        self.sim.schedule_at(
+            job.arrival_time, self._make_streamed_callback(job), priority=0
+        )
+
+    def _make_streamed_callback(self, job: DagJob):
+        def _callback(_sim: Simulator) -> None:
+            # Pull and schedule the successor BEFORE admitting this job: at
+            # equal timestamps the heap sequence then matches the batch
+            # path, which pre-schedules all arrivals in trace order.
+            successor = next(self._source_iter, None)
+            if successor is None:
+                self._source_done = True
+            else:
+                self._schedule_streamed(successor)
+            self._on_arrival(job)
+
+        return _callback
+
     def _make_arrival_callback(self, job: DagJob):
         def _callback(_sim: Simulator) -> None:
             self._on_arrival(job)
@@ -280,6 +350,8 @@ class DagSimulation:
         return _callback
 
     def _on_arrival(self, job: DagJob) -> None:
+        self._arrived += 1
+        self._job_state[job.job_id] = {"wasted": 0.0, "evictions": 0}
         if self.telemetry.enabled:
             self.telemetry.emit(
                 "job_admitted",
@@ -549,7 +621,8 @@ class DagSimulation:
         self.cluster.set_sprinting(False)
         job = execution.job
         plan = self._running_plan
-        state = self._job_state[job.job_id]
+        # Pop per-job bookkeeping so long streaming replays stay bounded.
+        state = self._job_state.pop(job.job_id)
         effective_drop = plan.effective_drop_ratio if plan is not None else 0.0
         record = JobRecord(
             job_id=job.job_id,
@@ -596,21 +669,23 @@ class DagSimulation:
                 priority=job.priority,
             )
         lower_bound = execution.lower_bound_makespan
-        self.dag_rows.append(
-            {
-                "job_id": job.job_id,
-                "priority": job.priority,
-                "stages": job.num_stages,
-                "makespan_s": execution.elapsed,
-                "lower_bound_s": lower_bound,
-                "cp_stretch": (
-                    execution.elapsed / lower_bound if lower_bound > 0 else 1.0
-                ),
-                "critical_path_len": len(execution.analysis.critical_path),
-            }
-        )
+        cp_stretch = execution.elapsed / lower_bound if lower_bound > 0 else 1.0
+        self._cp_stretch_sum += cp_stretch
+        self._cp_stretch_count += 1
+        if not self.metrics.streaming:
+            self.dag_rows.append(
+                {
+                    "job_id": job.job_id,
+                    "priority": job.priority,
+                    "stages": job.num_stages,
+                    "makespan_s": execution.elapsed,
+                    "lower_bound_s": lower_bound,
+                    "cp_stretch": cp_stretch,
+                    "critical_path_len": len(execution.analysis.critical_path),
+                }
+            )
         self._completed += 1
-        if self._completed >= len(self.jobs):
+        if self._drained():
             if self._sampler is not None:
                 self._sampler.stop()
             if self.faults is not None:

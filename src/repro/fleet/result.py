@@ -28,6 +28,10 @@ class FleetResult:
     duration: float
     dispatch_counts: List[int]
     budget_mode: str = "per-cluster"
+    #: Pre-aggregated fleet-wide collector (streaming replays tee every
+    #: record into one ``MetricsCollector(streaming=True)`` as jobs finish,
+    #: so no per-record re-aggregation pass is possible or needed here).
+    shared_metrics: Optional[MetricsCollector] = None
     _combined: MetricsCollector = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -35,6 +39,9 @@ class FleetResult:
             raise ValueError("a fleet result needs at least one cluster result")
         if len(self.dispatch_counts) != len(self.cluster_results):
             raise ValueError("dispatch_counts must have one entry per cluster")
+        if self.shared_metrics is not None:
+            self._combined = self.shared_metrics
+            return
         combined = MetricsCollector()
         for result in self.cluster_results:
             for record in result.metrics.records:

@@ -16,7 +16,7 @@ given seed, independent of the routing policy being compared.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.dias import DiASSimulation, DropRatioDecision
 from repro.core.policies import SchedulingPolicy
@@ -42,6 +42,20 @@ class FleetSimulation:
         The DiAS scheduling policy every cluster runs.
     jobs:
         The fleet-wide job trace (arrival-time ordered or not; it is sorted).
+    job_source:
+        Alternative to ``jobs``: a lazy, arrival-ordered iterable (e.g. a
+        :class:`~repro.traces.replay.ReplaySource`) pulled one job at a time
+        as the simulation advances — the whole trace is never materialised.
+        Mutually exclusive with ``jobs`` and with checkpointing; pair it with
+        ``streaming_metrics=True`` for constant-memory million-job replays.
+    streaming_metrics:
+        Collect metrics online (:class:`MetricsCollector` with
+        ``streaming=True``, per cluster and fleet-wide) instead of retaining
+        per-job records.
+    traffic_shares:
+        Per-priority traffic shares for dispatcher construction when the
+        trace cannot be pre-scanned (streaming sources); typically the trace
+        header's class shares.
     num_clusters:
         Fleet size; ignored when explicit ``clusters`` are given.
     dispatcher:
@@ -80,8 +94,19 @@ class FleetSimulation:
         faults: Union[str, FaultSpec, None] = None,
         checkpoint_every: Optional[float] = None,
         checkpoint_path: Optional[str] = None,
+        job_source: Optional[Iterable[Job]] = None,
+        streaming_metrics: bool = False,
+        traffic_shares: Optional[Dict[int, float]] = None,
     ) -> None:
-        if not jobs:
+        if job_source is not None:
+            if jobs:
+                raise ValueError("pass either jobs or job_source, not both")
+            if checkpoint_every is not None or checkpoint_path is not None:
+                raise ValueError(
+                    "checkpointing needs the full trace up front; it is not "
+                    "supported with a streaming job_source"
+                )
+        elif not jobs:
             raise ValueError("the fleet job trace must not be empty")
         if (checkpoint_every is None) != (checkpoint_path is None):
             raise ValueError(
@@ -99,6 +124,9 @@ class FleetSimulation:
 
         self.policy = policy
         self.jobs = sorted(jobs, key=lambda j: j.arrival_time)
+        self.job_source = job_source
+        self._source_iter: Optional[Iterator[Job]] = None
+        self._source_done = job_source is None
         self.streams = streams or RandomStreams(seed)
         self.telemetry = telemetry
         self.sim = Simulator(telemetry=telemetry)
@@ -123,10 +151,17 @@ class FleetSimulation:
 
         if isinstance(dispatcher, str):
             # Traffic shares drive the balanced priority partition: classes
-            # with more jobs in the trace receive more clusters.
+            # with more jobs in the trace receive more clusters.  A streaming
+            # source cannot be pre-scanned, so its shares come from the trace
+            # header via ``traffic_shares``.
             traffic: dict = {}
-            for job in self.jobs:
-                traffic[job.priority] = traffic.get(job.priority, 0) + 1
+            if self.job_source is not None:
+                traffic = {
+                    int(p): float(s) for p, s in (traffic_shares or {}).items()
+                }
+            else:
+                for job in self.jobs:
+                    traffic[job.priority] = traffic.get(job.priority, 0) + 1
             dispatcher = make_dispatcher(
                 dispatcher,
                 rng=self.streams.stream("fleet/dispatcher"),
@@ -137,6 +172,11 @@ class FleetSimulation:
             )
         self.dispatcher = dispatcher
 
+        #: Fleet-wide online collector fed by every controller as jobs finish
+        #: (``None`` in batch mode, where FleetResult re-aggregates records).
+        self.shared_metrics: Optional[MetricsCollector] = (
+            MetricsCollector(streaming=True) if streaming_metrics else None
+        )
         self.controllers: List[DiASSimulation] = []
         for index in range(num_clusters):
             cluster = clusters[index] if clusters is not None else Cluster()
@@ -151,9 +191,13 @@ class FleetSimulation:
                     stream_namespace=f"fleet/cluster{index}/",
                     drop_ratio_provider=drop_ratio_provider,
                     telemetry=telemetry,
+                    metrics=MetricsCollector(streaming=True) if streaming_metrics else None,
                     faults=self.fault_spec,
                 )
             )
+        if self.shared_metrics is not None:
+            for controller in self.controllers:
+                controller.on_job_record = self.shared_metrics.record_job
 
         sprinters = [c.sprinter for c in self.controllers if c.sprinter is not None]
         self.budget_pool: Optional[SharedSprintBudget] = build_budget_arbiter(
@@ -177,12 +221,15 @@ class FleetSimulation:
             raise RuntimeError("a FleetSimulation can only be run once")
         self._ran = True
         cutoff = self._resume_time
-        for job in self.jobs:
-            if cutoff is not None and job.arrival_time <= cutoff:
-                continue
-            self.sim.schedule_at(
-                job.arrival_time, self._make_routing_callback(job), priority=0
-            )
+        if self.job_source is not None:
+            self._start_streaming()
+        else:
+            for job in self.jobs:
+                if cutoff is not None and job.arrival_time <= cutoff:
+                    continue
+                self.sim.schedule_at(
+                    job.arrival_time, self._make_routing_callback(job), priority=0
+                )
         if cutoff is None:
             # A restore already re-scheduled the pending crash/repair
             # transitions; a fresh run starts every injector here.
@@ -203,7 +250,6 @@ class FleetSimulation:
                 budget=self.budget_mode,
             )
             if telemetry.sample_interval is not None:
-                total = len(self.jobs)
                 sources = [
                     (c.telemetry_src, c.telemetry_sample) for c in self.controllers
                 ]
@@ -214,24 +260,22 @@ class FleetSimulation:
                     telemetry,
                     telemetry.sample_interval,
                     sources=sources,
-                    should_continue=lambda: self._completed_jobs() < total,
+                    should_continue=lambda: not self._drained(),
                 )
                 sampler.start()
 
                 # Cancel the trailing tick at end-of-workload so sampling
                 # never advances the clock past the unsampled run's end.
                 def _stop_when_drained() -> None:
-                    if self._completed_jobs() >= total:
+                    if self._drained():
                         sampler.stop()
 
                 completion_hooks.append(_stop_when_drained)
         if self.fault_spec is not None and self.fault_spec.crash is not None:
-            total_jobs = len(self.jobs)
-
             # Cancel every injector's open-ended crash/repair renewal process
             # once the fleet workload has drained, so the heap can empty.
             def _stop_injectors_when_drained() -> None:
-                if self._completed_jobs() >= total_jobs:
+                if self._drained():
                     for controller in self.controllers:
                         controller.faults.stop()
 
@@ -266,6 +310,8 @@ class FleetSimulation:
                 duration=self.sim.now,
             )
         results = [controller.finalize() for controller in self.controllers]
+        if self.shared_metrics is not None:
+            self.shared_metrics.set_observation_time(self.sim.now)
         return FleetResult(
             policy_name=self.policy.name,
             dispatcher_name=self.dispatcher.name,
@@ -273,11 +319,18 @@ class FleetSimulation:
             duration=self.sim.now,
             dispatch_counts=list(self.dispatch_counts),
             budget_mode=self.budget_mode,
+            shared_metrics=self.shared_metrics,
         )
 
     # ------------------------------------------------------------- telemetry
     def _completed_jobs(self) -> int:
         return sum(c.completed_jobs for c in self.controllers)
+
+    def _drained(self) -> bool:
+        """End-of-workload: every known job has been routed and completed."""
+        if self.job_source is not None:
+            return self._source_done and self._completed_jobs() >= self._routed
+        return self._completed_jobs() >= len(self.jobs)
 
     def fault_counters(self) -> dict:
         """Fleet-wide fault/recovery counters summed over all injectors."""
@@ -359,6 +412,10 @@ class FleetSimulation:
         the remainder of the trace and produces metrics bitwise-identical to
         an uninterrupted run.
         """
+        if self.job_source is not None:
+            raise ValueError(
+                "checkpoint restore is not supported with a streaming job_source"
+            )
         from repro.faults.checkpoint import restore_fleet
 
         restore_fleet(self, payload)
@@ -378,6 +435,34 @@ class FleetSimulation:
     # ---------------------------------------------------------------- events
     def _make_routing_callback(self, job: Job):
         def _callback(_sim: Simulator) -> None:
+            self._route(job)
+
+        return _callback
+
+    # ------------------------------------------------------------- streaming
+    def _start_streaming(self) -> None:
+        """Prime the chained-arrival pump from the streaming job source."""
+        self._source_iter = iter(self.job_source)
+        first = next(self._source_iter, None)
+        if first is None:
+            raise ValueError("the streaming job source yielded no jobs")
+        self._schedule_streamed(first)
+
+    def _schedule_streamed(self, job: Job) -> None:
+        self.sim.schedule_at(
+            job.arrival_time, self._make_streamed_callback(job), priority=0
+        )
+
+    def _make_streamed_callback(self, job: Job):
+        def _callback(_sim: Simulator) -> None:
+            # Pull and schedule the successor BEFORE routing this job: at
+            # equal timestamps the heap sequence then matches the batch
+            # path, which pre-schedules all arrivals in trace order.
+            successor = next(self._source_iter, None)
+            if successor is None:
+                self._source_done = True
+            else:
+                self._schedule_streamed(successor)
             self._route(job)
 
         return _callback

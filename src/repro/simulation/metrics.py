@@ -295,7 +295,12 @@ class SummaryStatistics:
 
 @dataclass
 class ClassMetrics:
-    """Aggregated metrics for one priority class."""
+    """Aggregated metrics for one priority class.
+
+    ``mean_slowdown`` averages per-job response/execution ratios over jobs
+    with positive execution time; it is tracked online in streaming mode so
+    eviction/slowdown reports work on replayed million-job runs.
+    """
 
     priority: int
     response_time: SummaryStatistics
@@ -305,6 +310,7 @@ class ClassMetrics:
     evictions: int
     wasted_time: float
     job_count: int
+    mean_slowdown: float = float("nan")
 
 
 @dataclass
@@ -339,7 +345,16 @@ class EnergyAccount:
 class _StreamingClassState:
     """Online per-class aggregates for the streaming collector."""
 
-    __slots__ = ("response", "queueing", "execution", "loss_sum", "evictions", "wasted_time")
+    __slots__ = (
+        "response",
+        "queueing",
+        "execution",
+        "loss_sum",
+        "evictions",
+        "wasted_time",
+        "slowdown_sum",
+        "slowdown_count",
+    )
 
     def __init__(self, quantiles: Optional[Sequence[float]] = None) -> None:
         self.response = OnlineStats(quantiles)
@@ -348,6 +363,8 @@ class _StreamingClassState:
         self.loss_sum = 0.0
         self.evictions = 0
         self.wasted_time = 0.0
+        self.slowdown_sum = 0.0
+        self.slowdown_count = 0
 
     def add(self, record: JobRecord) -> None:
         self.response.add(record.response_time)
@@ -356,6 +373,9 @@ class _StreamingClassState:
         self.loss_sum += record.accuracy_loss
         self.evictions += record.evictions
         self.wasted_time += record.wasted_time
+        if record.execution_time > 0:
+            self.slowdown_sum += record.slowdown
+            self.slowdown_count += 1
 
     def to_class_metrics(self, priority: int) -> ClassMetrics:
         count = self.response.count
@@ -368,6 +388,11 @@ class _StreamingClassState:
             evictions=self.evictions,
             wasted_time=self.wasted_time,
             job_count=count,
+            mean_slowdown=(
+                self.slowdown_sum / self.slowdown_count
+                if self.slowdown_count
+                else float("nan")
+            ),
         )
 
 
@@ -528,6 +553,7 @@ class MetricsCollector:
             return state.to_class_metrics(priority)
         records = self._partition_map().get(priority, [])
         losses = [r.accuracy_loss for r in records]
+        slowdowns = [r.slowdown for r in records if r.execution_time > 0]
         return ClassMetrics(
             priority=priority,
             response_time=SummaryStatistics.from_sorted(
@@ -543,6 +569,7 @@ class MetricsCollector:
             evictions=sum(r.evictions for r in records),
             wasted_time=sum(r.wasted_time for r in records),
             job_count=len(records),
+            mean_slowdown=(sum(slowdowns) / len(slowdowns)) if slowdowns else float("nan"),
         )
 
     def all_class_metrics(self) -> Dict[int, ClassMetrics]:

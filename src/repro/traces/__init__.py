@@ -1,0 +1,71 @@
+"""Trace ingestion & replay: drive the simulations from cluster traces.
+
+The paper grounds its priority mixes in the Google cluster trace; this
+package closes the loop by replaying trace files — Google/Alibaba-style
+cluster tables or TPC-H-style stage-DAG traces — into the fleet and DAG
+simulations at million-job scale:
+
+* :mod:`repro.traces.schema` — typed :class:`TraceJob`/:class:`TraceStage`/
+  :class:`TraceTask` records plus length/resource bucketing;
+* :mod:`repro.traces.formats` — the on-disk formats (``cluster-csv``,
+  ``cluster-jsonl``, ``dag-jsonl``), streaming parsers/writers, and
+  order-preserving parallel ingestion;
+* :mod:`repro.traces.synth` — a deterministic trace synthesizer built on the
+  existing workload generators (``repro synth-trace``);
+* :mod:`repro.traces.replay` — the replay engine feeding trace arrivals into
+  :class:`~repro.fleet.simulation.FleetSimulation` /
+  :class:`~repro.dag.simulation.DagSimulation` as a constant-memory streaming
+  iterator with time-compression and arrival-rate scaling knobs.
+"""
+
+from repro.traces.formats import (
+    CLUSTER_CSV,
+    CLUSTER_JSONL,
+    DAG_JSONL,
+    DEFAULT_WAVE_WIDTH,
+    TRACE_FORMATS,
+    TraceMeta,
+    iter_trace,
+    read_trace_meta,
+    write_trace,
+)
+from repro.traces.replay import ReplaySource, job_from_trace, dag_job_from_trace
+from repro.traces.schema import (
+    TraceFormatError,
+    TraceHistogram,
+    TraceJob,
+    TraceStage,
+    TraceTask,
+    classify_resources,
+    classify_time,
+)
+from repro.traces.synth import (
+    iter_synthetic_dag_trace,
+    iter_synthetic_trace,
+    synthesize_trace,
+)
+
+__all__ = [
+    "CLUSTER_CSV",
+    "CLUSTER_JSONL",
+    "DAG_JSONL",
+    "DEFAULT_WAVE_WIDTH",
+    "TRACE_FORMATS",
+    "TraceFormatError",
+    "TraceHistogram",
+    "TraceJob",
+    "TraceMeta",
+    "TraceStage",
+    "TraceTask",
+    "ReplaySource",
+    "classify_resources",
+    "classify_time",
+    "dag_job_from_trace",
+    "iter_synthetic_dag_trace",
+    "iter_synthetic_trace",
+    "iter_trace",
+    "job_from_trace",
+    "read_trace_meta",
+    "synthesize_trace",
+    "write_trace",
+]

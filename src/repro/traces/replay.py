@@ -1,0 +1,216 @@
+"""The replay engine: trace records → simulation jobs, as a streaming source.
+
+:class:`ReplaySource` is the bridge between a trace file and the simulation
+layers: it validates the file header eagerly (fail fast, before any
+simulation state exists), then lazily converts each
+:class:`~repro.traces.schema.TraceJob` into an engine
+:class:`~repro.engine.job.Job` (fleet replay) or
+:class:`~repro.dag.graph.DagJob` (DAG replay) as the simulation pulls
+arrivals — constant memory end to end.
+
+Two knobs turn one trace into a load sweep:
+
+``time_scale``
+    Time compression: divides arrival times *and* task durations, replaying
+    the same workload faster without changing the offered load.
+
+``rate_scale``
+    Arrival-rate scaling: divides only the arrival times, packing the same
+    jobs more densely — ``rate_scale=1.25`` offers 25 % more load.
+
+Replay profiles (setup times, permissible accuracy loss) come from the trace
+header's per-class metadata when present — synthesized traces always carry
+it — and fall back to conservative defaults (no approximation allowed)
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.dag.graph import DagJob, DagStage, StageDAG
+from repro.engine.job import Job, StageSpec
+from repro.engine.profiles import JobClassProfile
+from repro.traces.formats import (
+    CLUSTER_FORMATS,
+    DAG_JSONL,
+    TraceMeta,
+    iter_trace,
+    read_trace_meta,
+)
+from repro.traces.schema import TraceFormatError, TraceJob
+
+#: Replay modes and the trace formats each accepts.
+REPLAY_MODES = ("fleet", "dag")
+
+
+def replay_profile(
+    priority: int,
+    info: Optional[Dict[str, float]] = None,
+    time_scale: float = 1.0,
+) -> JobClassProfile:
+    """A job-class profile for replayed jobs of one priority.
+
+    Only the fields the engine consults at run time matter here — setup
+    times, the permissible accuracy loss, and the descriptive size — because
+    task durations come from the trace itself, never from the profile's
+    sampling models.
+    """
+    info = info or {}
+    return JobClassProfile(
+        priority=priority,
+        name=f"replay-p{priority}",
+        mean_size_mb=float(info.get("mean_size_mb", 473.0)),
+        setup_time_full=float(info.get("setup_time_full", 12.0)) / time_scale,
+        setup_time_min=float(info.get("setup_time_min", 6.0)) / time_scale,
+        max_accuracy_loss=float(info.get("max_accuracy_loss", 0.0)),
+    )
+
+
+def job_from_trace(
+    record: TraceJob,
+    profile: JobClassProfile,
+    time_scale: float = 1.0,
+    rate_scale: float = 1.0,
+) -> Job:
+    """Convert a linear trace record into an engine job (scaled)."""
+    if record.kind != "linear":
+        raise TraceFormatError(
+            f"job {record.job_id}: DAG records replay into the DAG layer "
+            f"(repro dag --replay)"
+        )
+    arrival = record.arrival_time / (time_scale * rate_scale)
+    stages = [
+        StageSpec(
+            index=stage.index,
+            map_task_times=[t / time_scale for t in stage.map_durations],
+            reduce_task_times=[t / time_scale for t in stage.reduce_durations],
+            shuffle_time=stage.shuffle_time / time_scale,
+            droppable=stage.droppable,
+        )
+        for stage in record.stages
+    ]
+    return Job(
+        job_id=record.job_id,
+        priority=record.priority,
+        arrival_time=arrival,
+        size_mb=record.size_mb,
+        stages=stages,
+        profile=profile,
+        label=profile.name,
+    )
+
+
+def dag_job_from_trace(
+    record: TraceJob,
+    profile: JobClassProfile,
+    time_scale: float = 1.0,
+    rate_scale: float = 1.0,
+) -> DagJob:
+    """Convert a DAG trace record into a :class:`DagJob` (scaled, validated)."""
+    if record.kind != "dag":
+        raise TraceFormatError(
+            f"job {record.job_id}: linear records replay into the fleet layer "
+            f"(repro fleet --replay)"
+        )
+    arrival = record.arrival_time / (time_scale * rate_scale)
+    stages = [
+        DagStage(
+            index=stage.index,
+            map_task_times=[t / time_scale for t in stage.map_durations],
+            reduce_task_times=[t / time_scale for t in stage.reduce_durations],
+            shuffle_time=stage.shuffle_time / time_scale,
+            droppable=stage.droppable,
+            parents=stage.parents,
+            name=f"replay-{stage.index}",
+        )
+        for stage in record.stages
+    ]
+    try:
+        dag = StageDAG(stages)
+    except ValueError as err:
+        raise TraceFormatError(f"job {record.job_id}: {err}") from None
+    return DagJob(
+        job_id=record.job_id,
+        priority=record.priority,
+        arrival_time=arrival,
+        size_mb=record.size_mb,
+        dag=dag,
+        profile=profile,
+        label=profile.name,
+    )
+
+
+class ReplaySource:
+    """A streaming job source over a trace file.
+
+    Iterating yields engine jobs in arrival order.  The header is read (and
+    the format checked against ``mode``) at construction time, so malformed
+    or mismatched files fail before any simulation is built.  ``jobs > 1``
+    parallelises the record *parsing* (order-preserving, byte-identical to
+    serial — see :func:`repro.traces.formats.iter_trace`); the conversion and
+    the simulation itself are unchanged.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        mode: str = "fleet",
+        fmt: Optional[str] = None,
+        jobs: int = 1,
+        time_scale: float = 1.0,
+        rate_scale: float = 1.0,
+    ) -> None:
+        if mode not in REPLAY_MODES:
+            raise ValueError(f"mode must be one of {REPLAY_MODES}")
+        if time_scale <= 0 or rate_scale <= 0:
+            raise ValueError("time_scale and rate_scale must be positive")
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.path = path
+        self.mode = mode
+        self.jobs = jobs
+        self.time_scale = float(time_scale)
+        self.rate_scale = float(rate_scale)
+        self.meta: TraceMeta = read_trace_meta(path, fmt)
+        if mode == "fleet" and self.meta.format not in CLUSTER_FORMATS:
+            raise TraceFormatError(
+                f"{path}: a {self.meta.format} trace replays into the DAG layer — "
+                f"use 'repro dag --replay'"
+            )
+        if mode == "dag" and self.meta.format != DAG_JSONL:
+            raise TraceFormatError(
+                f"{path}: a {self.meta.format} trace replays into the fleet layer — "
+                f"use 'repro fleet --replay'"
+            )
+        self._profiles: Dict[int, JobClassProfile] = {}
+        #: Populated while the simulation drains the iterator.
+        self.jobs_ingested = 0
+        self.horizon = 0.0
+
+    # ---------------------------------------------------------------- helpers
+    def profile(self, priority: int) -> JobClassProfile:
+        cached = self._profiles.get(priority)
+        if cached is None:
+            cached = self._profiles[priority] = replay_profile(
+                priority, self.meta.classes.get(priority), self.time_scale
+            )
+        return cached
+
+    def class_shares(self) -> Dict[int, float]:
+        """Per-priority traffic shares from the header (empty if undeclared)."""
+        return self.meta.class_shares()
+
+    @property
+    def expected_jobs(self) -> Optional[int]:
+        return self.meta.jobs
+
+    # --------------------------------------------------------------- iterate
+    def __iter__(self) -> Iterator:
+        convert = job_from_trace if self.mode == "fleet" else dag_job_from_trace
+        time_scale, rate_scale = self.time_scale, self.rate_scale
+        for record in iter_trace(self.path, fmt=self.meta.format, jobs=self.jobs):
+            job = convert(record, self.profile(record.priority), time_scale, rate_scale)
+            self.jobs_ingested += 1
+            self.horizon = job.arrival_time
+            yield job

@@ -12,7 +12,11 @@ stand-in for that trace:
   classes the paper evaluates (the mapping the authors apply implicitly), and
 * :func:`eviction_statistics` — per-priority eviction/waste summaries from a
   finished simulation, in the same terms as the §2.1 motivation (machine time
-  wasted, slowdown of the lowest priority vs the rest).
+  wasted, slowdown of the lowest priority vs the rest), and
+* :func:`google_mix_scenario` — the bridge into the trace subsystem: a
+  :class:`~repro.workloads.scenarios.Scenario` whose class ratio *is* the
+  collapsed Google mix, so ``repro synth-trace --mix google`` and the paper's
+  2/3-class scenarios share one code path.
 """
 
 from __future__ import annotations
@@ -90,9 +94,83 @@ def dominant_classes(
     return {index: share / total for index, share in shares.items()}
 
 
+def google_mix_scenario(
+    num_classes: int = 3,
+    target_utilisation: float = 0.8,
+    num_jobs: int = 400,
+):
+    """A scenario whose class ratio is the collapsed Google priority mix.
+
+    Builds the 12-level :func:`google_like_priority_mix`, collapses it onto
+    the ``num_classes`` (2 or 3) dominant classes with
+    :func:`dominant_classes`, and instantiates the paper's text-analysis
+    profiles with the collapsed shares as the arrival class ratio.  This is
+    the :class:`~repro.traces.schema.TraceJob` source behind
+    ``repro synth-trace --mix google`` — the synthesizer and the paper's
+    2/3-class scenarios share this one code path.
+    """
+    from repro.workloads.scenarios import (
+        HIGH_PRIORITY_SIZE_MB,
+        LOW_PRIORITY_SIZE_MB,
+        Scenario,
+        text_profile,
+    )
+
+    if num_classes not in (2, 3):
+        raise ValueError("the paper collapses the mix onto 2 or 3 classes")
+    mix = google_like_priority_mix()
+    shares = dominant_classes(mix, num_classes=num_classes)
+    # Class index 0 is the lowest priority; grade sizes and permissible
+    # accuracy loss from the paper's low/medium/high profiles.
+    grading = {
+        2: ((LOW_PRIORITY_SIZE_MB, 0.32), (HIGH_PRIORITY_SIZE_MB, 0.0)),
+        3: ((LOW_PRIORITY_SIZE_MB, 0.32), (800.0, 0.15), (HIGH_PRIORITY_SIZE_MB, 0.0)),
+    }[num_classes]
+    names = {2: ("low", "high"), 3: ("low", "medium", "high")}[num_classes]
+    profiles = {
+        index: text_profile(index, names[index], size_mb, max_accuracy_loss=loss)
+        for index, (size_mb, loss) in enumerate(grading)
+    }
+    return Scenario(
+        name=f"google-mix-{num_classes}",
+        description=(
+            f"Google 12-level priority mix collapsed onto the {num_classes} "
+            f"dominant classes"
+        ),
+        profiles=profiles,
+        class_ratio=dict(shares),
+        target_utilisation=target_utilisation,
+        num_jobs=num_jobs,
+    )
+
+
 def eviction_statistics(result: SimulationResult) -> List[Dict[str, float]]:
-    """Per-priority eviction and slowdown summary (the §2.1 motivation numbers)."""
-    rows: List[Dict[str, float]] = []
+    """Per-priority eviction and slowdown summary (the §2.1 motivation numbers).
+
+    Works on batch *and* streaming (replayed) runs: with
+    ``MetricsCollector(streaming=True)`` the per-record loops are replaced by
+    the collector's online per-class aggregates.
+    """
+    if result.metrics.streaming:
+        rows: List[Dict[str, float]] = []
+        for priority in result.priorities():
+            cm = result.metrics.class_metrics(priority)
+            if cm.job_count == 0:
+                continue
+            useful = cm.execution_time.mean * cm.job_count
+            wasted = cm.wasted_time
+            rows.append(
+                {
+                    "priority": priority,
+                    "jobs": float(cm.job_count),
+                    "evictions": float(cm.evictions),
+                    "evictions_per_job": cm.evictions / cm.job_count,
+                    "wasted_machine_time_pct": 100.0 * wasted / (useful + wasted) if useful + wasted else 0.0,
+                    "mean_slowdown": cm.mean_slowdown,
+                }
+            )
+        return rows
+    rows = []
     for priority in result.priorities():
         records = result.metrics.records_for_priority(priority)
         if not records:

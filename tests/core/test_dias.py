@@ -234,3 +234,14 @@ def test_drop_ratio_decision_validates_bounds():
             DropRatioDecision(map_drop_ratio=bad)
         with pytest.raises(ValueError):
             DropRatioDecision(map_drop_ratio=0.0, reduce_drop_ratio=bad)
+
+
+def test_duplicate_job_ids_are_tolerated():
+    # Hand-built traces (e.g. two generated halves concatenated) can reuse
+    # job ids; completion bookkeeping must not assume ids are unique even
+    # though it pops per-job state to keep streaming replays bounded.
+    jobs = [make_job(0, LOW, arrival=0.0), make_job(0, LOW, arrival=1.0),
+            make_job(0, HIGH, arrival=2.0)]
+    result = run_policy(SchedulingPolicy.preemptive_priority(), jobs,
+                        cluster=small_cluster())
+    assert result.metrics.job_count == 3

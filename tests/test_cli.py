@@ -392,3 +392,80 @@ def test_list_mentions_fault_kinds(capsys):
     output = capsys.readouterr().out
     assert "fault kinds" in output
     assert "crash" in output and "stragglers" in output and "taskfail" in output
+
+
+# ------------------------------------------------------------- trace replay
+def _synth_cli_trace(tmp_path, capsys, *extra):
+    path = str(tmp_path / "trace.jsonl")
+    assert main(["synth-trace", "--out", path, "--num-jobs", "30",
+                 "--seed", "5", *extra]) == 0
+    capsys.readouterr()
+    return path
+
+
+def test_synth_trace_prints_a_histogram(tmp_path, capsys):
+    path = str(tmp_path / "t.jsonl")
+    code = main(["synth-trace", "--out", path, "--num-jobs", "25", "--seed", "1"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "jobs: 25" in output
+    assert "length buckets" in output
+
+
+def test_synth_trace_google_mix_rejects_scenario(tmp_path, capsys):
+    path = str(tmp_path / "t.jsonl")
+    code = main(["synth-trace", "--out", path, "--mix", "google",
+                 "--scenario", "reference"])
+    assert code == 1
+    assert "--mix" in capsys.readouterr().err
+
+
+def test_fleet_replay_runs_and_reports(tmp_path, capsys):
+    path = _synth_cli_trace(tmp_path, capsys)
+    assert main(["fleet", "--replay", path]) == 0
+    output = capsys.readouterr().out
+    assert "Fleet replay" in output
+    assert "30 jobs" in output
+
+
+def test_replay_rejects_conflicting_flags(tmp_path, capsys):
+    path = _synth_cli_trace(tmp_path, capsys)
+    code = main(["fleet", "--replay", path, "--num-jobs", "10"])
+    assert code == 1
+    assert "conflicts" in capsys.readouterr().err
+    code = main(["fleet", "--replay", path, "--scenario", "two-priority"])
+    assert code == 1
+    assert "conflicts" in capsys.readouterr().err
+
+
+def test_replay_fails_fast_on_malformed_files(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not a trace\n")
+    assert main(["fleet", "--replay", str(bad)]) == 1
+    assert "unrecognised trace file" in capsys.readouterr().err
+    assert main(["fleet", "--replay", str(tmp_path / "missing.jsonl")]) == 1
+    assert "no such trace file" in capsys.readouterr().err
+
+
+def test_replay_mode_mismatch_points_at_the_other_command(tmp_path, capsys):
+    path = _synth_cli_trace(tmp_path, capsys)
+    assert main(["dag", "--replay", path]) == 1
+    assert "repro fleet --replay" in capsys.readouterr().err
+
+
+def test_dag_replay_runs_from_a_dag_trace(tmp_path, capsys):
+    path = str(tmp_path / "dag.jsonl")
+    assert main(["synth-trace", "--out", path, "--format", "dag-jsonl",
+                 "--num-jobs", "10", "--seed", "2"]) == 0
+    capsys.readouterr()
+    assert main(["dag", "--replay", path]) == 0
+    output = capsys.readouterr().out
+    assert "DAG replay" in output
+    assert "10 jobs" in output
+
+
+def test_list_mentions_trace_formats(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "trace formats" in output
+    assert "cluster-csv" in output and "dag-jsonl" in output

@@ -1,0 +1,207 @@
+"""Tests for the replay engine and the Google-mix trace bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dias import DiASSimulation
+from repro.core.policies import SchedulingPolicy
+from repro.engine.cluster import Cluster, ClusterConfig
+from repro.engine.job import Job, StageSpec
+from repro.engine.profiles import JobClassProfile
+from repro.simulation.metrics import MetricsCollector
+from repro.traces.formats import DAG_JSONL
+from repro.traces.replay import (
+    ReplaySource,
+    dag_job_from_trace,
+    job_from_trace,
+    replay_profile,
+)
+from repro.traces.schema import TraceFormatError, TraceJob, TraceStage
+from repro.traces.synth import synthesize_trace
+from repro.workloads.scenarios import (
+    dag_layered_scenario,
+    reference_two_priority_scenario,
+)
+from repro.workloads.traces import eviction_statistics, google_mix_scenario
+
+
+def _linear_record(arrival=10.0, priority=1):
+    stage = TraceStage(
+        index=0,
+        map_durations=(4.0, 6.0),
+        reduce_durations=(2.0,),
+        shuffle_time=1.0,
+    )
+    return TraceJob(
+        job_id=0,
+        arrival_time=arrival,
+        priority=priority,
+        size_mb=100.0,
+        stages=(stage,),
+        kind="linear",
+    )
+
+
+def _dag_record():
+    stages = (
+        TraceStage(index=0, map_durations=(2.0, 2.0)),
+        TraceStage(index=1, map_durations=(3.0,), parents=(0,)),
+    )
+    return TraceJob(
+        job_id=0,
+        arrival_time=8.0,
+        priority=0,
+        size_mb=100.0,
+        stages=stages,
+        kind="dag",
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster_trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("traces") / "cluster.jsonl")
+    scenario = reference_two_priority_scenario(num_jobs=30)
+    meta = synthesize_trace(path, scenario, num_jobs=30, seed=7)
+    return path, meta
+
+
+@pytest.fixture(scope="module")
+def dag_trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("traces") / "dag.jsonl")
+    scenario = dag_layered_scenario(num_jobs=10)
+    meta = synthesize_trace(path, scenario, num_jobs=10, seed=7, fmt=DAG_JSONL)
+    return path, meta
+
+
+def test_replay_profile_defaults_are_conservative():
+    profile = replay_profile(2)
+    assert profile.priority == 2
+    assert profile.max_accuracy_loss == 0.0
+    assert profile.setup_time_full == pytest.approx(12.0)
+
+
+def test_replay_profile_uses_header_info_and_time_scale():
+    info = {
+        "setup_time_full": 20.0,
+        "setup_time_min": 10.0,
+        "max_accuracy_loss": 0.3,
+        "mean_size_mb": 512.0,
+    }
+    profile = replay_profile(1, info, time_scale=2.0)
+    assert profile.setup_time_full == pytest.approx(10.0)
+    assert profile.setup_time_min == pytest.approx(5.0)
+    assert profile.max_accuracy_loss == pytest.approx(0.3)
+    assert profile.mean_size_mb == pytest.approx(512.0)
+
+
+def test_job_from_trace_scales_arrivals_and_durations():
+    record = _linear_record(arrival=10.0)
+    profile = replay_profile(record.priority, time_scale=2.0)
+    job = job_from_trace(record, profile, time_scale=2.0, rate_scale=2.5)
+    # time_scale divides both axes; rate_scale only packs arrivals closer.
+    assert job.arrival_time == pytest.approx(10.0 / 5.0)
+    assert job.stages[0].map_task_times == pytest.approx([2.0, 3.0])
+    assert job.stages[0].reduce_task_times == pytest.approx([1.0])
+    assert job.stages[0].shuffle_time == pytest.approx(0.5)
+
+
+def test_kind_mismatches_are_rejected():
+    profile = replay_profile(0)
+    with pytest.raises(TraceFormatError, match="repro dag --replay"):
+        job_from_trace(_dag_record(), profile)
+    with pytest.raises(TraceFormatError, match="repro fleet --replay"):
+        dag_job_from_trace(_linear_record(), profile)
+
+
+def test_dag_job_from_trace_preserves_dependencies():
+    record = _dag_record()
+    job = dag_job_from_trace(record, replay_profile(0), time_scale=2.0)
+    assert job.arrival_time == pytest.approx(4.0)
+    assert job.dag.stages[1].parents == (0,)
+    assert job.dag.stages[1].map_task_times == pytest.approx([1.5])
+
+
+def test_replay_source_checks_mode_against_format(cluster_trace, dag_trace):
+    with pytest.raises(TraceFormatError, match="repro fleet --replay"):
+        ReplaySource(cluster_trace[0], mode="dag")
+    with pytest.raises(TraceFormatError, match="repro dag --replay"):
+        ReplaySource(dag_trace[0], mode="fleet")
+    with pytest.raises(ValueError, match="mode must be"):
+        ReplaySource(cluster_trace[0], mode="chaos")
+    with pytest.raises(ValueError, match="positive"):
+        ReplaySource(cluster_trace[0], time_scale=0.0)
+
+
+def test_replay_source_streams_engine_jobs(cluster_trace):
+    path, meta = cluster_trace
+    source = ReplaySource(path)
+    assert source.expected_jobs == 30
+    shares = source.class_shares()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    jobs = list(source)
+    assert len(jobs) == 30
+    assert source.jobs_ingested == 30
+    assert all(isinstance(job, Job) for job in jobs)
+    arrivals = [job.arrival_time for job in jobs]
+    assert arrivals == sorted(arrivals)
+    assert source.horizon == pytest.approx(arrivals[-1])
+    # Profiles are cached per priority and graded from the header metadata.
+    priorities = {job.priority for job in jobs}
+    assert priorities <= set(meta.classes)
+    for job in jobs:
+        assert job.profile is source.profile(job.priority)
+
+
+def test_rate_scale_packs_arrivals_without_touching_durations(cluster_trace):
+    path, _ = cluster_trace
+    base = list(ReplaySource(path))
+    packed = list(ReplaySource(path, rate_scale=2.0))
+    for slow, fast in zip(base, packed):
+        assert fast.arrival_time == pytest.approx(slow.arrival_time / 2.0)
+        assert fast.stages[0].map_task_times == pytest.approx(
+            slow.stages[0].map_task_times
+        )
+
+
+def test_google_mix_scenario_bridges_the_trace_mix():
+    for num_classes in (2, 3):
+        scenario = google_mix_scenario(num_classes=num_classes)
+        assert len(scenario.profiles) == num_classes
+        assert sum(scenario.class_ratio.values()) == pytest.approx(1.0)
+        # Every collapsed class carries a dominant level's worth of mass.
+        assert all(share > 0.25 for share in scenario.class_ratio.values())
+    with pytest.raises(ValueError):
+        google_mix_scenario(num_classes=4)
+
+
+def _preemptive_jobs():
+    def make(job_id, priority, arrival):
+        profile = JobClassProfile(
+            priority=priority, partitions=2, reduce_tasks=0, shuffle_time=0.0,
+            setup_time_full=0.0, setup_time_min=0.0,
+        )
+        stage = StageSpec(index=0, map_task_times=[10.0, 10.0],
+                          reduce_task_times=[], shuffle_time=0.0)
+        return Job(job_id=job_id, priority=priority, arrival_time=arrival,
+                   size_mb=10.0, stages=[stage], profile=profile)
+
+    return [make(0, 0, 0.0), make(1, 2, 5.0), make(2, 0, 50.0)]
+
+
+def test_eviction_statistics_match_between_batch_and_streaming():
+    rows = {}
+    for streaming in (False, True):
+        simulation = DiASSimulation(
+            policy=SchedulingPolicy.preemptive_priority(),
+            jobs=_preemptive_jobs(),
+            cluster=Cluster(ClusterConfig(workers=1, cores_per_worker=2)),
+            metrics=MetricsCollector(streaming=streaming),
+        )
+        rows[streaming] = {
+            row["priority"]: row for row in eviction_statistics(simulation.run())
+        }
+    assert set(rows[True]) == set(rows[False])
+    for priority, batch_row in rows[False].items():
+        for key, value in batch_row.items():
+            assert rows[True][priority][key] == pytest.approx(value), (priority, key)

@@ -1,0 +1,131 @@
+"""Tests for the trace record schema and bucketing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.schema import (
+    TraceFormatError,
+    TraceHistogram,
+    TraceJob,
+    TraceStage,
+    classify_resources,
+    classify_time,
+)
+
+
+def _job(**overrides):
+    defaults = dict(
+        job_id=1,
+        arrival_time=10.0,
+        priority=0,
+        size_mb=100.0,
+        stages=(TraceStage(index=0, map_durations=(5.0, 7.0)),),
+        kind="linear",
+    )
+    defaults.update(overrides)
+    return TraceJob(**defaults)
+
+
+def test_time_buckets_cover_the_spectrum():
+    assert classify_time(5.0) == "0-30s"
+    assert classify_time(30.0) == "0-30s"
+    assert classify_time(31.0) == "30-120s"
+    assert classify_time(500.0) == "2-10m"
+    assert classify_time(1800.0) == "10-60m"
+    assert classify_time(7200.0) == "1h+"
+
+
+def test_resource_buckets_cover_the_spectrum():
+    assert classify_resources(1) == "1"
+    assert classify_resources(2) == "2"
+    assert classify_resources(4) == "3-4"
+    assert classify_resources(20) == "17-32"
+    assert classify_resources(10_000) == "64+"
+
+
+def test_stage_properties():
+    stage = TraceStage(
+        index=0,
+        map_durations=(4.0, 6.0, 2.0),
+        reduce_durations=(1.0,),
+        shuffle_time=0.5,
+    )
+    assert stage.num_tasks == 4
+    assert stage.width == 3
+    assert stage.total_work() == pytest.approx(13.0)
+    kinds = [task.kind for task in stage.tasks()]
+    assert kinds == ["map", "map", "map", "reduce"]
+
+
+def test_stage_rejects_bad_durations():
+    with pytest.raises(TraceFormatError):
+        TraceStage(index=0, map_durations=())
+    with pytest.raises(TraceFormatError):
+        TraceStage(index=0, map_durations=(1.0, -2.0))
+    with pytest.raises(TraceFormatError):
+        TraceStage(index=0, map_durations=(1.0,), shuffle_time=-1.0)
+
+
+def test_stage_rejects_bad_parents():
+    with pytest.raises(TraceFormatError):
+        TraceStage(index=2, map_durations=(1.0,), parents=(2,))
+    with pytest.raises(TraceFormatError):
+        TraceStage(index=2, map_durations=(1.0,), parents=(0, 0))
+
+
+def test_job_validates_fields():
+    with pytest.raises(TraceFormatError):
+        _job(kind="tree")
+    with pytest.raises(TraceFormatError):
+        _job(arrival_time=-1.0)
+    with pytest.raises(TraceFormatError):
+        _job(size_mb=0.0)
+    with pytest.raises(TraceFormatError):
+        _job(stages=())
+
+
+def test_job_requires_contiguous_stage_indices():
+    stages = (
+        TraceStage(index=0, map_durations=(1.0,)),
+        TraceStage(index=2, map_durations=(1.0,)),
+    )
+    with pytest.raises(TraceFormatError):
+        _job(stages=stages)
+
+
+def test_linear_jobs_reject_parents_and_dags_check_ranges():
+    stages = (
+        TraceStage(index=0, map_durations=(1.0,)),
+        TraceStage(index=1, map_durations=(1.0,), parents=(0,)),
+    )
+    with pytest.raises(TraceFormatError):
+        _job(stages=stages, kind="linear")
+    assert _job(stages=stages, kind="dag").num_stages == 2
+    bad = (
+        TraceStage(index=0, map_durations=(1.0,)),
+        TraceStage(index=1, map_durations=(1.0,), parents=(5,)),
+    )
+    with pytest.raises(TraceFormatError):
+        _job(stages=bad, kind="dag")
+
+
+def test_job_buckets_and_totals():
+    job = _job()
+    assert job.num_tasks == 2
+    assert job.total_work() == pytest.approx(12.0)
+    assert job.max_width == 2
+    assert job.time_bucket() == "0-30s"
+    assert job.resource_bucket() == "2"
+
+
+def test_histogram_accumulates_streamed_records():
+    histogram = TraceHistogram()
+    histogram.add(_job(job_id=0, arrival_time=0.0))
+    histogram.add(_job(job_id=1, arrival_time=50.0, priority=2))
+    assert histogram.jobs == 2
+    assert histogram.horizon == 50.0
+    assert histogram.by_priority == {0: 1, 2: 1}
+    table = histogram.format_table()
+    assert "jobs: 2" in table
+    assert "p0: 1" in table
