@@ -1,0 +1,89 @@
+"""Retained PR 9 decision-site bodies (pre decision-hook refactor).
+
+``bench_learned_policy.py`` monkeypatches these verbatim copies of
+``DagExecution._fill_slots`` and ``FleetSimulation._route`` — exactly as they
+stood before the decision-hook branch was added — onto the live classes to
+measure the PR 9 baseline throughput.  The gate then requires the current
+hook-aware path (with no external agent attached) to stay within 95% of this
+baseline, mirroring how ``_pr7_execution.py`` anchors the fault-injection
+overhead gate.
+
+Do not "fix" or modernise this module: its value is being frozen.
+"""
+
+from repro.dag.execution import _ActiveTask
+
+
+def pr9_fill_slots(self) -> None:
+    """Verbatim ``DagExecution._fill_slots`` as of PR 9 (no decision hook)."""
+    while self._free_slots:
+        eligible = [run for run in self._runs.values() if run.dispatchable]
+        if not eligible:
+            break
+        run = self.scheduler.select(eligible)
+        slot = self._free_slots.pop()
+        duration = run.pop_task()
+        if self._faults is not None:
+            self._start_task(slot, run, duration, attempt=1)
+            continue
+        event = self.sim.schedule(
+            duration / self._speed, self._make_task_callback(slot), priority=1
+        )
+        self._active[slot] = _ActiveTask(
+            slot=slot,
+            event=event,
+            speed=self._speed,
+            stage_run=run,
+            started_at=self.sim.now,
+            span_id=self.telemetry.new_span_id() if self.telemetry.tracing else 0,
+        )
+
+
+def pr9_route(self, job) -> None:
+    """Verbatim ``FleetSimulation._route`` as of PR 9 (no decision hook)."""
+    index = self.dispatcher.select(job, self.controllers)
+    if not 0 <= index < self.num_clusters:
+        raise ValueError(
+            f"dispatcher {self.dispatcher.name!r} returned invalid cluster "
+            f"index {index} for a fleet of {self.num_clusters}"
+        )
+    if self._quarantine:
+        redirected = self._quarantine_redirect(index)
+        if redirected != index:
+            self.quarantine_redirects += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "fault.quarantine",
+                    self.sim.now,
+                    src="fleet",
+                    job_id=job.job_id,
+                    cluster=index,
+                    redirected=redirected,
+                )
+            index = redirected
+    self._routed += 1
+    self.dispatch_counts[index] += 1
+    if self.telemetry.enabled:
+        self.telemetry.emit(
+            "job_routed",
+            self.sim.now,
+            src="fleet",
+            job_id=job.job_id,
+            priority=job.priority,
+            cluster=index,
+        )
+    if self.telemetry.tracing:
+        now = self.sim.now
+        self.telemetry.emit(
+            "span",
+            now,
+            src="fleet",
+            span_id=self.telemetry.new_span_id(),
+            parent_id=0,
+            name="route",
+            cat="route",
+            start=now,
+            job_id=job.job_id,
+            cluster=index,
+        )
+    self.controllers[index].submit(job)

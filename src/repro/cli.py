@@ -38,6 +38,7 @@ and returns a non-zero exit code on invalid arguments.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -57,6 +58,20 @@ from repro.experiments.parallel import (
 from repro.experiments.reporting import format_comparison, format_figure, format_rows
 from repro.experiments.sweeps import drop_ratio_sweep, load_sweep
 from repro.engine.cluster import ClusterCapacityError
+from repro.env import (
+    AGENTS,
+    ENV_IDS,
+    Agent,
+    BuiltinAgent,
+    EnvSpec,
+    SchedulerAgent,
+    evaluate,
+    load_agent,
+    make_agent,
+    save_agent,
+    train,
+)
+from repro.env.learn import DAG_ENV_SCENARIOS, FLEET_ENV_SCENARIOS, summarise
 from repro.faults import load_checkpoint, parse_fault_spec
 from repro.faults.chaos import fleet_from_config, run_chaos
 from repro.faults.spec import FAULT_KINDS
@@ -201,6 +216,43 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
                              "'crash:mttf=2000,repair=60;stragglers:p=0.05,"
                              "slowdown=4;taskfail:p=0.01,retries=3' "
                              f"(kinds: {', '.join(FAULT_KINDS)})")
+
+
+def _add_env_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags describing a decision environment (shared by ``learn``/``policy``)."""
+    parser.add_argument("--env", required=True, choices=list(ENV_IDS),
+                        help="decision environment: 'scheduling' picks the "
+                             "next DAG stage, 'routing' picks the target "
+                             "cluster")
+    parser.add_argument("--scenario", default=None,
+                        help="workload scenario (scheduling: "
+                             + ", ".join(sorted(DAG_ENV_SCENARIOS))
+                             + "; routing: "
+                             + ", ".join(sorted(FLEET_ENV_SCENARIOS))
+                             + "; mutually exclusive with --replay)")
+    parser.add_argument("--policy", type=_parse_policy, default=None,
+                        help="scheduling policy of the simulated cluster(s) "
+                             "(default: DA with 20%% low-priority dropping)")
+    parser.add_argument("--num-jobs", type=_positive_int, default=None,
+                        metavar="N",
+                        help="cap each episode at the first N jobs of the "
+                             "trace")
+    parser.add_argument("--clusters", type=_positive_int, default=None,
+                        help="fleet size for --env routing "
+                             "(default: the scenario's)")
+    parser.add_argument("--scheduler", default="fifo",
+                        help="stage scheduler driving the scheduling env's "
+                             "'builtin' agent "
+                             f"({', '.join(STAGE_SCHEDULERS)})")
+    parser.add_argument("--router", default="round_robin",
+                        help="dispatcher driving the routing env's 'builtin' "
+                             f"agent ({', '.join(ROUTERS)})")
+    parser.add_argument("--power-of-d", type=_positive_int, default=None,
+                        help="probe only d random clusters per decision (jsq)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed of the training/rollout episode "
+                             "stream")
+    _add_replay_flags(parser, "decision-env")
 
 
 def _check_telemetry_path(path: Optional[str]) -> Optional[str]:
@@ -491,6 +543,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(dag_parser)
     _add_fault_flags(dag_parser)
 
+    learn_parser = subparsers.add_parser(
+        "learn",
+        help="train a contextual-bandit policy in a decision env and "
+             "evaluate it against heuristic baselines under CRN",
+    )
+    _add_env_flags(learn_parser)
+    learn_parser.add_argument("--agent", default="epsilon_greedy",
+                              choices=["epsilon_greedy", "linucb"],
+                              help="learned agent to train "
+                                   "(default: epsilon_greedy)")
+    learn_parser.add_argument("--episodes", type=_positive_int, default=20,
+                              help="training episodes (default: 20)")
+    learn_parser.add_argument("--eval-episodes", type=_positive_int, default=5,
+                              help="CRN evaluation episodes per policy "
+                                   "(default: 5)")
+    learn_parser.add_argument("--eval-seed", type=int, default=1000,
+                              help="base seed of the evaluation episode "
+                                   "stream (disjoint from training; "
+                                   "default: 1000)")
+    learn_parser.add_argument("--epsilon", type=float, default=0.2,
+                              help="epsilon-greedy exploration rate "
+                                   "(default: 0.2)")
+    learn_parser.add_argument("--learning-rate", type=float, default=0.05,
+                              help="epsilon-greedy SGD step size "
+                                   "(default: 0.05)")
+    learn_parser.add_argument("--alpha", type=float, default=1.0,
+                              help="LinUCB exploration bonus (default: 1.0)")
+    learn_parser.add_argument("--baseline", action="append", default=None,
+                              metavar="NAME",
+                              help="heuristic baseline evaluated under the "
+                                   "same seeds (stage scheduler for "
+                                   "--env scheduling, router for --env "
+                                   "routing; repeatable; defaults: "
+                                   "fifo+critical_path_first / random+jsq)")
+    learn_parser.add_argument("--save", default=None, metavar="PATH",
+                              help="write the trained agent as JSON "
+                                   "(replay it with: repro policy --load)")
+    learn_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="write training history + evaluation "
+                                   "rows as machine-readable JSON")
+    learn_parser.add_argument("--jobs", type=_positive_int, default=1,
+                              metavar="N",
+                              help="worker processes for evaluation episodes "
+                                   "(byte-identical to --jobs 1)")
+
+    policy_parser = subparsers.add_parser(
+        "policy",
+        help="roll a saved or scripted policy through a decision env",
+    )
+    _add_env_flags(policy_parser)
+    source = policy_parser.add_mutually_exclusive_group()
+    source.add_argument("--agent", default="builtin",
+                        help="scripted agent: " + ", ".join(AGENTS)
+                             + ", or scheduler:<"
+                             + "|".join(STAGE_SCHEDULERS) + ">")
+    source.add_argument("--load", default=None, metavar="PATH",
+                        help="load an agent saved by: repro learn --save")
+    policy_parser.add_argument("--episodes", type=_positive_int, default=5,
+                               help="CRN rollout episodes (default: 5)")
+    policy_parser.add_argument("--out", default=None, metavar="PATH",
+                               help="write per-episode rows as JSON")
+    policy_parser.add_argument("--jobs", type=_positive_int, default=1,
+                               metavar="N",
+                               help="worker processes for episodes "
+                                    "(byte-identical to --jobs 1)")
+
     synth_parser = subparsers.add_parser(
         "synth-trace", help="synthesize a deterministic trace file to replay "
                             "with 'repro fleet/dag --replay'"
@@ -616,6 +734,10 @@ def _run_list() -> str:
     lines.append("dag scenarios: " + ", ".join(sorted(DAG_SCENARIOS)))
     lines.append("dag stage schedulers: " + ", ".join(STAGE_SCHEDULERS))
     lines.append("policies: P, NP, DA(<pct>/<pct>[/<pct>]) e.g. DA(0/20)")
+    lines.append("decision envs (learn, policy): " + ", ".join(ENV_IDS))
+    lines.append("decision agents (policy --agent): " + ", ".join(AGENTS)
+                 + ", scheduler:<stage scheduler>")
+    lines.append("learnable agents (learn --agent): epsilon_greedy, linucb")
     lines.append("fault kinds (--faults): " + ", ".join(FAULT_KINDS)
                  + "  e.g. 'crash:mttf=2000,repair=60;stragglers:p=0.05'")
     lines.append("trace formats (synth-trace, --replay): " + ", ".join(TRACE_FORMATS)
@@ -1103,6 +1225,174 @@ def _run_dag(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _env_spec(args: argparse.Namespace) -> EnvSpec:
+    """Build the picklable environment recipe shared by ``learn``/``policy``."""
+    scenario = args.scenario
+    if scenario is None and args.replay is None:
+        scenario = "layered" if args.env == "scheduling" else "two-priority"
+    _check_choice("stage scheduler", args.scheduler, list(STAGE_SCHEDULERS))
+    _check_choice("router", args.router, list(ROUTERS))
+    policy = (
+        args.policy
+        if args.policy is not None
+        else SchedulingPolicy.differential_approximation({HIGH: 0.0, LOW: 0.2})
+    )
+    return EnvSpec(
+        env=args.env,
+        policy=policy,
+        scenario=scenario,
+        replay=args.replay,
+        num_jobs=args.num_jobs,
+        clusters=args.clusters,
+        scheduler=args.scheduler,
+        dispatcher=args.router,
+        power_of_d=args.power_of_d,
+        time_scale=args.replay_time_scale,
+        rate_scale=args.replay_rate_scale,
+    )
+
+
+def _default_baselines(env: str) -> List[str]:
+    """Heuristics a learned policy is compared against when --baseline is absent."""
+    return (
+        ["fifo", "critical_path_first"] if env == "scheduling"
+        else ["random", "jsq"]
+    )
+
+
+def _baseline_rows(
+    spec: EnvSpec, name: str, episodes: int, base_seed: int, jobs: int
+) -> List[Dict[str, float]]:
+    """CRN-evaluate one heuristic baseline: a named stage scheduler on the
+    scheduling env, or the built-in dispatcher ``name`` on the routing env."""
+    if spec.env == "scheduling":
+        _check_choice("baseline stage scheduler", name, list(STAGE_SCHEDULERS))
+        agent: Agent = SchedulerAgent(name)
+    else:
+        _check_choice("baseline router", name, list(ROUTERS))
+        spec = spec.with_dispatcher(name)
+        agent = BuiltinAgent()
+    return evaluate(spec, agent, episodes=episodes, base_seed=base_seed,
+                    jobs=jobs)
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _run_learn(args: argparse.Namespace) -> str:
+    spec = _env_spec(args)
+    agent = make_agent(
+        args.agent,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        learning_rate=args.learning_rate,
+        alpha=args.alpha,
+    )
+    history = train(spec, agent, episodes=args.episodes, base_seed=args.seed)
+    if args.save is not None:
+        save_agent(agent, args.save)
+
+    baselines = args.baseline or _default_baselines(spec.env)
+    evaluations = {
+        agent.name: evaluate(spec, agent, episodes=args.eval_episodes,
+                             base_seed=args.eval_seed, jobs=args.jobs)
+    }
+    for name in baselines:
+        evaluations.setdefault(
+            f"baseline:{name}",
+            _baseline_rows(spec, name, args.eval_episodes, args.eval_seed,
+                           args.jobs),
+        )
+
+    key = spec.key_metric
+    summary = [
+        {"policy": name, **summarise(rows)}
+        for name, rows in evaluations.items()
+    ]
+    best_heuristic = min(
+        (row for row in summary if row["policy"] != agent.name),
+        key=lambda row: row[key],
+    )
+    learned = next(row for row in summary if row["policy"] == agent.name)
+    margin = best_heuristic[key] - learned[key]
+
+    title = (
+        f"learn: env={spec.env}  agent={agent.name}  "
+        f"episodes={args.episodes}  eval={args.eval_episodes}x"
+        f"@seed{args.eval_seed}"
+    )
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"training reward: first={history[0]['reward']:.3f}  "
+        f"last={history[-1]['reward']:.3f}"
+    )
+    lines += ["", "CRN evaluation (mean over episodes, lower "
+                  f"{key} is better)", format_rows(summary)]
+    verdict = (
+        f"{agent.name} beats {best_heuristic['policy']} on {key} "
+        f"by {margin:.3f}"
+        if margin > 0
+        else f"{agent.name} trails {best_heuristic['policy']} on {key} "
+             f"by {-margin:.3f}"
+    )
+    lines += ["", verdict]
+    if args.save is not None:
+        lines.append(f"agent saved to {args.save}")
+    if args.out is not None:
+        _write_json(args.out, {
+            "env": spec.env,
+            "agent": agent.name,
+            "key_metric": key,
+            "train": {
+                "episodes": args.episodes,
+                "base_seed": args.seed,
+                "history": history,
+            },
+            "eval": {
+                "episodes": args.eval_episodes,
+                "base_seed": args.eval_seed,
+                "rows": evaluations,
+                "summary": summary,
+            },
+        })
+        lines.append(f"results written to {args.out}")
+    return "\n".join(lines)
+
+
+def _run_policy(args: argparse.Namespace) -> str:
+    spec = _env_spec(args)
+    if args.load is not None:
+        agent = load_agent(args.load)
+    else:
+        agent = make_agent(args.agent, seed=args.seed)
+    if spec.env == "routing" and agent.name.startswith("scheduler:"):
+        raise ValueError(
+            f"{agent.name} only handles stage decisions; use it with "
+            "--env scheduling"
+        )
+    rows = evaluate(spec, agent, episodes=args.episodes, base_seed=args.seed,
+                    jobs=args.jobs)
+    summary = summarise(rows)
+    title = f"policy: env={spec.env}  agent={agent.name}  episodes={args.episodes}"
+    lines = [title, "=" * len(title), "", format_rows(rows), ""]
+    lines.append(
+        "mean: " + "  ".join(f"{k}={v:.3f}" for k, v in summary.items())
+    )
+    if args.out is not None:
+        _write_json(args.out, {
+            "env": spec.env,
+            "agent": agent.name,
+            "base_seed": args.seed,
+            "rows": rows,
+            "summary": summary,
+        })
+        lines.append(f"results written to {args.out}")
+    return "\n".join(lines)
+
+
 def _run_synth_trace(args: argparse.Namespace) -> str:
     """Synthesize a deterministic trace file and print its composition."""
     fmt = _check_choice("trace format", args.format, list(TRACE_FORMATS))
@@ -1283,6 +1573,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _run_chaos(args)
         elif args.command == "dag":
             output = _run_dag(args)
+        elif args.command == "learn":
+            output = _run_learn(args)
+        elif args.command == "policy":
+            output = _run_policy(args)
         elif args.command == "synth-trace":
             output = _run_synth_trace(args)
         elif args.command == "trace":

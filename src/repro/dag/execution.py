@@ -32,6 +32,7 @@ from repro.dag.graph import DagJob, DagStage
 from repro.dag.schedulers import StageScheduler, make_stage_scheduler
 from repro.engine.cluster import Cluster
 from repro.engine.job import effective_task_count
+from repro.simulation.decisions import STAGE, DecisionHook, DecisionPoint
 from repro.simulation.des import Event, Simulator
 from repro.telemetry.hub import NULL_HUB, TelemetryHub
 
@@ -200,12 +201,16 @@ class DagExecution:
         trace_parent: int = 0,
         faults=None,
         on_give_up: Optional[Callable[["DagExecution"], None]] = None,
+        decision_hook: Optional[DecisionHook] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.job = job
         self._faults = faults
         self._on_give_up = on_give_up
+        #: Optional external agent consulted at each stage decision; ``None``
+        #: keeps the built-in scheduler path untouched (one check per pick).
+        self._decision_hook = decision_hook
         #: Tasks sitting out a retry backoff: slot -> (event, base, attempt, run).
         self._retries: Dict[int, tuple] = {}
         self.telemetry = telemetry
@@ -504,11 +509,23 @@ class DagExecution:
                         stack.append(child)
 
     def _fill_slots(self) -> None:
+        hook = self._decision_hook
         while self._free_slots:
             eligible = [run for run in self._runs.values() if run.dispatchable]
             if not eligible:
                 break
-            run = self.scheduler.select(eligible)
+            if hook is None:
+                run = self.scheduler.select(eligible)
+            else:
+                choice = hook(
+                    DecisionPoint(STAGE, self.sim.now, eligible, self.job, self)
+                )
+                if not 0 <= choice < len(eligible):
+                    raise ValueError(
+                        f"decision hook returned invalid stage index {choice} "
+                        f"for {len(eligible)} dispatchable stage(s)"
+                    )
+                run = eligible[choice]
             slot = self._free_slots.pop()
             duration = run.pop_task()
             if self._faults is not None:

@@ -34,6 +34,7 @@ from repro.engine.energy import EnergyMeter
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultSpec, parse_fault_spec
 from repro.models.accuracy import AccuracyModel
+from repro.simulation.decisions import DecisionHook
 from repro.simulation.des import Simulator
 from repro.simulation.metrics import JobRecord, MetricsCollector
 from repro.simulation.random_streams import RandomStreams
@@ -123,6 +124,7 @@ class DagSimulation:
         faults: Union[str, FaultSpec, None] = None,
         job_source: Optional[Iterable[DagJob]] = None,
         streaming_metrics: bool = False,
+        decision_hook: Optional[DecisionHook] = None,
     ) -> None:
         if job_source is not None:
             if jobs:
@@ -140,6 +142,12 @@ class DagSimulation:
         self.streams = streams or RandomStreams(seed)
         self.slack_biased = slack_biased
         self._scheduler_spec = scheduler
+        #: Optional external agent consulted at every stage decision of every
+        #: execution; ``None`` keeps the built-in scheduler path untouched.
+        self._decision_hook = decision_hook
+        #: Invoked with every finished JobRecord; the decision environment
+        #: uses it to attribute episode rewards (mirrors DiASSimulation).
+        self.on_job_record: Optional[Callable[[JobRecord], None]] = None
         self.telemetry = telemetry
         self.telemetry_src = "dag"
 
@@ -432,6 +440,7 @@ class DagSimulation:
             on_give_up=(
                 self._on_task_exhausted if self.faults is not None else None
             ),
+            decision_hook=self._decision_hook,
         )
         self._running = execution
         self._running_plan = plan
@@ -641,6 +650,8 @@ class DagSimulation:
             num_reduce_tasks=job.num_reduce_tasks,
         )
         self.metrics.record_job(record)
+        if self.on_job_record is not None:
+            self.on_job_record(record)
         self.metrics.record_busy_time(execution.elapsed)
         if self.telemetry.enabled:
             self.telemetry.emit(
@@ -780,6 +791,7 @@ def replicate_dag(
     telemetry_base: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
     faults: Union[str, FaultSpec, None] = None,
+    decision_hook: Optional[DecisionHook] = None,
 ):
     """Replicate one DAG configuration over independent seeds.
 
@@ -803,6 +815,7 @@ def replicate_dag(
         telemetry_base=telemetry_base,
         telemetry_interval=telemetry_interval,
         faults=parse_fault_spec(faults),
+        decision_hook=decision_hook,
     )
     metrics = ReplicationRunner(experiment).run(
         replications, base_seed=base_seed, jobs=jobs

@@ -1,0 +1,122 @@
+"""Gym-style decision environments over the fleet/DAG simulations.
+
+This package turns the simulator's two decision points into step-based
+reinforcement-learning-style environments, built on the decision-hook
+protocol of :mod:`repro.simulation.decisions`:
+
+* :class:`~repro.env.envs.SchedulingEnv` — one episode is one
+  :class:`~repro.dag.simulation.DagSimulation` run; every decision picks
+  which dispatchable stage receives the freed slot.
+* :class:`~repro.env.envs.RoutingEnv` — one episode is one
+  :class:`~repro.fleet.simulation.FleetSimulation` run; every decision picks
+  the cluster an arriving job is routed to.
+
+Observation schema
+------------------
+An observation is one feature row per candidate (variable-size discrete
+action space: action ``i`` picks candidate ``i``).  Raw, unnormalised
+values; the bandit agents normalise per decision.
+
+``scheduling`` — candidates are the dispatchable stages
+(:data:`~repro.env.features.STAGE_FEATURE_NAMES`):
+
+==================  =====================================================
+feature             meaning
+==================  =====================================================
+``heft_rank``       HEFT upward rank of the stage (critical stages rank
+                    higher)
+``pert_slack``      PERT slack of the stage; ``0`` on the critical path
+``remaining_work``  slot-seconds of work left in the stage
+``pending_tasks``   tasks of the stage not yet dispatched
+``frontier_width``  number of dispatchable stages (same for every row)
+==================  =====================================================
+
+``routing`` — candidates are the per-cluster DiAS controllers
+(:data:`~repro.env.features.CLUSTER_FEATURE_NAMES`):
+
+==================  =====================================================
+feature             meaning
+==================  =====================================================
+``queue_depth``     jobs buffered + running on the cluster
+``work_left``       estimated slot-seconds of service remaining
+``sprint_budget``   remaining sprint seconds (``-1`` = unmetered,
+                    ``0`` = no sprinter)
+``utilisation``     busy fraction of the cluster so far
+``running``         ``1`` if a job is executing, else ``0``
+``job_priority``    priority class of the arriving job (same every row)
+==================  =====================================================
+
+Reward
+------
+Rewards are per-decision and delayed to job completion (pluggable via the
+envs' ``reward`` parameter):
+
+* ``routing`` — the decision that routed job *j* receives
+  ``-response_time(j)`` when *j* completes; episode return is the negative
+  total response time.
+* ``scheduling`` — every stage decision of job *j* receives
+  ``-makespan(j) / lower_bound_makespan(j)`` (negative critical-path
+  stretch) when *j* completes, so rewards are comparable across jobs of
+  different sizes.
+
+API
+---
+Both envs offer ``reset(seed) -> observation`` and ``step(action) ->
+(observation, reward, done, info)`` lock-step semantics (the simulation
+runs on a private thread and blocks at each decision), plus the much faster
+callback-mode ``rollout(agent, seed, learn=...)`` used by training,
+evaluation, the ``repro learn`` / ``repro policy`` CLI verbs and the
+benchmarks.  Episodes come from a workload scenario or from a recorded
+trace (``--replay``) via :class:`~repro.traces.replay.ReplaySource`.
+
+Agents (:mod:`repro.env.agents`) include the built-in schedulers and
+dispatchers re-expressed as trivial agents — provably behaviour-preserving
+(byte-identical results to the direct path under common random numbers) —
+and two dependency-free learned baselines: an epsilon-greedy linear bandit
+and LinUCB.
+"""
+
+from repro.env.agents import (
+    AGENTS,
+    Agent,
+    AgentDecisionHook,
+    BuiltinAgent,
+    EpsilonGreedyAgent,
+    LinUCBAgent,
+    RandomAgent,
+    SchedulerAgent,
+    load_agent,
+    make_agent,
+    save_agent,
+)
+from repro.env.envs import ENV_IDS, EpisodeOutcome, RoutingEnv, SchedulingEnv
+from repro.env.features import (
+    CLUSTER_FEATURE_NAMES,
+    STAGE_FEATURE_NAMES,
+    features_for,
+)
+from repro.env.learn import EnvSpec, evaluate, train
+
+__all__ = [
+    "AGENTS",
+    "Agent",
+    "AgentDecisionHook",
+    "BuiltinAgent",
+    "CLUSTER_FEATURE_NAMES",
+    "ENV_IDS",
+    "EnvSpec",
+    "EpisodeOutcome",
+    "EpsilonGreedyAgent",
+    "LinUCBAgent",
+    "RandomAgent",
+    "RoutingEnv",
+    "SchedulerAgent",
+    "SchedulingEnv",
+    "STAGE_FEATURE_NAMES",
+    "evaluate",
+    "features_for",
+    "load_agent",
+    "make_agent",
+    "save_agent",
+    "train",
+]

@@ -1,0 +1,459 @@
+"""The two decision environments: stage scheduling and fleet routing.
+
+Both envs share the same two execution modes:
+
+* ``rollout(agent, seed, learn=...)`` — callback mode: the agent is wired
+  straight into the simulation's decision hook and the whole episode runs
+  in one ``sim.run()`` call.  This is the fast path used by training,
+  evaluation, the CLI verbs and the benchmarks.
+* ``reset(seed)`` / ``step(action)`` — gym-style lock-step mode: the
+  simulation runs on a private daemon thread and blocks inside the decision
+  hook until ``step`` delivers an action.  Strictly synchronous (exactly one
+  of the two threads is ever runnable), so results are deterministic and
+  byte-identical to a callback-mode rollout of the same action sequence.
+
+Observations are raw per-candidate feature rows (see :mod:`repro.env` for
+the schema); the action space is discrete with ``len(observation)`` actions
+at each step.  Rewards are delayed per-decision credits delivered at job
+completion and summed between consecutive decisions for ``step``.
+"""
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.policies import SchedulingPolicy
+from repro.dag.simulation import DagSimulation
+from repro.engine.cluster import Cluster
+from repro.env.agents import Agent
+from repro.env.features import (
+    CLUSTER_FEATURE_NAMES,
+    STAGE_FEATURE_NAMES,
+    features_for,
+)
+from repro.fleet.simulation import FleetSimulation
+from repro.simulation.decisions import DecisionPoint
+from repro.traces.replay import ReplaySource
+
+__all__ = ["ENV_IDS", "EpisodeOutcome", "SchedulingEnv", "RoutingEnv", "EpisodeClosed"]
+
+#: Environment ids (``repro learn --env`` / ``repro policy --env``).
+ENV_IDS = ("scheduling", "routing")
+
+
+class EpisodeClosed(RuntimeError):
+    """Raised inside the episode thread when the env is closed mid-episode."""
+
+
+@dataclass
+class EpisodeOutcome:
+    """Result of one callback-mode rollout."""
+
+    seed: int
+    decisions: int
+    total_reward: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+_CLOSE = object()
+
+
+class _LockStepEpisode:
+    """Drives one simulation on a private thread with blocking decisions."""
+
+    def __init__(self, sim_factory: Callable[[Callable[[DecisionPoint], int]], Any]):
+        self._to_main: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._to_sim: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._awaiting_action = False
+        self.sim = sim_factory(self._hook)
+        self._thread = threading.Thread(target=self._drive, daemon=True)
+
+    # Runs on the episode thread -------------------------------------------
+    def _hook(self, point: DecisionPoint) -> int:
+        self._to_main.put(("decision", point))
+        action = self._to_sim.get()
+        if action is _CLOSE:
+            raise EpisodeClosed()
+        return action
+
+    def _drive(self) -> None:
+        try:
+            result = self.sim.run()
+        except EpisodeClosed:
+            self._to_main.put(("closed", None))
+            return
+        except BaseException as exc:  # surfaced in the main thread
+            self._to_main.put(("error", exc))
+            return
+        self._to_main.put(("done", result))
+
+    # Runs on the main thread ----------------------------------------------
+    def start(self):
+        self._thread.start()
+        return self._wait()
+
+    def send(self, action: int):
+        if not self._awaiting_action:
+            raise RuntimeError("no decision pending; call reset() first")
+        self._awaiting_action = False
+        self._to_sim.put(action)
+        return self._wait()
+
+    def _wait(self):
+        kind, payload = self._to_main.get()
+        if kind == "decision":
+            self._awaiting_action = True
+            return kind, payload
+        if kind == "error":
+            raise payload
+        return kind, payload  # "done" / "closed"
+
+    def close(self) -> None:
+        if self._thread.is_alive() and self._awaiting_action:
+            self._awaiting_action = False
+            self._to_sim.put(_CLOSE)
+            self._to_main.get()  # drain the "closed" acknowledgement
+        self._thread.join(timeout=5.0)
+
+
+def _tee(previous, extra):
+    """Chain a record callback after whatever is already installed."""
+    if previous is None:
+        return extra
+
+    def both(record):
+        previous(record)
+        extra(record)
+
+    return both
+
+
+class _DecisionEnv:
+    """Shared rollout / reset / step machinery; subclasses wire rewards."""
+
+    id = "env"
+    feature_names = ()
+
+    def __init__(self, reward: Optional[Callable[[Any], float]] = None) -> None:
+        #: Optional override mapping a completed JobRecord to the reward
+        #: credited to that job's decision(s).
+        self._reward_fn = reward
+        self._episode: Optional[_LockStepEpisode] = None
+        self._reward_acc = [0.0]
+        self._done = True
+        self.last_metrics: Dict[str, float] = {}
+
+    # Subclass hooks --------------------------------------------------------
+    def _build(self, seed: int, hook):
+        raise NotImplementedError
+
+    def _wire_rewards(self, sim, hook_state: dict, deliver) -> None:
+        """Install completion callbacks that call ``deliver(job_id, reward)``."""
+        raise NotImplementedError
+
+    def _note_decision(self, point: DecisionPoint, hook_state: dict) -> None:
+        """Record per-decision context needed for reward attribution."""
+
+    def _metrics(self, result) -> Dict[str, float]:
+        raise NotImplementedError
+
+    # Callback mode ---------------------------------------------------------
+    def rollout(self, agent: Agent, seed: int = 0, learn: bool = False) -> EpisodeOutcome:
+        """Run one full episode with ``agent`` wired into the decision hook.
+
+        With ``learn=True`` (and a trainable agent) every delayed reward is
+        fed back through ``agent.observe``; otherwise the agent only acts.
+        Returns the episode outcome with the env's headline metrics.
+        """
+        agent.begin_episode(seed)
+        learning = learn and agent.trainable
+        hook_state: dict = {"pending": {}, "decisions": 0}
+        totals = self._reward_acc = [0.0]
+
+        def hook(point: DecisionPoint) -> int:
+            features = features_for(point) if agent.needs_features else None
+            action = agent.act(point, features)
+            hook_state["decisions"] += 1
+            self._note_decision(point, hook_state)
+            if learning and agent.last_context is not None:
+                hook_state["pending"].setdefault(point.job.job_id, []).append(
+                    agent.last_context
+                )
+            return action
+
+        sim = self._build(seed, hook)
+
+        def deliver(job_id: int, reward: float) -> None:
+            totals[0] += reward
+            if learning:
+                for context in hook_state["pending"].pop(job_id, ()):
+                    agent.observe(context, reward)
+
+        self._wire_rewards(sim, hook_state, deliver)
+        result = sim.run()
+        self.last_metrics = self._metrics(result)
+        return EpisodeOutcome(
+            seed=seed,
+            decisions=hook_state["decisions"],
+            total_reward=totals[0],
+            metrics=self.last_metrics,
+        )
+
+    # Lock-step mode --------------------------------------------------------
+    def reset(self, seed: int = 0):
+        """Start a new episode; returns the first observation (or ``None``
+        if the episode finished without any decision)."""
+        self.close()
+        hook_state: dict = {"pending": {}, "decisions": 0}
+        self._reward_acc = [0.0]
+        totals = self._reward_acc
+
+        def deliver(job_id: int, reward: float) -> None:
+            totals[0] += reward
+
+        def factory(hook):
+            outer = self
+
+            def noting_hook(point):
+                outer._note_decision(point, hook_state)
+                return hook(point)
+
+            sim = outer._build(seed, noting_hook)
+            outer._wire_rewards(sim, hook_state, deliver)
+            return sim
+
+        self._episode = _LockStepEpisode(factory)
+        kind, payload = self._episode.start()
+        if kind == "decision":
+            self._done = False
+            return features_for(payload)
+        self._done = True
+        self.last_metrics = self._metrics(payload)
+        return None
+
+    def step(self, action: int):
+        """Apply ``action`` to the pending decision.
+
+        Returns ``(observation, reward, done, info)``: the next decision's
+        observation (``None`` once done), the reward accumulated since the
+        previous step, and — when done — the episode metrics in ``info``.
+        """
+        if self._episode is None or self._done:
+            raise RuntimeError("episode is over; call reset() first")
+        before = self._reward_acc[0]
+        kind, payload = self._episode.send(int(action))
+        reward = self._reward_acc[0] - before
+        if kind == "decision":
+            return features_for(payload), reward, False, {"point": payload}
+        self._done = True
+        self.last_metrics = self._metrics(payload)
+        return None, reward, True, {"metrics": self.last_metrics}
+
+    def close(self) -> None:
+        """Tear down a live episode thread (safe to call repeatedly)."""
+        if self._episode is not None:
+            self._episode.close()
+            self._episode = None
+        self._done = True
+
+
+def _fresh_cluster(source: Cluster) -> Cluster:
+    # Cluster carries run state (sprinting mode); never share one instance
+    # across episodes (mirrors DagExperiment).
+    return Cluster(config=source.config, dvfs=source.dvfs, power_model=source.power_model)
+
+
+class SchedulingEnv(_DecisionEnv):
+    """Stage-scheduling episodes over a :class:`DagSimulation`.
+
+    One episode runs a DAG-job trace (from a scenario or a dag-jsonl replay
+    file); every decision picks which dispatchable stage receives the freed
+    slot.  Default reward: each of job *j*'s decisions is credited
+    ``-makespan(j)/lower_bound(j)`` (negative critical-path stretch) when
+    *j* completes.
+    """
+
+    id = "scheduling"
+    feature_names = STAGE_FEATURE_NAMES
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        scenario=None,
+        replay: Optional[str] = None,
+        num_jobs: Optional[int] = None,
+        scheduler: str = "fifo",
+        time_scale: float = 1.0,
+        rate_scale: float = 1.0,
+        reward: Optional[Callable[[Any], float]] = None,
+    ) -> None:
+        super().__init__(reward=reward)
+        if (scenario is None) == (replay is None):
+            raise ValueError("pass exactly one of scenario or replay")
+        self.policy = policy
+        self.scenario = scenario
+        self.replay = replay
+        self.num_jobs = num_jobs
+        self.scheduler = scheduler
+        self.time_scale = time_scale
+        self.rate_scale = rate_scale
+
+    def _build(self, seed: int, hook):
+        if self.replay is not None:
+            source = ReplaySource(
+                self.replay,
+                mode="dag",
+                time_scale=self.time_scale,
+                rate_scale=self.rate_scale,
+            )
+            jobs_iter = iter(source)
+            if self.num_jobs is not None:
+                jobs_iter = islice(jobs_iter, self.num_jobs)
+            return DagSimulation(
+                policy=self.policy,
+                job_source=jobs_iter,
+                scheduler=self.scheduler,
+                seed=seed,
+                streaming_metrics=True,
+                decision_hook=hook,
+            )
+        trace = self.scenario.generate_trace(seed=seed, num_jobs=self.num_jobs)
+        return DagSimulation(
+            policy=self.policy,
+            jobs=trace,
+            scheduler=self.scheduler,
+            cluster=_fresh_cluster(self.scenario.cluster),
+            seed=seed,
+            decision_hook=hook,
+        )
+
+    def _note_decision(self, point: DecisionPoint, hook_state: dict) -> None:
+        # Capture the job's PERT lower bound once, at its first decision, so
+        # the completion reward can normalise the makespan.
+        bounds = hook_state.setdefault("lower_bounds", {})
+        job_id = point.job.job_id
+        if job_id not in bounds:
+            bounds[job_id] = point.context.lower_bound_makespan
+
+    def _wire_rewards(self, sim, hook_state: dict, deliver) -> None:
+        reward_fn = self._reward_fn
+
+        def on_record(record):
+            if reward_fn is not None:
+                reward = reward_fn(record)
+            else:
+                bound = hook_state.get("lower_bounds", {}).pop(record.job_id, 0.0)
+                reward = (
+                    -(record.execution_time / bound) if bound > 0 else -1.0
+                )
+            deliver(record.job_id, reward)
+
+        sim.on_job_record = _tee(sim.on_job_record, on_record)
+
+    def _metrics(self, result) -> Dict[str, float]:
+        return {
+            "completed_jobs": float(result.completed_jobs),
+            "mean_makespan_s": result.mean_makespan(),
+            "mean_cp_stretch": result.mean_critical_path_stretch(),
+            "mean_response_s": result.mean_response_time(),
+            "p95_response_s": result.tail_response_time(),
+        }
+
+
+class RoutingEnv(_DecisionEnv):
+    """Job-routing episodes over a :class:`FleetSimulation`.
+
+    One episode runs a fleet job trace (from a scenario or a cluster trace
+    replay file); every decision picks the cluster the arriving job joins.
+    Default reward: the decision that routed job *j* is credited
+    ``-response_time(j)`` when *j* completes.
+    """
+
+    id = "routing"
+    feature_names = CLUSTER_FEATURE_NAMES
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        scenario=None,
+        replay: Optional[str] = None,
+        num_jobs: Optional[int] = None,
+        num_clusters: int = 2,
+        dispatcher: str = "round_robin",
+        power_of_d: Optional[int] = None,
+        time_scale: float = 1.0,
+        rate_scale: float = 1.0,
+        reward: Optional[Callable[[Any], float]] = None,
+    ) -> None:
+        super().__init__(reward=reward)
+        if (scenario is None) == (replay is None):
+            raise ValueError("pass exactly one of scenario or replay")
+        self.policy = policy
+        self.scenario = scenario
+        self.replay = replay
+        self.num_jobs = num_jobs
+        self.num_clusters = num_clusters
+        self.dispatcher = dispatcher
+        self.power_of_d = power_of_d
+        self.time_scale = time_scale
+        self.rate_scale = rate_scale
+
+    def _build(self, seed: int, hook):
+        if self.replay is not None:
+            source = ReplaySource(
+                self.replay,
+                mode="fleet",
+                time_scale=self.time_scale,
+                rate_scale=self.rate_scale,
+            )
+            jobs_iter = iter(source)
+            if self.num_jobs is not None:
+                jobs_iter = islice(jobs_iter, self.num_jobs)
+            return FleetSimulation(
+                policy=self.policy,
+                jobs=(),
+                job_source=jobs_iter,
+                num_clusters=self.num_clusters,
+                dispatcher=self.dispatcher,
+                power_of_d=self.power_of_d,
+                seed=seed,
+                streaming_metrics=True,
+                traffic_shares=source.class_shares(),
+                decision_hook=hook,
+            )
+        trace = self.scenario.generate_trace(seed=seed, num_jobs=self.num_jobs)
+        return FleetSimulation(
+            policy=self.policy,
+            jobs=trace,
+            clusters=self.scenario.make_clusters(),
+            dispatcher=self.dispatcher,
+            power_of_d=self.power_of_d,
+            seed=seed,
+            decision_hook=hook,
+        )
+
+    def _wire_rewards(self, sim, hook_state: dict, deliver) -> None:
+        reward_fn = self._reward_fn
+
+        def on_record(record):
+            reward = reward_fn(record) if reward_fn is not None else -record.response_time
+            deliver(record.job_id, reward)
+
+        for controller in sim.controllers:
+            controller.on_job_record = _tee(controller.on_job_record, on_record)
+
+    def _metrics(self, result) -> Dict[str, float]:
+        return dict(result.summary())
+
+
+def make_env(env_id: str, **kwargs):
+    """Build an env by id (``scheduling`` / ``routing``)."""
+    if env_id == "scheduling":
+        return SchedulingEnv(**kwargs)
+    if env_id == "routing":
+        return RoutingEnv(**kwargs)
+    raise ValueError(
+        f"unknown env {env_id!r}; expected one of {', '.join(ENV_IDS)}"
+    )

@@ -1,0 +1,203 @@
+"""Training and evaluation loops for the decision environments.
+
+``train`` runs sequential learning episodes (bandit state is inherently
+sequential); ``evaluate`` rolls a *frozen* agent over independent episode
+seeds, optionally fanned across worker processes with
+:func:`~repro.experiments.parallel.parallel_map` — results are returned in
+seed order, so a parallel evaluation is byte-identical to a serial one (the
+contract the ``policy-smoke`` CI job enforces).
+
+Episode seeds follow the same :func:`~repro.simulation.replication.
+replication_seed` scheme as every other replicated experiment in the repo,
+so learned-vs-heuristic comparisons are common-random-numbers by
+construction: every policy sees the exact same trace and service draws.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional
+
+from repro.env.agents import Agent
+from repro.env.envs import ENV_IDS, RoutingEnv, SchedulingEnv
+from repro.experiments.parallel import parallel_map
+from repro.simulation.replication import replication_seed
+from repro.workloads import scenarios as scenario_module
+
+__all__ = [
+    "EnvSpec",
+    "DAG_ENV_SCENARIOS",
+    "FLEET_ENV_SCENARIOS",
+    "train",
+    "evaluate",
+    "summarise",
+]
+
+#: Scenario factories per env family (names match the ``repro`` CLI).
+DAG_ENV_SCENARIOS = {
+    "layered": scenario_module.dag_layered_scenario,
+    "fork-join": scenario_module.dag_fork_join_scenario,
+    "triangle-count": scenario_module.dag_triangle_count_scenario,
+}
+FLEET_ENV_SCENARIOS = {
+    "two-priority": scenario_module.fleet_two_priority_scenario,
+    "three-priority": scenario_module.fleet_three_priority_scenario,
+}
+
+#: The headline metric each env is judged on (lower is better).
+KEY_METRICS = {"scheduling": "mean_makespan_s", "routing": "p95_response_s"}
+
+
+@dataclass
+class EnvSpec:
+    """A picklable recipe for building an environment in any process.
+
+    ``scenario`` names a workload scenario (per-env registries above) and
+    ``replay`` points at a trace file — exactly one must be set.  Worker
+    processes rebuild the env from this spec, so parallel evaluation never
+    pickles simulations, only the spec and a frozen agent.
+    """
+
+    env: str
+    policy: Any
+    scenario: Optional[str] = None
+    replay: Optional[str] = None
+    num_jobs: Optional[int] = None
+    clusters: Optional[int] = None
+    scheduler: str = "fifo"
+    dispatcher: str = "round_robin"
+    power_of_d: Optional[int] = None
+    time_scale: float = 1.0
+    rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.env not in ENV_IDS:
+            raise ValueError(
+                f"unknown env {self.env!r}; expected one of {', '.join(ENV_IDS)}"
+            )
+        if (self.scenario is None) == (self.replay is None):
+            raise ValueError("pass exactly one of scenario or replay")
+        if self.scenario is not None:
+            registry = (
+                DAG_ENV_SCENARIOS if self.env == "scheduling" else FLEET_ENV_SCENARIOS
+            )
+            if self.scenario not in registry:
+                raise ValueError(
+                    f"unknown {self.env} scenario {self.scenario!r}; expected one "
+                    f"of {', '.join(sorted(registry))}"
+                )
+
+    @property
+    def key_metric(self) -> str:
+        return KEY_METRICS[self.env]
+
+    def with_dispatcher(self, dispatcher: str) -> "EnvSpec":
+        return replace(self, dispatcher=dispatcher)
+
+    def make_env(self):
+        """Build the environment this spec describes."""
+        if self.env == "scheduling":
+            scenario = None
+            if self.scenario is not None:
+                scenario = DAG_ENV_SCENARIOS[self.scenario]()
+            return SchedulingEnv(
+                policy=self.policy,
+                scenario=scenario,
+                replay=self.replay,
+                num_jobs=self.num_jobs,
+                scheduler=self.scheduler,
+                time_scale=self.time_scale,
+                rate_scale=self.rate_scale,
+            )
+        scenario = None
+        if self.scenario is not None:
+            kwargs = {} if self.clusters is None else {"num_clusters": self.clusters}
+            scenario = FLEET_ENV_SCENARIOS[self.scenario](**kwargs)
+        return RoutingEnv(
+            policy=self.policy,
+            scenario=scenario,
+            replay=self.replay,
+            num_jobs=self.num_jobs,
+            num_clusters=self.clusters if self.clusters is not None else 2,
+            dispatcher=self.dispatcher,
+            power_of_d=self.power_of_d,
+            time_scale=self.time_scale,
+            rate_scale=self.rate_scale,
+        )
+
+
+def _episode_row(index: int, seed: int, outcome) -> Dict[str, float]:
+    row: Dict[str, float] = {
+        "episode": float(index),
+        "seed": float(seed),
+        "reward": outcome.total_reward,
+        "decisions": float(outcome.decisions),
+    }
+    row.update(outcome.metrics)
+    return row
+
+
+def train(
+    spec: EnvSpec,
+    agent: Agent,
+    episodes: int,
+    base_seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Run ``episodes`` learning rollouts in seed order; returns the history.
+
+    Each episode uses ``replication_seed(base_seed, i)`` so the training
+    stream is reproducible and disjoint across base seeds.
+    """
+    if episodes < 1:
+        raise ValueError("training needs at least one episode")
+    env = spec.make_env()
+    history = []
+    for index in range(episodes):
+        seed = replication_seed(base_seed, index)
+        outcome = env.rollout(agent, seed=seed, learn=True)
+        history.append(_episode_row(index, seed, outcome))
+    return history
+
+
+class _EvalEpisode:
+    """Picklable seed -> evaluation-row callable for ``parallel_map``."""
+
+    def __init__(self, spec: EnvSpec, agent: Agent) -> None:
+        self.spec = spec
+        self.agent = agent
+
+    def __call__(self, seed: int) -> Dict[str, float]:
+        env = self.spec.make_env()
+        outcome = env.rollout(self.agent, seed=seed, learn=False)
+        return {
+            "seed": float(seed),
+            "reward": outcome.total_reward,
+            "decisions": float(outcome.decisions),
+            **outcome.metrics,
+        }
+
+
+def evaluate(
+    spec: EnvSpec,
+    agent: Agent,
+    episodes: int,
+    base_seed: int = 0,
+    jobs: int = 1,
+) -> List[Dict[str, float]]:
+    """Roll a frozen ``agent`` over ``episodes`` CRN seeds; rows in seed order.
+
+    ``jobs > 1`` fans episodes across processes; because the agent is frozen
+    (deterministic) and rows are folded in submission order, the output is
+    byte-identical to a serial run.
+    """
+    if episodes < 1:
+        raise ValueError("evaluation needs at least one episode")
+    agent.freeze()
+    seeds = [replication_seed(base_seed, index) for index in range(episodes)]
+    return parallel_map(_EvalEpisode(spec, agent), seeds, jobs=jobs)
+
+
+def summarise(rows: List[Dict[str, float]]) -> Dict[str, float]:
+    """Mean of every numeric column over the evaluation rows."""
+    if not rows:
+        return {}
+    keys = [key for key in rows[0] if key not in ("seed", "episode")]
+    return {key: sum(row[key] for row in rows) / len(rows) for key in keys}

@@ -212,6 +212,7 @@ class FleetExperiment:
         telemetry_base: Optional[str] = None,
         telemetry_interval: Optional[float] = None,
         faults=None,
+        decision_hook=None,
     ) -> None:
         self.scenario = scenario
         self.policy = policy
@@ -221,6 +222,9 @@ class FleetExperiment:
         self.telemetry_base = telemetry_base
         self.telemetry_interval = telemetry_interval
         self.faults = faults
+        # Must be picklable for jobs > 1 (e.g. an AgentDecisionHook around a
+        # stateless or frozen agent).
+        self.decision_hook = decision_hook
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.fleet.simulation import FleetSimulation
@@ -237,6 +241,7 @@ class FleetExperiment:
             sprint_budget=self.sprint_budget,
             telemetry=hub,
             faults=self.faults,
+            decision_hook=self.decision_hook,
         )
         try:
             result = simulation.run()
@@ -264,6 +269,7 @@ class DagExperiment:
         telemetry_base: Optional[str] = None,
         telemetry_interval: Optional[float] = None,
         faults=None,
+        decision_hook=None,
     ) -> None:
         self.scenario = scenario
         self.policy = policy
@@ -272,6 +278,8 @@ class DagExperiment:
         self.telemetry_base = telemetry_base
         self.telemetry_interval = telemetry_interval
         self.faults = faults
+        # Must be picklable for jobs > 1.
+        self.decision_hook = decision_hook
 
     def __call__(self, seed: int) -> Dict[str, float]:
         from repro.dag.simulation import DagSimulation
@@ -296,6 +304,7 @@ class DagExperiment:
             slack_biased=self.slack_biased,
             telemetry=hub,
             faults=self.faults,
+            decision_hook=self.decision_hook,
         )
         result = simulation.run()
         hub.close()

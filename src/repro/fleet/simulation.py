@@ -27,6 +27,7 @@ from repro.fleet.budget import SharedSprintBudget, build_budget_arbiter
 from repro.fleet.dispatcher import Dispatcher, make_dispatcher
 from repro.fleet.result import FleetResult
 from repro.models.accuracy import AccuracyModel
+from repro.simulation.decisions import ROUTE, DecisionHook, DecisionPoint
 from repro.simulation.des import Simulator
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.random_streams import RandomStreams
@@ -97,6 +98,7 @@ class FleetSimulation:
         job_source: Optional[Iterable[Job]] = None,
         streaming_metrics: bool = False,
         traffic_shares: Optional[Dict[int, float]] = None,
+        decision_hook: Optional[DecisionHook] = None,
     ) -> None:
         if job_source is not None:
             if jobs:
@@ -128,6 +130,10 @@ class FleetSimulation:
         self._source_iter: Optional[Iterator[Job]] = None
         self._source_done = job_source is None
         self.streams = streams or RandomStreams(seed)
+        #: Optional external agent consulted at every routing decision;
+        #: ``None`` keeps the built-in dispatcher path untouched.  Not
+        #: embedded in checkpoint configs (hooks are attached per process).
+        self._decision_hook = decision_hook
         self.telemetry = telemetry
         self.sim = Simulator(telemetry=telemetry)
         self.budget_mode = sprint_budget
@@ -485,10 +491,21 @@ class FleetSimulation:
         return chosen
 
     def _route(self, job: Job) -> None:
-        index = self.dispatcher.select(job, self.controllers)
+        hook = self._decision_hook
+        if hook is None:
+            index = self.dispatcher.select(job, self.controllers)
+        else:
+            index = hook(
+                DecisionPoint(ROUTE, self.sim.now, self.controllers, job, self)
+            )
         if not 0 <= index < self.num_clusters:
+            chooser = (
+                "decision hook"
+                if hook is not None
+                else f"dispatcher {self.dispatcher.name!r}"
+            )
             raise ValueError(
-                f"dispatcher {self.dispatcher.name!r} returned invalid cluster "
+                f"{chooser} returned invalid cluster "
                 f"index {index} for a fleet of {self.num_clusters}"
             )
         if self._quarantine:
@@ -548,6 +565,7 @@ def replicate_fleet(
     telemetry_base: Optional[str] = None,
     telemetry_interval: Optional[float] = None,
     faults: Union[str, FaultSpec, None] = None,
+    decision_hook: Optional[DecisionHook] = None,
 ):
     """Replicate one fleet configuration over independent seeds.
 
@@ -572,6 +590,7 @@ def replicate_fleet(
         telemetry_base=telemetry_base,
         telemetry_interval=telemetry_interval,
         faults=parse_fault_spec(faults),
+        decision_hook=decision_hook,
     )
     metrics = ReplicationRunner(experiment).run(
         replications, base_seed=base_seed, jobs=jobs

@@ -1,0 +1,94 @@
+"""Decision-point protocol shared by the scheduling layers.
+
+The DAG layer (which ready stage runs next) and the fleet layer (which
+cluster an arriving job is routed to) both contain a single *decision point*
+inside their DES callbacks.  This module defines the tiny, dependency-free
+contract through which those decision points can yield control to an
+external agent:
+
+* :class:`DecisionPoint` — an immutable snapshot of one pending decision:
+  what kind of choice it is, the simulated time, the candidate set, the job
+  being placed, and the simulation object the decision belongs to (for
+  feature extraction).
+* A *decision hook* is any callable ``hook(point) -> int`` returning the
+  index of the chosen candidate in ``point.candidates``.
+
+Both ``DagExecution`` and ``FleetSimulation`` accept an optional
+``decision_hook``; when it is ``None`` (the default) the built-in
+scheduler/dispatcher path runs untouched — the hook costs one attribute
+check per decision, keeping the no-agent path within the kernel-throughput
+bench gate.  When a hook is attached it fully replaces the built-in
+``select`` call, and the built-ins themselves are re-expressed as trivial
+agents in :mod:`repro.env.agents`, which is what makes the refactor provably
+behaviour-preserving (byte-identical results under common random numbers).
+
+Everything richer — observation vectors, rewards, gym-style ``reset``/
+``step`` episodes, learned agents — lives in :mod:`repro.env`, built on top
+of this protocol.
+"""
+
+from typing import Any, Callable, Sequence
+
+__all__ = ["DecisionPoint", "DecisionHook", "STAGE", "ROUTE", "DECISION_KINDS"]
+
+#: Decision kinds: pick a ready stage to run / pick a cluster to route to.
+STAGE = "stage"
+ROUTE = "route"
+DECISION_KINDS = (STAGE, ROUTE)
+
+
+class DecisionPoint:
+    """One pending decision, frozen at the instant control is yielded.
+
+    Attributes
+    ----------
+    kind:
+        ``"stage"`` (DAG stage scheduling: candidates are the dispatchable
+        :class:`~repro.dag.schedulers.StageRunView` objects) or ``"route"``
+        (fleet dispatch: candidates are the per-cluster
+        :class:`~repro.core.dias.DiASSimulation` controllers).
+    time:
+        Simulated time of the decision.
+    candidates:
+        The non-empty candidate sequence; a hook returns an index into it.
+    job:
+        The :class:`~repro.engine.job.Job` being routed (``route``) or the
+        :class:`~repro.dag.structure.DagJob` whose stage is being picked
+        (``stage``).
+    context:
+        The owning simulation object — the :class:`~repro.dag.execution.
+        DagExecution` (``stage``) or :class:`~repro.fleet.simulation.
+        FleetSimulation` (``route``).  Agents may read from it (critical-path
+        analysis, dispatcher, budgets) but must not mutate it.
+    """
+
+    __slots__ = ("kind", "time", "candidates", "job", "context")
+
+    def __init__(
+        self,
+        kind: str,
+        time: float,
+        candidates: Sequence[Any],
+        job: Any,
+        context: Any,
+    ) -> None:
+        self.kind = kind
+        self.time = time
+        self.candidates = candidates
+        self.job = job
+        self.context = context
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the discrete action space at this decision."""
+        return len(self.candidates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecisionPoint(kind={self.kind!r}, time={self.time:.6g}, "
+            f"num_actions={len(self.candidates)})"
+        )
+
+
+#: A decision hook maps one decision point to the chosen candidate index.
+DecisionHook = Callable[[DecisionPoint], int]

@@ -1,0 +1,186 @@
+"""Environment semantics: rollouts vs direct simulations, lock-step mode,
+reward attribution, and replay-backed episodes."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.policies import SchedulingPolicy
+from repro.dag.simulation import DagSimulation
+from repro.env import BuiltinAgent, RoutingEnv, SchedulingEnv
+from repro.env.agents import Agent
+from repro.env.envs import make_env
+from repro.fleet.simulation import FleetSimulation
+from repro.workloads import scenarios as scenario_module
+
+SEED = 5
+
+
+def _policy():
+    return SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
+
+
+def _scheduling_env(**kwargs):
+    kwargs.setdefault("scenario", scenario_module.dag_layered_scenario(num_jobs=3))
+    return SchedulingEnv(policy=_policy(), **kwargs)
+
+
+def _routing_env(**kwargs):
+    kwargs.setdefault(
+        "scenario",
+        scenario_module.fleet_two_priority_scenario(
+            num_clusters=3, num_jobs_per_cluster=10
+        ),
+    )
+    return RoutingEnv(policy=_policy(), **kwargs)
+
+
+class _AlwaysFirst(Agent):
+    name = "always_first"
+
+    def act(self, point, features=None):
+        return 0
+
+
+# ------------------------------------------------- rollout == direct path
+def test_scheduling_rollout_with_builtin_agent_matches_direct_simulation():
+    scenario = scenario_module.dag_layered_scenario(num_jobs=3)
+    env = SchedulingEnv(policy=_policy(), scenario=scenario, scheduler="fifo")
+    outcome = env.rollout(BuiltinAgent(), seed=SEED)
+    direct = DagSimulation(
+        policy=_policy(),
+        jobs=scenario.generate_trace(seed=SEED),
+        scheduler="fifo",
+        cluster=scenario.cluster,
+        seed=SEED,
+    ).run()
+    assert outcome.metrics["mean_makespan_s"] == direct.mean_makespan()
+    assert outcome.metrics["completed_jobs"] == float(direct.completed_jobs)
+    assert outcome.decisions > 0
+
+
+def test_routing_rollout_with_builtin_agent_matches_direct_simulation():
+    scenario = scenario_module.fleet_two_priority_scenario(
+        num_clusters=3, num_jobs_per_cluster=10
+    )
+    env = RoutingEnv(
+        policy=_policy(), scenario=scenario, num_clusters=3, dispatcher="jsq"
+    )
+    outcome = env.rollout(BuiltinAgent(), seed=SEED)
+    direct = FleetSimulation(
+        policy=_policy(),
+        jobs=scenario.generate_trace(seed=SEED),
+        clusters=scenario.make_clusters(),
+        dispatcher="jsq",
+        seed=SEED,
+    ).run()
+    assert outcome.metrics == dict(direct.summary())
+    assert outcome.decisions == len(direct.records())
+
+
+# -------------------------------------------------------- reward attribution
+def test_routing_reward_is_negative_total_response_time():
+    scenario = scenario_module.fleet_two_priority_scenario(
+        num_clusters=2, num_jobs_per_cluster=8
+    )
+    env = RoutingEnv(policy=_policy(), scenario=scenario, num_clusters=2)
+    outcome = env.rollout(BuiltinAgent(), seed=SEED)
+    direct = FleetSimulation(
+        policy=_policy(),
+        jobs=scenario.generate_trace(seed=SEED),
+        clusters=scenario.make_clusters(),
+        dispatcher="round_robin",
+        seed=SEED,
+    ).run()
+    expected = -sum(record.response_time for record in direct.records())
+    assert outcome.total_reward == pytest.approx(expected)
+
+
+def test_custom_reward_override_is_credited_once_per_job():
+    env = _routing_env(num_clusters=3, reward=lambda record: 1.0)
+    outcome = env.rollout(BuiltinAgent(), seed=SEED)
+    assert outcome.total_reward == outcome.metrics["completed_jobs"]
+
+
+def test_scheduling_reward_is_negative_and_bounded_by_stretch():
+    env = _scheduling_env()
+    outcome = env.rollout(BuiltinAgent(), seed=SEED)
+    # Default reward credits -makespan/lower_bound <= -1 once per job.
+    assert outcome.total_reward <= -outcome.metrics["completed_jobs"]
+
+
+# ------------------------------------------------------------ lock-step mode
+def test_reset_step_episode_matches_callback_rollout():
+    env = _routing_env(num_clusters=3)
+    rollout = env.rollout(_AlwaysFirst(), seed=SEED)
+
+    observation = env.reset(seed=SEED)
+    total, steps = 0.0, 0
+    done = observation is None
+    info = {}
+    while not done:
+        assert len(observation[0]) == len(env.feature_names)
+        observation, reward, done, info = env.step(0)
+        total += reward
+        steps += 1
+    env.close()
+    assert steps == rollout.decisions
+    assert total == pytest.approx(rollout.total_reward)
+    assert info["metrics"] == rollout.metrics
+
+
+def test_step_without_pending_decision_raises():
+    env = _routing_env(num_clusters=2)
+    with pytest.raises(RuntimeError, match="reset"):
+        env.step(0)
+
+
+def test_close_mid_episode_allows_a_fresh_reset():
+    env = _routing_env(num_clusters=2)
+    first = env.reset(seed=SEED)
+    env.step(0)
+    env.close()
+    again = env.reset(seed=SEED)
+    env.close()
+    assert [list(row) for row in again] == [list(row) for row in first]
+
+
+def test_out_of_range_action_surfaces_in_the_main_thread():
+    env = _routing_env(num_clusters=2)
+    env.reset(seed=SEED)
+    try:
+        with pytest.raises(ValueError, match="invalid cluster"):
+            env.step(99)
+    finally:
+        env.close()
+
+
+# -------------------------------------------------------------- construction
+def test_envs_require_exactly_one_workload_source(tmp_path):
+    with pytest.raises(ValueError, match="exactly one"):
+        SchedulingEnv(policy=_policy())
+    with pytest.raises(ValueError, match="exactly one"):
+        RoutingEnv(
+            policy=_policy(),
+            scenario=scenario_module.fleet_two_priority_scenario(),
+            replay=str(tmp_path / "trace.jsonl"),
+        )
+
+
+def test_make_env_rejects_unknown_ids():
+    with pytest.raises(ValueError, match="unknown env"):
+        make_env("tetris")
+
+
+# --------------------------------------------------------------- trace replay
+def test_replay_backed_scheduling_episode_caps_jobs(tmp_path):
+    trace = tmp_path / "dag.jsonl"
+    assert main([
+        "synth-trace", "--out", str(trace), "--format", "dag-jsonl",
+        "--scenario", "layered",
+    ]) == 0
+    env = SchedulingEnv(policy=_policy(), replay=str(trace), num_jobs=2)
+    outcome = env.rollout(BuiltinAgent(), seed=SEED)
+    assert outcome.metrics["completed_jobs"] == 2.0
+    # Replay episodes are deterministic per seed.
+    again = env.rollout(BuiltinAgent(), seed=SEED)
+    assert again.metrics == outcome.metrics

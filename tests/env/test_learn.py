@@ -1,0 +1,113 @@
+"""Training/evaluation loops: determinism, parallel equivalence, EnvSpec."""
+
+import pytest
+
+from repro.core.policies import SchedulingPolicy
+from repro.env import BuiltinAgent, EnvSpec, EpsilonGreedyAgent, LinUCBAgent, evaluate, train
+from repro.env.learn import KEY_METRICS, summarise
+
+
+def _policy():
+    return SchedulingPolicy.differential_approximation({2: 0.0, 0: 0.2})
+
+
+def _routing_spec(**kwargs):
+    kwargs.setdefault("scenario", "two-priority")
+    return EnvSpec(env="routing", policy=_policy(), clusters=3, num_jobs=40,
+                   **kwargs)
+
+
+# -------------------------------------------------------------------- EnvSpec
+def test_spec_rejects_unknown_env():
+    with pytest.raises(ValueError, match="unknown env"):
+        EnvSpec(env="chess", policy=_policy(), scenario="two-priority")
+
+
+def test_spec_requires_exactly_one_workload_source():
+    with pytest.raises(ValueError, match="exactly one"):
+        EnvSpec(env="routing", policy=_policy())
+    with pytest.raises(ValueError, match="exactly one"):
+        EnvSpec(env="routing", policy=_policy(), scenario="two-priority",
+                replay="trace.jsonl")
+
+
+def test_spec_validates_scenario_against_the_env_family():
+    with pytest.raises(ValueError, match="unknown routing scenario"):
+        EnvSpec(env="routing", policy=_policy(), scenario="layered")
+    with pytest.raises(ValueError, match="unknown scheduling scenario"):
+        EnvSpec(env="scheduling", policy=_policy(), scenario="two-priority")
+
+
+def test_spec_key_metric_and_dispatcher_override():
+    spec = _routing_spec()
+    assert spec.key_metric == KEY_METRICS["routing"]
+    swapped = spec.with_dispatcher("jsq")
+    assert swapped.dispatcher == "jsq"
+    assert spec.dispatcher == "round_robin"  # original untouched
+
+
+def test_spec_builds_both_env_families():
+    routing = _routing_spec().make_env()
+    assert routing.id == "routing"
+    scheduling = EnvSpec(
+        env="scheduling", policy=_policy(), scenario="layered", num_jobs=2
+    ).make_env()
+    assert scheduling.id == "scheduling"
+
+
+# ------------------------------------------------------------------- training
+def test_training_history_is_deterministic():
+    spec = _routing_spec()
+    histories = []
+    for _ in range(2):
+        agent = LinUCBAgent(alpha=1.0)
+        histories.append(train(spec, agent, episodes=3, base_seed=4))
+    assert histories[0] == histories[1]
+    assert len(histories[0]) == 3
+    assert all(row["decisions"] == 40.0 for row in histories[0])
+
+
+def test_training_updates_the_agent():
+    agent = EpsilonGreedyAgent()
+    assert agent.weights is None
+    train(_routing_spec(), agent, episodes=1)
+    assert agent.weights is not None
+
+
+def test_train_rejects_zero_episodes():
+    with pytest.raises(ValueError, match="at least one"):
+        train(_routing_spec(), LinUCBAgent(), episodes=0)
+
+
+# ----------------------------------------------------------------- evaluation
+def test_evaluation_is_byte_identical_serial_vs_parallel():
+    spec = _routing_spec()
+    agent = LinUCBAgent()
+    train(spec, agent, episodes=2)
+    serial = evaluate(spec, agent, episodes=4, base_seed=9, jobs=1)
+    parallel = evaluate(spec, agent, episodes=4, base_seed=9, jobs=2)
+    assert serial == parallel
+    assert len(serial) == 4
+
+
+def test_evaluate_freezes_the_agent():
+    agent = EpsilonGreedyAgent(epsilon=1.0)
+    spec = _routing_spec()
+    evaluate(spec, agent, episodes=1)
+    assert agent.frozen
+
+
+def test_evaluate_rejects_zero_episodes():
+    with pytest.raises(ValueError, match="at least one"):
+        evaluate(_routing_spec(), BuiltinAgent(), episodes=0)
+
+
+# ------------------------------------------------------------------ summarise
+def test_summarise_averages_all_metric_columns():
+    rows = [
+        {"seed": 1.0, "episode": 0.0, "reward": -2.0, "p95_response_s": 10.0},
+        {"seed": 2.0, "episode": 1.0, "reward": -4.0, "p95_response_s": 30.0},
+    ]
+    summary = summarise(rows)
+    assert summary == {"reward": -3.0, "p95_response_s": 20.0}
+    assert summarise([]) == {}

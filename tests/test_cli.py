@@ -469,3 +469,98 @@ def test_list_mentions_trace_formats(capsys):
     output = capsys.readouterr().out
     assert "trace formats" in output
     assert "cluster-csv" in output and "dag-jsonl" in output
+
+
+# --------------------------------------------------------- learn / policy
+def test_learn_routing_trains_evaluates_and_saves(tmp_path, capsys):
+    agent_path = tmp_path / "agent.json"
+    out_path = tmp_path / "learn.json"
+    code = main([
+        "learn", "--env", "routing", "--agent", "linucb",
+        "--clusters", "3", "--num-jobs", "30",
+        "--episodes", "2", "--eval-episodes", "2",
+        "--save", str(agent_path), "--out", str(out_path),
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "baseline:random" in output
+    assert "baseline:jsq" in output
+    assert "p95_response_s" in output
+    import json as json_module
+
+    saved = json_module.loads(agent_path.read_text())
+    assert saved["agent"] == "linucb"
+    results = json_module.loads(out_path.read_text())
+    assert results["key_metric"] == "p95_response_s"
+    assert len(results["train"]["history"]) == 2
+    assert set(results["eval"]["rows"]) == {
+        "linucb", "baseline:random", "baseline:jsq"
+    }
+
+
+def test_policy_replays_a_saved_agent_byte_identically(tmp_path, capsys):
+    agent_path = tmp_path / "agent.json"
+    assert main([
+        "learn", "--env", "routing", "--agent", "epsilon_greedy",
+        "--clusters", "2", "--num-jobs", "20",
+        "--episodes", "1", "--eval-episodes", "1",
+        "--save", str(agent_path),
+    ]) == 0
+    capsys.readouterr()
+    outputs = []
+    for jobs in ("1", "2"):
+        assert main([
+            "policy", "--env", "routing", "--load", str(agent_path),
+            "--clusters", "2", "--num-jobs", "20",
+            "--episodes", "2", "--jobs", jobs,
+        ]) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+    assert "epsilon_greedy" in outputs[0]
+
+
+def test_policy_scheduling_with_scheduler_agent(capsys):
+    code = main([
+        "policy", "--env", "scheduling", "--agent",
+        "scheduler:critical_path_first", "--num-jobs", "2", "--episodes", "1",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "scheduler:critical_path_first" in output
+    assert "mean_makespan_s" in output
+
+
+def test_policy_rejects_scheduler_agents_on_the_routing_env(capsys):
+    assert main([
+        "policy", "--env", "routing", "--agent", "scheduler:fifo",
+    ]) == 1
+    assert "stage decisions" in capsys.readouterr().err
+
+
+def test_policy_rejects_unknown_agents(capsys):
+    assert main(["policy", "--env", "routing", "--agent", "dqn"]) == 1
+    assert "unknown agent" in capsys.readouterr().err
+
+
+def test_learn_rejects_unknown_baselines(capsys):
+    assert main([
+        "learn", "--env", "routing", "--clusters", "2", "--num-jobs", "5",
+        "--episodes", "1", "--eval-episodes", "1", "--baseline", "nope",
+    ]) == 1
+    assert "baseline router" in capsys.readouterr().err
+
+
+def test_learn_rejects_mismatched_scenarios(capsys):
+    assert main([
+        "learn", "--env", "scheduling", "--scenario", "two-priority",
+        "--episodes", "1", "--eval-episodes", "1",
+    ]) == 1
+    assert "unknown scheduling scenario" in capsys.readouterr().err
+
+
+def test_list_mentions_decision_envs_and_agents(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "decision envs (learn, policy): scheduling, routing" in output
+    assert "epsilon_greedy" in output
+    assert "linucb" in output
